@@ -1,0 +1,104 @@
+//! The non-linear (merge) experiment runner (Figs. 8–9).
+//!
+//! For each merge strategy, a fresh system replays the Fig. 3 branch
+//! history and then performs the merge; the report isolates merge-only
+//! cumulative pipeline time (CPT), execution time (CET), storage time (CST),
+//! and storage size (CSS).
+//!
+//! CSS is reported on a consistent *logical-bytes* basis for all three
+//! systems: full MLCask executes (and therefore archives) every distinct
+//! tree node once — "saves the final optimal pipeline only once" — while
+//! the ablations re-archive every candidate's outputs from scratch. The
+//! additional chunk-level dedup of the ForkBase store is reported
+//! separately as `css_physical_bytes`.
+
+use mlcask_core::errors::Result;
+use mlcask_core::merge::{MergeSearchReport, MergeStrategy};
+use mlcask_pipeline::clock::SimClock;
+use mlcask_workloads::common::Workload;
+use mlcask_workloads::scenario::{build_system, setup_nonlinear};
+use serde::{Deserialize, Serialize};
+
+/// Measurements of one merge under one strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MergeRunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy used.
+    pub strategy: MergeStrategy,
+    /// Merge-only cumulative pipeline time in seconds (CPT).
+    pub cpt_secs: f64,
+    /// Merge-only cumulative execution time in seconds (CET).
+    pub cet_secs: f64,
+    /// Merge-only cumulative storage time in seconds (CST).
+    pub cst_secs: f64,
+    /// Merge-only cumulative storage size in bytes (CSS, logical basis).
+    pub css_bytes: u64,
+    /// Physical bytes after chunk dedup (MLCask's additional saving).
+    pub css_physical_bytes: u64,
+    /// The underlying search report.
+    pub report: MergeSearchReport,
+}
+
+/// Runs one workload's merge under one strategy on a fresh system.
+pub fn run_merge(workload: &Workload, strategy: MergeStrategy) -> Result<MergeRunResult> {
+    let (_registry, sys) = build_system(workload)?;
+    setup_nonlinear(&sys, workload)?;
+    let mut clock = SimClock::new();
+    let outcome = sys.merge("master", "dev", strategy, &mut clock)?;
+    let report = outcome.report.expect("diverged merge produces a report");
+    Ok(MergeRunResult {
+        workload: workload.name.clone(),
+        strategy,
+        cpt_secs: report.clock.total_secs(),
+        cet_secs: report.clock.exec_ns() as f64 / 1e9,
+        cst_secs: report.clock.storage_ns as f64 / 1e9,
+        css_bytes: report.logical_bytes,
+        css_physical_bytes: report.physical_bytes,
+        report,
+    })
+}
+
+/// The three strategies of Fig. 8, in legend order.
+pub const FIG8_STRATEGIES: [MergeStrategy; 3] = [
+    MergeStrategy::Full,
+    MergeStrategy::WithoutPcPr,
+    MergeStrategy::WithoutPr,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcask_workloads::readmission;
+
+    #[test]
+    fn fig8_ordering_holds_for_readmission() {
+        let w = readmission::build();
+        let full = run_merge(&w, MergeStrategy::Full).unwrap();
+        let no_pcpr = run_merge(&w, MergeStrategy::WithoutPcPr).unwrap();
+        let no_pr = run_merge(&w, MergeStrategy::WithoutPr).unwrap();
+        // Fig. 8: MLCask dominates; w/o PR gives minor gains over w/o PCPR.
+        assert!(full.cpt_secs < no_pr.cpt_secs);
+        assert!(no_pr.cpt_secs < no_pcpr.cpt_secs);
+        assert!(full.cet_secs < no_pr.cet_secs);
+        assert!(full.css_bytes < no_pr.css_bytes);
+        assert!(no_pr.css_bytes <= no_pcpr.css_bytes);
+        // All agree on the winner's score (same search space).
+        let s_full = full.report.best.as_ref().unwrap().1.value;
+        let s_no = no_pcpr.report.best.as_ref().unwrap().1.value;
+        assert!((s_full - s_no).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_speedup_is_substantial() {
+        // Abstract: "the proposed merge operation is up to 7.8x faster and
+        // saves up to 11.9x storage" vs the no-history baseline. We assert
+        // the direction and a >2x margin for one workload here; the bench
+        // harness reports exact ratios for all four.
+        let w = readmission::build();
+        let full = run_merge(&w, MergeStrategy::Full).unwrap();
+        let no_pcpr = run_merge(&w, MergeStrategy::WithoutPcPr).unwrap();
+        assert!(no_pcpr.cpt_secs / full.cpt_secs > 2.0);
+        assert!(no_pcpr.css_bytes as f64 / full.css_bytes as f64 > 2.0);
+    }
+}

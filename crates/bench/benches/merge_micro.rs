@@ -1,0 +1,147 @@
+//! Criterion microbenchmarks on the merge machinery: search-tree
+//! construction (Algorithm 1), compatibility pruning (PC), checkpoint
+//! marking (PR), and end-to-end merge search per strategy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcask_core::prelude::*;
+use mlcask_core::registry::ComponentRegistry;
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+use mlcask_pipeline::prelude::*;
+use mlcask_storage::prelude::*;
+use std::sync::Arc;
+
+fn spaces_of(widths: &[usize]) -> SearchSpaces {
+    SearchSpaces {
+        slot_names: (0..widths.len()).map(|i| format!("slot{i}")).collect(),
+        per_slot: widths
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| {
+                (0..n)
+                    .map(|v| ComponentKey::new(&format!("slot{s}"), SemVer::master(0, v as u32)))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_tree_build");
+    for widths in [vec![1, 2, 2, 5], vec![1, 3, 3, 8], vec![1, 4, 4, 4, 6]] {
+        let spaces = spaces_of(&widths);
+        let label = widths
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &spaces, |b, s| {
+            b.iter(|| SearchTree::build(black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+/// Toy merge scenario with a Fig.-3-like version family.
+fn toy_setup() -> (ComponentRegistry, Arc<PipelineDag>, SearchSpaces, HistoryIndex) {
+    let store = Arc::new(ChunkStore::in_memory_small());
+    let reg = ComponentRegistry::with_exe_size(store, 4096);
+    let src = toy_source(SemVer::master(0, 0), 4, 32);
+    let scalers: Vec<_> = (0..3)
+        .map(|i| toy_scaler(SemVer::master(0, i), 4, 4, 1.0 + i as f32))
+        .collect();
+    let models: Vec<_> = (0..5)
+        .map(|i| toy_model(SemVer::master(0, i), 4, 0.3 + 0.1 * i as f64))
+        .collect();
+    let mut spaces = SearchSpaces {
+        slot_names: toy_slots().iter().map(|s| s.to_string()).collect(),
+        per_slot: vec![vec![], vec![], vec![]],
+    };
+    reg.register(src.clone()).unwrap();
+    spaces.per_slot[0].push(src.key());
+    for s in &scalers {
+        reg.register(s.clone()).unwrap();
+        spaces.per_slot[1].push(s.key());
+    }
+    for m in &models {
+        reg.register(m.clone()).unwrap();
+        spaces.per_slot[2].push(m.key());
+    }
+    let dag = Arc::new(PipelineDag::chain(&toy_slots()).unwrap());
+    (reg, dag, spaces, HistoryIndex::new())
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let (reg, _dag, spaces, history) = toy_setup();
+    let mut g = c.benchmark_group("pruning");
+    g.bench_function("compat_lut_build", |b| {
+        b.iter(|| CompatLut::build(black_box(&reg), black_box(&spaces)).unwrap())
+    });
+    let lut = CompatLut::build(&reg, &spaces).unwrap();
+    g.bench_function("prune_incompatible", |b| {
+        b.iter_with_setup(
+            || SearchTree::build(&spaces),
+            |mut tree| tree.prune_incompatible(black_box(&lut)),
+        )
+    });
+    g.bench_function("mark_checkpoints", |b| {
+        b.iter_with_setup(
+            || {
+                let mut tree = SearchTree::build(&spaces);
+                tree.prune_incompatible(&lut);
+                tree
+            },
+            |mut tree| tree.mark_checkpoints(black_box(&history)),
+        )
+    });
+    g.finish();
+}
+
+fn bench_merge_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_search");
+    g.sample_size(10);
+    for strategy in [
+        MergeStrategy::WithoutPcPr,
+        MergeStrategy::WithoutPr,
+        MergeStrategy::Full,
+    ] {
+        let name: String = strategy
+            .label()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        g.bench_function(name, |b| {
+            b.iter_with_setup(toy_setup, |(reg, dag, spaces, history)| {
+                let engine = MergeEngine::new(&reg, reg.store(), dag);
+                let mut clock = SimClock::new();
+                engine
+                    .search(&spaces, &history, strategy, &mut clock)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prioritized_trial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prioritized");
+    g.sample_size(10);
+    let (reg, dag, spaces, history) = toy_setup();
+    for method in [SearchMethod::Prioritized, SearchMethod::Random] {
+        g.bench_function(method.label(), |b| {
+            let searcher = PrioritizedSearcher::new(&reg, Arc::clone(&dag));
+            b.iter(|| {
+                searcher
+                    .run_trial(black_box(&spaces), &history, &[], method, 9)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tree_build, bench_pruning, bench_merge_strategies, bench_prioritized_trial
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks on the ML substrate: one training unit of each
+//! model family used by the workloads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlcask_ml::adaboost::{AdaBoost, AdaBoostConfig};
+use mlcask_ml::embedding::{Embedding, EmbeddingConfig};
+use mlcask_ml::hmm::Hmm;
+use mlcask_ml::mlp::{synthetic_classification, Mlp, MlpConfig};
+use mlcask_ml::zernike::{zernike_moments, Image};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mlp(c: &mut Criterion) {
+    let (x, y) = synthetic_classification(256, 16, 2, 0.3, 1);
+    c.bench_function("mlp_fit_10_epochs", |b| {
+        b.iter(|| {
+            let mut m = Mlp::new(
+                16,
+                2,
+                MlpConfig {
+                    hidden: vec![16],
+                    epochs: 10,
+                    ..Default::default()
+                },
+            );
+            m.fit(black_box(&x), black_box(&y))
+        })
+    });
+}
+
+fn bench_hmm(c: &mut Criterion) {
+    let truth = Hmm::random(3, 6, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let seqs: Vec<Vec<usize>> = (0..64).map(|_| truth.sample(16, &mut rng)).collect();
+    c.bench_function("hmm_baum_welch_5_iters", |b| {
+        b.iter(|| {
+            let mut m = Hmm::random(3, 6, 7);
+            m.fit(black_box(&seqs), 5)
+        })
+    });
+}
+
+fn bench_adaboost(c: &mut Criterion) {
+    let (x, y) = synthetic_classification(256, 16, 4, 0.2, 3);
+    c.bench_function("adaboost_30_rounds", |b| {
+        b.iter(|| {
+            AdaBoost::fit(
+                black_box(&x),
+                black_box(&y),
+                4,
+                AdaBoostConfig {
+                    rounds: 30,
+                    threshold_stride: 1,
+                },
+            )
+        })
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let docs: Vec<Vec<String>> = (0..128)
+        .map(|i| {
+            (0..20)
+                .map(|j| format!("w{}", (i * 7 + j * 3) % 40))
+                .collect()
+        })
+        .collect();
+    c.bench_function("embedding_train_vocab40", |b| {
+        b.iter(|| {
+            Embedding::train(
+                black_box(&docs),
+                EmbeddingConfig {
+                    dim: 12,
+                    window: 3,
+                    iterations: 10,
+                    min_count: 1,
+                },
+            )
+        })
+    });
+}
+
+fn bench_zernike(c: &mut Criterion) {
+    let img = Image::new(
+        16,
+        (0..256)
+            .map(|i| if (i / 16 + i % 16) % 3 == 0 { 1.0 } else { 0.0 })
+            .collect(),
+    );
+    c.bench_function("zernike_moments_order8", |b| {
+        b.iter(|| zernike_moments(black_box(&img), 8))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mlp, bench_hmm, bench_adaboost, bench_embedding, bench_zernike
+);
+criterion_main!(benches);

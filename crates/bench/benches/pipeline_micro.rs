@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks on the pipeline layer: executor cold/warm
+//! paths, artifact hashing, and semantic-version parsing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlcask_core::history::HistoryIndex;
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+use mlcask_pipeline::prelude::*;
+use mlcask_storage::prelude::*;
+use std::sync::Arc;
+
+fn toy_pipeline() -> BoundPipeline {
+    let dag = Arc::new(PipelineDag::chain(&toy_slots()).unwrap());
+    BoundPipeline::new(
+        dag,
+        vec![
+            toy_source(SemVer::initial(), 8, 64),
+            toy_scaler(SemVer::initial(), 8, 8, 2.0),
+            toy_model(SemVer::initial(), 8, 0.7),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    let pipeline = toy_pipeline();
+    g.bench_function("cold_run", |b| {
+        b.iter_with_setup(ChunkStore::in_memory_small, |store| {
+            let mut clock = SimClock::new();
+            Executor::new(&store)
+                .run(black_box(&pipeline), &mut clock, None, ExecOptions::RERUN_ALL)
+                .unwrap()
+        })
+    });
+    g.bench_function("fully_cached_run", |b| {
+        let store = ChunkStore::in_memory_small();
+        let history = HistoryIndex::new();
+        let mut clock = SimClock::new();
+        Executor::new(&store)
+            .run(&pipeline, &mut clock, Some(&history), ExecOptions::MLCASK)
+            .unwrap();
+        b.iter(|| {
+            let mut clock = SimClock::new();
+            Executor::new(&store)
+                .run(black_box(&pipeline), &mut clock, Some(&history), ExecOptions::MLCASK)
+                .unwrap()
+        })
+    });
+    g.bench_function("precheck_reject", |b| {
+        let store = ChunkStore::in_memory_small();
+        let doomed = BoundPipeline::new(
+            Arc::new(PipelineDag::chain(&toy_slots()).unwrap()),
+            vec![
+                toy_source(SemVer::initial(), 8, 64),
+                toy_scaler(SemVer::master(1, 0), 8, 12, 2.0),
+                toy_model(SemVer::initial(), 8, 0.7),
+            ],
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut clock = SimClock::new();
+            Executor::new(&store)
+                .run(black_box(&doomed), &mut clock, None, ExecOptions::MLCASK)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_artifact(c: &mut Criterion) {
+    let pipeline = toy_pipeline();
+    let artifact = pipeline.components[0].run(&[]).unwrap();
+    c.bench_function("artifact_encode_and_hash", |b| {
+        b.iter(|| black_box(&artifact).content_id())
+    });
+}
+
+fn bench_semver(c: &mut Criterion) {
+    c.bench_function("semver_parse", |b| {
+        b.iter(|| {
+            let v: SemVer = black_box("frank-dev@12.34").parse().unwrap();
+            v
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_executor, bench_artifact, bench_semver
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks on the storage substrate: hashing, chunking,
+//! deduplicating writes, and commit-graph ancestor queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mlcask_storage::prelude::*;
+use std::sync::Arc;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [4 << 10, 256 << 10] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{}KiB", size / 1024), |b| {
+            b.iter(|| Sha256::digest(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunking");
+    let data: Vec<u8> = (0..1 << 20)
+        .map(|i| ((i * 2654435761usize) % 251) as u8)
+        .collect();
+    // Ablation over chunk size bounds (DESIGN.md §5): smaller chunks dedup
+    // better but cost more per byte.
+    for params in [ChunkParams::SMALL, ChunkParams::DEFAULT] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_function(format!("avg{}B", params.avg_size), |b| {
+            b.iter(|| mlcask_storage::chunk::chunk_blob(black_box(&data), params))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dedup_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dedup_write");
+    let base: Vec<u8> = (0..512 << 10).map(|i| (i % 249) as u8).collect();
+    g.throughput(Throughput::Bytes(base.len() as u64));
+    g.bench_function("cold", |b| {
+        b.iter_with_setup(ChunkStore::in_memory, |store| {
+            store.put_blob(ObjectKind::Library, black_box(&base)).unwrap()
+        })
+    });
+    g.bench_function("duplicate", |b| {
+        let store = ChunkStore::in_memory();
+        store.put_blob(ObjectKind::Library, &base).unwrap();
+        b.iter(|| store.put_blob(ObjectKind::Library, black_box(&base)).unwrap())
+    });
+    g.bench_function("one_byte_edit", |b| {
+        let store = ChunkStore::in_memory();
+        store.put_blob(ObjectKind::Library, &base).unwrap();
+        let mut edited = base.clone();
+        edited[100_000] ^= 0xff;
+        b.iter(|| store.put_blob(ObjectKind::Library, black_box(&edited)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_commit_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_graph");
+    // Build a two-branch history of 200 commits each.
+    let graph = Arc::new(CommitGraph::new());
+    graph.commit_root("master", Hash256::of(b"0"), "init").unwrap();
+    graph.branch("master", "dev").unwrap();
+    for i in 0..200u32 {
+        graph.commit("master", Hash256::of(&i.to_le_bytes()), "m").unwrap();
+        graph.commit("dev", Hash256::of(&(i + 1000).to_le_bytes()), "d").unwrap();
+    }
+    let m = graph.head("master").unwrap().id;
+    let d = graph.head("dev").unwrap().id;
+    g.bench_function("lca_200_deep", |b| {
+        b.iter(|| graph.common_ancestor(black_box(m), black_box(d)).unwrap())
+    });
+    g.bench_function("path_from_root", |b| {
+        let root = graph.common_ancestor(m, d).unwrap().unwrap().id;
+        b.iter(|| graph.path_from(black_box(root), black_box(m)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_chunking, bench_dedup_write, bench_commit_graph
+);
+criterion_main!(benches);

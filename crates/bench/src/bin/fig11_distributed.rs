@@ -1,0 +1,82 @@
+//! Fig. 11 — Distributed training analysis.
+//!
+//! (a) Training loss vs virtual time for k ∈ {1, 2, 4, 8} workers of
+//! synchronous data-parallel SGD (real gradient math, modeled step time):
+//! more workers reach low loss sooner.
+//! (b) The pipeline-time speedup surface `1/((1-p) + p/k)` for training
+//! fraction p and training speedup k, including the paper's observation
+//! that p > 0.9 with k = 8 shrinks pipeline time below one fourth.
+
+use mlcask_bench::{print_header, print_row, print_series};
+use mlcask_ml::distributed::{
+    pipeline_speedup, train_distributed, training_speedup, GpuCostModel,
+};
+use mlcask_ml::mlp::{synthetic_classification, MlpConfig};
+
+fn main() {
+    println!("# Fig. 11(a) — Training loss vs time (synchronous data-parallel)");
+    let (x, y) = synthetic_classification(2048, 16, 2, 0.35, 77);
+    let base = MlpConfig {
+        hidden: vec![32],
+        learning_rate: 0.1,
+        epochs: 1,
+        batch_size: 256,
+        l2: 1e-4,
+        seed: 5,
+    };
+    let cost = GpuCostModel::default();
+    let steps = 60;
+    let mut final_times = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        let run = train_distributed(&x, &y, 2, &base, k, 256, steps, cost);
+        // Print a sparse curve: every 10th point.
+        let pts: Vec<String> = run
+            .curve
+            .iter()
+            .step_by(10)
+            .map(|p| format!("({:.2}s,{:.4})", p.time_s, p.loss))
+            .collect();
+        print_series(&format!("{k} GPU loss curve"), &pts);
+        final_times.push(run.curve.last().unwrap().time_s);
+    }
+    println!(
+        "\ncheck: time to finish {steps} steps: 1gpu {:.2}s > 2gpu {:.2}s > 4gpu {:.2}s > 8gpu {:.2}s — {}",
+        final_times[0],
+        final_times[1],
+        final_times[2],
+        final_times[3],
+        if final_times.windows(2).all(|w| w[0] > w[1]) {
+            "OK (paper shape)"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "measured training speedup at batch 256: k=2 → {:.2}x, k=4 → {:.2}x, k=8 → {:.2}x",
+        training_speedup(cost, 256, 2),
+        training_speedup(cost, 256, 4),
+        training_speedup(cost, 256, 8)
+    );
+
+    println!("\n# Fig. 11(b) — Pipeline time speedup = 1 / ((1-p) + p/k)");
+    print_header(
+        "speedup surface",
+        &["p \\ k", "1", "2", "4", "8"],
+    );
+    for p in [0.1, 0.3, 0.5, 0.7, 0.9, 0.95] {
+        print_row(
+            &std::iter::once(format!("{p:.2}"))
+                .chain(
+                    [1.0, 2.0, 4.0, 8.0]
+                        .iter()
+                        .map(|&k| format!("{:.2}", pipeline_speedup(p, k))),
+                )
+                .collect::<Vec<_>>(),
+        );
+    }
+    let s = pipeline_speedup(0.92, 8.0);
+    println!(
+        "\ncheck: p=0.92, k=8 → speedup {s:.2} (> 4 ⇒ pipeline time < 1/4) — {}",
+        if s > 4.0 { "OK (paper claim)" } else { "MISMATCH" }
+    );
+}

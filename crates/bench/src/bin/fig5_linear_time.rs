@@ -1,0 +1,71 @@
+//! Fig. 5 — Total time for linear versioning.
+//!
+//! Reproduces the four subplots of Fig. 5: cumulative pipeline time per
+//! iteration (1–10) for ModelDB, MLflow, and MLCask on each workload. The
+//! paper's shape: ModelDB grows linearly and fastest (no reuse); MLflow and
+//! MLCask track each other closely (both reuse); at the final iteration the
+//! baselines pay for the doomed run while MLCask's precheck costs nothing.
+
+use mlcask_baselines::prelude::*;
+use mlcask_bench::{f2, print_header, print_row, print_series};
+use mlcask_workloads::prelude::*;
+
+fn main() {
+    let scenario = LinearScenario::default();
+    println!("# Fig. 5 — Total time for linear versioning (virtual seconds)");
+    println!(
+        "\nscenario: {} iterations, p(pre-processing update)={}, seed={}",
+        scenario.iterations, scenario.p_update_preproc, scenario.seed
+    );
+    for workload in all_workloads() {
+        let sequence = linear_update_sequence(&workload, &scenario);
+        print_header(
+            &format!("Fig. 5({}) {}", subfig(&workload.name), workload.name),
+            &["iteration", "ModelDB", "MLflow", "MLCask"],
+        );
+        let results: Vec<LinearRunResult> = SystemKind::ALL
+            .iter()
+            .map(|&s| run_linear(s, &workload, &sequence).expect("linear run"))
+            .collect();
+        let n = results[0].iterations.len();
+        for it in 0..n {
+            print_row(&[
+                format!("{}", it + 1),
+                f2(results[0].iterations[it].cumulative.total_secs()),
+                f2(results[1].iterations[it].cumulative.total_secs()),
+                f2(results[2].iterations[it].cumulative.total_secs()),
+            ]);
+        }
+        // Figure-style series for quick plotting.
+        for r in &results {
+            print_series(
+                &format!("series {} {}", workload.name, r.system.label()),
+                &r.iterations
+                    .iter()
+                    .map(|i| f2(i.cumulative.total_secs()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let (m, f, c) = (
+            results[0].total_time_secs(),
+            results[1].total_time_secs(),
+            results[2].total_time_secs(),
+        );
+        println!(
+            "\ncheck: ModelDB {} > MLflow {} >= MLCask {} — {}",
+            f2(m),
+            f2(f),
+            f2(c),
+            if m > f && f >= c { "OK (paper shape)" } else { "MISMATCH" }
+        );
+    }
+}
+
+fn subfig(name: &str) -> &'static str {
+    match name {
+        "readmission" => "a",
+        "dpm" => "b",
+        "sa" => "c",
+        _ => "d",
+    }
+}

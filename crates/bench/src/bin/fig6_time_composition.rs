@@ -1,0 +1,55 @@
+//! Fig. 6 — Pipeline time composition (linear versioning).
+//!
+//! For each workload and system, splits cumulative pipeline time into
+//! storage, pre-processing, and model training. Paper shape: model-training
+//! time is comparable across systems; the difference sits in
+//! pre-processing (reuse) and the baselines' near-zero storage time versus
+//! MLCask's small ForkBase overhead.
+
+use mlcask_baselines::prelude::*;
+use mlcask_bench::{f2, print_header, print_row};
+use mlcask_workloads::prelude::*;
+
+fn main() {
+    let scenario = LinearScenario::default();
+    println!("# Fig. 6 — Pipeline time composition (virtual seconds)");
+    for workload in all_workloads() {
+        let sequence = linear_update_sequence(&workload, &scenario);
+        print_header(
+            &workload.name,
+            &["system", "storage", "pre-processing", "model training", "total"],
+        );
+        let mut training: Vec<f64> = Vec::new();
+        let mut preproc: Vec<f64> = Vec::new();
+        for &system in &SystemKind::ALL {
+            let r = run_linear(system, &workload, &sequence).expect("linear run");
+            let last = r.iterations.last().unwrap().cumulative;
+            let storage_s = last.storage_ns as f64 / 1e9;
+            let pre_s = (last.preprocess_ns + last.ingest_ns) as f64 / 1e9;
+            let train_s = last.training_ns as f64 / 1e9;
+            training.push(train_s);
+            preproc.push(pre_s);
+            print_row(&[
+                system.label().into(),
+                f2(storage_s),
+                f2(pre_s),
+                f2(train_s),
+                f2(last.total_secs()),
+            ]);
+        }
+        // Paper checks: training comparable across systems; pre-processing
+        // is where the difference lies (ModelDB >> MLflow ≈ MLCask).
+        let train_spread = training
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            / training.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        println!(
+            "\ncheck: training spread {:.2}x across systems; ModelDB preproc {} vs MLCask {} — {}",
+            train_spread,
+            f2(preproc[0]),
+            f2(preproc[2]),
+            if preproc[0] > preproc[2] { "OK (paper shape)" } else { "MISMATCH" }
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 7 — Cumulative storage size (CSS) for linear versioning.
+//!
+//! Paper shape: ModelDB grows linearly (every iteration re-archives all
+//! outputs); MLflow stores each distinct output once but archives full
+//! library copies; MLCask's chunk-level dedup keeps both libraries and
+//! outputs cheapest, with visibly flatter growth.
+
+use mlcask_baselines::prelude::*;
+use mlcask_bench::{print_header, print_row, print_series};
+use mlcask_workloads::prelude::*;
+
+fn main() {
+    let scenario = LinearScenario::default();
+    println!("# Fig. 7 — Cumulative storage size (MiB)");
+    for workload in all_workloads() {
+        let sequence = linear_update_sequence(&workload, &scenario);
+        print_header(
+            &workload.name,
+            &["iteration", "ModelDB", "MLflow", "MLCask"],
+        );
+        let results: Vec<LinearRunResult> = SystemKind::ALL
+            .iter()
+            .map(|&s| run_linear(s, &workload, &sequence).expect("linear run"))
+            .collect();
+        let css =
+            |r: &LinearRunResult, it: usize| r.iterations[it].cumulative_storage_bytes as f64 / (1024.0 * 1024.0);
+        for it in 0..results[0].iterations.len() {
+            print_row(&[
+                format!("{}", it + 1),
+                format!("{:.2}", css(&results[0], it)),
+                format!("{:.2}", css(&results[1], it)),
+                format!("{:.2}", css(&results[2], it)),
+            ]);
+        }
+        for r in &results {
+            print_series(
+                &format!("series {} {}", workload.name, r.system.label()),
+                &(0..r.iterations.len())
+                    .map(|it| format!("{:.2}", css(r, it)))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let (m, f, c) = (
+            results[0].final_css_mib(),
+            results[1].final_css_mib(),
+            results[2].final_css_mib(),
+        );
+        println!(
+            "\ncheck: ModelDB {m:.2} > MLflow {f:.2} > MLCask {c:.2} MiB — {}",
+            if m > f && f > c { "OK (paper shape)" } else { "MISMATCH" }
+        );
+    }
+}

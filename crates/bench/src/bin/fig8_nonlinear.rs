@@ -1,0 +1,75 @@
+//! Fig. 8 — Non-linear versioning (merge) performance.
+//!
+//! Cumulative pipeline time (CPT), storage size (CSS), execution time (CET)
+//! and storage time (CST) of the merge operation under the three systems:
+//! full MLCask, MLCask w/o PCPR (no pruning, no reuse), and MLCask w/o PR
+//! (compatibility pruning only). Also prints the headline ratios the
+//! abstract quotes ("up to 7.8x faster and saves up to 11.9x storage").
+
+use mlcask_baselines::prelude::*;
+use mlcask_bench::{f2, mib, print_header, print_row, ratio};
+use mlcask_core::merge::MergeStrategy;
+use mlcask_workloads::prelude::*;
+
+fn main() {
+    println!("# Fig. 8 — Non-linear versioning performance (merge operation)");
+    let mut headline_speed: f64 = 0.0;
+    let mut headline_storage: f64 = 0.0;
+    for workload in all_workloads() {
+        print_header(
+            &workload.name,
+            &["system", "CPT (s)", "CSS (MiB)", "CET (s)", "CST (s)", "candidates run", "components run"],
+        );
+        let mut rows = Vec::new();
+        for strategy in [
+            MergeStrategy::Full,
+            MergeStrategy::WithoutPcPr,
+            MergeStrategy::WithoutPr,
+        ] {
+            let r = run_merge(&workload, strategy).expect("merge run");
+            print_row(&[
+                strategy.label().into(),
+                f2(r.cpt_secs),
+                mib(r.css_bytes),
+                f2(r.cet_secs),
+                f2(r.cst_secs),
+                format!("{}", r.report.candidates_evaluated),
+                format!("{}", r.report.executed_components),
+            ]);
+            rows.push(r);
+        }
+        let (full, no_pcpr, no_pr) = (&rows[0], &rows[1], &rows[2]);
+        let speedup = no_pcpr.cpt_secs / full.cpt_secs;
+        let storage_saving = no_pcpr.css_bytes as f64 / full.css_bytes as f64;
+        headline_speed = headline_speed.max(speedup);
+        headline_storage = headline_storage.max(storage_saving);
+        println!(
+            "\ncheck: CPT MLCask {} < w/o PR {} < w/o PCPR {} — {}",
+            f2(full.cpt_secs),
+            f2(no_pr.cpt_secs),
+            f2(no_pcpr.cpt_secs),
+            if full.cpt_secs < no_pr.cpt_secs && no_pr.cpt_secs < no_pcpr.cpt_secs {
+                "OK (paper shape)"
+            } else {
+                "MISMATCH"
+            }
+        );
+        println!(
+            "ratios vs w/o PCPR: merge {} faster, storage {} smaller",
+            ratio(no_pcpr.cpt_secs, full.cpt_secs),
+            ratio(no_pcpr.css_bytes as f64, full.css_bytes as f64)
+        );
+        println!(
+            "tree: {} candidates, {} pruned by PC, {} checkpointed by PR",
+            full.report.candidates_total,
+            full.report.candidates_pruned,
+            full.report.state_counts.checkpointed
+        );
+    }
+    println!(
+        "\n## Headline (abstract: up to 7.8x faster, up to 11.9x storage saving)\n"
+    );
+    println!(
+        "measured: up to {headline_speed:.1}x faster, up to {headline_storage:.1}x storage saving"
+    );
+}

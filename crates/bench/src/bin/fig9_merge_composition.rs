@@ -1,0 +1,65 @@
+//! Fig. 9 — Pipeline time composition during the merge operation.
+//!
+//! Paper shape: differences among the three systems are almost entirely in
+//! pre-processing time (both pruning heuristics act there); model-training
+//! time is nearly equal; storage time is a small fraction.
+
+use mlcask_baselines::prelude::*;
+use mlcask_bench::{f2, print_header, print_row};
+use mlcask_core::merge::MergeStrategy;
+use mlcask_workloads::prelude::*;
+
+fn main() {
+    println!("# Fig. 9 — Merge-time composition (virtual seconds)");
+    for workload in all_workloads() {
+        print_header(
+            &workload.name,
+            &["system", "storage", "pre-processing", "model training", "total"],
+        );
+        let mut pre = Vec::new();
+        let mut train = Vec::new();
+        for strategy in [
+            MergeStrategy::Full,
+            MergeStrategy::WithoutPcPr,
+            MergeStrategy::WithoutPr,
+        ] {
+            let r = run_merge(&workload, strategy).expect("merge run");
+            let c = r.report.clock;
+            let storage_s = c.storage_ns as f64 / 1e9;
+            let pre_s = (c.preprocess_ns + c.ingest_ns) as f64 / 1e9;
+            let train_s = c.training_ns as f64 / 1e9;
+            pre.push(pre_s);
+            train.push(train_s);
+            print_row(&[
+                strategy.label().into(),
+                f2(storage_s),
+                f2(pre_s),
+                f2(train_s),
+                f2(c.total_secs()),
+            ]);
+        }
+        // The pre-processing gap should dominate the training gap for the
+        // pre-processing-heavy pipelines (DPM/SA/Autolearn, as in the
+        // paper). Readmission is training-dominated, and PR legitimately
+        // reuses *trained models* checkpointed during branch development, so
+        // its ablation gap shows up in training time — a deviation from the
+        // paper explained in EXPERIMENTS.md.
+        let pre_gap = pre[1] - pre[0];
+        let train_gap = (train[1] - train[0]).abs();
+        if workload.name == "readmission" {
+            println!(
+                "\nnote: preproc gap {} vs training gap {} — training gap comes \
+                 from PR reusing models trained during development (see EXPERIMENTS.md)",
+                f2(pre_gap),
+                f2(train_gap),
+            );
+        } else {
+            println!(
+                "\ncheck: preproc gap {} vs training gap {} — {}",
+                f2(pre_gap),
+                f2(train_gap),
+                if pre_gap > train_gap { "OK (paper shape)" } else { "MISMATCH" }
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Table I — Percentage of trials with the optimal pipeline found.
+//!
+//! For each application and search method, the fraction of 100 trials in
+//! which the optimal pipeline was found within the first 20%, 40%, 60%,
+//! 80%, and 100% of searches. Paper shape: prioritized dominates random at
+//! every cutoff and reaches 100% well before all searches complete.
+
+use mlcask_bench::{print_header, print_row};
+use mlcask_core::prelude::*;
+use mlcask_workloads::prelude::*;
+
+const TRIALS: usize = 100;
+
+fn main() {
+    println!("# Table I — % of trials with the optimal pipeline found ({TRIALS} trials)");
+    print_header(
+        "Percentage of trials with the optimal pipeline found",
+        &[
+            "Application",
+            "Method",
+            "20% Searches",
+            "40% Searches",
+            "60% Searches",
+            "80% Searches",
+            "100% Searches",
+        ],
+    );
+    let cutoffs = [0.2, 0.4, 0.6, 0.8, 1.0];
+    for workload in all_workloads() {
+        let (registry, sys) = build_system(&workload).expect("system");
+        setup_nonlinear(&sys, &workload).expect("fig-3 history");
+        let spaces = sys.merge_search_spaces("master", "dev").expect("spaces");
+        let init = sys.initial_scores("master", "dev").expect("initial scores");
+        let searcher = PrioritizedSearcher::new(&registry, sys.dag().clone());
+        let mut at_cutoffs: Vec<Vec<f64>> = Vec::new();
+        for method in [SearchMethod::Random, SearchMethod::Prioritized] {
+            let stats = searcher
+                .run_trials(&spaces, sys.history(), &init, method, TRIALS, 17)
+                .expect("trials");
+            let row: Vec<f64> = cutoffs.iter().map(|&c| stats.optimal_within(c)).collect();
+            print_row(
+                &std::iter::once(workload.name.clone())
+                    .chain(std::iter::once(method.label().to_string()))
+                    .chain(row.iter().map(|v| format!("{:.0}%", v * 100.0)))
+                    .collect::<Vec<_>>(),
+            );
+            at_cutoffs.push(row);
+        }
+        let dominated = at_cutoffs[1]
+            .iter()
+            .zip(at_cutoffs[0].iter())
+            .all(|(p, r)| p >= r);
+        println!(
+            "check {}: prioritized >= random at every cutoff — {}",
+            workload.name,
+            if dominated { "OK (paper shape)" } else { "MISMATCH" }
+        );
+    }
+}

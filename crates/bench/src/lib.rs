@@ -1,0 +1,81 @@
+//! # mlcask-bench
+//!
+//! Experiment harness regenerating every table and figure of the MLCask
+//! evaluation (§VII). One binary per figure/table prints the same
+//! rows/series the paper plots; `cargo bench` runs the criterion
+//! microbenchmarks on the underlying mechanisms.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig5_linear_time` | Fig. 5 — linear-versioning total time |
+//! | `fig6_time_composition` | Fig. 6 — pipeline time composition |
+//! | `fig7_linear_storage` | Fig. 7 — cumulative storage size |
+//! | `fig8_nonlinear` | Fig. 8 — merge CPT/CSS/CET/CST + headline ratios |
+//! | `fig9_merge_composition` | Fig. 9 — merge time composition |
+//! | `fig10_prioritized` | Fig. 10 — prioritized vs random search |
+//! | `table1_optimal_found` | Table I — % trials with optimum found |
+//! | `fig11_distributed` | Fig. 11 — distributed training |
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a markdown-style table header.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n## {title}\n");
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Prints one markdown table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 4 decimal places.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats bytes as MiB with 2 decimals.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a ratio as `N.Nx`.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".into()
+    } else {
+        format!("{:.1}x", a / b)
+    }
+}
+
+/// Prints a named series (figure line) as `label: v1 v2 v3 ...`.
+pub fn print_series<T: Display>(label: &str, values: &[T]) {
+    let joined = values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{label}: {joined}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(mib(1024 * 1024), "1.00");
+        assert_eq!(ratio(10.0, 2.0), "5.0x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for the version-control layer.
+
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::errors::PipelineError;
+use mlcask_storage::errors::StorageError;
+use std::fmt;
+
+/// Errors surfaced by versioning operations.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A referenced component version is not registered.
+    UnknownComponent(ComponentKey),
+    /// A pipeline commit payload could not be resolved.
+    MissingMetafile(String),
+    /// The two branches share no common ancestor.
+    NoCommonAncestor {
+        /// Base branch name.
+        base: String,
+        /// Merging branch name.
+        merging: String,
+    },
+    /// The merge search found no executable candidate (everything pruned or
+    /// failed).
+    NoViableCandidate,
+    /// A merge was requested into a branch that equals the merge source.
+    SelfMerge(String),
+    /// Underlying pipeline failure.
+    Pipeline(PipelineError),
+    /// Underlying storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownComponent(k) => write!(f, "unknown component version {k}"),
+            CoreError::MissingMetafile(l) => write!(f, "missing pipeline metafile for {l}"),
+            CoreError::NoCommonAncestor { base, merging } => {
+                write!(f, "no common ancestor between '{base}' and '{merging}'")
+            }
+            CoreError::NoViableCandidate => {
+                write!(f, "merge search produced no executable pipeline candidate")
+            }
+            CoreError::SelfMerge(b) => write!(f, "cannot merge branch '{b}' into itself"),
+            CoreError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Pipeline(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for CoreError {
+    fn from(e: PipelineError) -> Self {
+        CoreError::Pipeline(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcask_pipeline::semver::SemVer;
+
+    #[test]
+    fn display_variants() {
+        let k = ComponentKey::new("cnn", SemVer::master(0, 4));
+        assert!(CoreError::UnknownComponent(k).to_string().contains("cnn"));
+        assert!(CoreError::NoViableCandidate.to_string().contains("no executable"));
+        assert!(CoreError::SelfMerge("master".into())
+            .to_string()
+            .contains("itself"));
+        let e = CoreError::NoCommonAncestor {
+            base: "master".into(),
+            merging: "dev".into(),
+        };
+        assert!(e.to_string().contains("master") && e.to_string().contains("dev"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let p: CoreError = PipelineError::NoScore.into();
+        assert!(std::error::Error::source(&p).is_some());
+        let s: CoreError = StorageError::UnknownBranch("x".into()).into();
+        assert!(std::error::Error::source(&s).is_some());
+    }
+}

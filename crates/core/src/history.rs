@@ -1,0 +1,137 @@
+//! The reusable-output history index — the data behind "Pruning using
+//! Reusable output" (PR, §VI-B).
+//!
+//! Every component execution is checkpointed under the key *(component
+//! version, input artifact ids)*. During a merge, a search-tree node whose
+//! key hits this index is a "green" node (Fig. 4): its output is reused and
+//! it never re-executes. The index also powers linear-versioning reuse
+//! (challenge C1: skipping unchanged pre-processing steps).
+
+use mlcask_pipeline::executor::{CacheKey, CachedOutput, OutputCache};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared, cloneable history of checkpointed component outputs.
+///
+/// Cloning is shallow (`Arc`); use [`HistoryIndex::deep_clone`] to fork an
+/// independent copy (the prioritized-search trial harness forks the
+/// pre-merge history for every trial).
+#[derive(Clone, Default)]
+pub struct HistoryIndex {
+    inner: Arc<RwLock<HashMap<CacheKey, CachedOutput>>>,
+}
+
+impl HistoryIndex {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of checkpoints recorded.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if no checkpoints exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forks an independent copy with the same contents.
+    pub fn deep_clone(&self) -> HistoryIndex {
+        HistoryIndex {
+            inner: Arc::new(RwLock::new(self.inner.read().clone())),
+        }
+    }
+
+    /// Direct lookup (non-trait convenience).
+    pub fn get(&self, key: &CacheKey) -> Option<CachedOutput> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// True if the key has a checkpoint.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.read().contains_key(key)
+    }
+}
+
+impl OutputCache for HistoryIndex {
+    fn lookup(&self, key: &CacheKey) -> Option<CachedOutput> {
+        self.get(key)
+    }
+
+    fn insert(&self, key: CacheKey, value: CachedOutput) {
+        self.inner.write().insert(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcask_ml::metrics::{MetricKind, Score};
+    use mlcask_pipeline::component::ComponentKey;
+    use mlcask_pipeline::schema::SchemaId;
+    use mlcask_pipeline::semver::SemVer;
+    use mlcask_storage::hash::Hash256;
+    use mlcask_storage::object::{ObjectKind, ObjectRef};
+
+    fn key(n: u8) -> CacheKey {
+        CacheKey {
+            component: ComponentKey::new("c", SemVer::master(0, n as u32)),
+            inputs: vec![Hash256::of(&[n])],
+        }
+    }
+
+    fn output(n: u8) -> CachedOutput {
+        CachedOutput {
+            object: ObjectRef {
+                id: Hash256::of(&[n, n]),
+                kind: ObjectKind::Output,
+                len: 1,
+            },
+            artifact_id: Hash256::of(&[n, n, n]),
+            schema: SchemaId(Hash256::of(&[9])),
+            score: Some(Score::new(MetricKind::Accuracy, 0.5)),
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let h = HistoryIndex::new();
+        assert!(h.is_empty());
+        h.insert(key(1), output(1));
+        assert_eq!(h.len(), 1);
+        assert!(h.contains(&key(1)));
+        assert_eq!(h.lookup(&key(1)).unwrap().artifact_id, Hash256::of(&[1, 1, 1]));
+        assert!(h.lookup(&key(2)).is_none());
+    }
+
+    #[test]
+    fn shallow_clone_shares_state() {
+        let h = HistoryIndex::new();
+        let h2 = h.clone();
+        h.insert(key(1), output(1));
+        assert!(h2.contains(&key(1)), "shallow clones share the map");
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let h = HistoryIndex::new();
+        h.insert(key(1), output(1));
+        let fork = h.deep_clone();
+        fork.insert(key(2), output(2));
+        assert!(!h.contains(&key(2)), "fork writes must not leak back");
+        assert!(fork.contains(&key(1)), "fork keeps pre-existing entries");
+    }
+
+    #[test]
+    fn key_distinguishes_inputs() {
+        let h = HistoryIndex::new();
+        let base = key(1);
+        let mut other_inputs = base.clone();
+        other_inputs.inputs = vec![Hash256::of(b"different")];
+        h.insert(base.clone(), output(1));
+        assert!(!h.contains(&other_inputs), "same component, different input");
+    }
+}

@@ -1,0 +1,463 @@
+//! The metric-driven merge search (§V–§VI, Algorithm 2).
+//!
+//! `p_merged = argmax { score(p) | p ∈ P_candidate }` — the merge selects
+//! the best-scoring pipeline from the pre-merge candidate set rather than
+//! blindly combining the latest components. Three ablation strategies mirror
+//! the paper's systems:
+//!
+//! * [`MergeStrategy::WithoutPcPr`] — enumerate every combination, run each
+//!   from scratch (the baseline whose cost grows with `∏|S(f_i)|`).
+//! * [`MergeStrategy::WithoutPr`] — prune incompatible pipelines first, then
+//!   run the survivors from scratch.
+//! * [`MergeStrategy::Full`] — prune + reuse: depth-first traversal of the
+//!   search tree where every node executes at most once (Algorithm 2).
+//! * [`MergeStrategy::Naive`] — Git-style "take the latest components",
+//!   shown in §V to be both failure-prone and metric-blind.
+
+use crate::errors::Result;
+use crate::history::HistoryIndex;
+use crate::registry::ComponentRegistry;
+use crate::search_space::{CompatLut, SearchSpaces};
+use crate::tree::{SearchTree, StateCounts};
+use mlcask_ml::metrics::Score;
+use mlcask_pipeline::clock::{ClockSnapshot, SimClock};
+use mlcask_pipeline::component::{ComponentHandle, ComponentKey};
+use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
+use mlcask_pipeline::executor::{ExecOptions, Executor, OutputCache};
+use mlcask_storage::store::ChunkStore;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Merge-search strategy (the paper's system ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeStrategy {
+    /// Combine the latest component versions, Git-style.
+    Naive,
+    /// Exhaustive search, no pruning, no reuse ("MLCask w/o PCPR").
+    WithoutPcPr,
+    /// Compatibility pruning only, no reuse ("MLCask w/o PR").
+    WithoutPr,
+    /// Both pruning heuristics (full MLCask).
+    Full,
+}
+
+impl MergeStrategy {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MergeStrategy::Naive => "naive",
+            MergeStrategy::WithoutPcPr => "MLCask w/o PCPR",
+            MergeStrategy::WithoutPr => "MLCask w/o PR",
+            MergeStrategy::Full => "MLCask",
+        }
+    }
+}
+
+/// One evaluated candidate pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateRecord {
+    /// Component versions in slot order.
+    pub keys: Vec<ComponentKey>,
+    /// Score if the candidate completed.
+    pub score: Option<Score>,
+    /// True if the candidate failed (mid-run incompatibility).
+    pub failed: bool,
+    /// Cumulative merge virtual time (ns) when this candidate finished.
+    pub end_time_ns: u64,
+}
+
+/// Outcome of a merge search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MergeSearchReport {
+    /// Strategy used.
+    pub strategy: MergeStrategy,
+    /// Upper bound `∏|S(f_i)|` on candidates.
+    pub candidates_total: usize,
+    /// Candidates actually evaluated (run or attempted).
+    pub candidates_evaluated: usize,
+    /// Candidates removed by compatibility pruning.
+    pub candidates_pruned: usize,
+    /// Fig. 4 node-state summary of the search tree.
+    pub state_counts: StateCounts,
+    /// Component executions actually performed.
+    pub executed_components: usize,
+    /// Component executions avoided via checkpoint reuse.
+    pub reused_components: usize,
+    /// Candidates that failed mid-run.
+    pub failed_candidates: usize,
+    /// Best candidate found.
+    pub best: Option<(Vec<ComponentKey>, Score)>,
+    /// Every evaluated candidate in evaluation order.
+    pub candidates: Vec<CandidateRecord>,
+    /// Virtual time consumed by the merge only.
+    pub clock: ClockSnapshot,
+    /// Logical bytes written during the merge.
+    pub logical_bytes: u64,
+    /// Physical (post-dedup) bytes written during the merge.
+    pub physical_bytes: u64,
+}
+
+/// Executes merge searches against a registry/store/history triple.
+pub struct MergeEngine<'a> {
+    registry: &'a ComponentRegistry,
+    store: &'a ChunkStore,
+    dag: Arc<PipelineDag>,
+}
+
+impl<'a> MergeEngine<'a> {
+    /// Creates an engine for one pipeline shape.
+    pub fn new(
+        registry: &'a ComponentRegistry,
+        store: &'a ChunkStore,
+        dag: Arc<PipelineDag>,
+    ) -> Self {
+        MergeEngine {
+            registry,
+            store,
+            dag,
+        }
+    }
+
+    /// Resolves a candidate (slot-ordered keys) into a bound pipeline.
+    pub fn bind(&self, keys: &[ComponentKey]) -> Result<BoundPipeline> {
+        let mut components: Vec<ComponentHandle> = Vec::with_capacity(keys.len());
+        for k in keys {
+            components.push(self.registry.resolve(k)?);
+        }
+        Ok(BoundPipeline::new(Arc::clone(&self.dag), components)?)
+    }
+
+    /// Runs the merge search. `history` is consulted/extended only by the
+    /// `Full` strategy (PR); the ablations run from scratch as the paper
+    /// describes.
+    pub fn search(
+        &self,
+        spaces: &SearchSpaces,
+        history: &HistoryIndex,
+        strategy: MergeStrategy,
+        clock: &mut SimClock,
+    ) -> Result<MergeSearchReport> {
+        let stats_before = self.store.stats().total();
+        let clock_before = clock.clone();
+        let mut tree = SearchTree::build(spaces);
+        let candidates_total = spaces.candidate_upper_bound();
+
+        // Strategy-specific pruning/marking.
+        let mut candidates_pruned = 0usize;
+        match strategy {
+            MergeStrategy::WithoutPcPr | MergeStrategy::Naive => {}
+            MergeStrategy::WithoutPr => {
+                let lut = CompatLut::build(self.registry, spaces)?;
+                tree.prune_incompatible(&lut);
+                candidates_pruned = candidates_total - tree.live_leaves().len();
+            }
+            MergeStrategy::Full => {
+                let lut = CompatLut::build(self.registry, spaces)?;
+                tree.prune_incompatible(&lut);
+                candidates_pruned = candidates_total - tree.live_leaves().len();
+                tree.mark_checkpoints(history);
+            }
+        }
+
+        // Candidate list per strategy.
+        let leaves: Vec<Vec<ComponentKey>> = match strategy {
+            MergeStrategy::Naive => vec![naive_candidate(spaces)],
+            _ => tree
+                .live_leaves()
+                .into_iter()
+                .map(|l| tree.candidate(l))
+                .collect(),
+        };
+
+        // Execution policy per strategy.
+        let (cache, options): (Option<&dyn OutputCache>, ExecOptions) = match strategy {
+            // From-scratch ablations pay every component every time, and only
+            // discover incompatibilities mid-run.
+            MergeStrategy::WithoutPcPr => (
+                None,
+                ExecOptions {
+                    reuse: false,
+                    precheck: false,
+                    persist_outputs: true,
+                },
+            ),
+            MergeStrategy::WithoutPr => (
+                None,
+                ExecOptions {
+                    reuse: false,
+                    precheck: false,
+                    persist_outputs: true,
+                },
+            ),
+            MergeStrategy::Full => (Some(history), ExecOptions::REUSE_ONLY),
+            MergeStrategy::Naive => (Some(history), ExecOptions::REUSE_ONLY),
+        };
+
+        let executor = Executor::new(self.store);
+        let mut records: Vec<CandidateRecord> = Vec::with_capacity(leaves.len());
+        let mut executed = 0usize;
+        let mut reused = 0usize;
+        let mut failed = 0usize;
+        let mut best: Option<(Vec<ComponentKey>, Score)> = None;
+        for keys in leaves {
+            let bound = self.bind(&keys)?;
+            let report = executor.run(&bound, clock, cache, options)?;
+            executed += report.executed_count();
+            reused += report.reused_count();
+            let score = report.outcome.score();
+            let is_failure = !report.outcome.is_completed();
+            if is_failure {
+                failed += 1;
+            }
+            if let Some(s) = score {
+                let better = match &best {
+                    Some((_, b)) => s.total_cmp(b) == std::cmp::Ordering::Greater,
+                    None => true,
+                };
+                if better {
+                    best = Some((keys.clone(), s));
+                }
+            }
+            records.push(CandidateRecord {
+                keys,
+                score,
+                failed: is_failure,
+                end_time_ns: clock.delta_since(&clock_before).total_ns(),
+            });
+        }
+
+        let stats_after = self.store.stats().total();
+        Ok(MergeSearchReport {
+            strategy,
+            candidates_total,
+            candidates_evaluated: records.len(),
+            candidates_pruned,
+            state_counts: tree.state_counts(),
+            executed_components: executed,
+            reused_components: reused,
+            failed_candidates: failed,
+            best,
+            candidates: records,
+            clock: clock.delta_since(&clock_before),
+            logical_bytes: stats_after.logical_bytes - stats_before.logical_bytes,
+            physical_bytes: stats_after.physical_bytes - stats_before.physical_bytes,
+        })
+    }
+}
+
+/// The naive merge candidate: the newest version of every component across
+/// both branches (what Git-style merging would pick).
+pub fn naive_candidate(spaces: &SearchSpaces) -> Vec<ComponentKey> {
+    spaces
+        .per_slot
+        .iter()
+        .map(|versions| {
+            versions
+                .iter()
+                .max_by_key(|k| (k.version.schema, k.version.increment))
+                .expect("non-empty slot")
+                .clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+    use mlcask_pipeline::semver::SemVer;
+
+    /// Builds a Fig.-3-like scenario:
+    /// * source: one version (dim 4)
+    /// * scaler: 0.0/0.1 keep dim 4; 1.0 widens to 6 (schema change)
+    /// * model: 0.0, 0.1, 0.4 expect dim 4; 0.2, 0.3 expect dim 6
+    fn scenario() -> (ComponentRegistry, Arc<PipelineDag>, SearchSpaces) {
+        let store = Arc::new(ChunkStore::in_memory_small());
+        let reg = ComponentRegistry::with_exe_size(store, 2048);
+        let src = toy_source(SemVer::master(0, 0), 4, 16);
+        let s00 = toy_scaler(SemVer::master(0, 0), 4, 4, 1.0);
+        let s01 = toy_scaler(SemVer::master(0, 1), 4, 4, 2.0);
+        let s10 = toy_scaler(SemVer::master(1, 0), 4, 6, 3.0);
+        let m00 = toy_model(SemVer::master(0, 0), 4, 0.50);
+        let m01 = toy_model(SemVer::master(0, 1), 4, 0.60);
+        let m02 = toy_model(SemVer::master(0, 2), 6, 0.70);
+        let m03 = toy_model(SemVer::master(0, 3), 6, 0.80);
+        let m04 = toy_model(SemVer::master(0, 4), 4, 0.90);
+        let mut spaces = SearchSpaces {
+            slot_names: toy_slots().iter().map(|s| s.to_string()).collect(),
+            per_slot: vec![vec![], vec![], vec![]],
+        };
+        reg.register(src.clone()).unwrap();
+        spaces.per_slot[0].push(src.key());
+        for c in [&s00, &s01, &s10] {
+            reg.register(c.clone()).unwrap();
+            spaces.per_slot[1].push(c.key());
+        }
+        for c in [&m00, &m01, &m02, &m03, &m04] {
+            reg.register(c.clone()).unwrap();
+            spaces.per_slot[2].push(c.key());
+        }
+        let dag = Arc::new(PipelineDag::chain(&toy_slots()).unwrap());
+        (reg, dag, spaces)
+    }
+
+    #[test]
+    fn exhaustive_evaluates_upper_bound() {
+        let (reg, dag, spaces) = scenario();
+        let engine = MergeEngine::new(&reg, reg.store(), dag);
+        let history = HistoryIndex::new();
+        let mut clock = SimClock::new();
+        let report = engine
+            .search(&spaces, &history, MergeStrategy::WithoutPcPr, &mut clock)
+            .unwrap();
+        assert_eq!(report.candidates_total, 15);
+        assert_eq!(report.candidates_evaluated, 15);
+        assert_eq!(report.candidates_pruned, 0);
+        // 2 scalers × 2 incompatible dim-6 models + 1 scaler × 3 incompatible
+        // dim-4 models = 7 failing candidates.
+        assert_eq!(report.failed_candidates, 7);
+        assert!(report.best.is_some());
+    }
+
+    #[test]
+    fn compat_pruning_removes_doomed_candidates() {
+        let (reg, dag, spaces) = scenario();
+        let engine = MergeEngine::new(&reg, reg.store(), dag);
+        let history = HistoryIndex::new();
+        let mut clock = SimClock::new();
+        let report = engine
+            .search(&spaces, &history, MergeStrategy::WithoutPr, &mut clock)
+            .unwrap();
+        assert_eq!(report.candidates_pruned, 7);
+        assert_eq!(report.candidates_evaluated, 8);
+        assert_eq!(report.failed_candidates, 0, "pruning removed all failures");
+        assert!(report.best.is_some());
+    }
+
+    #[test]
+    fn full_strategy_executes_each_node_once() {
+        let (reg, dag, spaces) = scenario();
+        let engine = MergeEngine::new(&reg, reg.store(), dag.clone());
+        let history = HistoryIndex::new();
+        let mut clock = SimClock::new();
+        let report = engine
+            .search(&spaces, &history, MergeStrategy::Full, &mut clock)
+            .unwrap();
+        assert_eq!(report.candidates_evaluated, 8);
+        // Distinct tree nodes along live paths: 1 source + 3 scalers +
+        // (2 scalers × 3 dim4 models) + (1 scaler × 2 dim6 models) = 12.
+        assert_eq!(
+            report.executed_components, 12,
+            "every live tree node executes exactly once"
+        );
+        assert!(report.reused_components > 0);
+        assert!(report.best.is_some());
+    }
+
+    #[test]
+    fn full_is_faster_and_smaller_than_ablations() {
+        let strategies = [
+            MergeStrategy::WithoutPcPr,
+            MergeStrategy::WithoutPr,
+            MergeStrategy::Full,
+        ];
+        let mut times = Vec::new();
+        let mut bytes = Vec::new();
+        let mut bests = Vec::new();
+        for s in strategies {
+            let (reg, dag, spaces) = scenario(); // fresh store per strategy
+            let engine = MergeEngine::new(&reg, reg.store(), dag);
+            let history = HistoryIndex::new();
+            let mut clock = SimClock::new();
+            let r = engine.search(&spaces, &history, s, &mut clock).unwrap();
+            times.push(r.clock.total_ns());
+            bytes.push(r.physical_bytes);
+            bests.push(r.best.clone().unwrap());
+        }
+        assert!(times[2] < times[1], "Full beats w/o PR: {times:?}");
+        assert!(times[1] < times[0], "w/o PR beats w/o PCPR: {times:?}");
+        assert!(bytes[2] <= bytes[1]);
+        // All strategies agree on the optimum (they search the same space).
+        assert_eq!(bests[0].1.raw, bests[2].1.raw);
+        assert_eq!(bests[1].1.raw, bests[2].1.raw);
+    }
+
+    #[test]
+    fn full_reuses_prior_history() {
+        let (reg, dag, spaces) = scenario();
+        let engine = MergeEngine::new(&reg, reg.store(), dag.clone());
+        let history = HistoryIndex::new();
+        // Pre-train one pipeline (the common ancestor's, say) so its prefix
+        // is checkpointed.
+        let keys = vec![
+            spaces.per_slot[0][0].clone(),
+            spaces.per_slot[1][0].clone(),
+            spaces.per_slot[2][0].clone(),
+        ];
+        let bound = engine.bind(&keys).unwrap();
+        let mut clock = SimClock::new();
+        Executor::new(reg.store())
+            .run(&bound, &mut clock, Some(&history), ExecOptions::MLCASK)
+            .unwrap();
+        let pre_train_ns = clock.snapshot().total_ns();
+        let mut merge_clock = SimClock::new();
+        let report = engine
+            .search(&spaces, &history, MergeStrategy::Full, &mut merge_clock)
+            .unwrap();
+        // The pre-trained path's three nodes are green → fewer executions.
+        assert_eq!(report.executed_components, 9);
+        assert!(report.state_counts.checkpointed >= 3);
+        assert!(pre_train_ns > 0);
+    }
+
+    #[test]
+    fn naive_candidate_picks_latest_and_fails_here() {
+        let (reg, dag, spaces) = scenario();
+        let cand = naive_candidate(&spaces);
+        // Latest scaler is 1.0 (dim 6), latest model is 0.4 (expects dim 4):
+        // exactly the paper's incompatibility example.
+        assert_eq!(cand[1].version, SemVer::master(1, 0));
+        assert_eq!(cand[2].version, SemVer::master(0, 4));
+        let engine = MergeEngine::new(&reg, reg.store(), dag);
+        let history = HistoryIndex::new();
+        let mut clock = SimClock::new();
+        let report = engine
+            .search(&spaces, &history, MergeStrategy::Naive, &mut clock)
+            .unwrap();
+        assert_eq!(report.candidates_evaluated, 1);
+        assert_eq!(report.failed_candidates, 1);
+        assert!(report.best.is_none());
+    }
+
+    #[test]
+    fn candidate_end_times_are_monotone() {
+        let (reg, dag, spaces) = scenario();
+        let engine = MergeEngine::new(&reg, reg.store(), dag);
+        let history = HistoryIndex::new();
+        let mut clock = SimClock::new();
+        let report = engine
+            .search(&spaces, &history, MergeStrategy::Full, &mut clock)
+            .unwrap();
+        for w in report.candidates.windows(2) {
+            assert!(w[1].end_time_ns >= w[0].end_time_ns);
+        }
+        assert_eq!(report.clock.total_ns(), report.candidates.last().unwrap().end_time_ns);
+    }
+
+    #[test]
+    fn best_score_is_global_max() {
+        let (reg, dag, spaces) = scenario();
+        let engine = MergeEngine::new(&reg, reg.store(), dag);
+        let history = HistoryIndex::new();
+        let mut clock = SimClock::new();
+        let report = engine
+            .search(&spaces, &history, MergeStrategy::Full, &mut clock)
+            .unwrap();
+        let (_, best) = report.best.clone().unwrap();
+        for c in &report.candidates {
+            if let Some(s) = c.score {
+                assert!(best.value >= s.value);
+            }
+        }
+    }
+}

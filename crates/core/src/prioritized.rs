@@ -1,0 +1,546 @@
+//! Prioritized pipeline search (§VII-E).
+//!
+//! When the pruned candidate set is still large, MLCask orders the search so
+//! promising candidates run first: every tree node carries a score (a leaf's
+//! score is its pipeline metric; a parent's score is the average of its
+//! scored children, seeded from the pipelines already trained on `HEAD` and
+//! `MERGE_HEAD`). The search repeatedly descends from the root picking the
+//! highest-scoring child until it reaches an un-run leaf. Under a time
+//! budget this returns better pipelines earlier; with an unlimited budget it
+//! finds the same optimum as the exhaustive pruned search.
+
+use crate::errors::Result;
+use crate::history::HistoryIndex;
+use crate::registry::ComponentRegistry;
+use crate::search_space::{CompatLut, SearchSpaces};
+use crate::tree::{NodeState, SearchTree};
+use mlcask_ml::metrics::Score;
+use mlcask_pipeline::clock::SimClock;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
+use mlcask_pipeline::executor::{ExecOptions, Executor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Candidate ordering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchMethod {
+    /// Best-first descent by node scores (the paper's prioritized search).
+    Prioritized,
+    /// Uniformly random order (the paper's baseline).
+    Random,
+}
+
+impl SearchMethod {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SearchMethod::Prioritized => "Prioritized",
+            SearchMethod::Random => "Random",
+        }
+    }
+}
+
+/// One candidate evaluation within a trial, in search order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchedCandidate {
+    /// 1-based position in the search order.
+    pub rank: usize,
+    /// The candidate's component versions.
+    pub keys: Vec<ComponentKey>,
+    /// Its score (None if it failed).
+    pub score: Option<Score>,
+    /// Cumulative virtual time (ns) when this candidate finished.
+    pub end_time_ns: u64,
+}
+
+/// Result of searching all candidates once.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// Candidates in the order they were searched.
+    pub searched: Vec<SearchedCandidate>,
+    /// 1-based rank at which the global optimum was found.
+    pub optimal_rank: Option<usize>,
+}
+
+/// Aggregated statistics over many trials (Fig. 10 / Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Method these stats describe.
+    pub method: SearchMethod,
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Per-rank aggregates (index 0 = first candidate searched).
+    pub per_rank: Vec<RankStats>,
+    /// Fraction of trials in which the optimum was found within the first
+    /// `k+1` searches (index k).
+    pub optimal_found_cdf: Vec<f64>,
+}
+
+/// Aggregates for the k-th searched candidate across trials.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RankStats {
+    /// Mean end time in seconds.
+    pub avg_end_time_s: f64,
+    /// Mean score value.
+    pub mean_score: f64,
+    /// Score variance across trials.
+    pub var_score: f64,
+}
+
+impl TrialStats {
+    /// Fraction of trials with the optimum found within the first
+    /// `fraction` (0–1] of searches — the Table I cells.
+    pub fn optimal_within(&self, fraction: f64) -> f64 {
+        if self.optimal_found_cdf.is_empty() {
+            return 0.0;
+        }
+        let n = self.optimal_found_cdf.len();
+        let k = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+        self.optimal_found_cdf[k - 1]
+    }
+}
+
+/// Prioritized/random search driver over one merge scenario.
+pub struct PrioritizedSearcher<'a> {
+    registry: &'a ComponentRegistry,
+    dag: Arc<PipelineDag>,
+}
+
+impl<'a> PrioritizedSearcher<'a> {
+    /// Creates a searcher.
+    pub fn new(registry: &'a ComponentRegistry, dag: Arc<PipelineDag>) -> Self {
+        PrioritizedSearcher { registry, dag }
+    }
+
+    fn bind(&self, keys: &[ComponentKey]) -> Result<BoundPipeline> {
+        let mut components = Vec::with_capacity(keys.len());
+        for k in keys {
+            components.push(self.registry.resolve(k)?);
+        }
+        Ok(BoundPipeline::new(Arc::clone(&self.dag), components)?)
+    }
+
+    /// Runs one trial: searches *all* live candidates in the order chosen by
+    /// `method`, reusing checkpoints within the trial exactly as a real
+    /// merge would. `initial_scores` seeds leaf scores (the trained
+    /// pipelines on both heads).
+    pub fn run_trial(
+        &self,
+        spaces: &SearchSpaces,
+        base_history: &HistoryIndex,
+        initial_scores: &[(Vec<ComponentKey>, f64)],
+        method: SearchMethod,
+        seed: u64,
+    ) -> Result<TrialResult> {
+        let mut tree = SearchTree::build(spaces);
+        let lut = CompatLut::build(self.registry, spaces)?;
+        tree.prune_incompatible(&lut);
+        let history = base_history.deep_clone();
+        tree.mark_checkpoints(&history);
+
+        let leaves = tree.live_leaves();
+        let mut leaf_of: HashMap<Vec<ComponentKey>, usize> = HashMap::new();
+        for &l in &leaves {
+            leaf_of.insert(tree.candidate(l), l);
+        }
+        // Seed initial scores and propagate averages upward.
+        for (keys, value) in initial_scores {
+            if let Some(&leaf) = leaf_of.get(keys) {
+                tree.node_mut(leaf).score = Some(*value);
+                propagate_up(&mut tree, leaf);
+            }
+        }
+
+        // Remaining un-run leaf counts per subtree.
+        let mut remaining: HashMap<usize, usize> = HashMap::new();
+        for &l in &leaves {
+            for id in tree.path(l) {
+                *remaining.entry(id).or_insert(0) += 1;
+            }
+            *remaining.entry(tree.root()).or_insert(0) += 1;
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order: Option<Vec<usize>> = match method {
+            SearchMethod::Random => {
+                let mut o = leaves.clone();
+                o.shuffle(&mut rng);
+                Some(o)
+            }
+            SearchMethod::Prioritized => None, // chosen adaptively
+        };
+
+        let executor = Executor::new(self.registry.store());
+        let mut clock = SimClock::new();
+        let mut searched = Vec::with_capacity(leaves.len());
+        for rank in 1..=leaves.len() {
+            let leaf = match &order {
+                Some(o) => o[rank - 1],
+                None => descend_best(&tree, &remaining, &mut rng),
+            };
+            let keys = tree.candidate(leaf);
+            let bound = self.bind(&keys)?;
+            let report = executor.run(&bound, &mut clock, Some(&history), ExecOptions::REUSE_ONLY)?;
+            let score = report.outcome.score();
+            if let Some(s) = score {
+                tree.node_mut(leaf).score = Some(s.value);
+                propagate_up(&mut tree, leaf);
+            }
+            // Decrement remaining along the path.
+            for id in tree.path(leaf) {
+                *remaining.get_mut(&id).expect("counted") -= 1;
+            }
+            *remaining.get_mut(&tree.root()).expect("counted") -= 1;
+            // Mark run so the prioritized descent skips it.
+            tree.node_mut(leaf).executed = true;
+            searched.push(SearchedCandidate {
+                rank,
+                keys,
+                score,
+                end_time_ns: clock.snapshot().total_ns(),
+            });
+        }
+
+        // Identify the global optimum and the rank at which it appeared.
+        let best = searched
+            .iter()
+            .filter_map(|s| s.score.map(|v| v.value))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let optimal_rank = searched
+            .iter()
+            .find(|s| s.score.map(|v| v.value) == Some(best))
+            .map(|s| s.rank);
+        Ok(TrialResult {
+            searched,
+            optimal_rank,
+        })
+    }
+
+    /// Runs `trials` independent trials and aggregates Fig. 10 / Table I
+    /// statistics.
+    pub fn run_trials(
+        &self,
+        spaces: &SearchSpaces,
+        base_history: &HistoryIndex,
+        initial_scores: &[(Vec<ComponentKey>, f64)],
+        method: SearchMethod,
+        trials: usize,
+        seed: u64,
+    ) -> Result<TrialStats> {
+        let mut results = Vec::with_capacity(trials);
+        for t in 0..trials {
+            results.push(self.run_trial(
+                spaces,
+                base_history,
+                initial_scores,
+                method,
+                seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            )?);
+        }
+        let n = results.first().map(|r| r.searched.len()).unwrap_or(0);
+        let mut per_rank = Vec::with_capacity(n);
+        for k in 0..n {
+            let times: Vec<f64> = results
+                .iter()
+                .map(|r| r.searched[k].end_time_ns as f64 / 1e9)
+                .collect();
+            let scores: Vec<f64> = results
+                .iter()
+                .map(|r| r.searched[k].score.map(|s| s.value).unwrap_or(0.0))
+                .collect();
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            let m = mean(&scores);
+            let var = scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
+                / scores.len().max(1) as f64;
+            per_rank.push(RankStats {
+                avg_end_time_s: mean(&times),
+                mean_score: m,
+                var_score: var,
+            });
+        }
+        let mut cdf = vec![0.0; n];
+        for r in &results {
+            if let Some(rank) = r.optimal_rank {
+                for slot in cdf.iter_mut().skip(rank - 1) {
+                    *slot += 1.0;
+                }
+            }
+        }
+        for v in &mut cdf {
+            *v /= trials.max(1) as f64;
+        }
+        Ok(TrialStats {
+            method,
+            trials,
+            per_rank,
+            optimal_found_cdf: cdf,
+        })
+    }
+}
+
+/// Recomputes ancestor scores as the average of their scored children.
+fn propagate_up(tree: &mut SearchTree, leaf: usize) {
+    let mut cur = tree.node(leaf).parent;
+    while let Some(id) = cur {
+        let children = tree.node(id).children.clone();
+        let scored: Vec<f64> = children
+            .iter()
+            .filter(|&&c| tree.node(c).state != NodeState::Incompatible)
+            .filter_map(|&c| tree.node(c).score)
+            .collect();
+        if !scored.is_empty() {
+            tree.node_mut(id).score = Some(scored.iter().sum::<f64>() / scored.len() as f64);
+        }
+        cur = tree.node(id).parent;
+    }
+}
+
+/// Relative magnitude of the per-trial exploration jitter added to node
+/// scores during the descent. In the paper, trial-to-trial variance comes
+/// from training nondeterminism; our components are bit-deterministic, so a
+/// small seeded jitter is the honest analogue (and prevents a slightly
+/// misleading seed score from deterministically starving a subtree).
+const DESCENT_JITTER: f64 = 0.01;
+
+/// Best-first descent: from the root, repeatedly pick the child with the
+/// highest effective score among subtrees that still contain un-run leaves.
+/// Unscored children inherit their parent's effective score (the paper's
+/// average-based expectation); scores are perturbed by a small per-trial
+/// jitter, and exact ties break uniformly at random.
+fn descend_best(tree: &SearchTree, remaining: &HashMap<usize, usize>, rng: &mut StdRng) -> usize {
+    let mut cur = tree.root();
+    let mut cur_eff = tree.node(cur).score.unwrap_or(0.5);
+    loop {
+        let node = tree.node(cur);
+        if node.children.is_empty() {
+            return cur;
+        }
+        let viable: Vec<usize> = node
+            .children
+            .iter()
+            .copied()
+            .filter(|c| tree.node(*c).state != NodeState::Incompatible)
+            .filter(|c| remaining.get(c).copied().unwrap_or(0) > 0)
+            .collect();
+        debug_assert!(!viable.is_empty(), "descent into exhausted subtree");
+        let base_eff = |c: usize| tree.node(c).score.unwrap_or(cur_eff);
+        let jittered: Vec<(usize, f64)> = viable
+            .iter()
+            .map(|&c| {
+                let jitter = (rng.gen::<f64>() * 2.0 - 1.0) * DESCENT_JITTER;
+                (c, base_eff(c) * (1.0 + jitter))
+            })
+            .collect();
+        let best = jittered
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let ties: Vec<usize> = jittered
+            .iter()
+            .filter(|&&(_, e)| e == best)
+            .map(|&(c, _)| c)
+            .collect();
+        let pick = ties[rng.gen_range(0..ties.len())];
+        cur_eff = base_eff(pick);
+        cur = pick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+    use mlcask_pipeline::semver::SemVer;
+    use mlcask_storage::store::ChunkStore;
+
+    /// Registry with 1 source × 2 scalers × 4 models, all compatible, with
+    /// monotonically increasing model quality.
+    fn scenario() -> (ComponentRegistry, Arc<PipelineDag>, SearchSpaces) {
+        let store = Arc::new(ChunkStore::in_memory_small());
+        let reg = ComponentRegistry::with_exe_size(store, 1024);
+        let src = toy_source(SemVer::master(0, 0), 4, 8);
+        let scalers = [
+            toy_scaler(SemVer::master(0, 0), 4, 4, 1.0),
+            toy_scaler(SemVer::master(0, 1), 4, 4, 2.0),
+        ];
+        let models: Vec<_> = (0..4)
+            .map(|i| toy_model(SemVer::master(0, i), 4, 0.3 + 0.15 * i as f64))
+            .collect();
+        let mut spaces = SearchSpaces {
+            slot_names: toy_slots().iter().map(|s| s.to_string()).collect(),
+            per_slot: vec![vec![], vec![], vec![]],
+        };
+        reg.register(src.clone()).unwrap();
+        spaces.per_slot[0].push(src.key());
+        for s in &scalers {
+            reg.register(s.clone()).unwrap();
+            spaces.per_slot[1].push(s.key());
+        }
+        for m in &models {
+            reg.register(m.clone()).unwrap();
+            spaces.per_slot[2].push(m.key());
+        }
+        let dag = Arc::new(PipelineDag::chain(&toy_slots()).unwrap());
+        (reg, dag, spaces)
+    }
+
+    fn initial_scores(spaces: &SearchSpaces) -> Vec<(Vec<ComponentKey>, f64)> {
+        // Pretend the HEAD pipeline (scaler 0.1, model 0.3 — the best) and
+        // the MERGE_HEAD pipeline (scaler 0.0, model 0.0 — weak) are trained.
+        vec![
+            (
+                vec![
+                    spaces.per_slot[0][0].clone(),
+                    spaces.per_slot[1][1].clone(),
+                    spaces.per_slot[2][3].clone(),
+                ],
+                0.9,
+            ),
+            (
+                vec![
+                    spaces.per_slot[0][0].clone(),
+                    spaces.per_slot[1][0].clone(),
+                    spaces.per_slot[2][0].clone(),
+                ],
+                0.4,
+            ),
+        ]
+    }
+
+    #[test]
+    fn trial_searches_every_candidate_once() {
+        let (reg, dag, spaces) = scenario();
+        let searcher = PrioritizedSearcher::new(&reg, dag);
+        let history = HistoryIndex::new();
+        let res = searcher
+            .run_trial(&spaces, &history, &initial_scores(&spaces), SearchMethod::Random, 7)
+            .unwrap();
+        assert_eq!(res.searched.len(), 8);
+        // Every candidate distinct.
+        let mut keys: Vec<_> = res.searched.iter().map(|s| s.keys.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 8);
+        assert!(res.optimal_rank.is_some());
+        // End times monotone.
+        for w in res.searched.windows(2) {
+            assert!(w[1].end_time_ns >= w[0].end_time_ns);
+        }
+    }
+
+    #[test]
+    fn prioritized_finds_optimum_earlier_on_average() {
+        let (reg, dag, spaces) = scenario();
+        let searcher = PrioritizedSearcher::new(&reg, dag);
+        let history = HistoryIndex::new();
+        let init = initial_scores(&spaces);
+        let pri = searcher
+            .run_trials(&spaces, &history, &init, SearchMethod::Prioritized, 20, 1)
+            .unwrap();
+        let rnd = searcher
+            .run_trials(&spaces, &history, &init, SearchMethod::Random, 20, 1)
+            .unwrap();
+        // Compare CDF at 40% of searches: prioritized should dominate.
+        assert!(
+            pri.optimal_within(0.4) >= rnd.optimal_within(0.4),
+            "prioritized {} vs random {}",
+            pri.optimal_within(0.4),
+            rnd.optimal_within(0.4)
+        );
+        // Both find it eventually.
+        assert_eq!(pri.optimal_within(1.0), 1.0);
+        assert_eq!(rnd.optimal_within(1.0), 1.0);
+    }
+
+    #[test]
+    fn prioritized_early_ranks_score_higher() {
+        let (reg, dag, spaces) = scenario();
+        let searcher = PrioritizedSearcher::new(&reg, dag);
+        let history = HistoryIndex::new();
+        let stats = searcher
+            .run_trials(
+                &spaces,
+                &history,
+                &initial_scores(&spaces),
+                SearchMethod::Prioritized,
+                10,
+                3,
+            )
+            .unwrap();
+        let first = stats.per_rank.first().unwrap().mean_score;
+        let last = stats.per_rank.last().unwrap().mean_score;
+        assert!(
+            first > last,
+            "first-searched candidates should score higher: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn random_scores_flat_across_ranks() {
+        let (reg, dag, spaces) = scenario();
+        let searcher = PrioritizedSearcher::new(&reg, dag);
+        let history = HistoryIndex::new();
+        let stats = searcher
+            .run_trials(
+                &spaces,
+                &history,
+                &initial_scores(&spaces),
+                SearchMethod::Random,
+                50,
+                9,
+            )
+            .unwrap();
+        // Mean score at the first and last rank should be similar (the
+        // paper: "nearly the same for all pipeline candidates").
+        let first = stats.per_rank.first().unwrap().mean_score;
+        let last = stats.per_rank.last().unwrap().mean_score;
+        assert!(
+            (first - last).abs() < 0.15,
+            "random should be flat: {first} vs {last}"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let (reg, dag, spaces) = scenario();
+        let searcher = PrioritizedSearcher::new(&reg, dag);
+        let history = HistoryIndex::new();
+        for method in [SearchMethod::Prioritized, SearchMethod::Random] {
+            let stats = searcher
+                .run_trials(&spaces, &history, &initial_scores(&spaces), method, 10, 5)
+                .unwrap();
+            for w in stats.optimal_found_cdf.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+            assert!(stats.optimal_within(1.0) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn trials_are_deterministic_given_seed() {
+        let (reg, dag, spaces) = scenario();
+        let searcher = PrioritizedSearcher::new(&reg, dag);
+        let history = HistoryIndex::new();
+        let init = initial_scores(&spaces);
+        let a = searcher
+            .run_trial(&spaces, &history, &init, SearchMethod::Random, 42)
+            .unwrap();
+        let b = searcher
+            .run_trial(&spaces, &history, &init, SearchMethod::Random, 42)
+            .unwrap();
+        let order_a: Vec<_> = a.searched.iter().map(|s| s.keys.clone()).collect();
+        let order_b: Vec<_> = b.searched.iter().map(|s| s.keys.clone()).collect();
+        assert_eq!(order_a, order_b);
+    }
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(SearchMethod::Prioritized.label(), "Prioritized");
+        assert_eq!(SearchMethod::Random.label(), "Random");
+    }
+}

@@ -1,0 +1,613 @@
+//! The `MlCask` facade: the end-to-end version-controlled pipeline system.
+//!
+//! Ties together the repositories (§III), version-control semantics (§IV),
+//! branching/merging (§V) and the optimized merge search (§VI) behind the
+//! API a deployment would script against: `commit` / `branch` / `merge`.
+
+use crate::errors::{CoreError, Result};
+use crate::history::HistoryIndex;
+use crate::merge::{MergeEngine, MergeSearchReport, MergeStrategy};
+use crate::registry::ComponentRegistry;
+use crate::search_space::SearchSpaces;
+use mlcask_pipeline::clock::SimClock;
+use mlcask_pipeline::component::{ComponentHandle, ComponentKey};
+use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
+use mlcask_pipeline::executor::{ExecOptions, Executor, RunOutcome, RunReport};
+use mlcask_pipeline::metafile::{PipelineMetafile, PipelineSlot};
+use mlcask_storage::commit::{Commit, CommitGraph};
+use mlcask_storage::hash::Hash256;
+use mlcask_storage::object::ObjectKind;
+use mlcask_storage::store::ChunkStore;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of committing a pipeline update.
+#[derive(Debug)]
+pub struct CommitResult {
+    /// The created commit; `None` when MLCask's precheck rejected the update
+    /// without running it (Fig. 5's final iteration).
+    pub commit: Option<Commit>,
+    /// The execution report of the committed run.
+    pub report: RunReport,
+}
+
+/// Result of a merge operation.
+#[derive(Debug)]
+pub struct MergeOutcome {
+    /// The merge commit on the base branch (None for rejected merges).
+    pub commit: Option<Commit>,
+    /// True if the merge was a fast-forward (no search needed).
+    pub fast_forward: bool,
+    /// Search details (empty/default for fast-forward merges).
+    pub report: Option<MergeSearchReport>,
+}
+
+/// A version-controlled ML pipeline: MLCask's user-facing object.
+pub struct MlCask {
+    name: String,
+    dag: Arc<PipelineDag>,
+    registry: Arc<ComponentRegistry>,
+    graph: CommitGraph,
+    history: HistoryIndex,
+    /// Pipeline metafiles by commit payload hash.
+    metafiles: RwLock<HashMap<Hash256, PipelineMetafile>>,
+}
+
+impl MlCask {
+    /// Opens a new pipeline system over a registry (and its store).
+    pub fn new(name: &str, dag: PipelineDag, registry: Arc<ComponentRegistry>) -> MlCask {
+        MlCask {
+            name: name.to_string(),
+            dag: Arc::new(dag),
+            registry,
+            graph: CommitGraph::new(),
+            history: HistoryIndex::new(),
+            metafiles: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The pipeline's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The backing object store.
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        self.registry.store()
+    }
+
+    /// The component registry.
+    pub fn registry(&self) -> &Arc<ComponentRegistry> {
+        &self.registry
+    }
+
+    /// The commit graph (pipeline repository).
+    pub fn graph(&self) -> &CommitGraph {
+        &self.graph
+    }
+
+    /// The reusable-output history.
+    pub fn history(&self) -> &HistoryIndex {
+        &self.history
+    }
+
+    /// The pipeline shape.
+    pub fn dag(&self) -> &Arc<PipelineDag> {
+        &self.dag
+    }
+
+    /// Resolves slot-ordered component keys to a bound pipeline.
+    pub fn bind(&self, keys: &[ComponentKey]) -> Result<BoundPipeline> {
+        let mut components: Vec<ComponentHandle> = Vec::with_capacity(keys.len());
+        for k in keys {
+            components.push(self.registry.resolve(k)?);
+        }
+        Ok(BoundPipeline::new(Arc::clone(&self.dag), components)?)
+    }
+
+    /// Runs a pipeline under MLCask policy (reuse + precheck) and, on
+    /// success, commits it to `branch` (creating the branch's root commit if
+    /// the graph is empty).
+    pub fn commit_pipeline(
+        &self,
+        branch: &str,
+        keys: &[ComponentKey],
+        message: &str,
+        clock: &mut SimClock,
+    ) -> Result<CommitResult> {
+        let bound = self.bind(keys)?;
+        let executor = Executor::new(self.store());
+        let report = executor.run(&bound, clock, Some(&self.history), ExecOptions::MLCASK)?;
+        if !report.outcome.is_completed() {
+            return Ok(CommitResult {
+                commit: None,
+                report,
+            });
+        }
+        let commit = self.record_commit(branch, keys, &report, message, None)?;
+        Ok(CommitResult {
+            commit: Some(commit),
+            report,
+        })
+    }
+
+    fn record_commit(
+        &self,
+        branch: &str,
+        keys: &[ComponentKey],
+        report: &RunReport,
+        message: &str,
+        merge_parent: Option<Hash256>,
+    ) -> Result<Commit> {
+        // Next label: branch.seq (root = 0).
+        let next_seq = match self.graph.head(branch) {
+            Ok(h) => h.seq + 1,
+            Err(_) => 0,
+        };
+        let metafile = PipelineMetafile {
+            name: self.name.clone(),
+            label: format!("{branch}.{next_seq}"),
+            slots: keys
+                .iter()
+                .zip(report.stages.iter())
+                .map(|(k, s)| PipelineSlot {
+                    component: k.clone(),
+                    output: s.output,
+                    artifact_id: s.artifact_id,
+                })
+                .collect(),
+            edges: self
+                .dag
+                .node_names()
+                .windows(2)
+                .map(|w| (w[0].clone(), w[1].clone()))
+                .collect(),
+            score: report.outcome.score(),
+        };
+        let put = self.store().put_meta(ObjectKind::Pipeline, &metafile)?;
+        self.metafiles
+            .write()
+            .insert(put.object.id, metafile);
+        let commit = if self.graph.branches().is_empty() {
+            self.graph.commit_root(branch, put.object.id, message)?
+        } else if let Some(mh) = merge_parent {
+            self.graph.commit_merge(branch, mh, put.object.id, message)?
+        } else {
+            self.graph.commit(branch, put.object.id, message)?
+        };
+        Ok(commit)
+    }
+
+    /// Creates a branch at `from`'s head (the paper's isolation of stable
+    /// production pipelines from development pipelines).
+    pub fn branch(&self, from: &str, new_branch: &str) -> Result<Commit> {
+        Ok(self.graph.branch(from, new_branch)?)
+    }
+
+    /// The pipeline metafile committed at `commit`.
+    pub fn metafile_of(&self, commit: &Commit) -> Result<PipelineMetafile> {
+        self.metafiles
+            .read()
+            .get(&commit.payload)
+            .cloned()
+            .ok_or_else(|| CoreError::MissingMetafile(commit.label()))
+    }
+
+    /// The metafile at a branch head.
+    pub fn head_metafile(&self, branch: &str) -> Result<PipelineMetafile> {
+        let head = self.graph.head(branch)?;
+        self.metafile_of(&head)
+    }
+
+    /// Builds the merge search spaces for merging `merging` into `base`
+    /// (§V): versions developed since the common ancestor on either branch.
+    pub fn merge_search_spaces(&self, base: &str, merging: &str) -> Result<SearchSpaces> {
+        let base_head = self.graph.head(base)?;
+        let merge_head = self.graph.head(merging)?;
+        let ancestor = self
+            .graph
+            .common_ancestor(base_head.id, merge_head.id)?
+            .ok_or_else(|| CoreError::NoCommonAncestor {
+                base: base.into(),
+                merging: merging.into(),
+            })?;
+        let collect_path = |head: &Commit| -> Result<Vec<PipelineMetafile>> {
+            let mut metas = vec![self.metafile_of(&ancestor)?];
+            for c in self.graph.path_from(ancestor.id, head.id)? {
+                metas.push(self.metafile_of(&c)?);
+            }
+            Ok(metas)
+        };
+        let head_path = collect_path(&base_head)?;
+        let merge_path = collect_path(&merge_head)?;
+        Ok(SearchSpaces::build(
+            &self.dag.node_names().to_vec(),
+            &head_path,
+            &merge_path,
+        ))
+    }
+
+    /// Initial leaf scores for prioritized search: the already-trained
+    /// pipelines on both heads with their recorded metrics (§VII-E).
+    pub fn initial_scores(&self, base: &str, merging: &str) -> Result<Vec<(Vec<ComponentKey>, f64)>> {
+        let mut out = Vec::new();
+        for b in [base, merging] {
+            let meta = self.head_metafile(b)?;
+            if let Some(score) = meta.score {
+                out.push((meta.component_keys(), score.value));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Merges `merging` into `base` with the given strategy (§V–§VI).
+    ///
+    /// Fast-forward merges duplicate the `MERGE_HEAD` pipeline onto the base
+    /// branch without any search. Diverged branches trigger the
+    /// metric-driven merge: the best-scoring candidate is committed with
+    /// both heads as parents.
+    pub fn merge(
+        &self,
+        base: &str,
+        merging: &str,
+        strategy: MergeStrategy,
+        clock: &mut SimClock,
+    ) -> Result<MergeOutcome> {
+        if base == merging {
+            return Err(CoreError::SelfMerge(base.into()));
+        }
+        let base_head = self.graph.head(base)?;
+        let merge_head = self.graph.head(merging)?;
+
+        if self.graph.is_fast_forward(base_head.id, merge_head.id)? {
+            // "MLCask duplicates the latest version in MERGE_HEAD, changes
+            // its branch to HEAD, creates a new commit on HEAD, and finally
+            // sets its parents to both MERGE_HEAD and HEAD."
+            let meta = self.metafile_of(&merge_head)?;
+            let keys = meta.component_keys();
+            let bound = self.bind(&keys)?;
+            let executor = Executor::new(self.store());
+            // Fully checkpointed: zero-cost replay to assemble the metafile.
+            let report =
+                executor.run(&bound, clock, Some(&self.history), ExecOptions::MLCASK)?;
+            let commit = self.record_commit(
+                base,
+                &keys,
+                &report,
+                &format!("fast-forward merge of {merging}"),
+                Some(merge_head.id),
+            )?;
+            return Ok(MergeOutcome {
+                commit: Some(commit),
+                fast_forward: true,
+                report: None,
+            });
+        }
+
+        let spaces = self.merge_search_spaces(base, merging)?;
+        let engine = MergeEngine::new(&self.registry, self.store(), Arc::clone(&self.dag));
+        let report = engine.search(&spaces, &self.history, strategy, clock)?;
+        let Some((best_keys, _)) = report.best.clone() else {
+            return Err(CoreError::NoViableCandidate);
+        };
+        // Replay the winner (fully checkpointed under Full/after search) to
+        // assemble its metafile, then commit with both parents.
+        let bound = self.bind(&best_keys)?;
+        let executor = Executor::new(self.store());
+        let replay = executor.run(&bound, clock, Some(&self.history), ExecOptions::MLCASK)?;
+        debug_assert!(matches!(replay.outcome, RunOutcome::Completed { .. }));
+        let commit = self.record_commit(
+            base,
+            &best_keys,
+            &replay,
+            &format!("metric-driven merge of {merging} ({})", strategy.label()),
+            Some(merge_head.id),
+        )?;
+        Ok(MergeOutcome {
+            commit: Some(commit),
+            fast_forward: false,
+            report: Some(report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+    use mlcask_pipeline::semver::SemVer;
+
+    struct Fixture {
+        sys: MlCask,
+        src: ComponentKey,
+        s00: ComponentKey,
+        s01: ComponentKey,
+        s10: ComponentKey,
+        m00: ComponentKey,
+        m01: ComponentKey,
+        m02: ComponentKey,
+        m04: ComponentKey,
+    }
+
+    fn fixture() -> Fixture {
+        let store = Arc::new(ChunkStore::in_memory_small());
+        let registry = Arc::new(ComponentRegistry::with_exe_size(store, 2048));
+        let src = toy_source(SemVer::master(0, 0), 4, 16);
+        let s00 = toy_scaler(SemVer::master(0, 0), 4, 4, 1.0);
+        let s01 = toy_scaler(SemVer::master(0, 1), 4, 4, 2.0);
+        let s10 = toy_scaler(SemVer::master(1, 0), 4, 6, 3.0);
+        let m00 = toy_model(SemVer::master(0, 0), 4, 0.5);
+        let m01 = toy_model(SemVer::master(0, 1), 4, 0.6);
+        let m02 = toy_model(SemVer::master(0, 2), 6, 0.7);
+        let m04 = toy_model(SemVer::master(0, 4), 4, 0.9);
+        let keys: Vec<ComponentKey> = [&src, &s00, &s01, &s10, &m00, &m01, &m02, &m04]
+            .iter()
+            .map(|c| {
+                registry.register((*c).clone()).unwrap();
+                c.key()
+            })
+            .collect();
+        let dag = PipelineDag::chain(&toy_slots()).unwrap();
+        Fixture {
+            sys: MlCask::new("toy", dag, registry),
+            src: keys[0].clone(),
+            s00: keys[1].clone(),
+            s01: keys[2].clone(),
+            s10: keys[3].clone(),
+            m00: keys[4].clone(),
+            m01: keys[5].clone(),
+            m02: keys[6].clone(),
+            m04: keys[7].clone(),
+        }
+    }
+
+    fn seed_master(f: &Fixture, clock: &mut SimClock) -> Commit {
+        f.sys
+            .commit_pipeline(
+                "master",
+                &[f.src.clone(), f.s00.clone(), f.m00.clone()],
+                "initial pipeline",
+                clock,
+            )
+            .unwrap()
+            .commit
+            .unwrap()
+    }
+
+    #[test]
+    fn commit_creates_metafile_and_history() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        let c = seed_master(&f, &mut clock);
+        assert_eq!(c.label(), "master.0");
+        let meta = f.sys.head_metafile("master").unwrap();
+        assert_eq!(meta.label, "master.0");
+        assert_eq!(meta.slots.len(), 3);
+        assert!(meta.score.is_some());
+        assert_eq!(f.sys.history().len(), 3, "three checkpoints recorded");
+    }
+
+    #[test]
+    fn second_commit_reuses_unchanged_prefix() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        let before = clock.snapshot();
+        // Only the model changes → source and scaler reused (C1).
+        let res = f
+            .sys
+            .commit_pipeline(
+                "master",
+                &[f.src.clone(), f.s00.clone(), f.m01.clone()],
+                "bump model",
+                &mut clock,
+            )
+            .unwrap();
+        assert_eq!(res.report.reused_count(), 2);
+        assert_eq!(res.report.executed_count(), 1);
+        let delta = clock.delta_since(&SimClock::new());
+        assert!(delta.total_ns() > before.total_ns());
+        assert_eq!(res.commit.unwrap().seq, 1);
+    }
+
+    #[test]
+    fn precheck_rejection_commits_nothing() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        let before_ns = clock.snapshot().total_ns();
+        // scaler 1.0 (dim 6) + model 0.4 (dim 4): the paper's incompatible
+        // final iteration.
+        let res = f
+            .sys
+            .commit_pipeline(
+                "master",
+                &[f.src.clone(), f.s10.clone(), f.m04.clone()],
+                "doomed",
+                &mut clock,
+            )
+            .unwrap();
+        assert!(res.commit.is_none());
+        assert!(matches!(
+            res.report.outcome,
+            RunOutcome::RejectedByPrecheck { .. }
+        ));
+        assert_eq!(
+            clock.snapshot().total_ns(),
+            before_ns,
+            "rejected update costs no pipeline time"
+        );
+        assert_eq!(f.sys.graph().head("master").unwrap().seq, 0);
+    }
+
+    #[test]
+    fn fast_forward_merge() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        f.sys.branch("master", "dev").unwrap();
+        f.sys
+            .commit_pipeline(
+                "dev",
+                &[f.src.clone(), f.s00.clone(), f.m01.clone()],
+                "dev work",
+                &mut clock,
+            )
+            .unwrap();
+        let out = f
+            .sys
+            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .unwrap();
+        assert!(out.fast_forward);
+        assert!(out.report.is_none());
+        let c = out.commit.unwrap();
+        assert_eq!(c.parents.len(), 2);
+        // Master's head now carries dev's pipeline.
+        let meta = f.sys.head_metafile("master").unwrap();
+        assert_eq!(
+            meta.component_version("test_model").unwrap(),
+            &f.m01
+        );
+    }
+
+    #[test]
+    fn diverged_merge_selects_best_candidate() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        f.sys.branch("master", "dev").unwrap();
+        // Master moves: better scaler.
+        f.sys
+            .commit_pipeline(
+                "master",
+                &[f.src.clone(), f.s01.clone(), f.m00.clone()],
+                "scaler 0.1",
+                &mut clock,
+            )
+            .unwrap();
+        // Dev moves: better model.
+        f.sys
+            .commit_pipeline(
+                "dev",
+                &[f.src.clone(), f.s00.clone(), f.m01.clone()],
+                "model 0.1",
+                &mut clock,
+            )
+            .unwrap();
+        let out = f
+            .sys
+            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .unwrap();
+        assert!(!out.fast_forward);
+        let report = out.report.unwrap();
+        // Space: 1 src × 2 scalers × 2 models = 4 candidates.
+        assert_eq!(report.candidates_total, 4);
+        // The metric-driven merge finds the cross-branch combination
+        // (scaler 0.1 + model 0.1) that neither branch tested.
+        let meta = f.sys.head_metafile("master").unwrap();
+        assert_eq!(meta.component_version("test_scaler").unwrap(), &f.s01);
+        assert_eq!(meta.component_version("test_model").unwrap(), &f.m01);
+        let c = out.commit.unwrap();
+        assert_eq!(c.parents.len(), 2);
+        // Merge commit beats both parents' scores.
+        let best = report.best.unwrap().1;
+        let parent_meta = f.sys.head_metafile("dev").unwrap();
+        assert!(best.value >= parent_meta.score.unwrap().value);
+    }
+
+    #[test]
+    fn merge_search_space_excludes_pre_ancestor_versions() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        // Advance master twice before branching; the old model 0.0 version
+        // predates the fork point and must not appear in the search space.
+        f.sys
+            .commit_pipeline(
+                "master",
+                &[f.src.clone(), f.s00.clone(), f.m01.clone()],
+                "model 0.1",
+                &mut clock,
+            )
+            .unwrap();
+        f.sys.branch("master", "dev").unwrap();
+        f.sys
+            .commit_pipeline(
+                "master",
+                &[f.src.clone(), f.s01.clone(), f.m01.clone()],
+                "scaler 0.1",
+                &mut clock,
+            )
+            .unwrap();
+        // Dev adopts the schema-changing scaler 1.0 together with the
+        // matching dim-6 model 0.2 (a compatible pipeline, so it commits).
+        f.sys
+            .commit_pipeline(
+                "dev",
+                &[f.src.clone(), f.s10.clone(), f.m02.clone()],
+                "scaler 1.0 + model 0.2",
+                &mut clock,
+            )
+            .unwrap();
+        let spaces = f.sys.merge_search_spaces("master", "dev").unwrap();
+        let model_versions = &spaces.per_slot[2];
+        assert!(
+            !model_versions.contains(&f.m00),
+            "pre-ancestor version leaked into the space"
+        );
+        assert!(model_versions.contains(&f.m01));
+        assert!(model_versions.contains(&f.m02));
+    }
+
+    #[test]
+    fn self_merge_rejected() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        assert!(matches!(
+            f.sys.merge("master", "master", MergeStrategy::Full, &mut clock),
+            Err(CoreError::SelfMerge(_))
+        ));
+    }
+
+    #[test]
+    fn initial_scores_come_from_heads() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        f.sys.branch("master", "dev").unwrap();
+        f.sys
+            .commit_pipeline(
+                "dev",
+                &[f.src.clone(), f.s00.clone(), f.m01.clone()],
+                "dev",
+                &mut clock,
+            )
+            .unwrap();
+        let scores = f.sys.initial_scores("master", "dev").unwrap();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn commit_after_dev_work_isolates_master() {
+        let f = fixture();
+        let mut clock = SimClock::new();
+        seed_master(&f, &mut clock);
+        f.sys.branch("master", "dev").unwrap();
+        f.sys
+            .commit_pipeline(
+                "dev",
+                &[f.src.clone(), f.s01.clone(), f.m01.clone()],
+                "dev iteration",
+                &mut clock,
+            )
+            .unwrap();
+        // Master untouched ("the master branch remains unchanged before the
+        // merge if all updates are committed to the dev branch").
+        let m = f.sys.head_metafile("master").unwrap();
+        assert_eq!(m.component_version("test_model").unwrap(), &f.m00);
+        assert_eq!(f.sys.graph().head("master").unwrap().seq, 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The pipeline search tree (Algorithm 1) and its node states (Fig. 4).
+//!
+//! Level `i` of the tree holds the candidate versions of the `i`-th pipeline
+//! component; every root-to-leaf path is one pre-merge pipeline candidate.
+//! Nodes are classified exactly as in Fig. 4:
+//!
+//! * **Checkpointed** (green) — the node's prefix path was executed in the
+//!   development history, so its output is reusable (PR, §VI-B);
+//! * **Incompatible** (red) — the node's component cannot consume its
+//!   parent's output schema (PC, §VI-A);
+//! * **Feasible** (orange) — remaining nodes that must be executed.
+
+use crate::history::HistoryIndex;
+use crate::search_space::{CompatLut, SearchSpaces};
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::executor::{CacheKey, CachedOutput};
+use serde::{Deserialize, Serialize};
+
+/// Node classification mirroring Fig. 4's colours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Output already exists in the history (green): no need to re-execute.
+    Checkpointed,
+    /// Must be executed (orange).
+    Feasible,
+    /// Incompatible with its parent (red): pruned, never executed.
+    Incompatible,
+}
+
+/// One node of the search tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Arena index of this node.
+    pub id: usize,
+    /// Parent arena index (`None` only for the virtual root).
+    pub parent: Option<usize>,
+    /// Slot level (0-based component index); root has no level.
+    pub level: Option<usize>,
+    /// Component version at this node (`None` for the virtual root).
+    pub component: Option<ComponentKey>,
+    /// Children arena indices.
+    pub children: Vec<usize>,
+    /// Execution status flag (Algorithm 1 initialises the root to executed).
+    pub executed: bool,
+    /// Reference to the component's output once known.
+    pub output: Option<CachedOutput>,
+    /// Classification after pruning/marking.
+    pub state: NodeState,
+    /// Prioritized-search score (§VII-E).
+    pub score: Option<f64>,
+}
+
+/// Arena-allocated pipeline search tree.
+#[derive(Debug, Clone)]
+pub struct SearchTree {
+    nodes: Vec<TreeNode>,
+    /// Slot names, aligned with levels.
+    pub slot_names: Vec<String>,
+}
+
+impl SearchTree {
+    /// Algorithm 1: full cartesian expansion of the search spaces.
+    pub fn build(spaces: &SearchSpaces) -> SearchTree {
+        let mut nodes = vec![TreeNode {
+            id: 0,
+            parent: None,
+            level: None,
+            component: None,
+            children: Vec::new(),
+            executed: true, // "TreeNode(component = virtual root, executed = True)"
+            output: None,
+            state: NodeState::Checkpointed,
+            score: None,
+        }];
+        let mut frontier = vec![0usize];
+        for (level, versions) in spaces.per_slot.iter().enumerate() {
+            let mut next = Vec::with_capacity(frontier.len() * versions.len());
+            for &parent in &frontier {
+                for v in versions {
+                    let id = nodes.len();
+                    nodes.push(TreeNode {
+                        id,
+                        parent: Some(parent),
+                        level: Some(level),
+                        component: Some(v.clone()),
+                        children: Vec::new(),
+                        executed: false,
+                        output: None,
+                        state: NodeState::Feasible,
+                        score: None,
+                    });
+                    nodes[parent].children.push(id);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+        SearchTree {
+            nodes,
+            slot_names: spaces.slot_names.clone(),
+        }
+    }
+
+    /// The virtual root's arena index.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: usize) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// Mutable node accessor.
+    pub fn node_mut(&mut self, id: usize) -> &mut TreeNode {
+        &mut self.nodes[id]
+    }
+
+    /// Total node count (including pruned nodes and the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Leaf nodes (level = last slot) that are not pruned, in DFS order.
+    pub fn live_leaves(&self) -> Vec<usize> {
+        let last = self.slot_names.len().saturating_sub(1);
+        let mut out = Vec::new();
+        self.dfs_collect(0, last, &mut out);
+        out
+    }
+
+    fn dfs_collect(&self, id: usize, last_level: usize, out: &mut Vec<usize>) {
+        let n = &self.nodes[id];
+        if n.state == NodeState::Incompatible {
+            return;
+        }
+        if n.level == Some(last_level) {
+            out.push(id);
+            return;
+        }
+        for &c in &n.children {
+            self.dfs_collect(c, last_level, out);
+        }
+    }
+
+    /// Path from the root (exclusive) to `node` (inclusive), top-down.
+    pub fn path(&self, node: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            if id == 0 {
+                break;
+            }
+            path.push(id);
+            cur = self.nodes[id].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The candidate pipeline (component keys in slot order) ending at a
+    /// leaf.
+    pub fn candidate(&self, leaf: usize) -> Vec<ComponentKey> {
+        self.path(leaf)
+            .into_iter()
+            .map(|id| self.nodes[id].component.clone().expect("non-root"))
+            .collect()
+    }
+
+    /// PC pruning (§VI-A): marks nodes whose component is incompatible with
+    /// their parent as [`NodeState::Incompatible`] (whole subtrees die with
+    /// them). Returns the number of nodes newly marked (subtree roots only).
+    pub fn prune_incompatible(&mut self, lut: &CompatLut) -> usize {
+        let mut pruned = 0;
+        // BFS from root; children of a pruned node stay unreachable.
+        let mut queue = vec![0usize];
+        while let Some(id) = queue.pop() {
+            let children = self.nodes[id].children.clone();
+            let parent_comp = self.nodes[id].component.clone();
+            for c in children {
+                if let (Some(p), Some(k)) = (&parent_comp, &self.nodes[c].component) {
+                    if !lut.compatible(p, k) {
+                        self.nodes[c].state = NodeState::Incompatible;
+                        pruned += 1;
+                        continue; // do not descend
+                    }
+                }
+                queue.push(c);
+            }
+        }
+        pruned
+    }
+
+    /// PR marking (§VI-B): flags nodes whose output already exists in the
+    /// history as [`NodeState::Checkpointed`] (green) and records the output
+    /// reference. A node can only be checkpointed if its parent is (the
+    /// cache key chains input artifact ids). Returns the count marked.
+    pub fn mark_checkpoints(&mut self, history: &HistoryIndex) -> usize {
+        let mut marked = 0;
+        let mut queue = vec![0usize];
+        while let Some(id) = queue.pop() {
+            let children = self.nodes[id].children.clone();
+            // Input ids for children = parent's output artifact (if any).
+            let parent_output = self.nodes[id].output.clone();
+            let parent_is_root = id == 0;
+            let parent_executed = self.nodes[id].executed;
+            for c in children {
+                if self.nodes[c].state == NodeState::Incompatible {
+                    continue;
+                }
+                if !parent_executed {
+                    continue; // prefix unknown → cannot have a checkpoint
+                }
+                let inputs = match (&parent_output, parent_is_root) {
+                    (_, true) => Vec::new(), // level-0 sources take no input
+                    (Some(o), false) => vec![o.artifact_id],
+                    (None, false) => continue,
+                };
+                let key = CacheKey {
+                    component: self.nodes[c].component.clone().expect("non-root"),
+                    inputs,
+                };
+                if let Some(hit) = history.get(&key) {
+                    self.nodes[c].executed = true;
+                    self.nodes[c].output = Some(hit);
+                    self.nodes[c].state = NodeState::Checkpointed;
+                    marked += 1;
+                }
+                queue.push(c);
+            }
+        }
+        marked
+    }
+
+    /// Counts nodes per state (the Fig. 4 summary).
+    pub fn state_counts(&self) -> StateCounts {
+        let mut counts = StateCounts::default();
+        // Skip the virtual root.
+        for n in &self.nodes[1..] {
+            match n.state {
+                NodeState::Checkpointed => counts.checkpointed += 1,
+                NodeState::Feasible => counts.feasible += 1,
+                NodeState::Incompatible => counts.incompatible += 1,
+            }
+        }
+        counts
+    }
+
+    /// Count of *reachable* feasible nodes: feasible nodes not hidden under
+    /// an incompatible ancestor. These are the executions the merge must pay
+    /// for ("only 6 components ... are needed to be executed" in Fig. 4).
+    pub fn reachable_feasible(&self) -> usize {
+        let mut count = 0;
+        let mut queue = vec![0usize];
+        while let Some(id) = queue.pop() {
+            for &c in &self.nodes[id].children {
+                if self.nodes[c].state == NodeState::Incompatible {
+                    continue;
+                }
+                if self.nodes[c].state == NodeState::Feasible {
+                    count += 1;
+                }
+                queue.push(c);
+            }
+        }
+        count
+    }
+}
+
+/// Node-state summary.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateCounts {
+    /// Green nodes (reusable checkpoints).
+    pub checkpointed: usize,
+    /// Orange nodes (need execution).
+    pub feasible: usize,
+    /// Red nodes (pruned).
+    pub incompatible: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcask_pipeline::semver::SemVer;
+
+    fn spaces(sizes: &[usize]) -> SearchSpaces {
+        SearchSpaces {
+            slot_names: (0..sizes.len()).map(|i| format!("slot{i}")).collect(),
+            per_slot: sizes
+                .iter()
+                .enumerate()
+                .map(|(slot, &n)| {
+                    (0..n)
+                        .map(|v| {
+                            ComponentKey::new(&format!("slot{slot}"), SemVer::master(0, v as u32))
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn build_matches_cartesian_structure() {
+        // Fig. 4 shape: 1 dataset × 2 cleansing × 2 extraction × 5 CNN.
+        let tree = SearchTree::build(&spaces(&[1, 2, 2, 5]));
+        // Nodes per level: 1 + 1 + 2 + 4 + 20, plus root.
+        assert_eq!(tree.len(), 1 + 1 + 2 + 4 + 20);
+        assert_eq!(tree.live_leaves().len(), 20);
+        assert!(tree.node(0).executed, "virtual root starts executed");
+    }
+
+    #[test]
+    fn paths_and_candidates() {
+        let tree = SearchTree::build(&spaces(&[1, 2]));
+        let leaves = tree.live_leaves();
+        assert_eq!(leaves.len(), 2);
+        let cand = tree.candidate(leaves[1]);
+        assert_eq!(cand.len(), 2);
+        assert_eq!(cand[0].name, "slot0");
+        assert_eq!(cand[1].version, SemVer::master(0, 1));
+        // Path is top-down and excludes the root.
+        let path = tree.path(leaves[1]);
+        assert_eq!(path.len(), 2);
+        assert_eq!(tree.node(path[0]).level, Some(0));
+    }
+
+    #[test]
+    fn empty_spaces_tree_is_root_only() {
+        let tree = SearchTree::build(&spaces(&[]));
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn prune_incompatible_blocks_subtrees() {
+        let s = spaces(&[2, 2]);
+        let mut tree = SearchTree::build(&s);
+        // An empty LUT declares every adjacent pair incompatible, so all
+        // four level-1 nodes (2 parents × 2 versions) are pruned; level-0
+        // nodes survive because the virtual root imposes no constraint.
+        let lut = CompatLut::default();
+        let pruned_all = tree.prune_incompatible(&lut);
+        assert_eq!(pruned_all, 4);
+        assert!(tree.live_leaves().is_empty());
+        // (Schema-driven LUT behaviour is covered in search_space tests.)
+    }
+
+    #[test]
+    fn state_counts_sum_to_non_root_nodes() {
+        let mut tree = SearchTree::build(&spaces(&[2, 3]));
+        let lut = CompatLut::default();
+        tree.prune_incompatible(&lut);
+        let c = tree.state_counts();
+        assert_eq!(c.checkpointed + c.feasible + c.incompatible, tree.len() - 1);
+    }
+
+    #[test]
+    fn reachable_feasible_excludes_hidden_nodes() {
+        let mut tree = SearchTree::build(&spaces(&[2, 3]));
+        // Empty LUT prunes all level-1 children... and level-0 nodes have no
+        // parent component, so they stay feasible.
+        tree.prune_incompatible(&CompatLut::default());
+        assert_eq!(tree.reachable_feasible(), 2, "only the two level-0 nodes");
+    }
+}

@@ -1,0 +1,185 @@
+//! Binary logistic regression — a lightweight alternative model used by
+//! component-version variants in the workloads (a "model library v0.x" may
+//! be logistic regression while v0.y is an MLP, giving the merge search real
+//! quality differences to discover).
+
+use crate::metrics::accuracy;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Logistic regression hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogRegConfig {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f32,
+    /// Full-batch iterations.
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f32,
+    /// Weight init seed.
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            learning_rate: 0.1,
+            epochs: 100,
+            l2: 1e-4,
+            seed: 1,
+        }
+    }
+}
+
+/// Trained binary logistic regression.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogReg {
+    weights: Vec<f32>,
+    bias: f32,
+    config: LogRegConfig,
+    /// Mean log-loss per epoch.
+    pub loss_history: Vec<f64>,
+}
+
+fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogReg {
+    /// Trains on labels in `{0, 1}`.
+    pub fn fit(x: &Matrix, y: &[usize], config: LogRegConfig) -> LogReg {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(x.rows() > 0, "cannot train on an empty dataset");
+        assert!(y.iter().all(|&v| v <= 1), "labels must be binary");
+        let n = x.rows();
+        let d = x.cols();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut weights: Vec<f32> = (0..d).map(|_| (rng.gen::<f32>() - 0.5) * 0.01).collect();
+        let mut bias = 0.0f32;
+        let mut loss_history = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            let mut grad_w = vec![0.0f32; d];
+            let mut grad_b = 0.0f32;
+            let mut loss = 0.0f64;
+            for r in 0..n {
+                let row = x.row(r);
+                let z = crate::tensor::dot(row, &weights) + bias;
+                let p = sigmoid(z);
+                let t = y[r] as f32;
+                let err = p - t;
+                for (g, &xi) in grad_w.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+                grad_b += err;
+                let pc = p.clamp(1e-7, 1.0 - 1e-7) as f64;
+                loss -= if y[r] == 1 { pc.ln() } else { (1.0 - pc).ln() };
+            }
+            let scale = config.learning_rate / n as f32;
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= scale * (g + config.l2 * *w * n as f32);
+            }
+            bias -= scale * grad_b;
+            loss_history.push(loss / n as f64);
+        }
+        LogReg {
+            weights,
+            bias,
+            config,
+            loss_history,
+        }
+    }
+
+    /// P(y=1 | x) for each row.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows())
+            .map(|r| sigmoid(crate::tensor::dot(x.row(r), &self.weights) + self.bias) as f64)
+            .collect()
+    }
+
+    /// Hard 0/1 predictions at the 0.5 threshold.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_proba(x)
+            .into_iter()
+            .map(|p| usize::from(p >= 0.5))
+            .collect()
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn evaluate(&self, x: &Matrix, y: &[usize]) -> f64 {
+        accuracy(&self.predict(x), y)
+    }
+
+    /// Deterministic training work estimate.
+    pub fn work_units(n_rows: usize, n_cols: usize, config: LogRegConfig) -> u64 {
+        (n_rows as u64) * (n_cols as u64) * (config.epochs as u64) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::synthetic_classification;
+
+    #[test]
+    fn learns_linearly_separable() {
+        let (x, y) = synthetic_classification(300, 6, 2, 0.2, 17);
+        let model = LogReg::fit(&x, &y, LogRegConfig::default());
+        assert!(model.evaluate(&x, &y) > 0.9);
+        let first = model.loss_history.first().unwrap();
+        let last = model.loss_history.last().unwrap();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = synthetic_classification(100, 4, 2, 0.3, 23);
+        let model = LogReg::fit(&x, &y, LogRegConfig::default());
+        for p in model.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn sigmoid_extremes_stable() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = synthetic_classification(80, 3, 2, 0.2, 4);
+        let a = LogReg::fit(&x, &y, LogRegConfig::default());
+        let b = LogReg::fit(&x, &y, LogRegConfig::default());
+        assert_eq!(a.loss_history, b.loss_history);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be binary")]
+    fn rejects_multiclass_labels() {
+        let (x, _) = synthetic_classification(10, 3, 2, 0.2, 4);
+        let y = vec![2usize; 10];
+        LogReg::fit(&x, &y, LogRegConfig::default());
+    }
+
+    #[test]
+    fn work_units_scale_with_epochs() {
+        let base = LogRegConfig::default();
+        let more = LogRegConfig {
+            epochs: base.epochs * 2,
+            ..base
+        };
+        assert_eq!(
+            LogReg::work_units(10, 10, more),
+            2 * LogReg::work_units(10, 10, base)
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! Typed immutable artifacts flowing between pipeline components.
+//!
+//! Every component output is an [`Artifact`]: a typed payload plus its
+//! schema id. Artifacts have a deterministic canonical byte encoding, so
+//! their content hash serves as the cache/reuse key, and storing them in
+//! the chunk store benefits from dedup when consecutive versions produce
+//! overlapping bytes.
+
+use crate::schema::{Schema, SchemaId};
+use mlcask_ml::metrics::Score;
+use mlcask_ml::tensor::Matrix;
+use mlcask_ml::zernike::Image;
+use mlcask_storage::hash::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// A relational table cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Missing value (the cleansing stages fill these).
+    Null,
+    /// Numeric value.
+    F(f32),
+    /// Integer value (codes, counts).
+    I(i64),
+    /// Categorical/text value.
+    S(String),
+}
+
+impl Cell {
+    /// True if the cell is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// Numeric view (integers widened; null/text → None).
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Cell::F(v) => Some(*v),
+            Cell::I(v) => Some(*v as f32),
+            _ => None,
+        }
+    }
+}
+
+/// A relational table with named columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row-major cells; every row has `columns.len()` entries.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table, validating row widths.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Cell>>) -> Table {
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), columns.len(), "row {i} width mismatch");
+        }
+        Table { columns, rows }
+    }
+
+    /// Index of a named column.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The table's relational schema.
+    pub fn schema(&self) -> Schema {
+        Schema::Relational {
+            columns: self.columns.clone(),
+        }
+    }
+
+    /// Count of null cells (data-quality measure for cleansing stages).
+    pub fn null_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|c| c.is_null())
+            .count()
+    }
+}
+
+/// Labelled token documents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Docs {
+    /// Tokenised documents.
+    pub docs: Vec<Vec<String>>,
+    /// One label per document.
+    pub labels: Vec<usize>,
+    /// Vocabulary bound for schema purposes.
+    pub vocab_size: usize,
+}
+
+/// Labelled square images.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageSet {
+    /// Images, all with the same side length.
+    pub images: Vec<Image>,
+    /// One label per image.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+/// A dense feature matrix with labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Features {
+    /// Feature matrix, one row per sample.
+    pub x: Matrix,
+    /// One label per row.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+/// Categorical observation sequences with labels (HMM input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceSet {
+    /// Observation sequences.
+    pub seqs: Vec<Vec<usize>>,
+    /// One label per sequence.
+    pub labels: Vec<usize>,
+    /// Number of observation symbols.
+    pub n_symbols: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+/// A trained model: opaque serialised weights plus its evaluation score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Model family label (matches `Schema::Model`).
+    pub family: String,
+    /// Serialised model parameters.
+    pub blob: Vec<u8>,
+    /// Held-out evaluation score — the pipeline's metric for merge.
+    pub score: Score,
+}
+
+/// The payload of an artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArtifactData {
+    /// Relational table.
+    Table(Table),
+    /// Token documents.
+    Docs(Docs),
+    /// Labelled images.
+    Images(ImageSet),
+    /// Feature matrix.
+    Features(Features),
+    /// Observation sequences.
+    Sequences(SequenceSet),
+    /// Trained model.
+    Model(ModelArtifact),
+}
+
+impl ArtifactData {
+    /// Short label for diagnostics.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            ArtifactData::Table(_) => "table",
+            ArtifactData::Docs(_) => "docs",
+            ArtifactData::Images(_) => "images",
+            ArtifactData::Features(_) => "features",
+            ArtifactData::Sequences(_) => "sequences",
+            ArtifactData::Model(_) => "model",
+        }
+    }
+}
+
+/// A typed immutable value produced by a component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Payload.
+    pub data: ArtifactData,
+    /// Schema identity of the payload.
+    pub schema: SchemaId,
+}
+
+impl Artifact {
+    /// Wraps a payload with its schema.
+    pub fn new(data: ArtifactData, schema: SchemaId) -> Artifact {
+        Artifact { data, schema }
+    }
+
+    /// Canonical byte encoding (deterministic JSON over Vec/ordered fields).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("artifact serialisation cannot fail")
+    }
+
+    /// Inverse of [`Artifact::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Artifact, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+
+    /// Content hash of the canonical encoding — the reuse/cache key.
+    pub fn content_id(&self) -> Hash256 {
+        Hash256::of(&self.to_bytes())
+    }
+
+    /// The model score if this artifact is a trained model.
+    pub fn score(&self) -> Option<Score> {
+        match &self.data {
+            ArtifactData::Model(m) => Some(m.score),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory payload size (drives storage cost accounting).
+    pub fn byte_len(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcask_ml::metrics::MetricKind;
+
+    fn small_table() -> Table {
+        Table::new(
+            vec!["age".into(), "dx".into()],
+            vec![
+                vec![Cell::F(61.0), Cell::S("I10".into())],
+                vec![Cell::Null, Cell::S("E11".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn table_basics() {
+        let t = small_table();
+        assert_eq!(t.col_index("dx"), Some(1));
+        assert_eq!(t.col_index("missing"), None);
+        assert_eq!(t.null_count(), 1);
+        assert_eq!(t.schema().id(), Schema::relational(&["age", "dx"]).id());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_checks_row_width() {
+        Table::new(vec!["a".into()], vec![vec![Cell::Null, Cell::Null]]);
+    }
+
+    #[test]
+    fn cell_views() {
+        assert_eq!(Cell::F(1.5).as_f32(), Some(1.5));
+        assert_eq!(Cell::I(3).as_f32(), Some(3.0));
+        assert_eq!(Cell::S("x".into()).as_f32(), None);
+        assert!(Cell::Null.is_null());
+        assert!(!Cell::F(0.0).is_null());
+    }
+
+    #[test]
+    fn artifact_round_trip_and_id_stability() {
+        let t = small_table();
+        let schema = t.schema().id();
+        let a = Artifact::new(ArtifactData::Table(t), schema);
+        let bytes = a.to_bytes();
+        let back = Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.content_id(), a.content_id());
+        assert_eq!(a.byte_len(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn content_id_changes_with_payload() {
+        let t1 = small_table();
+        let mut t2 = small_table();
+        t2.rows[0][0] = Cell::F(62.0);
+        let s = t1.schema().id();
+        let a = Artifact::new(ArtifactData::Table(t1), s);
+        let b = Artifact::new(ArtifactData::Table(t2), s);
+        assert_ne!(a.content_id(), b.content_id());
+    }
+
+    #[test]
+    fn model_artifact_score() {
+        let m = ModelArtifact {
+            family: "mlp".into(),
+            blob: vec![1, 2, 3],
+            score: Score::new(MetricKind::Accuracy, 0.87),
+        };
+        let schema = Schema::Model { family: "mlp".into() }.id();
+        let a = Artifact::new(ArtifactData::Model(m), schema);
+        assert_eq!(a.score().unwrap().raw, 0.87);
+        assert_eq!(a.data.kind_label(), "model");
+        // Non-model artifacts have no score.
+        let t = Artifact::new(
+            ArtifactData::Table(small_table()),
+            Schema::relational(&["age", "dx"]).id(),
+        );
+        assert!(t.score().is_none());
+    }
+
+    #[test]
+    fn kind_labels() {
+        let f = Features {
+            x: Matrix::zeros(1, 1),
+            y: vec![0],
+            n_classes: 2,
+        };
+        assert_eq!(ArtifactData::Features(f).kind_label(), "features");
+        let d = Docs {
+            docs: vec![],
+            labels: vec![],
+            vocab_size: 10,
+        };
+        assert_eq!(ArtifactData::Docs(d).kind_label(), "docs");
+    }
+}

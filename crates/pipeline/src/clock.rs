@@ -1,0 +1,170 @@
+//! Deterministic virtual clock with per-stage accounting.
+//!
+//! All reported times in the experiment harness come from this clock, not
+//! wall time, so figures are identical across machines (DESIGN.md §2). The
+//! split between pre-processing, model training, and storage time is what
+//! Figs. 6 and 9 plot.
+
+use crate::component::StageKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Accumulating virtual clock.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SimClock {
+    exec: BTreeMap<StageKind, Duration>,
+    storage: Duration,
+}
+
+impl SimClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges execution time to a stage category.
+    pub fn charge_exec(&mut self, stage: StageKind, d: Duration) {
+        *self.exec.entry(stage).or_default() += d;
+    }
+
+    /// Charges storage (data preparation/transfer) time.
+    pub fn charge_storage(&mut self, d: Duration) {
+        self.storage += d;
+    }
+
+    /// Total execution time across stages (the paper's "execution time").
+    pub fn exec_total(&self) -> Duration {
+        self.exec.values().sum()
+    }
+
+    /// Execution time attributed to one stage kind.
+    pub fn exec_for(&self, stage: StageKind) -> Duration {
+        self.exec.get(&stage).copied().unwrap_or_default()
+    }
+
+    /// Storage time (the paper's "storage time").
+    pub fn storage_total(&self) -> Duration {
+        self.storage
+    }
+
+    /// Pipeline time = execution + storage (the paper's "pipeline time").
+    pub fn pipeline_total(&self) -> Duration {
+        self.exec_total() + self.storage
+    }
+
+    /// Immutable snapshot for reports.
+    pub fn snapshot(&self) -> ClockSnapshot {
+        ClockSnapshot {
+            ingest_ns: self.exec_for(StageKind::Ingest).as_nanos() as u64,
+            preprocess_ns: self.exec_for(StageKind::PreProcess).as_nanos() as u64,
+            training_ns: self.exec_for(StageKind::ModelTraining).as_nanos() as u64,
+            storage_ns: self.storage.as_nanos() as u64,
+        }
+    }
+
+    /// Difference `self - earlier` as a snapshot (for per-iteration deltas).
+    pub fn delta_since(&self, earlier: &SimClock) -> ClockSnapshot {
+        let a = self.snapshot();
+        let b = earlier.snapshot();
+        ClockSnapshot {
+            ingest_ns: a.ingest_ns - b.ingest_ns,
+            preprocess_ns: a.preprocess_ns - b.preprocess_ns,
+            training_ns: a.training_ns - b.training_ns,
+            storage_ns: a.storage_ns - b.storage_ns,
+        }
+    }
+}
+
+/// Serialisable clock state in nanoseconds.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockSnapshot {
+    /// Data-ingest execution time.
+    pub ingest_ns: u64,
+    /// Pre-processing execution time.
+    pub preprocess_ns: u64,
+    /// Model-training execution time.
+    pub training_ns: u64,
+    /// Storage (preparation + transfer) time.
+    pub storage_ns: u64,
+}
+
+impl ClockSnapshot {
+    /// Total pipeline time in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.ingest_ns + self.preprocess_ns + self.training_ns + self.storage_ns
+    }
+
+    /// Total execution (non-storage) time in nanoseconds.
+    pub fn exec_ns(&self) -> u64 {
+        self.ingest_ns + self.preprocess_ns + self.training_ns
+    }
+
+    /// Total pipeline time in (fractional) seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns() as f64 / 1e9
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &ClockSnapshot) -> ClockSnapshot {
+        ClockSnapshot {
+            ingest_ns: self.ingest_ns + other.ingest_ns,
+            preprocess_ns: self.preprocess_ns + other.preprocess_ns,
+            training_ns: self.training_ns + other.training_ns,
+            storage_ns: self.storage_ns + other.storage_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_stage() {
+        let mut c = SimClock::new();
+        c.charge_exec(StageKind::PreProcess, Duration::from_millis(10));
+        c.charge_exec(StageKind::PreProcess, Duration::from_millis(5));
+        c.charge_exec(StageKind::ModelTraining, Duration::from_millis(20));
+        c.charge_storage(Duration::from_millis(3));
+        assert_eq!(c.exec_for(StageKind::PreProcess), Duration::from_millis(15));
+        assert_eq!(c.exec_total(), Duration::from_millis(35));
+        assert_eq!(c.storage_total(), Duration::from_millis(3));
+        assert_eq!(c.pipeline_total(), Duration::from_millis(38));
+    }
+
+    #[test]
+    fn snapshot_and_delta() {
+        let mut c = SimClock::new();
+        c.charge_exec(StageKind::Ingest, Duration::from_nanos(100));
+        let earlier = c.clone();
+        c.charge_exec(StageKind::ModelTraining, Duration::from_nanos(50));
+        c.charge_storage(Duration::from_nanos(7));
+        let d = c.delta_since(&earlier);
+        assert_eq!(d.ingest_ns, 0);
+        assert_eq!(d.training_ns, 50);
+        assert_eq!(d.storage_ns, 7);
+        assert_eq!(d.total_ns(), 57);
+        assert_eq!(d.exec_ns(), 50);
+    }
+
+    #[test]
+    fn snapshot_plus() {
+        let a = ClockSnapshot {
+            ingest_ns: 1,
+            preprocess_ns: 2,
+            training_ns: 3,
+            storage_ns: 4,
+        };
+        let b = a.plus(&a);
+        assert_eq!(b.total_ns(), 20);
+        assert!((a.total_secs() - 10e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_clock() {
+        let c = SimClock::new();
+        assert_eq!(c.pipeline_total(), Duration::ZERO);
+        assert_eq!(c.snapshot().total_ns(), 0);
+    }
+}

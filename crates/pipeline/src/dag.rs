@@ -1,0 +1,356 @@
+//! Pipeline DAG structure (Definitions 1–2).
+//!
+//! An ML pipeline is a DAG `G = (F, E)` whose vertices are components and
+//! whose edges carry data flow. The paper's evaluated pipelines are chains,
+//! but the structure (and the executor) supports general DAGs; the merge
+//! search tree linearises components in topological order.
+
+use crate::component::ComponentHandle;
+use crate::errors::{PipelineError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The shape of a pipeline: named component slots and data-flow edges.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineDag {
+    nodes: Vec<String>,
+    /// Edges as (from, to) node indices.
+    edges: Vec<(usize, usize)>,
+    index: HashMap<String, usize>,
+}
+
+impl PipelineDag {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a linear chain — the shape of all four evaluated pipelines.
+    pub fn chain(slots: &[&str]) -> Result<PipelineDag> {
+        let mut dag = PipelineDag::new();
+        for s in slots {
+            dag.add_node(s)?;
+        }
+        for w in slots.windows(2) {
+            dag.add_edge(w[0], w[1])?;
+        }
+        Ok(dag)
+    }
+
+    /// Adds a named component slot.
+    pub fn add_node(&mut self, name: &str) -> Result<usize> {
+        if self.index.contains_key(name) {
+            return Err(PipelineError::InvalidDag(format!(
+                "duplicate node '{name}'"
+            )));
+        }
+        let id = self.nodes.len();
+        self.nodes.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a data-flow edge `from → to`.
+    pub fn add_edge(&mut self, from: &str, to: &str) -> Result<()> {
+        let f = self.node_id(from)?;
+        let t = self.node_id(to)?;
+        if f == t {
+            return Err(PipelineError::InvalidDag(format!("self-loop on '{from}'")));
+        }
+        if self.edges.contains(&(f, t)) {
+            return Err(PipelineError::InvalidDag(format!(
+                "duplicate edge {from} -> {to}"
+            )));
+        }
+        self.edges.push((f, t));
+        Ok(())
+    }
+
+    /// Node index by name.
+    pub fn node_id(&self, name: &str) -> Result<usize> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| PipelineError::InvalidDag(format!("unknown node '{name}'")))
+    }
+
+    /// Node name by index.
+    pub fn node_name(&self, id: usize) -> &str {
+        &self.nodes[id]
+    }
+
+    /// Number of component slots (`N_f` in the paper).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Predecessors `pre(f)` of a node (Definition 2), in edge order.
+    pub fn pre(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(_, t)| *t == node)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Successors `suc(f)` of a node (Definition 2), in edge order.
+    pub fn suc(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == node)
+            .map(|(_, t)| *t)
+            .collect()
+    }
+
+    /// All node names in insertion order.
+    pub fn node_names(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Kahn topological order; errors on cycles.
+    pub fn topo_order(&self) -> Result<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for (_, t) in &self.edges {
+            indeg[*t] += 1;
+        }
+        // Stable order: lowest index first among ready nodes.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(&next) = ready.iter().min() {
+            ready.retain(|&x| x != next);
+            out.push(next);
+            for &s in &self.suc(next) {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if out.len() != n {
+            return Err(PipelineError::InvalidDag("cycle detected".into()));
+        }
+        Ok(out)
+    }
+
+    /// Source nodes (no predecessors).
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.pre(i).is_empty())
+            .collect()
+    }
+
+    /// Sink nodes (no successors).
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.suc(i).is_empty())
+            .collect()
+    }
+}
+
+/// A DAG with a concrete component version bound to every slot — a runnable
+/// pipeline instance (one candidate in the merge search space).
+#[derive(Clone)]
+pub struct BoundPipeline {
+    /// The pipeline shape.
+    pub dag: Arc<PipelineDag>,
+    /// One component per slot, aligned with node indices.
+    pub components: Vec<ComponentHandle>,
+}
+
+impl BoundPipeline {
+    /// Binds components to a DAG. The i-th component fills slot i; names
+    /// must match slot names.
+    pub fn new(dag: Arc<PipelineDag>, components: Vec<ComponentHandle>) -> Result<BoundPipeline> {
+        if components.len() != dag.len() {
+            return Err(PipelineError::InvalidDag(format!(
+                "bound {} components to {} slots",
+                components.len(),
+                dag.len()
+            )));
+        }
+        for (i, c) in components.iter().enumerate() {
+            if c.name() != dag.node_name(i) {
+                return Err(PipelineError::InvalidDag(format!(
+                    "slot '{}' bound to component '{}'",
+                    dag.node_name(i),
+                    c.name()
+                )));
+            }
+        }
+        Ok(BoundPipeline { dag, components })
+    }
+
+    /// Statically checks adjacent declared schemas along every edge; returns
+    /// the first incompatibility (Definition 4). This is what lets MLCask
+    /// refuse to run a doomed pipeline *before* spending any compute.
+    pub fn precheck_compatibility(&self) -> Result<()> {
+        for &(from, to) in &self.dag.edges {
+            let producer = &self.components[from];
+            let consumer = &self.components[to];
+            if let Some(expected) = consumer.input_schema() {
+                let actual = producer.output_schema();
+                if actual != expected {
+                    return Err(PipelineError::IncompatibleSchema(Box::new(
+                        crate::errors::IncompatibleSchemaDetail {
+                            component: consumer.key(),
+                            input_index: 0,
+                            expected,
+                            actual,
+                        },
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Component keys in topological order (the paper's pipeline identity).
+    pub fn keys(&self) -> Result<Vec<crate::component::ComponentKey>> {
+        Ok(self
+            .dag
+            .topo_order()?
+            .into_iter()
+            .map(|i| self.components[i].key())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::test_support::{TestModel, TestScaler, TestSource};
+    use crate::semver::SemVer;
+
+    fn chain3() -> (Arc<PipelineDag>, Vec<ComponentHandle>) {
+        let dag = Arc::new(PipelineDag::chain(&["test_source", "test_scaler", "test_model"]).unwrap());
+        let comps: Vec<ComponentHandle> = vec![
+            Arc::new(TestSource {
+                version: SemVer::initial(),
+                dim: 3,
+                rows: 4,
+            }),
+            Arc::new(TestScaler {
+                version: SemVer::initial(),
+                dim_in: 3,
+                dim_out: 3,
+                factor: 1.0,
+            }),
+            Arc::new(TestModel {
+                version: SemVer::initial(),
+                dim_in: 3,
+                quality: 0.5,
+            }),
+        ];
+        (dag, comps)
+    }
+
+    #[test]
+    fn chain_structure() {
+        let dag = PipelineDag::chain(&["a", "b", "c"]).unwrap();
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.pre(1), vec![0]);
+        assert_eq!(dag.suc(1), vec![2]);
+        assert_eq!(dag.sources(), vec![0]);
+        assert_eq!(dag.sinks(), vec![2]);
+        assert_eq!(dag.topo_order().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_self_loops() {
+        let mut dag = PipelineDag::new();
+        dag.add_node("a").unwrap();
+        assert!(dag.add_node("a").is_err());
+        dag.add_node("b").unwrap();
+        dag.add_edge("a", "b").unwrap();
+        assert!(dag.add_edge("a", "b").is_err());
+        assert!(dag.add_edge("a", "a").is_err());
+        assert!(dag.add_edge("a", "zzz").is_err());
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut dag = PipelineDag::new();
+        for n in ["a", "b", "c"] {
+            dag.add_node(n).unwrap();
+        }
+        dag.add_edge("a", "b").unwrap();
+        dag.add_edge("b", "c").unwrap();
+        dag.add_edge("c", "a").unwrap();
+        assert!(matches!(
+            dag.topo_order(),
+            Err(PipelineError::InvalidDag(_))
+        ));
+    }
+
+    #[test]
+    fn diamond_topo_order() {
+        let mut dag = PipelineDag::new();
+        for n in ["src", "left", "right", "join"] {
+            dag.add_node(n).unwrap();
+        }
+        dag.add_edge("src", "left").unwrap();
+        dag.add_edge("src", "right").unwrap();
+        dag.add_edge("left", "join").unwrap();
+        dag.add_edge("right", "join").unwrap();
+        let order = dag.topo_order().unwrap();
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+        assert_eq!(dag.pre(3).len(), 2);
+    }
+
+    #[test]
+    fn bind_validates_alignment() {
+        let (dag, comps) = chain3();
+        assert!(BoundPipeline::new(Arc::clone(&dag), comps.clone()).is_ok());
+        // Wrong count.
+        assert!(BoundPipeline::new(Arc::clone(&dag), comps[..2].to_vec()).is_err());
+        // Wrong order.
+        let mut shuffled = comps;
+        shuffled.swap(0, 1);
+        assert!(BoundPipeline::new(dag, shuffled).is_err());
+    }
+
+    #[test]
+    fn precheck_detects_static_incompatibility() {
+        let dag = Arc::new(PipelineDag::chain(&["test_source", "test_scaler", "test_model"]).unwrap());
+        let comps: Vec<ComponentHandle> = vec![
+            Arc::new(TestSource {
+                version: SemVer::initial(),
+                dim: 3,
+                rows: 4,
+            }),
+            // Scaler widens to 5 dims, but model expects 3 → incompatible.
+            Arc::new(TestScaler {
+                version: SemVer::master(1, 0),
+                dim_in: 3,
+                dim_out: 5,
+                factor: 1.0,
+            }),
+            Arc::new(TestModel {
+                version: SemVer::initial(),
+                dim_in: 3,
+                quality: 0.5,
+            }),
+        ];
+        let bound = BoundPipeline::new(dag, comps).unwrap();
+        assert!(matches!(
+            bound.precheck_compatibility(),
+            Err(PipelineError::IncompatibleSchema(_))
+        ));
+    }
+
+    #[test]
+    fn keys_in_topo_order() {
+        let (dag, comps) = chain3();
+        let bound = BoundPipeline::new(dag, comps).unwrap();
+        let keys = bound.keys().unwrap();
+        assert_eq!(keys[0].name, "test_source");
+        assert_eq!(keys[2].name, "test_model");
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for pipeline definition and execution.
+
+use crate::component::ComponentKey;
+use crate::schema::SchemaId;
+use mlcask_storage::errors::StorageError;
+use std::fmt;
+
+/// Details of a schema incompatibility (boxed to keep the error small on
+/// the hot `Result` paths).
+#[derive(Debug, Clone)]
+pub struct IncompatibleSchemaDetail {
+    /// The component rejecting its input.
+    pub component: ComponentKey,
+    /// Which input slot mismatched.
+    pub input_index: usize,
+    /// The schema the component declared.
+    pub expected: SchemaId,
+    /// The schema actually presented.
+    pub actual: SchemaId,
+}
+
+/// Errors surfaced while building or executing pipelines.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Two adjacent components have mismatched schemas (Definition 4). This
+    /// is the error the baselines hit mid-run and MLCask prunes up front.
+    IncompatibleSchema(Box<IncompatibleSchemaDetail>),
+    /// A component received an artifact of the wrong payload kind.
+    WrongArtifactKind {
+        /// The component rejecting its input.
+        component: ComponentKey,
+        /// Expected payload label.
+        expected: &'static str,
+        /// Received payload label.
+        actual: &'static str,
+    },
+    /// The pipeline graph is malformed (cycle, missing node, …).
+    InvalidDag(String),
+    /// A referenced component version is absent from the registry.
+    UnknownComponent(ComponentKey),
+    /// The pipeline produced no scored model artifact.
+    NoScore,
+    /// Underlying storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::IncompatibleSchema(d) => write!(
+                f,
+                "{} input #{} incompatible: expected {}, got {}",
+                d.component, d.input_index, d.expected, d.actual
+            ),
+            PipelineError::WrongArtifactKind {
+                component,
+                expected,
+                actual,
+            } => write!(f, "{component} expected {expected} artifact, got {actual}"),
+            PipelineError::InvalidDag(m) => write!(f, "invalid pipeline DAG: {m}"),
+            PipelineError::UnknownComponent(k) => write!(f, "unknown component {k}"),
+            PipelineError::NoScore => write!(f, "pipeline produced no scored model artifact"),
+            PipelineError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for PipelineError {
+    fn from(e: StorageError) -> Self {
+        PipelineError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semver::SemVer;
+    use mlcask_storage::hash::Hash256;
+
+    #[test]
+    fn display_incompatible() {
+        let e = PipelineError::IncompatibleSchema(Box::new(IncompatibleSchemaDetail {
+            component: ComponentKey::new("cnn", SemVer::master(0, 4)),
+            input_index: 0,
+            expected: SchemaId(Hash256::of(b"a")),
+            actual: SchemaId(Hash256::of(b"b")),
+        }));
+        let msg = e.to_string();
+        assert!(msg.contains("<cnn, 0.4>"));
+        assert!(msg.contains("incompatible"));
+    }
+
+    #[test]
+    fn storage_error_wraps_with_source() {
+        let e: PipelineError = StorageError::UnknownBranch("dev".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("dev"));
+    }
+
+    #[test]
+    fn other_variants_display() {
+        assert!(PipelineError::NoScore.to_string().contains("no scored"));
+        assert!(PipelineError::InvalidDag("cycle".into())
+            .to_string()
+            .contains("cycle"));
+        let k = ComponentKey::new("x", SemVer::initial());
+        assert!(PipelineError::UnknownComponent(k).to_string().contains("unknown"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # mlcask-pipeline
+//!
+//! The ML-pipeline model underlying MLCask (ICDE 2021): components with
+//! semantic versions, typed artifacts with schema hashes, pipeline DAGs, and
+//! an executor with checkpoint reuse and deterministic virtual-time
+//! accounting.
+//!
+//! Mapping to the paper:
+//!
+//! | Paper concept | Module |
+//! |---|---|
+//! | `branch@schema.increment` versions (§IV-B) | [`semver`] |
+//! | Schema hash function (§IV-B) | [`schema`] |
+//! | Component / pipeline metafiles (§III) | [`metafile`] |
+//! | Components `y = f(x\|θ)` (Defs. 1, 3, 4) | [`component`] |
+//! | Pipeline DAG `G = (F, E)` (Defs. 1–2) | [`dag`] |
+//! | Execution, output archiving, reuse (§IV, C1) | [`executor`] |
+//! | Execution vs storage time split (§VII-B) | [`clock`] |
+//!
+//! The versioning semantics themselves (branching, merging, search-tree
+//! pruning) live in `mlcask-core`, which builds on this crate.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod clock;
+pub mod component;
+pub mod dag;
+pub mod errors;
+pub mod executor;
+pub mod metafile;
+pub mod schema;
+pub mod semver;
+
+/// Common imports for downstream crates.
+pub mod prelude {
+    pub use crate::artifact::{
+        Artifact, ArtifactData, Cell, Docs, Features, ImageSet, ModelArtifact, SequenceSet, Table,
+    };
+    pub use crate::clock::{ClockSnapshot, SimClock};
+    pub use crate::component::{
+        Component, ComponentFamily, ComponentHandle, ComponentKey, StageKind,
+    };
+    pub use crate::dag::{BoundPipeline, PipelineDag};
+    pub use crate::errors::{PipelineError, Result as PipelineResult};
+    pub use crate::executor::{
+        CacheKey, CachedOutput, ExecOptions, Executor, MemoryCache, OutputCache, RunOutcome,
+        RunReport, StageReport,
+    };
+    pub use crate::metafile::{DatasetMetafile, LibraryMetafile, PipelineMetafile, PipelineSlot};
+    pub use crate::schema::{Schema, SchemaId};
+    pub use crate::semver::SemVer;
+}

@@ -1,0 +1,276 @@
+//! Content-defined chunking with a Gear rolling hash.
+//!
+//! ForkBase deduplicates at chunk granularity: object bytes are split at
+//! content-determined boundaries so that a local edit only changes the chunks
+//! it touches, and unchanged chunks are shared between versions. This module
+//! reproduces that behaviour with the Gear CDC scheme (Xia et al., FAST'16
+//! lineage): a 256-entry random table is folded into a rolling hash one byte
+//! at a time, and a boundary is declared when the hash matches a mask whose
+//! popcount controls the expected chunk size.
+
+use crate::hash::Hash256;
+
+/// Parameters controlling chunk-boundary selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkParams {
+    /// No boundary is emitted before this many bytes.
+    pub min_size: usize,
+    /// Expected (average) chunk size; must be a power of two.
+    pub avg_size: usize,
+    /// A boundary is forced at this many bytes.
+    pub max_size: usize,
+}
+
+impl ChunkParams {
+    /// ForkBase-style defaults: 2 KiB min, 8 KiB average, 32 KiB max.
+    pub const DEFAULT: ChunkParams = ChunkParams {
+        min_size: 2 * 1024,
+        avg_size: 8 * 1024,
+        max_size: 32 * 1024,
+    };
+
+    /// Small chunks for tests/benchmarks on tiny inputs.
+    pub const SMALL: ChunkParams = ChunkParams {
+        min_size: 64,
+        avg_size: 256,
+        max_size: 1024,
+    };
+
+    /// Creates validated parameters.
+    pub fn new(min_size: usize, avg_size: usize, max_size: usize) -> Self {
+        assert!(min_size >= 1, "min_size must be positive");
+        assert!(avg_size.is_power_of_two(), "avg_size must be a power of two");
+        assert!(
+            min_size <= avg_size && avg_size <= max_size,
+            "need min <= avg <= max"
+        );
+        ChunkParams {
+            min_size,
+            avg_size,
+            max_size,
+        }
+    }
+
+    /// Boundary mask: matching `hash & mask == 0` happens with probability
+    /// `1/avg_size` for a uniform hash.
+    fn mask(&self) -> u64 {
+        (self.avg_size as u64 - 1) << 16
+    }
+}
+
+impl Default for ChunkParams {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// One chunk of a blob: its content address plus the byte range it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Content address of the chunk bytes.
+    pub hash: Hash256,
+    /// Offset of the chunk within the original blob.
+    pub offset: u64,
+    /// Chunk length in bytes.
+    pub len: u32,
+}
+
+/// Deterministic 256-entry Gear table derived from SHA-256 so the chunker
+/// needs no runtime RNG and chunk boundaries are stable across builds.
+fn gear_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u64; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let h = Hash256::of_parts(&[b"mlcask-gear", &(i as u32).to_le_bytes()]);
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&h.0[..8]);
+            *slot = u64::from_le_bytes(bytes);
+        }
+        t
+    })
+}
+
+/// Splits `data` into content-defined chunk boundaries.
+///
+/// Returns the byte ranges only; [`chunk_blob`] additionally hashes each
+/// chunk. Empty input yields no chunks.
+pub fn boundaries(data: &[u8], params: ChunkParams) -> Vec<(usize, usize)> {
+    let table = gear_table();
+    let mask = params.mask();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < data.len() {
+        let remaining = data.len() - start;
+        if remaining <= params.min_size {
+            out.push((start, data.len()));
+            break;
+        }
+        let limit = remaining.min(params.max_size);
+        let mut hash: u64 = 0;
+        let mut cut = limit;
+        // The window before min_size still feeds the rolling hash so the
+        // boundary decision depends on full chunk content.
+        for (i, &b) in data[start..start + limit].iter().enumerate() {
+            hash = (hash << 1).wrapping_add(table[b as usize]);
+            if i + 1 >= params.min_size && (hash & mask) == 0 {
+                cut = i + 1;
+                break;
+            }
+        }
+        out.push((start, start + cut));
+        start += cut;
+    }
+    out
+}
+
+/// Chunks a blob and content-addresses each piece.
+pub fn chunk_blob(data: &[u8], params: ChunkParams) -> Vec<ChunkRef> {
+    boundaries(data, params)
+        .into_iter()
+        .map(|(s, e)| ChunkRef {
+            hash: Hash256::of(&data[s..e]),
+            offset: s as u64,
+            len: (e - s) as u32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn empty_input_no_chunks() {
+        assert!(boundaries(&[], ChunkParams::SMALL).is_empty());
+        assert!(chunk_blob(&[], ChunkParams::SMALL).is_empty());
+    }
+
+    #[test]
+    fn covers_input_exactly() {
+        let data = random_bytes(1, 10_000);
+        let bs = boundaries(&data, ChunkParams::SMALL);
+        assert_eq!(bs[0].0, 0);
+        assert_eq!(bs.last().unwrap().1, data.len());
+        for w in bs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+        }
+    }
+
+    #[test]
+    fn respects_size_bounds() {
+        let data = random_bytes(2, 50_000);
+        let p = ChunkParams::SMALL;
+        let bs = boundaries(&data, p);
+        for (i, (s, e)) in bs.iter().enumerate() {
+            let len = e - s;
+            assert!(len <= p.max_size, "chunk {i} too large: {len}");
+            if i + 1 != bs.len() {
+                assert!(len >= p.min_size, "non-final chunk {i} too small: {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn average_size_in_expected_range() {
+        let data = random_bytes(3, 1 << 20);
+        let p = ChunkParams::SMALL;
+        let bs = boundaries(&data, p);
+        let avg = data.len() as f64 / bs.len() as f64;
+        // Min-size skipping and max-size truncation shift the mean; accept a
+        // generous window around the target.
+        assert!(
+            avg > p.avg_size as f64 * 0.4 && avg < p.avg_size as f64 * 3.0,
+            "average chunk size {avg} far from target {}",
+            p.avg_size
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = random_bytes(4, 100_000);
+        assert_eq!(
+            chunk_blob(&data, ChunkParams::SMALL),
+            chunk_blob(&data, ChunkParams::SMALL)
+        );
+    }
+
+    #[test]
+    fn local_edit_preserves_most_chunks() {
+        let mut data = random_bytes(5, 1 << 18);
+        let before: std::collections::HashSet<Hash256> = chunk_blob(&data, ChunkParams::SMALL)
+            .into_iter()
+            .map(|c| c.hash)
+            .collect();
+        // Flip a single byte in the middle.
+        let mid = data.len() / 2;
+        data[mid] ^= 0xff;
+        let after: Vec<ChunkRef> = chunk_blob(&data, ChunkParams::SMALL);
+        let changed = after.iter().filter(|c| !before.contains(&c.hash)).count();
+        // Only the chunk containing the edit (plus possibly a neighbour due to
+        // boundary shift) should change.
+        assert!(
+            changed <= 3,
+            "local edit invalidated {changed}/{} chunks",
+            after.len()
+        );
+    }
+
+    #[test]
+    fn append_preserves_prefix_chunks() {
+        let data = random_bytes(6, 1 << 17);
+        let before = chunk_blob(&data, ChunkParams::SMALL);
+        let mut extended = data.clone();
+        extended.extend_from_slice(&random_bytes(7, 4096));
+        let after = chunk_blob(&extended, ChunkParams::SMALL);
+        // All but the final chunk of the original must reappear verbatim.
+        for (b, a) in before.iter().zip(after.iter()).take(before.len() - 1) {
+            assert_eq!(b, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_avg() {
+        ChunkParams::new(16, 100, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= avg <= max")]
+    fn rejects_unordered_bounds() {
+        ChunkParams::new(512, 256, 1024);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_chunks_reassemble(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+            let bs = boundaries(&data, ChunkParams::SMALL);
+            let mut rebuilt = Vec::new();
+            for (s, e) in &bs {
+                rebuilt.extend_from_slice(&data[*s..*e]);
+            }
+            prop_assert_eq!(rebuilt, data);
+        }
+
+        #[test]
+        fn prop_chunk_lens_match_ranges(data in proptest::collection::vec(any::<u8>(), 1..8192)) {
+            let chunks = chunk_blob(&data, ChunkParams::SMALL);
+            let total: u64 = chunks.iter().map(|c| c.len as u64).sum();
+            prop_assert_eq!(total, data.len() as u64);
+            for c in &chunks {
+                let s = c.offset as usize;
+                let e = s + c.len as usize;
+                prop_assert_eq!(c.hash, Hash256::of(&data[s..e]));
+            }
+        }
+    }
+}

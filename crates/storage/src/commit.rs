@@ -1,0 +1,436 @@
+//! Git-like commit graph with branches and common-ancestor queries.
+//!
+//! Commits are immutable, content-addressed records forming a Merkle DAG
+//! (each commit id covers its payload and parent ids). Branches are mutable
+//! names pointing at head commits. The merge machinery in `mlcask-core`
+//! relies on [`CommitGraph::common_ancestor`] to delimit component search
+//! spaces (§V of the paper).
+
+use crate::errors::{Result, StorageError};
+use crate::hash::Hash256;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An immutable commit record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Commit {
+    /// Content address of this commit (hash of the canonical encoding).
+    pub id: Hash256,
+    /// Zero (root), one (normal), or two (merge) parents.
+    pub parents: Vec<Hash256>,
+    /// Branch this commit was created on.
+    pub branch: String,
+    /// Monotone sequence number within the branch (`master.0`, `master.1`…).
+    pub seq: u32,
+    /// Content address of the committed payload (e.g. a pipeline metafile).
+    pub payload: Hash256,
+    /// Free-form description.
+    pub message: String,
+    /// Logical creation order across the whole graph (not wall time, so the
+    /// graph is deterministic).
+    pub tick: u64,
+}
+
+impl Commit {
+    /// Computes the content address for the given fields.
+    fn compute_id(
+        parents: &[Hash256],
+        branch: &str,
+        seq: u32,
+        payload: Hash256,
+        message: &str,
+        tick: u64,
+    ) -> Hash256 {
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        for p in parents {
+            parts.push(p.0.to_vec());
+        }
+        parts.push(branch.as_bytes().to_vec());
+        parts.push(seq.to_le_bytes().to_vec());
+        parts.push(payload.0.to_vec());
+        parts.push(message.as_bytes().to_vec());
+        parts.push(tick.to_le_bytes().to_vec());
+        let refs: Vec<&[u8]> = parts.iter().map(|v| v.as_slice()).collect();
+        Hash256::of_parts(&refs)
+    }
+
+    /// Human-readable `branch.seq` version label (the paper's notation, e.g.
+    /// `master.0.2` for branch `master.0`, seq 2 — we render `branch.seq`).
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.branch, self.seq)
+    }
+}
+
+/// Mutable branch table + immutable commit set.
+#[derive(Default)]
+pub struct CommitGraph {
+    commits: RwLock<HashMap<Hash256, Commit>>,
+    branches: RwLock<HashMap<String, Hash256>>,
+    tick: RwLock<u64>,
+}
+
+impl CommitGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn next_tick(&self) -> u64 {
+        let mut t = self.tick.write();
+        *t += 1;
+        *t
+    }
+
+    /// Creates a root commit on a new branch.
+    pub fn commit_root(&self, branch: &str, payload: Hash256, message: &str) -> Result<Commit> {
+        if self.branches.read().contains_key(branch) {
+            return Err(StorageError::BranchExists(branch.to_string()));
+        }
+        let tick = self.next_tick();
+        let id = Commit::compute_id(&[], branch, 0, payload, message, tick);
+        let c = Commit {
+            id,
+            parents: vec![],
+            branch: branch.to_string(),
+            seq: 0,
+            payload,
+            message: message.to_string(),
+            tick,
+        };
+        self.commits.write().insert(id, c.clone());
+        self.branches.write().insert(branch.to_string(), id);
+        Ok(c)
+    }
+
+    /// Appends a commit to `branch`'s head.
+    pub fn commit(&self, branch: &str, payload: Hash256, message: &str) -> Result<Commit> {
+        let head = self.head(branch)?;
+        let tick = self.next_tick();
+        let seq = head.seq + 1;
+        let id = Commit::compute_id(&[head.id], branch, seq, payload, message, tick);
+        let c = Commit {
+            id,
+            parents: vec![head.id],
+            branch: branch.to_string(),
+            seq,
+            payload,
+            message: message.to_string(),
+            tick,
+        };
+        self.commits.write().insert(id, c.clone());
+        self.branches.write().insert(branch.to_string(), id);
+        Ok(c)
+    }
+
+    /// Records a merge commit on `base_branch` with two parents.
+    pub fn commit_merge(
+        &self,
+        base_branch: &str,
+        merge_head: Hash256,
+        payload: Hash256,
+        message: &str,
+    ) -> Result<Commit> {
+        let head = self.head(base_branch)?;
+        if !self.commits.read().contains_key(&merge_head) {
+            return Err(StorageError::MissingParent(merge_head));
+        }
+        let tick = self.next_tick();
+        let seq = head.seq + 1;
+        let parents = vec![head.id, merge_head];
+        let id = Commit::compute_id(&parents, base_branch, seq, payload, message, tick);
+        let c = Commit {
+            id,
+            parents,
+            branch: base_branch.to_string(),
+            seq,
+            payload,
+            message: message.to_string(),
+            tick,
+        };
+        self.commits.write().insert(id, c.clone());
+        self.branches.write().insert(base_branch.to_string(), id);
+        Ok(c)
+    }
+
+    /// Creates `new_branch` pointing at `from`'s current head.
+    pub fn branch(&self, from: &str, new_branch: &str) -> Result<Commit> {
+        let head = self.head(from)?;
+        let mut branches = self.branches.write();
+        if branches.contains_key(new_branch) {
+            return Err(StorageError::BranchExists(new_branch.to_string()));
+        }
+        branches.insert(new_branch.to_string(), head.id);
+        Ok(head)
+    }
+
+    /// Current head commit of `branch`.
+    pub fn head(&self, branch: &str) -> Result<Commit> {
+        let id = *self
+            .branches
+            .read()
+            .get(branch)
+            .ok_or_else(|| StorageError::UnknownBranch(branch.to_string()))?;
+        self.get(id)
+    }
+
+    /// Fetches a commit by id.
+    pub fn get(&self, id: Hash256) -> Result<Commit> {
+        self.commits
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(StorageError::NotFound(id))
+    }
+
+    /// All branch names (sorted for determinism).
+    pub fn branches(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.branches.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of commits in the graph.
+    pub fn len(&self) -> usize {
+        self.commits.read().len()
+    }
+
+    /// True if the graph has no commits.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Set of all ancestors of `id` (including `id` itself).
+    pub fn ancestors(&self, id: Hash256) -> Result<HashSet<Hash256>> {
+        let commits = self.commits.read();
+        if !commits.contains_key(&id) {
+            return Err(StorageError::NotFound(id));
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(cur) = queue.pop_front() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            let c = commits.get(&cur).ok_or(StorageError::MissingParent(cur))?;
+            for p in &c.parents {
+                queue.push_back(*p);
+            }
+        }
+        Ok(seen)
+    }
+
+    /// True if `ancestor` is reachable from `descendant` (inclusive).
+    pub fn is_ancestor(&self, ancestor: Hash256, descendant: Hash256) -> Result<bool> {
+        Ok(self.ancestors(descendant)?.contains(&ancestor))
+    }
+
+    /// Lowest common ancestor of two commits: the common ancestor with the
+    /// greatest logical tick (i.e. the most recent shared history point).
+    pub fn common_ancestor(&self, a: Hash256, b: Hash256) -> Result<Option<Commit>> {
+        let aa = self.ancestors(a)?;
+        let bb = self.ancestors(b)?;
+        let commits = self.commits.read();
+        let best = aa
+            .intersection(&bb)
+            .filter_map(|id| commits.get(id))
+            .max_by_key(|c| c.tick)
+            .cloned();
+        Ok(best)
+    }
+
+    /// Commits strictly between `ancestor` (exclusive) and `head`
+    /// (inclusive), following first-parent history, oldest first.
+    ///
+    /// This is the path the merge machinery walks to collect component
+    /// versions developed since the common ancestor.
+    pub fn path_from(&self, ancestor: Hash256, head: Hash256) -> Result<Vec<Commit>> {
+        let mut path = Vec::new();
+        let mut cur = head;
+        loop {
+            if cur == ancestor {
+                break;
+            }
+            let c = self.get(cur)?;
+            let next = match c.parents.first() {
+                Some(p) => *p,
+                None => {
+                    // Reached a root without meeting the ancestor.
+                    path.push(c);
+                    break;
+                }
+            };
+            path.push(c);
+            cur = next;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Whether a merge of `merge_head` into `base_head` is a fast-forward
+    /// (i.e. `base_head` is an ancestor of `merge_head`).
+    pub fn is_fast_forward(&self, base_head: Hash256, merge_head: Hash256) -> Result<bool> {
+        self.is_ancestor(base_head, merge_head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: u8) -> Hash256 {
+        Hash256::of(&[n])
+    }
+
+    fn linear_graph() -> (CommitGraph, Vec<Commit>) {
+        let g = CommitGraph::new();
+        let mut cs = vec![g.commit_root("master", payload(0), "init").unwrap()];
+        for i in 1..4u8 {
+            cs.push(g.commit("master", payload(i), "update").unwrap());
+        }
+        (g, cs)
+    }
+
+    #[test]
+    fn root_and_linear_commits() {
+        let (g, cs) = linear_graph();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.head("master").unwrap().id, cs[3].id);
+        assert_eq!(cs[3].seq, 3);
+        assert_eq!(cs[3].label(), "master.3");
+        assert_eq!(cs[3].parents, vec![cs[2].id]);
+    }
+
+    #[test]
+    fn duplicate_branch_rejected() {
+        let g = CommitGraph::new();
+        g.commit_root("master", payload(0), "init").unwrap();
+        assert!(matches!(
+            g.commit_root("master", payload(1), "again"),
+            Err(StorageError::BranchExists(_))
+        ));
+        g.branch("master", "dev").unwrap();
+        assert!(matches!(
+            g.branch("master", "dev"),
+            Err(StorageError::BranchExists(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_branch_errors() {
+        let g = CommitGraph::new();
+        assert!(matches!(
+            g.head("nope"),
+            Err(StorageError::UnknownBranch(_))
+        ));
+        assert!(matches!(
+            g.commit("nope", payload(0), "x"),
+            Err(StorageError::UnknownBranch(_))
+        ));
+    }
+
+    #[test]
+    fn branch_points_at_head() {
+        let (g, cs) = linear_graph();
+        let head = g.branch("master", "dev").unwrap();
+        assert_eq!(head.id, cs[3].id);
+        assert_eq!(g.head("dev").unwrap().id, cs[3].id);
+        // Branch seq continues from the fork point.
+        let d = g.commit("dev", payload(9), "dev work").unwrap();
+        assert_eq!(d.seq, 4);
+        assert_eq!(d.branch, "dev");
+    }
+
+    #[test]
+    fn ancestors_and_is_ancestor() {
+        let (g, cs) = linear_graph();
+        let anc = g.ancestors(cs[3].id).unwrap();
+        assert_eq!(anc.len(), 4);
+        assert!(g.is_ancestor(cs[0].id, cs[3].id).unwrap());
+        assert!(!g.is_ancestor(cs[3].id, cs[0].id).unwrap());
+        assert!(g.is_ancestor(cs[2].id, cs[2].id).unwrap(), "inclusive");
+    }
+
+    #[test]
+    fn common_ancestor_diverged() {
+        let g = CommitGraph::new();
+        let root = g.commit_root("master", payload(0), "init").unwrap();
+        let fork = g.commit("master", payload(1), "shared").unwrap();
+        g.branch("master", "dev").unwrap();
+        let m = g.commit("master", payload(2), "on master").unwrap();
+        let d1 = g.commit("dev", payload(3), "on dev").unwrap();
+        let d2 = g.commit("dev", payload(4), "more dev").unwrap();
+        let lca = g.common_ancestor(m.id, d2.id).unwrap().unwrap();
+        assert_eq!(lca.id, fork.id);
+        assert_ne!(lca.id, root.id);
+        // Path from ancestor to dev head.
+        let path = g.path_from(fork.id, d2.id).unwrap();
+        assert_eq!(
+            path.iter().map(|c| c.id).collect::<Vec<_>>(),
+            vec![d1.id, d2.id]
+        );
+    }
+
+    #[test]
+    fn fast_forward_detection() {
+        let g = CommitGraph::new();
+        g.commit_root("master", payload(0), "init").unwrap();
+        g.branch("master", "dev").unwrap();
+        let d = g.commit("dev", payload(1), "dev").unwrap();
+        let base = g.head("master").unwrap();
+        assert!(g.is_fast_forward(base.id, d.id).unwrap());
+        // After master moves, no longer fast-forward.
+        let m = g.commit("master", payload(2), "master").unwrap();
+        assert!(!g.is_fast_forward(m.id, d.id).unwrap());
+    }
+
+    #[test]
+    fn merge_commit_has_two_parents() {
+        let g = CommitGraph::new();
+        g.commit_root("master", payload(0), "init").unwrap();
+        g.branch("master", "dev").unwrap();
+        let d = g.commit("dev", payload(1), "dev").unwrap();
+        let m = g.commit("master", payload(2), "master").unwrap();
+        let merged = g
+            .commit_merge("master", d.id, payload(3), "merge dev")
+            .unwrap();
+        assert_eq!(merged.parents, vec![m.id, d.id]);
+        assert_eq!(g.head("master").unwrap().id, merged.id);
+        // LCA of the two heads afterwards is the merge commit itself.
+        let lca = g.common_ancestor(merged.id, d.id).unwrap().unwrap();
+        assert_eq!(lca.id, d.id);
+    }
+
+    #[test]
+    fn merge_with_unknown_parent_fails() {
+        let g = CommitGraph::new();
+        g.commit_root("master", payload(0), "init").unwrap();
+        assert!(matches!(
+            g.commit_merge("master", Hash256::of(b"ghost"), payload(1), "bad"),
+            Err(StorageError::MissingParent(_))
+        ));
+    }
+
+    #[test]
+    fn commit_ids_are_unique_even_for_same_payload() {
+        let g = CommitGraph::new();
+        let a = g.commit_root("master", payload(0), "same").unwrap();
+        let b = g.commit("master", payload(0), "same").unwrap();
+        assert_ne!(a.id, b.id, "tick and parents differentiate ids");
+    }
+
+    #[test]
+    fn path_from_self_is_empty() {
+        let (g, cs) = linear_graph();
+        assert!(g.path_from(cs[3].id, cs[3].id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn branches_sorted() {
+        let g = CommitGraph::new();
+        g.commit_root("master", payload(0), "init").unwrap();
+        g.branch("master", "zeta").unwrap();
+        g.branch("master", "alpha").unwrap();
+        assert_eq!(g.branches(), vec!["alpha", "master", "zeta"]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Storage accounting: logical vs physical bytes, per [`ObjectKind`].
+//!
+//! The paper's Fig. 7 / Fig. 8 report *cumulative storage size* (CSS). The
+//! key quantity distinguishing MLCask from the folder-archiving baselines is
+//! the gap between logical bytes written (what an archive-per-version scheme
+//! pays) and physical bytes after chunk dedup (what ForkBase pays).
+
+use crate::object::ObjectKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::AddAssign;
+
+/// Counters for one object category.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Number of blobs written (including logical duplicates).
+    pub blobs_written: u64,
+    /// Bytes presented to the store.
+    pub logical_bytes: u64,
+    /// New chunk bytes actually persisted.
+    pub physical_bytes: u64,
+    /// Chunks presented.
+    pub chunks_seen: u64,
+    /// Chunks that were already present (dedup hits).
+    pub chunks_deduped: u64,
+}
+
+impl AddAssign for KindStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.blobs_written += rhs.blobs_written;
+        self.logical_bytes += rhs.logical_bytes;
+        self.physical_bytes += rhs.physical_bytes;
+        self.chunks_seen += rhs.chunks_seen;
+        self.chunks_deduped += rhs.chunks_deduped;
+    }
+}
+
+/// Aggregated storage statistics.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageStats {
+    per_kind: BTreeMap<ObjectKind, KindStats>,
+}
+
+impl StorageStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one blob write.
+    pub fn record(&mut self, kind: ObjectKind, delta: KindStats) {
+        *self.per_kind.entry(kind).or_default() += delta;
+    }
+
+    /// Stats for one category.
+    pub fn kind(&self, kind: ObjectKind) -> KindStats {
+        self.per_kind.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> KindStats {
+        let mut t = KindStats::default();
+        for v in self.per_kind.values() {
+            t += *v;
+        }
+        t
+    }
+
+    /// Logical bytes / physical bytes; 1.0 when nothing is stored.
+    pub fn dedup_ratio(&self) -> f64 {
+        let t = self.total();
+        if t.physical_bytes == 0 {
+            1.0
+        } else {
+            t.logical_bytes as f64 / t.physical_bytes as f64
+        }
+    }
+
+    /// Merges another stats table into this one.
+    pub fn merge(&mut self, other: &StorageStats) {
+        for (k, v) in &other.per_kind {
+            *self.per_kind.entry(*k).or_default() += *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut s = StorageStats::new();
+        s.record(
+            ObjectKind::Dataset,
+            KindStats {
+                blobs_written: 1,
+                logical_bytes: 100,
+                physical_bytes: 60,
+                chunks_seen: 4,
+                chunks_deduped: 1,
+            },
+        );
+        s.record(
+            ObjectKind::Output,
+            KindStats {
+                blobs_written: 2,
+                logical_bytes: 50,
+                physical_bytes: 50,
+                chunks_seen: 2,
+                chunks_deduped: 0,
+            },
+        );
+        let t = s.total();
+        assert_eq!(t.blobs_written, 3);
+        assert_eq!(t.logical_bytes, 150);
+        assert_eq!(t.physical_bytes, 110);
+        assert_eq!(s.kind(ObjectKind::Dataset).chunks_deduped, 1);
+        assert_eq!(s.kind(ObjectKind::Model), KindStats::default());
+    }
+
+    #[test]
+    fn dedup_ratio() {
+        let mut s = StorageStats::new();
+        assert_eq!(s.dedup_ratio(), 1.0);
+        s.record(
+            ObjectKind::Library,
+            KindStats {
+                blobs_written: 1,
+                logical_bytes: 200,
+                physical_bytes: 50,
+                chunks_seen: 4,
+                chunks_deduped: 3,
+            },
+        );
+        assert!((s.dedup_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = StorageStats::new();
+        let mut b = StorageStats::new();
+        let d = KindStats {
+            blobs_written: 1,
+            logical_bytes: 10,
+            physical_bytes: 10,
+            chunks_seen: 1,
+            chunks_deduped: 0,
+        };
+        a.record(ObjectKind::Model, d);
+        b.record(ObjectKind::Model, d);
+        a.merge(&b);
+        assert_eq!(a.kind(ObjectKind::Model).logical_bytes, 20);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = StorageStats::new();
+        s.record(
+            ObjectKind::Pipeline,
+            KindStats {
+                blobs_written: 7,
+                logical_bytes: 9,
+                physical_bytes: 9,
+                chunks_seen: 1,
+                chunks_deduped: 0,
+            },
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StorageStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

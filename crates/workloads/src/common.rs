@@ -1,0 +1,202 @@
+//! Shared scaffolding for the four evaluation workloads.
+//!
+//! Every workload exposes the same structure: a linear pipeline DAG, a
+//! family of component versions mirroring the paper's Figs. 2–3 histories,
+//! an increment-only *linear chain* per slot (for the Fig. 5–7 scenario),
+//! one schema-changing *incompatible update* (the last linear iteration),
+//! and the Fig. 3 branch histories (for the Fig. 8–10 merge scenario).
+
+use crate::errors::Result;
+use mlcask_core::registry::ComponentRegistry;
+use mlcask_ml::metrics::{MetricKind, Score};
+use mlcask_ml::mlp::{Mlp, MlpConfig};
+use mlcask_pipeline::artifact::{Features, ModelArtifact};
+use mlcask_pipeline::component::{ComponentHandle, ComponentKey};
+use mlcask_pipeline::dag::PipelineDag;
+
+/// A fully described evaluation workload.
+pub struct Workload {
+    /// Workload name (matches the paper: readmission / dpm / sa / autolearn).
+    pub name: String,
+    /// Slot names in pipeline order.
+    pub slots: Vec<String>,
+    /// Every component version (to be registered before use).
+    pub handles: Vec<ComponentHandle>,
+    /// The initial (`0.0` everywhere) pipeline.
+    pub initial: Vec<ComponentKey>,
+    /// Increment-only version chain per slot (index-aligned with `slots`);
+    /// chain[0] is the initial version.
+    pub chains: Vec<Vec<ComponentKey>>,
+    /// Which slot holds the model.
+    pub model_slot: usize,
+    /// The schema-changing pre-processing update injected at the last
+    /// linear-versioning iteration: `(slot, version)`.
+    pub incompat_update: (usize, ComponentKey),
+    /// Successive full pipelines committed on HEAD after branching (Fig. 3).
+    pub head_updates: Vec<Vec<ComponentKey>>,
+    /// Successive full pipelines committed on MERGE_HEAD (Fig. 3).
+    pub dev_updates: Vec<Vec<ComponentKey>>,
+}
+
+impl Workload {
+    /// The pipeline DAG (a chain, as in all four evaluated pipelines).
+    pub fn dag(&self) -> PipelineDag {
+        let names: Vec<&str> = self.slots.iter().map(|s| s.as_str()).collect();
+        PipelineDag::chain(&names).expect("workload slots form a valid chain")
+    }
+
+    /// Registers every component version with a registry.
+    pub fn register_all(&self, registry: &ComponentRegistry) -> Result<()> {
+        for h in &self.handles {
+            registry.register(h.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Pre-processing slots (everything but the dataset and the model).
+    pub fn preproc_slots(&self) -> Vec<usize> {
+        (1..self.slots.len())
+            .filter(|&i| i != self.model_slot)
+            .collect()
+    }
+
+    /// Sanity checks the internal structure (used by tests).
+    pub fn validate(&self) {
+        assert_eq!(self.slots.len(), self.chains.len());
+        assert_eq!(self.slots.len(), self.initial.len());
+        for (slot, chain) in self.chains.iter().enumerate() {
+            assert!(!chain.is_empty(), "slot {slot} has an empty chain");
+            assert_eq!(chain[0], self.initial[slot], "chain must start at initial");
+            for k in chain {
+                assert_eq!(k.name, self.slots[slot], "chain key in wrong slot");
+            }
+        }
+        assert!(self.model_slot < self.slots.len());
+        let (slot, ref v) = self.incompat_update;
+        assert!(slot != self.model_slot, "incompat update must be pre-processing");
+        assert_eq!(v.name, self.slots[slot]);
+        for update in self.head_updates.iter().chain(self.dev_updates.iter()) {
+            assert_eq!(update.len(), self.slots.len());
+        }
+    }
+}
+
+/// Deterministic train/eval split: every `k`-th sample held out.
+pub fn holdout_split(n: usize, every_k: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut train = Vec::with_capacity(n);
+    let mut eval = Vec::with_capacity(n / every_k + 1);
+    for i in 0..n {
+        if i % every_k == 0 {
+            eval.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, eval)
+}
+
+/// Deterministic *stratified* split: within each class, every `k`-th member
+/// is held out. Generators emit labels in cyclic patterns, so a plain
+/// every-`k`-th split can collapse the eval set onto a single class; the
+/// stratified variant keeps class proportions intact.
+pub fn stratified_holdout(labels: &[usize], every_k: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut per_class_seen: std::collections::HashMap<usize, usize> = Default::default();
+    let mut train = Vec::with_capacity(labels.len());
+    let mut eval = Vec::with_capacity(labels.len() / every_k + 1);
+    for (i, &y) in labels.iter().enumerate() {
+        let seen = per_class_seen.entry(y).or_insert(0);
+        if (*seen).is_multiple_of(every_k) {
+            eval.push(i);
+        } else {
+            train.push(i);
+        }
+        *seen += 1;
+    }
+    (train, eval)
+}
+
+/// Trains an MLP on a deterministic split of `features` and packages the
+/// held-out metric as a model artifact — the standard terminal stage of the
+/// Readmission/DPM/SA pipelines.
+///
+/// Binary tasks are scored by held-out **AUC**: it is continuous, so the
+/// metric-driven merge and prioritized search see real orderings rather
+/// than the ties a small-eval-set accuracy would produce. Multiclass tasks
+/// fall back to accuracy.
+pub fn train_eval_mlp(features: &Features, config: MlpConfig, family: &str) -> ModelArtifact {
+    let (train_idx, eval_idx) = stratified_holdout(&features.y, 4);
+    let x_train = features.x.select_rows(&train_idx);
+    let y_train: Vec<usize> = train_idx.iter().map(|&i| features.y[i]).collect();
+    let x_eval = features.x.select_rows(&eval_idx);
+    let y_eval: Vec<usize> = eval_idx.iter().map(|&i| features.y[i]).collect();
+    let mut mlp = Mlp::new(features.x.cols(), features.n_classes, config.clone());
+    let final_loss = mlp.fit(&x_train, &y_train);
+    let score = if features.n_classes == 2 {
+        let probs = mlp.predict_proba(&x_eval);
+        let pos: Vec<f64> = (0..x_eval.rows()).map(|r| probs.get(r, 1) as f64).collect();
+        Score::new(MetricKind::Auc, mlcask_ml::metrics::auc(&pos, &y_eval))
+    } else {
+        Score::new(MetricKind::Accuracy, mlp.evaluate(&x_eval, &y_eval))
+    };
+    let blob = serde_json::to_vec(&(config, final_loss, mlp.loss_history.clone()))
+        .expect("model summary serialises");
+    ModelArtifact {
+        family: family.to_string(),
+        blob,
+        score,
+    }
+}
+
+/// MLP training work in abstract units for the given shape (mirrors
+/// `Mlp::training_work_units` without constructing the network).
+pub fn mlp_work_units(input_dim: usize, config: &MlpConfig, n_samples: usize) -> u64 {
+    let mut dims = vec![input_dim];
+    dims.extend_from_slice(&config.hidden);
+    dims.push(2);
+    let params: usize = dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
+    (params as u64) * (n_samples as u64) * (config.epochs as u64) * 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcask_ml::mlp::synthetic_classification;
+
+    #[test]
+    fn holdout_split_partitions() {
+        let (train, eval) = holdout_split(10, 4);
+        assert_eq!(eval, vec![0, 4, 8]);
+        assert_eq!(train.len(), 7);
+        let mut all: Vec<usize> = train.iter().chain(eval.iter()).copied().collect();
+        all.sort();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn train_eval_mlp_produces_score() {
+        let (x, y) = synthetic_classification(200, 6, 2, 0.2, 9);
+        let f = Features {
+            x,
+            y,
+            n_classes: 2,
+        };
+        let m = train_eval_mlp(&f, MlpConfig::default(), "test");
+        assert!(m.score.raw > 0.6, "separable data should score well");
+        assert!(!m.blob.is_empty());
+        assert_eq!(m.family, "test");
+        // Deterministic.
+        let m2 = train_eval_mlp(&f, MlpConfig::default(), "test");
+        assert_eq!(m.score.raw, m2.score.raw);
+    }
+
+    #[test]
+    fn work_units_formula_matches_model() {
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            ..Default::default()
+        };
+        let units = mlp_work_units(10, &cfg, 50);
+        let model = Mlp::new(10, 2, cfg);
+        assert_eq!(units, model.training_work_units(50));
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic data generators standing in for the paper's proprietary
+//! datasets (NUH EHR extracts, movie reviews, digit images).
+//!
+//! Each generator is seeded and deterministic, and reproduces the
+//! *structural* properties the pipelines exercise: relational schemas with
+//! missing values for the cleansing stages, label-correlated signals so the
+//! models genuinely learn, and version-sensitive content so dataset updates
+//! change artifact hashes.
+
+pub mod ckd;
+pub mod digits;
+pub mod ehr;
+pub mod reviews;

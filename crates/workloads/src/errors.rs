@@ -1,0 +1,3 @@
+//! Error alias for the workloads crate (delegates to the core error type).
+
+pub use mlcask_core::errors::{CoreError, Result};

@@ -1,0 +1,222 @@
+//! Experiment scenario drivers (§VII-B).
+//!
+//! *Linear versioning*: "we perform a series of pipeline component updates
+//! and pipeline retraining operations … In every iteration, we update the
+//! pre-processing component at a probability of 0.4 and update the model
+//! component at a probability of 0.6. At the last iteration, the pipeline is
+//! designed to have an incompatibility problem between the last two
+//! components."
+//!
+//! *Non-linear versioning*: "we first generate two branches, then update
+//! components on both branches and merge the two updated branches" —
+//! reproduced with the Fig. 3 histories each workload carries.
+
+use crate::common::Workload;
+use crate::errors::Result;
+use mlcask_core::registry::ComponentRegistry;
+use mlcask_core::system::MlCask;
+use mlcask_pipeline::clock::SimClock;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_storage::chunk::ChunkParams;
+use mlcask_storage::costmodel::StorageCostModel;
+use mlcask_storage::store::ChunkStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Linear-versioning scenario parameters (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScenario {
+    /// Number of iterations (10 in the paper).
+    pub iterations: usize,
+    /// Probability that an iteration updates a pre-processing component
+    /// (0.4 in the paper; otherwise the model updates).
+    pub p_update_preproc: f64,
+    /// RNG seed controlling the update schedule.
+    pub seed: u64,
+}
+
+impl Default for LinearScenario {
+    fn default() -> Self {
+        LinearScenario {
+            iterations: 10,
+            p_update_preproc: 0.4,
+            seed: 42,
+        }
+    }
+}
+
+/// Produces the pipeline binding for every iteration of the linear
+/// scenario. All systems under test replay this same sequence, so
+/// comparisons isolate the system policies.
+pub fn linear_update_sequence(w: &Workload, sc: &LinearScenario) -> Vec<Vec<ComponentKey>> {
+    assert!(sc.iterations >= 2, "need at least initial + final iterations");
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let mut idx: Vec<usize> = vec![0; w.slots.len()];
+    let preproc_slots = w.preproc_slots();
+    let mut out = Vec::with_capacity(sc.iterations);
+    out.push(w.initial.clone());
+    let current =
+        |idx: &[usize]| -> Vec<ComponentKey> {
+            idx.iter()
+                .enumerate()
+                .map(|(s, &i)| w.chains[s][i].clone())
+                .collect()
+        };
+    for it in 1..sc.iterations {
+        if it == sc.iterations - 1 {
+            // Final iteration: schema-changing pre-processing update without
+            // a matching model update → incompatible pipeline.
+            let (slot, ref v) = w.incompat_update;
+            let mut keys = current(&idx);
+            keys[slot] = v.clone();
+            out.push(keys);
+            break;
+        }
+        let update_preproc = rng.gen_bool(sc.p_update_preproc);
+        let advanced = if update_preproc {
+            advance_one(&mut idx, &preproc_slots, &w.chains, &mut rng)
+        } else {
+            advance_one(&mut idx, &[w.model_slot], &w.chains, &mut rng)
+        };
+        if !advanced {
+            // Preferred kind exhausted; fall back to the other kind.
+            let fallback: Vec<usize> = if update_preproc {
+                vec![w.model_slot]
+            } else {
+                preproc_slots.clone()
+            };
+            advance_one(&mut idx, &fallback, &w.chains, &mut rng);
+        }
+        out.push(current(&idx));
+    }
+    out
+}
+
+/// Advances one randomly chosen slot (among `slots`) that still has unused
+/// chain versions. Returns false if all given slots are exhausted.
+fn advance_one(
+    idx: &mut [usize],
+    slots: &[usize],
+    chains: &[Vec<ComponentKey>],
+    rng: &mut StdRng,
+) -> bool {
+    let available: Vec<usize> = slots
+        .iter()
+        .copied()
+        .filter(|&s| idx[s] + 1 < chains[s].len())
+        .collect();
+    if available.is_empty() {
+        return false;
+    }
+    let slot = available[rng.gen_range(0..available.len())];
+    idx[slot] += 1;
+    true
+}
+
+/// Creates a fresh registry + MLCask system for a workload, backed by an
+/// in-memory ForkBase-like store.
+pub fn build_system(w: &Workload) -> Result<(Arc<ComponentRegistry>, MlCask)> {
+    let store = Arc::new(ChunkStore::new(
+        Arc::new(mlcask_storage::backend::MemBackend::new()),
+        ChunkParams::DEFAULT,
+        StorageCostModel::FORKBASE,
+    ));
+    let registry = Arc::new(ComponentRegistry::new(store));
+    w.register_all(&registry)?;
+    let sys = MlCask::new(&w.name, w.dag(), Arc::clone(&registry));
+    Ok((registry, sys))
+}
+
+/// Sets up the Fig. 3 non-linear history on a fresh system: the initial
+/// commit on `master`, a `dev` branch, then the workload's head/dev update
+/// sequences. Returns the clock used (development time, excluded from merge
+/// measurements).
+pub fn setup_nonlinear(sys: &MlCask, w: &Workload) -> Result<SimClock> {
+    let mut clock = SimClock::new();
+    sys.commit_pipeline("master", &w.initial, "initial pipeline", &mut clock)?;
+    sys.branch("master", "dev")?;
+    for (i, keys) in w.head_updates.iter().enumerate() {
+        let res = sys.commit_pipeline("master", keys, &format!("head update {i}"), &mut clock)?;
+        assert!(res.commit.is_some(), "head update {i} must be committable");
+    }
+    for (i, keys) in w.dev_updates.iter().enumerate() {
+        let res = sys.commit_pipeline("dev", keys, &format!("dev update {i}"), &mut clock)?;
+        assert!(res.commit.is_some(), "dev update {i} must be committable");
+    }
+    Ok(clock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::readmission;
+    use mlcask_core::merge::MergeStrategy;
+
+    #[test]
+    fn linear_sequence_structure() {
+        let w = readmission::build();
+        let sc = LinearScenario::default();
+        let seq = linear_update_sequence(&w, &sc);
+        assert_eq!(seq.len(), 10);
+        assert_eq!(seq[0], w.initial);
+        // Exactly one slot changes between consecutive iterations (except
+        // possibly none if everything was exhausted).
+        for wpair in seq.windows(2) {
+            let diffs = wpair[0]
+                .iter()
+                .zip(wpair[1].iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(diffs <= 1, "at most one component updates per iteration");
+        }
+        // Final iteration contains the schema-changing update.
+        let (slot, ref v) = w.incompat_update;
+        assert_eq!(&seq[9][slot], v);
+    }
+
+    #[test]
+    fn linear_sequence_is_deterministic() {
+        let w = readmission::build();
+        let sc = LinearScenario::default();
+        assert_eq!(linear_update_sequence(&w, &sc), linear_update_sequence(&w, &sc));
+        let other = LinearScenario {
+            seed: 7,
+            ..LinearScenario::default()
+        };
+        assert_ne!(
+            linear_update_sequence(&w, &sc),
+            linear_update_sequence(&w, &other)
+        );
+    }
+
+    #[test]
+    fn nonlinear_setup_builds_fig3_history() {
+        let w = readmission::build();
+        let (_reg, sys) = build_system(&w).unwrap();
+        setup_nonlinear(&sys, &w).unwrap();
+        // master has initial + 1 head update; dev has 3 updates.
+        assert_eq!(sys.graph().head("master").unwrap().seq, 1);
+        assert_eq!(sys.graph().head("dev").unwrap().seq, 3);
+        let spaces = sys.merge_search_spaces("master", "dev").unwrap();
+        // Fig. 4's space: 1 dataset × 2 cleansing × 2 extraction × 5 CNN.
+        assert_eq!(spaces.candidate_upper_bound(), 20);
+    }
+
+    #[test]
+    fn nonlinear_merge_runs_end_to_end() {
+        let w = readmission::build();
+        let (_reg, sys) = build_system(&w).unwrap();
+        setup_nonlinear(&sys, &w).unwrap();
+        let mut clock = SimClock::new();
+        let out = sys
+            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .unwrap();
+        assert!(!out.fast_forward);
+        let report = out.report.unwrap();
+        assert_eq!(report.candidates_total, 20);
+        assert!(report.candidates_pruned > 0, "PC must prune some candidates");
+        assert!(report.reused_components > 0, "PR must reuse checkpoints");
+        assert!(report.best.is_some());
+    }
+}

@@ -1,0 +1,103 @@
+//! Hospital deployment scenario (paper §VIII).
+//!
+//! Simulates the NUH deployment pattern: a stable *production* pipeline, a
+//! *data-scientist* branch iterating on models, and a *clinician-informatics*
+//! branch updating pre-processing — merged back with the metric-driven merge
+//! so production only ever advances to a measured-better pipeline.
+//!
+//! Run with: `cargo run --release --example hospital_collaboration`
+
+use mlcask::prelude::*;
+
+fn main() {
+    let workload = mlcask::workloads::dpm::build();
+    let (_registry, sys) = build_system(&workload).expect("system builds");
+    let mut clock = SimClock::new();
+
+    // Production pipeline goes live.
+    let initial = sys
+        .commit_pipeline("master", &workload.initial, "production v1", &mut clock)
+        .expect("initial commit");
+    let baseline_score = initial.report.outcome.score().unwrap().raw;
+    println!("production (master.0) accuracy: {baseline_score:.4}");
+
+    // Two teams branch off production.
+    sys.branch("master", "ds-team").expect("branch ds-team");
+    sys.branch("master", "clinical-team").expect("branch clinical-team");
+
+    // The data-science team tries model variants on its branch.
+    let mut model_keys = workload.initial.clone();
+    for (i, version) in workload.chains[workload.model_slot][1..3].iter().enumerate() {
+        model_keys[workload.model_slot] = version.clone();
+        let res = sys
+            .commit_pipeline("ds-team", &model_keys, &format!("model trial {i}"), &mut clock)
+            .expect("ds commit");
+        println!(
+            "ds-team trial {i}: model {} → accuracy {:.4}",
+            version.version,
+            res.report.outcome.score().unwrap().raw
+        );
+    }
+
+    // The clinical team improves cleansing + sequence extraction.
+    let mut clean_keys = workload.initial.clone();
+    clean_keys[1] = workload.chains[1][1].clone();
+    clean_keys[2] = workload.chains[2][1].clone();
+    let res = sys
+        .commit_pipeline("clinical-team", &clean_keys, "better imputation", &mut clock)
+        .expect("clinical commit");
+    println!(
+        "clinical-team: new cleansing → accuracy {:.4}",
+        res.report.outcome.score().unwrap().raw
+    );
+
+    // Merge the data-science branch into production first. Master has not
+    // moved, so this is a fast-forward merge.
+    let m1 = sys
+        .merge("master", "ds-team", MergeStrategy::Full, &mut clock)
+        .expect("merge ds-team");
+    let s1 = best_score(&sys, &m1);
+    println!(
+        "\nmerged ds-team → master: accuracy {s1:.4}{}",
+        if m1.fast_forward { " (fast-forward)" } else { "" }
+    );
+
+    // Then merge the clinical branch; the search space now spans both teams'
+    // updates, so the merge can pick cross-team combinations no one tested.
+    let m2 = sys
+        .merge("master", "clinical-team", MergeStrategy::Full, &mut clock)
+        .expect("merge clinical-team");
+    let s2 = best_score(&sys, &m2);
+    let report = m2.report.as_ref().expect("search happened");
+    println!(
+        "merged clinical-team → master: accuracy {s2:.4} ({} candidates, {} reused components)",
+        report.candidates_evaluated, report.reused_components
+    );
+
+    let final_meta = sys.head_metafile("master").expect("head metafile");
+    println!("\nfinal production pipeline ({}):", final_meta.label);
+    for slot in &final_meta.slots {
+        println!("  {}", slot.component);
+    }
+    println!(
+        "accuracy: {baseline_score:.4} → {:.4}",
+        final_meta.score.unwrap().raw
+    );
+    assert!(
+        final_meta.score.unwrap().raw >= baseline_score,
+        "metric-driven merge never regresses production"
+    );
+}
+
+fn best_score(sys: &MlCask, outcome: &MergeOutcome) -> f64 {
+    match &outcome.report {
+        Some(r) => r.best.as_ref().map(|(_, s)| s.raw).unwrap_or(f64::NAN),
+        // Fast-forward merge: the merged head's recorded score.
+        None => sys
+            .head_metafile("master")
+            .ok()
+            .and_then(|m| m.score)
+            .map(|s| s.raw)
+            .unwrap_or(f64::NAN),
+    }
+}

@@ -1,0 +1,65 @@
+//! # MLCask — Git-like version control for collaborative ML pipelines
+//!
+//! A from-scratch Rust implementation of *MLCask: Efficient Management of
+//! Component Evolution in Collaborative Data Analytics Pipelines*
+//! (ICDE 2021), including every substrate the paper depends on: a
+//! ForkBase-like deduplicating storage engine, an ML algorithm library, the
+//! pipeline/component model, the non-linear version-control core with
+//! metric-driven merge and prioritized search, the four evaluation
+//! workloads, and the ModelDB/MLflow baseline simulators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mlcask::prelude::*;
+//!
+//! // Build the paper's running example: the Readmission pipeline.
+//! let workload = mlcask::workloads::readmission::build();
+//! let (_registry, sys) = build_system(&workload).unwrap();
+//! let mut clock = SimClock::new();
+//!
+//! // Commit the initial pipeline on master.
+//! let result = sys
+//!     .commit_pipeline("master", &workload.initial, "initial", &mut clock)
+//!     .unwrap();
+//! assert_eq!(result.commit.unwrap().label(), "master.0");
+//!
+//! // Branch for development, commit an update, and merge it back.
+//! sys.branch("master", "dev").unwrap();
+//! sys.commit_pipeline("dev", &workload.dev_updates[0], "dev work", &mut clock)
+//!     .unwrap();
+//! let merged = sys
+//!     .merge("master", "dev", MergeStrategy::Full, &mut clock)
+//!     .unwrap();
+//! assert!(merged.commit.is_some());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`storage`] | content-addressed chunk store, commit graph, cost models |
+//! | [`ml`] | MLP, HMM, AdaBoost, embeddings, Zernike moments, Autolearn |
+//! | [`pipeline`] | components, semantic versions, DAG, executor, clock |
+//! | [`core`] | branching, metric-driven merge, PC/PR pruning, prioritized search |
+//! | [`workloads`] | Readmission, DPM, SA, Autolearn + scenario drivers |
+//! | [`baselines`] | ModelDB-like and MLflow-like comparison systems |
+
+#![warn(missing_docs)]
+
+pub use mlcask_baselines as baselines;
+pub use mlcask_core as core;
+pub use mlcask_ml as ml;
+pub use mlcask_pipeline as pipeline;
+pub use mlcask_storage as storage;
+pub use mlcask_workloads as workloads;
+
+/// One-stop imports covering the public API surface.
+pub mod prelude {
+    pub use mlcask_baselines::prelude::*;
+    pub use mlcask_core::prelude::*;
+    pub use mlcask_ml::prelude::*;
+    pub use mlcask_pipeline::prelude::*;
+    pub use mlcask_storage::prelude::*;
+    pub use mlcask_workloads::prelude::*;
+}

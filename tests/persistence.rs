@@ -1,0 +1,93 @@
+//! Persistence integration: the storage substrate against a real
+//! filesystem backend, including artifact recovery after reopening the
+//! store — the durability property a deployed MLCask relies on.
+
+use mlcask::prelude::*;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mlcask-it-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn pipeline_artifacts_survive_store_reopen() {
+    let dir = temp_dir("reopen");
+    let workload = by_name("autolearn").unwrap();
+    let handle_for = |key: &ComponentKey| {
+        workload
+            .handles
+            .iter()
+            .find(|h| &h.key() == key)
+            .unwrap()
+            .clone()
+    };
+
+    // Session 1: run the initial pipeline against a file-backed store.
+    let (refs, ids) = {
+        let store = ChunkStore::new(
+            Arc::new(FileBackend::open(&dir).unwrap()),
+            ChunkParams::DEFAULT,
+            StorageCostModel::FORKBASE,
+        );
+        let dag = Arc::new(workload.dag());
+        let components = workload.initial.iter().map(&handle_for).collect();
+        let bound = BoundPipeline::new(dag, components).unwrap();
+        let mut clock = SimClock::new();
+        let report = Executor::new(&store)
+            .run(&bound, &mut clock, None, ExecOptions::RERUN_ALL)
+            .unwrap();
+        assert!(report.outcome.is_completed());
+        let refs: Vec<_> = report.stages.iter().map(|s| s.output).collect();
+        let ids: Vec<_> = report.stages.iter().map(|s| s.artifact_id).collect();
+        (refs, ids)
+    }; // store dropped — "process exits"
+
+    // Session 2: reopen the directory and recover every artifact.
+    let store = ChunkStore::new(
+        Arc::new(FileBackend::open(&dir).unwrap()),
+        ChunkParams::DEFAULT,
+        StorageCostModel::FORKBASE,
+    );
+    for (r, id) in refs.iter().zip(&ids) {
+        let bytes = store.get_blob(r).unwrap();
+        let artifact = mlcask::pipeline::artifact::Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(&artifact.content_id(), id, "artifact recovered bit-exact");
+    }
+    // The final model artifact still carries its score.
+    let bytes = store.get_blob(refs.last().unwrap()).unwrap();
+    let model = mlcask::pipeline::artifact::Artifact::from_bytes(&bytes).unwrap();
+    assert!(model.score().is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn duplicate_writes_are_free_on_disk_too() {
+    let dir = temp_dir("dedup");
+    let store = ChunkStore::new(
+        Arc::new(FileBackend::open(&dir).unwrap()),
+        ChunkParams::DEFAULT,
+        StorageCostModel::FORKBASE,
+    );
+    let payload = mlcask::core::registry::simulated_executable("lib", "0.0", 256 * 1024);
+    let first = store.put_blob(ObjectKind::Library, &payload).unwrap();
+    let physical_after_first = store.physical_bytes();
+    let second = store.put_blob(ObjectKind::Library, &payload).unwrap();
+    assert_eq!(first.object, second.object);
+    assert_eq!(second.physical_bytes, 0);
+    assert_eq!(store.physical_bytes(), physical_after_first);
+    // A new version shares the base region: small physical delta.
+    let v2 = mlcask::core::registry::simulated_executable("lib", "0.1", 256 * 1024);
+    let third = store.put_blob(ObjectKind::Library, &v2).unwrap();
+    assert!(
+        third.physical_bytes < first.physical_bytes / 4,
+        "consecutive versions must dedup on disk: {} vs {}",
+        third.physical_bytes,
+        first.physical_bytes
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

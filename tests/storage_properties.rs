@@ -1,0 +1,131 @@
+//! Property-based integration tests on the storage substrate as used by the
+//! versioning layer: content addressing, dedup accounting, and commit-graph
+//! invariants under randomised operation sequences.
+
+use mlcask::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sequence of blob writes round-trips and never stores more
+    /// physical than logical bytes (modulo manifest overhead).
+    #[test]
+    fn prop_store_accounting(blobs in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..2048), 1..12
+    )) {
+        let store = ChunkStore::in_memory_small();
+        let mut refs = Vec::new();
+        for b in &blobs {
+            refs.push(store.put_blob(ObjectKind::Output, b).unwrap().object);
+        }
+        for (b, r) in blobs.iter().zip(&refs) {
+            let back = store.get_blob(r).unwrap();
+            prop_assert_eq!(back.as_ref(), &b[..]);
+        }
+        let total = store.stats().total();
+        let logical: u64 = blobs.iter().map(|b| b.len() as u64).sum();
+        prop_assert_eq!(total.logical_bytes, logical);
+        // Manifest overhead: ≤ 12 + 36 per chunk, chunks ≥ 1 per 64 bytes.
+        let max_manifest: u64 = blobs.iter()
+            .map(|b| 12 + 36 * (b.len() as u64 / 64 + 2))
+            .sum();
+        prop_assert!(total.physical_bytes <= logical + max_manifest);
+    }
+
+    /// Duplicate writes are always physically free.
+    #[test]
+    fn prop_duplicates_free(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        let store = ChunkStore::in_memory_small();
+        store.put_blob(ObjectKind::Library, &data).unwrap();
+        let before = store.physical_bytes();
+        let again = store.put_blob(ObjectKind::Library, &data).unwrap();
+        prop_assert_eq!(again.physical_bytes, 0);
+        prop_assert_eq!(store.physical_bytes(), before);
+    }
+
+    /// Linear commit chains: head sequence equals commit count - 1, every
+    /// ancestor is reachable, and LCA of any two commits on the chain is the
+    /// earlier one.
+    #[test]
+    fn prop_linear_chain_lca(n in 2usize..12, a in 0usize..12, b in 0usize..12) {
+        let graph = CommitGraph::new();
+        let mut commits = vec![graph
+            .commit_root("master", Hash256::of(b"0"), "init")
+            .unwrap()];
+        for i in 1..n {
+            commits.push(
+                graph
+                    .commit("master", Hash256::of(&[i as u8]), "step")
+                    .unwrap(),
+            );
+        }
+        let a = a.min(n - 1);
+        let b = b.min(n - 1);
+        let lca = graph
+            .common_ancestor(commits[a].id, commits[b].id)
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(lca.id, commits[a.min(b)].id);
+    }
+
+    /// Branch + merge: the merge commit's ancestor set contains both
+    /// branches' commits.
+    #[test]
+    fn prop_merge_ancestry(head_commits in 1usize..5, dev_commits in 1usize..5) {
+        let graph = CommitGraph::new();
+        graph.commit_root("master", Hash256::of(b"0"), "init").unwrap();
+        graph.branch("master", "dev").unwrap();
+        for i in 0..head_commits {
+            graph.commit("master", Hash256::of(&[1, i as u8]), "h").unwrap();
+        }
+        for i in 0..dev_commits {
+            graph.commit("dev", Hash256::of(&[2, i as u8]), "d").unwrap();
+        }
+        let dev_head = graph.head("dev").unwrap();
+        let merged = graph
+            .commit_merge("master", dev_head.id, Hash256::of(b"m"), "merge")
+            .unwrap();
+        let ancestors = graph.ancestors(merged.id).unwrap();
+        // init + head commits + dev commits + merge commit.
+        prop_assert_eq!(ancestors.len(), 1 + head_commits + dev_commits + 1);
+        prop_assert!(ancestors.contains(&dev_head.id));
+    }
+
+    /// Schema hashing: permuting column order never changes the schema id;
+    /// adding a column always does.
+    #[test]
+    fn prop_schema_hash(cols in proptest::collection::vec("[a-z]{1,8}", 1..6), extra in "[a-z]{1,8}") {
+        let mut unique: Vec<String> = cols;
+        unique.sort();
+        unique.dedup();
+        prop_assume!(!unique.contains(&extra));
+        let fwd = Schema::Relational { columns: unique.clone() };
+        let mut rev = unique.clone();
+        rev.reverse();
+        let bwd = Schema::Relational { columns: rev };
+        prop_assert_eq!(fwd.id(), bwd.id());
+        let mut extended = unique;
+        extended.push(extra);
+        let wider = Schema::Relational { columns: extended };
+        prop_assert_ne!(fwd.id(), wider.id());
+    }
+}
+
+/// Artifacts written through the executor can always be recovered from the
+/// store and decode to the identical artifact.
+#[test]
+fn executor_outputs_recoverable() {
+    let workload = by_name("autolearn").unwrap();
+    let (_registry, sys) = build_system(&workload).unwrap();
+    let mut clock = SimClock::new();
+    let res = sys
+        .commit_pipeline("master", &workload.initial, "init", &mut clock)
+        .unwrap();
+    for stage in &res.report.stages {
+        let bytes = sys.store().get_blob(&stage.output).unwrap();
+        let artifact = mlcask::pipeline::artifact::Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(artifact.content_id(), stage.artifact_id);
+        assert_eq!(bytes.len() as u64, stage.artifact_bytes);
+    }
+}

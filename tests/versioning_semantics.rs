@@ -1,0 +1,145 @@
+//! Integration tests for the paper's version-control semantics (§IV–§V):
+//! semantic version rules, branch isolation, fast-forward merges, and the
+//! asynchronous-update protections.
+
+use mlcask::prelude::*;
+
+fn readmission_system() -> (Workload, MlCask, SimClock) {
+    let workload = by_name("readmission").unwrap();
+    let (_registry, sys) = build_system(&workload).unwrap();
+    let mut clock = SimClock::new();
+    sys.commit_pipeline("master", &workload.initial, "init", &mut clock)
+        .unwrap();
+    (workload, sys, clock)
+}
+
+#[test]
+fn branch_isolates_user_roles() {
+    let (workload, sys, mut clock) = readmission_system();
+    sys.branch("master", "jane-dev").unwrap();
+    sys.branch("master", "frank-dev").unwrap();
+    // Jane updates the model; Frank updates cleansing.
+    let mut jane = workload.initial.clone();
+    jane[3] = workload.chains[3][1].clone();
+    sys.commit_pipeline("jane-dev", &jane, "jane model", &mut clock)
+        .unwrap();
+    let mut frank = workload.initial.clone();
+    frank[1] = workload.chains[1][1].clone();
+    sys.commit_pipeline("frank-dev", &frank, "frank cleanse", &mut clock)
+        .unwrap();
+    // Neither branch sees the other's update; master sees neither.
+    assert_eq!(
+        sys.head_metafile("jane-dev").unwrap().component_version("data_cleanse"),
+        Some(&workload.initial[1])
+    );
+    assert_eq!(
+        sys.head_metafile("frank-dev").unwrap().component_version("cnn"),
+        Some(&workload.initial[3])
+    );
+    assert_eq!(sys.graph().head("master").unwrap().seq, 0);
+}
+
+#[test]
+fn fast_forward_merge_duplicates_merge_head() {
+    let (workload, sys, mut clock) = readmission_system();
+    sys.branch("master", "dev").unwrap();
+    sys.commit_pipeline("dev", &workload.dev_updates[0], "dev", &mut clock)
+        .unwrap();
+    let dev_meta = sys.head_metafile("dev").unwrap();
+    let outcome = sys
+        .merge("master", "dev", MergeStrategy::Full, &mut clock)
+        .unwrap();
+    assert!(outcome.fast_forward);
+    let master_meta = sys.head_metafile("master").unwrap();
+    assert_eq!(master_meta.component_keys(), dev_meta.component_keys());
+    assert_eq!(master_meta.score.unwrap().raw, dev_meta.score.unwrap().raw);
+    // The fast-forward merge replays entirely from checkpoints: no new
+    // artifact content should have been written for outputs.
+    let commit = outcome.commit.unwrap();
+    assert_eq!(commit.parents.len(), 2);
+}
+
+#[test]
+fn incompatible_commit_is_rejected_before_running() {
+    let (workload, sys, mut clock) = readmission_system();
+    let before = clock.snapshot();
+    let (slot, ref v1) = workload.incompat_update;
+    let mut keys = workload.initial.clone();
+    keys[slot] = v1.clone();
+    let res = sys
+        .commit_pipeline("master", &keys, "doomed", &mut clock)
+        .unwrap();
+    assert!(res.commit.is_none());
+    assert!(matches!(
+        res.report.outcome,
+        RunOutcome::RejectedByPrecheck { .. }
+    ));
+    assert_eq!(clock.snapshot(), before, "zero cost for a rejected update");
+}
+
+#[test]
+fn semver_rules_hold_across_workload_families() {
+    for workload in all_workloads() {
+        let (slot, ref v1) = workload.incompat_update;
+        // The schema-changing update has a bumped schema and reset increment.
+        assert_eq!(v1.version.schema, 1, "{}", workload.name);
+        assert_eq!(v1.version.increment, 0, "{}", workload.name);
+        // Chain versions are increment-only (same schema generation).
+        for chain in &workload.chains {
+            for key in chain {
+                assert_eq!(key.version.schema, 0, "{}", workload.name);
+            }
+        }
+        // The chain for the incompat slot starts at increment 0.
+        assert_eq!(workload.chains[slot][0].version.increment, 0);
+    }
+}
+
+#[test]
+fn merge_commit_score_recorded_in_metafile() {
+    let (workload, sys, mut clock) = readmission_system();
+    sys.branch("master", "dev").unwrap();
+    for (i, u) in workload.dev_updates.iter().enumerate() {
+        sys.commit_pipeline("dev", u, &format!("dev {i}"), &mut clock)
+            .unwrap();
+    }
+    for (i, u) in workload.head_updates.iter().enumerate() {
+        sys.commit_pipeline("master", u, &format!("head {i}"), &mut clock)
+            .unwrap();
+    }
+    let outcome = sys
+        .merge("master", "dev", MergeStrategy::Full, &mut clock)
+        .unwrap();
+    let report = outcome.report.unwrap();
+    let meta = sys.head_metafile("master").unwrap();
+    assert_eq!(
+        meta.score.unwrap().raw,
+        report.best.as_ref().unwrap().1.raw,
+        "committed metafile carries the winning score"
+    );
+}
+
+#[test]
+fn search_space_respects_common_ancestor_boundary() {
+    let (workload, sys, mut clock) = readmission_system();
+    // Advance master twice, then branch: pre-branch versions (other than the
+    // fork point's) must not enter the merge search space.
+    let mut keys = workload.initial.clone();
+    keys[3] = workload.chains[3][1].clone();
+    sys.commit_pipeline("master", &keys, "pre-branch model bump", &mut clock)
+        .unwrap();
+    sys.branch("master", "dev").unwrap();
+    let mut dev_keys = keys.clone();
+    dev_keys[1] = workload.chains[1][1].clone();
+    sys.commit_pipeline("dev", &dev_keys, "dev cleanse", &mut clock)
+        .unwrap();
+    let mut head_keys = keys.clone();
+    head_keys[3] = workload.chains[3][2].clone();
+    sys.commit_pipeline("master", &head_keys, "head model", &mut clock)
+        .unwrap();
+    let spaces = sys.merge_search_spaces("master", "dev").unwrap();
+    // CNN space: fork version + head's new one — NOT the pre-branch 0.0.
+    let cnn_versions = &spaces.per_slot[3];
+    assert_eq!(cnn_versions.len(), 2);
+    assert!(!cnn_versions.contains(&workload.initial[3]));
+}
