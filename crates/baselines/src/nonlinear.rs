@@ -14,7 +14,7 @@
 
 use mlcask_core::errors::Result;
 use mlcask_core::merge::{MergeSearchReport, MergeStrategy};
-use mlcask_pipeline::clock::SimClock;
+use mlcask_pipeline::clock::ClockLedger;
 use mlcask_workloads::common::Workload;
 use mlcask_workloads::scenario::{build_system, setup_nonlinear};
 use serde::{Deserialize, Serialize};
@@ -44,8 +44,8 @@ pub struct MergeRunResult {
 pub fn run_merge(workload: &Workload, strategy: MergeStrategy) -> Result<MergeRunResult> {
     let (_registry, sys) = build_system(workload)?;
     setup_nonlinear(&sys, workload)?;
-    let mut clock = SimClock::new();
-    let outcome = sys.merge("master", "dev", strategy, &mut clock)?;
+    let clock = ClockLedger::new();
+    let outcome = sys.merge("master", "dev", strategy, &clock)?;
     let report = outcome.report.expect("diverged merge produces a report");
     Ok(MergeRunResult {
         workload: workload.name.clone(),

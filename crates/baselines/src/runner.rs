@@ -14,7 +14,7 @@ use crate::archive::FolderArchive;
 use mlcask_core::errors::Result;
 use mlcask_core::registry::{simulated_executable, ComponentRegistry};
 use mlcask_core::system::MlCask;
-use mlcask_pipeline::clock::{ClockSnapshot, SimClock};
+use mlcask_pipeline::clock::{ClockLedger, ClockSnapshot};
 use mlcask_pipeline::component::ComponentKey;
 use mlcask_pipeline::dag::BoundPipeline;
 use mlcask_pipeline::executor::{ExecOptions, Executor, MemoryCache, RunOutcome};
@@ -136,15 +136,15 @@ fn run_linear_mlcask(
             .expect("sequence references a known version")
     };
 
-    let mut clock = SimClock::new();
+    let clock = ClockLedger::new();
     let mut iterations = Vec::with_capacity(sequence.len());
     for (it, keys) in sequence.iter().enumerate() {
-        let before = clock.clone();
+        let before = clock.snapshot();
         for key in keys {
             let (_, cost) = registry.register_timed(handle_for(key))?;
             clock.charge_storage(cost);
         }
-        let result = sys.commit_pipeline("master", keys, &format!("iteration {it}"), &mut clock)?;
+        let result = sys.commit_pipeline("master", keys, &format!("iteration {it}"), &clock)?;
         let completed = result.report.outcome.is_completed();
         iterations.push(IterationRecord {
             iteration: it,
@@ -195,10 +195,10 @@ fn run_linear_baseline(
 
     let mut archive = FolderArchive::new();
     let mut libs_seen: HashSet<ComponentKey> = HashSet::new();
-    let mut clock = SimClock::new();
+    let clock = ClockLedger::new();
     let mut iterations = Vec::with_capacity(sequence.len());
     for (it, keys) in sequence.iter().enumerate() {
-        let before = clock.clone();
+        let before = clock.snapshot();
         // Library archiving: full folder copy the first time a version
         // appears.
         for key in keys {
@@ -217,7 +217,7 @@ fn run_linear_baseline(
         let cache_ref = if options.reuse { Some(&cache) } else { None };
         let report = executor.run(
             &bound,
-            &mut clock,
+            &clock,
             cache_ref.map(|c| c as &dyn mlcask_pipeline::executor::OutputCache),
             options,
         )?;

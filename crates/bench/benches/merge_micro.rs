@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlcask_core::prelude::*;
 use mlcask_core::registry::ComponentRegistry;
-use mlcask_core::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
 use mlcask_pipeline::prelude::*;
 use mlcask_storage::prelude::*;
 use std::sync::Arc;
@@ -42,7 +42,12 @@ fn bench_tree_build(c: &mut Criterion) {
 }
 
 /// Toy merge scenario with a Fig.-3-like version family.
-fn toy_setup() -> (ComponentRegistry, Arc<PipelineDag>, SearchSpaces, HistoryIndex) {
+fn toy_setup() -> (
+    ComponentRegistry,
+    Arc<PipelineDag>,
+    SearchSpaces,
+    HistoryIndex,
+) {
     let store = Arc::new(ChunkStore::in_memory_small());
     let reg = ComponentRegistry::with_exe_size(store, 4096);
     let src = toy_source(SemVer::master(0, 0), 4, 32);
@@ -112,10 +117,8 @@ fn bench_merge_strategies(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter_with_setup(toy_setup, |(reg, dag, spaces, history)| {
                 let engine = MergeEngine::new(&reg, reg.store(), dag);
-                let mut clock = SimClock::new();
-                engine
-                    .search(&spaces, &history, strategy, &mut clock)
-                    .unwrap()
+                let clock = ClockLedger::new();
+                engine.search(&spaces, &history, strategy, &clock).unwrap()
             })
         });
     }

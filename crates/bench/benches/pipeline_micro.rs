@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mlcask_core::history::HistoryIndex;
-use mlcask_core::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
 use mlcask_pipeline::prelude::*;
 use mlcask_storage::prelude::*;
 use std::sync::Arc;
@@ -26,23 +26,28 @@ fn bench_executor(c: &mut Criterion) {
     let pipeline = toy_pipeline();
     g.bench_function("cold_run", |b| {
         b.iter_with_setup(ChunkStore::in_memory_small, |store| {
-            let mut clock = SimClock::new();
+            let clock = ClockLedger::new();
             Executor::new(&store)
-                .run(black_box(&pipeline), &mut clock, None, ExecOptions::RERUN_ALL)
+                .run(black_box(&pipeline), &clock, None, ExecOptions::RERUN_ALL)
                 .unwrap()
         })
     });
     g.bench_function("fully_cached_run", |b| {
         let store = ChunkStore::in_memory_small();
         let history = HistoryIndex::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         Executor::new(&store)
-            .run(&pipeline, &mut clock, Some(&history), ExecOptions::MLCASK)
+            .run(&pipeline, &clock, Some(&history), ExecOptions::MLCASK)
             .unwrap();
         b.iter(|| {
-            let mut clock = SimClock::new();
+            let clock = ClockLedger::new();
             Executor::new(&store)
-                .run(black_box(&pipeline), &mut clock, Some(&history), ExecOptions::MLCASK)
+                .run(
+                    black_box(&pipeline),
+                    &clock,
+                    Some(&history),
+                    ExecOptions::MLCASK,
+                )
                 .unwrap()
         })
     });
@@ -58,9 +63,9 @@ fn bench_executor(c: &mut Criterion) {
         )
         .unwrap();
         b.iter(|| {
-            let mut clock = SimClock::new();
+            let clock = ClockLedger::new();
             Executor::new(&store)
-                .run(black_box(&doomed), &mut clock, None, ExecOptions::MLCASK)
+                .run(black_box(&doomed), &clock, None, ExecOptions::MLCASK)
                 .unwrap()
         })
     });

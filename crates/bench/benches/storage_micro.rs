@@ -39,20 +39,30 @@ fn bench_dedup_write(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(base.len() as u64));
     g.bench_function("cold", |b| {
         b.iter_with_setup(ChunkStore::in_memory, |store| {
-            store.put_blob(ObjectKind::Library, black_box(&base)).unwrap()
+            store
+                .put_blob(ObjectKind::Library, black_box(&base))
+                .unwrap()
         })
     });
     g.bench_function("duplicate", |b| {
         let store = ChunkStore::in_memory();
         store.put_blob(ObjectKind::Library, &base).unwrap();
-        b.iter(|| store.put_blob(ObjectKind::Library, black_box(&base)).unwrap())
+        b.iter(|| {
+            store
+                .put_blob(ObjectKind::Library, black_box(&base))
+                .unwrap()
+        })
     });
     g.bench_function("one_byte_edit", |b| {
         let store = ChunkStore::in_memory();
         store.put_blob(ObjectKind::Library, &base).unwrap();
         let mut edited = base.clone();
         edited[100_000] ^= 0xff;
-        b.iter(|| store.put_blob(ObjectKind::Library, black_box(&edited)).unwrap())
+        b.iter(|| {
+            store
+                .put_blob(ObjectKind::Library, black_box(&edited))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -61,11 +71,17 @@ fn bench_commit_graph(c: &mut Criterion) {
     let mut g = c.benchmark_group("commit_graph");
     // Build a two-branch history of 200 commits each.
     let graph = Arc::new(CommitGraph::new());
-    graph.commit_root("master", Hash256::of(b"0"), "init").unwrap();
+    graph
+        .commit_root("master", Hash256::of(b"0"), "init")
+        .unwrap();
     graph.branch("master", "dev").unwrap();
     for i in 0..200u32 {
-        graph.commit("master", Hash256::of(&i.to_le_bytes()), "m").unwrap();
-        graph.commit("dev", Hash256::of(&(i + 1000).to_le_bytes()), "d").unwrap();
+        graph
+            .commit("master", Hash256::of(&i.to_le_bytes()), "m")
+            .unwrap();
+        graph
+            .commit("dev", Hash256::of(&(i + 1000).to_le_bytes()), "d")
+            .unwrap();
     }
     let m = graph.head("master").unwrap().id;
     let d = graph.head("dev").unwrap().id;

@@ -34,10 +34,24 @@ fn main() {
             ],
         );
         let pri = searcher
-            .run_trials(&spaces, sys.history(), &init, SearchMethod::Prioritized, TRIALS, 11)
+            .run_trials(
+                &spaces,
+                sys.history(),
+                &init,
+                SearchMethod::Prioritized,
+                TRIALS,
+                11,
+            )
             .expect("prioritized trials");
         let rnd = searcher
-            .run_trials(&spaces, sys.history(), &init, SearchMethod::Random, TRIALS, 11)
+            .run_trials(
+                &spaces,
+                sys.history(),
+                &init,
+                SearchMethod::Random,
+                TRIALS,
+                11,
+            )
             .expect("random trials");
         for (k, (p, r)) in pri.per_rank.iter().zip(rnd.per_rank.iter()).enumerate() {
             print_row(&[

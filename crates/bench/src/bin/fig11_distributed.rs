@@ -8,9 +8,7 @@
 //! that p > 0.9 with k = 8 shrinks pipeline time below one fourth.
 
 use mlcask_bench::{print_header, print_row, print_series};
-use mlcask_ml::distributed::{
-    pipeline_speedup, train_distributed, training_speedup, GpuCostModel,
-};
+use mlcask_ml::distributed::{pipeline_speedup, train_distributed, training_speedup, GpuCostModel};
 use mlcask_ml::mlp::{synthetic_classification, MlpConfig};
 
 fn main() {
@@ -59,10 +57,7 @@ fn main() {
     );
 
     println!("\n# Fig. 11(b) — Pipeline time speedup = 1 / ((1-p) + p/k)");
-    print_header(
-        "speedup surface",
-        &["p \\ k", "1", "2", "4", "8"],
-    );
+    print_header("speedup surface", &["p \\ k", "1", "2", "4", "8"]);
     for p in [0.1, 0.3, 0.5, 0.7, 0.9, 0.95] {
         print_row(
             &std::iter::once(format!("{p:.2}"))
@@ -77,6 +72,10 @@ fn main() {
     let s = pipeline_speedup(0.92, 8.0);
     println!(
         "\ncheck: p=0.92, k=8 → speedup {s:.2} (> 4 ⇒ pipeline time < 1/4) — {}",
-        if s > 4.0 { "OK (paper claim)" } else { "MISMATCH" }
+        if s > 4.0 {
+            "OK (paper claim)"
+        } else {
+            "MISMATCH"
+        }
     );
 }

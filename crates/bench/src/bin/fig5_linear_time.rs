@@ -56,7 +56,11 @@ fn main() {
             f2(m),
             f2(f),
             f2(c),
-            if m > f && f >= c { "OK (paper shape)" } else { "MISMATCH" }
+            if m > f && f >= c {
+                "OK (paper shape)"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

@@ -17,7 +17,13 @@ fn main() {
         let sequence = linear_update_sequence(&workload, &scenario);
         print_header(
             &workload.name,
-            &["system", "storage", "pre-processing", "model training", "total"],
+            &[
+                "system",
+                "storage",
+                "pre-processing",
+                "model training",
+                "total",
+            ],
         );
         let mut training: Vec<f64> = Vec::new();
         let mut preproc: Vec<f64> = Vec::new();
@@ -39,17 +45,22 @@ fn main() {
         }
         // Paper checks: training comparable across systems; pre-processing
         // is where the difference lies (ModelDB >> MLflow ≈ MLCask).
-        let train_spread = training
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
-            / training.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        let train_spread = training.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            / training
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-9);
         println!(
             "\ncheck: training spread {:.2}x across systems; ModelDB preproc {} vs MLCask {} — {}",
             train_spread,
             f2(preproc[0]),
             f2(preproc[2]),
-            if preproc[0] > preproc[2] { "OK (paper shape)" } else { "MISMATCH" }
+            if preproc[0] > preproc[2] {
+                "OK (paper shape)"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

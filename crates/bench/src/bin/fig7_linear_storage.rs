@@ -22,8 +22,9 @@ fn main() {
             .iter()
             .map(|&s| run_linear(s, &workload, &sequence).expect("linear run"))
             .collect();
-        let css =
-            |r: &LinearRunResult, it: usize| r.iterations[it].cumulative_storage_bytes as f64 / (1024.0 * 1024.0);
+        let css = |r: &LinearRunResult, it: usize| {
+            r.iterations[it].cumulative_storage_bytes as f64 / (1024.0 * 1024.0)
+        };
         for it in 0..results[0].iterations.len() {
             print_row(&[
                 format!("{}", it + 1),
@@ -47,7 +48,11 @@ fn main() {
         );
         println!(
             "\ncheck: ModelDB {m:.2} > MLflow {f:.2} > MLCask {c:.2} MiB — {}",
-            if m > f && f > c { "OK (paper shape)" } else { "MISMATCH" }
+            if m > f && f > c {
+                "OK (paper shape)"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

@@ -18,7 +18,15 @@ fn main() {
     for workload in all_workloads() {
         print_header(
             &workload.name,
-            &["system", "CPT (s)", "CSS (MiB)", "CET (s)", "CST (s)", "candidates run", "components run"],
+            &[
+                "system",
+                "CPT (s)",
+                "CSS (MiB)",
+                "CET (s)",
+                "CST (s)",
+                "candidates run",
+                "components run",
+            ],
         );
         let mut rows = Vec::new();
         for strategy in [
@@ -66,9 +74,7 @@ fn main() {
             full.report.state_counts.checkpointed
         );
     }
-    println!(
-        "\n## Headline (abstract: up to 7.8x faster, up to 11.9x storage saving)\n"
-    );
+    println!("\n## Headline (abstract: up to 7.8x faster, up to 11.9x storage saving)\n");
     println!(
         "measured: up to {headline_speed:.1}x faster, up to {headline_storage:.1}x storage saving"
     );

@@ -14,7 +14,13 @@ fn main() {
     for workload in all_workloads() {
         print_header(
             &workload.name,
-            &["system", "storage", "pre-processing", "model training", "total"],
+            &[
+                "system",
+                "storage",
+                "pre-processing",
+                "model training",
+                "total",
+            ],
         );
         let mut pre = Vec::new();
         let mut train = Vec::new();
@@ -58,7 +64,11 @@ fn main() {
                 "\ncheck: preproc gap {} vs training gap {} — {}",
                 f2(pre_gap),
                 f2(train_gap),
-                if pre_gap > train_gap { "OK (paper shape)" } else { "MISMATCH" }
+                if pre_gap > train_gap {
+                    "OK (paper shape)"
+                } else {
+                    "MISMATCH"
+                }
             );
         }
     }

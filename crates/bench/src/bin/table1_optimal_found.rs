@@ -53,7 +53,11 @@ fn main() {
         println!(
             "check {}: prioritized >= random at every cutoff — {}",
             workload.name,
-            if dominated { "OK (paper shape)" } else { "MISMATCH" }
+            if dominated {
+                "OK (paper shape)"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

@@ -24,7 +24,10 @@ use std::fmt::Display;
 pub fn print_header(title: &str, cols: &[&str]) {
     println!("\n## {title}\n");
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Prints one markdown table row.

@@ -82,7 +82,9 @@ mod tests {
     fn display_variants() {
         let k = ComponentKey::new("cnn", SemVer::master(0, 4));
         assert!(CoreError::UnknownComponent(k).to_string().contains("cnn"));
-        assert!(CoreError::NoViableCandidate.to_string().contains("no executable"));
+        assert!(CoreError::NoViableCandidate
+            .to_string()
+            .contains("no executable"));
         assert!(CoreError::SelfMerge("master".into())
             .to_string()
             .contains("itself"));

@@ -6,10 +6,14 @@
 //! key hits this index is a "green" node (Fig. 4): its output is reused and
 //! it never re-executes. The index also powers linear-versioning reuse
 //! (challenge C1: skipping unchanged pre-processing steps).
+//!
+//! The index is sharded (like `MemoryCache`) so the parallel candidate
+//! evaluators' concurrent lookups and checkpoint inserts do not serialize
+//! on one lock.
 
 use mlcask_pipeline::executor::{CacheKey, CachedOutput, OutputCache};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use mlcask_pipeline::parallel::ShardedMap;
+use mlcask_pipeline::replay::CacheSnapshot;
 use std::sync::Arc;
 
 /// Shared, cloneable history of checkpointed component outputs.
@@ -19,7 +23,7 @@ use std::sync::Arc;
 /// pre-merge history for every trial).
 #[derive(Clone, Default)]
 pub struct HistoryIndex {
-    inner: Arc<RwLock<HashMap<CacheKey, CachedOutput>>>,
+    map: Arc<ShardedMap<CacheKey, CachedOutput>>,
 }
 
 impl HistoryIndex {
@@ -30,7 +34,7 @@ impl HistoryIndex {
 
     /// Number of checkpoints recorded.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.map.len()
     }
 
     /// True if no checkpoints exist.
@@ -41,18 +45,24 @@ impl HistoryIndex {
     /// Forks an independent copy with the same contents.
     pub fn deep_clone(&self) -> HistoryIndex {
         HistoryIndex {
-            inner: Arc::new(RwLock::new(self.inner.read().clone())),
+            map: Arc::new(self.map.fork()),
         }
+    }
+
+    /// Point-in-time copy of every checkpoint, keyed for the deterministic
+    /// accounting replay (`mlcask_pipeline::replay`).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        self.map.to_hashmap()
     }
 
     /// Direct lookup (non-trait convenience).
     pub fn get(&self, key: &CacheKey) -> Option<CachedOutput> {
-        self.inner.read().get(key).cloned()
+        self.map.get(key)
     }
 
     /// True if the key has a checkpoint.
     pub fn contains(&self, key: &CacheKey) -> bool {
-        self.inner.read().contains_key(key)
+        self.map.contains(key)
     }
 }
 
@@ -62,7 +72,7 @@ impl OutputCache for HistoryIndex {
     }
 
     fn insert(&self, key: CacheKey, value: CachedOutput) {
-        self.inner.write().insert(key, value);
+        self.map.insert(key, value);
     }
 }
 
@@ -103,7 +113,10 @@ mod tests {
         h.insert(key(1), output(1));
         assert_eq!(h.len(), 1);
         assert!(h.contains(&key(1)));
-        assert_eq!(h.lookup(&key(1)).unwrap().artifact_id, Hash256::of(&[1, 1, 1]));
+        assert_eq!(
+            h.lookup(&key(1)).unwrap().artifact_id,
+            Hash256::of(&[1, 1, 1])
+        );
         assert!(h.lookup(&key(2)).is_none());
     }
 
@@ -132,6 +145,42 @@ mod tests {
         let mut other_inputs = base.clone();
         other_inputs.inputs = vec![Hash256::of(b"different")];
         h.insert(base.clone(), output(1));
-        assert!(!h.contains(&other_inputs), "same component, different input");
+        assert!(
+            !h.contains(&other_inputs),
+            "same component, different input"
+        );
+    }
+
+    #[test]
+    fn snapshot_captures_all_shards() {
+        let h = HistoryIndex::new();
+        for n in 0..50u8 {
+            h.insert(key(n), output(n));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 50);
+        for n in 0..50u8 {
+            assert_eq!(snap[&key(n)], output(n));
+        }
+        // Snapshot is a copy: later inserts don't appear.
+        h.insert(key(51), output(51));
+        assert_eq!(snap.len(), 50);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        let h = HistoryIndex::new();
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for n in 0..50u8 {
+                        h.insert(key(t.wrapping_mul(50).wrapping_add(n)), output(n));
+                        let _ = h.get(&key(n));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.len(), 200);
     }
 }

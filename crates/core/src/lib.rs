@@ -36,9 +36,9 @@
 //!
 //! let dag = PipelineDag::chain(&toy_slots()).unwrap();
 //! let sys = MlCask::new("demo", dag, registry);
-//! let mut clock = SimClock::new();
+//! let ledger = ClockLedger::new();
 //! let keys = vec![src.key(), scl.key(), mdl.key()];
-//! let result = sys.commit_pipeline("master", &keys, "initial", &mut clock).unwrap();
+//! let result = sys.commit_pipeline("master", &keys, "initial", &ledger).unwrap();
 //! assert_eq!(result.commit.unwrap().label(), "master.0");
 //! ```
 

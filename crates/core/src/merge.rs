@@ -20,10 +20,12 @@ use crate::registry::ComponentRegistry;
 use crate::search_space::{CompatLut, SearchSpaces};
 use crate::tree::{SearchTree, StateCounts};
 use mlcask_ml::metrics::Score;
-use mlcask_pipeline::clock::{ClockSnapshot, SimClock};
+use mlcask_pipeline::clock::{ClockLedger, ClockSnapshot};
 use mlcask_pipeline::component::{ComponentHandle, ComponentKey};
 use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
-use mlcask_pipeline::executor::{ExecOptions, Executor, OutputCache};
+use mlcask_pipeline::executor::{ExecOptions, Executor, MemoryCache, OutputCache};
+use mlcask_pipeline::parallel::{map_indexed, ParallelismPolicy};
+use mlcask_pipeline::replay::{replay_run, CacheSnapshot, ProfileBook};
 use mlcask_storage::store::ChunkStore;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -102,10 +104,11 @@ pub struct MergeEngine<'a> {
     registry: &'a ComponentRegistry,
     store: &'a ChunkStore,
     dag: Arc<PipelineDag>,
+    parallelism: ParallelismPolicy,
 }
 
 impl<'a> MergeEngine<'a> {
-    /// Creates an engine for one pipeline shape.
+    /// Creates an engine for one pipeline shape (sequential evaluation).
     pub fn new(
         registry: &'a ComponentRegistry,
         store: &'a ChunkStore,
@@ -115,7 +118,16 @@ impl<'a> MergeEngine<'a> {
             registry,
             store,
             dag,
+            parallelism: ParallelismPolicy::Sequential,
         }
+    }
+
+    /// Sets the candidate-evaluation worker pool. Reports are identical for
+    /// every policy (see [`mlcask_pipeline::replay`]); only wall-clock time
+    /// changes.
+    pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Resolves a candidate (slot-ordered keys) into a bound pipeline.
@@ -130,15 +142,20 @@ impl<'a> MergeEngine<'a> {
     /// Runs the merge search. `history` is consulted/extended only by the
     /// `Full` strategy (PR); the ablations run from scratch as the paper
     /// describes.
+    ///
+    /// Candidates are evaluated by the engine's [`ParallelismPolicy`] in two
+    /// phases — parallel traced execution, then a sequential accounting
+    /// replay in candidate-index order (see [`mlcask_pipeline::replay`]) —
+    /// so the returned report (records, scores, virtual end-times, storage
+    /// accounting) is identical whatever the worker count.
     pub fn search(
         &self,
         spaces: &SearchSpaces,
         history: &HistoryIndex,
         strategy: MergeStrategy,
-        clock: &mut SimClock,
+        ledger: &ClockLedger,
     ) -> Result<MergeSearchReport> {
         let stats_before = self.store.stats().total();
-        let clock_before = clock.clone();
         let mut tree = SearchTree::build(spaces);
         let candidates_total = spaces.candidate_upper_bound();
 
@@ -169,39 +186,76 @@ impl<'a> MergeEngine<'a> {
                 .collect(),
         };
 
-        // Execution policy per strategy.
-        let (cache, options): (Option<&dyn OutputCache>, ExecOptions) = match strategy {
-            // From-scratch ablations pay every component every time, and only
-            // discover incompatibilities mid-run.
-            MergeStrategy::WithoutPcPr => (
-                None,
+        // Accounting policy per strategy. The from-scratch ablations pay
+        // every component for every candidate and only discover
+        // incompatibilities mid-run; Full/Naive reuse the shared history.
+        let (use_history, options): (bool, ExecOptions) = match strategy {
+            MergeStrategy::WithoutPcPr | MergeStrategy::WithoutPr => (
+                false,
                 ExecOptions {
                     reuse: false,
                     precheck: false,
                     persist_outputs: true,
+                    parallelism: self.parallelism,
                 },
             ),
-            MergeStrategy::WithoutPr => (
-                None,
-                ExecOptions {
-                    reuse: false,
-                    precheck: false,
-                    persist_outputs: true,
-                },
+            MergeStrategy::Full | MergeStrategy::Naive => (
+                true,
+                ExecOptions::REUSE_ONLY.with_parallelism(self.parallelism),
             ),
-            MergeStrategy::Full => (Some(history), ExecOptions::REUSE_ONLY),
-            MergeStrategy::Naive => (Some(history), ExecOptions::REUSE_ONLY),
         };
 
+        let bound: Vec<BoundPipeline> = leaves
+            .iter()
+            .map(|keys| self.bind(keys))
+            .collect::<Result<_>>()?;
+
+        // Phase 1 — execute every candidate (possibly in parallel) for its
+        // results, deduplicating shared work through a concurrent cache.
+        // For reuse strategies the cache *is* the live history, so
+        // checkpoints land there exactly as in a sequential run; the
+        // ablations get a search-local scratch cache (work dedup only —
+        // their accounting below still pays every execution).
+        let book = ProfileBook::new();
+        let scratch = MemoryCache::new();
+        let (pre, phase_cache): (CacheSnapshot, &dyn OutputCache) = if use_history {
+            (history.snapshot(), history)
+        } else {
+            (CacheSnapshot::new(), &scratch)
+        };
         let executor = Executor::new(self.store);
+        let traced = map_indexed(options.parallelism, &bound, |_, pipeline| {
+            executor.run_traced(pipeline, phase_cache, &book, options.precheck)
+        });
+        for t in traced {
+            t?;
+        }
+
+        // Phase 2 — deterministic accounting replay in candidate order.
+        let mut sim = CacheSnapshot::new();
+        let mut cursor = book.replay_cursor();
+        let mut merge_clock = ClockSnapshot::default();
         let mut records: Vec<CandidateRecord> = Vec::with_capacity(leaves.len());
         let mut executed = 0usize;
         let mut reused = 0usize;
         let mut failed = 0usize;
         let mut best: Option<(Vec<ComponentKey>, Score)> = None;
-        for keys in leaves {
-            let bound = self.bind(&keys)?;
-            let report = executor.run(&bound, clock, cache, options)?;
+        for (keys, pipeline) in leaves.into_iter().zip(&bound) {
+            let run_ledger = ClockLedger::new();
+            let report = replay_run(
+                self.store,
+                pipeline,
+                &book,
+                &pre,
+                &mut sim,
+                &mut cursor,
+                &run_ledger,
+                options,
+                use_history,
+            )?;
+            let snap = run_ledger.snapshot();
+            merge_clock = merge_clock.plus(&snap);
+            ledger.merge(&snap);
             executed += report.executed_count();
             reused += report.reused_count();
             let score = report.outcome.score();
@@ -222,7 +276,7 @@ impl<'a> MergeEngine<'a> {
                 keys,
                 score,
                 failed: is_failure,
-                end_time_ns: clock.delta_since(&clock_before).total_ns(),
+                end_time_ns: merge_clock.total_ns(),
             });
         }
 
@@ -238,7 +292,7 @@ impl<'a> MergeEngine<'a> {
             failed_candidates: failed,
             best,
             candidates: records,
-            clock: clock.delta_since(&clock_before),
+            clock: merge_clock,
             logical_bytes: stats_after.logical_bytes - stats_before.logical_bytes,
             physical_bytes: stats_after.physical_bytes - stats_before.physical_bytes,
         })
@@ -264,7 +318,7 @@ pub fn naive_candidate(spaces: &SearchSpaces) -> Vec<ComponentKey> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+    use crate::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
     use mlcask_pipeline::semver::SemVer;
 
     /// Builds a Fig.-3-like scenario:
@@ -306,9 +360,9 @@ mod tests {
         let (reg, dag, spaces) = scenario();
         let engine = MergeEngine::new(&reg, reg.store(), dag);
         let history = HistoryIndex::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = engine
-            .search(&spaces, &history, MergeStrategy::WithoutPcPr, &mut clock)
+            .search(&spaces, &history, MergeStrategy::WithoutPcPr, &clock)
             .unwrap();
         assert_eq!(report.candidates_total, 15);
         assert_eq!(report.candidates_evaluated, 15);
@@ -324,9 +378,9 @@ mod tests {
         let (reg, dag, spaces) = scenario();
         let engine = MergeEngine::new(&reg, reg.store(), dag);
         let history = HistoryIndex::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = engine
-            .search(&spaces, &history, MergeStrategy::WithoutPr, &mut clock)
+            .search(&spaces, &history, MergeStrategy::WithoutPr, &clock)
             .unwrap();
         assert_eq!(report.candidates_pruned, 7);
         assert_eq!(report.candidates_evaluated, 8);
@@ -339,9 +393,9 @@ mod tests {
         let (reg, dag, spaces) = scenario();
         let engine = MergeEngine::new(&reg, reg.store(), dag.clone());
         let history = HistoryIndex::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = engine
-            .search(&spaces, &history, MergeStrategy::Full, &mut clock)
+            .search(&spaces, &history, MergeStrategy::Full, &clock)
             .unwrap();
         assert_eq!(report.candidates_evaluated, 8);
         // Distinct tree nodes along live paths: 1 source + 3 scalers +
@@ -368,8 +422,8 @@ mod tests {
             let (reg, dag, spaces) = scenario(); // fresh store per strategy
             let engine = MergeEngine::new(&reg, reg.store(), dag);
             let history = HistoryIndex::new();
-            let mut clock = SimClock::new();
-            let r = engine.search(&spaces, &history, s, &mut clock).unwrap();
+            let clock = ClockLedger::new();
+            let r = engine.search(&spaces, &history, s, &clock).unwrap();
             times.push(r.clock.total_ns());
             bytes.push(r.physical_bytes);
             bests.push(r.best.clone().unwrap());
@@ -395,14 +449,14 @@ mod tests {
             spaces.per_slot[2][0].clone(),
         ];
         let bound = engine.bind(&keys).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         Executor::new(reg.store())
-            .run(&bound, &mut clock, Some(&history), ExecOptions::MLCASK)
+            .run(&bound, &clock, Some(&history), ExecOptions::MLCASK)
             .unwrap();
         let pre_train_ns = clock.snapshot().total_ns();
-        let mut merge_clock = SimClock::new();
+        let merge_clock = ClockLedger::new();
         let report = engine
-            .search(&spaces, &history, MergeStrategy::Full, &mut merge_clock)
+            .search(&spaces, &history, MergeStrategy::Full, &merge_clock)
             .unwrap();
         // The pre-trained path's three nodes are green → fewer executions.
         assert_eq!(report.executed_components, 9);
@@ -420,9 +474,9 @@ mod tests {
         assert_eq!(cand[2].version, SemVer::master(0, 4));
         let engine = MergeEngine::new(&reg, reg.store(), dag);
         let history = HistoryIndex::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = engine
-            .search(&spaces, &history, MergeStrategy::Naive, &mut clock)
+            .search(&spaces, &history, MergeStrategy::Naive, &clock)
             .unwrap();
         assert_eq!(report.candidates_evaluated, 1);
         assert_eq!(report.failed_candidates, 1);
@@ -434,14 +488,17 @@ mod tests {
         let (reg, dag, spaces) = scenario();
         let engine = MergeEngine::new(&reg, reg.store(), dag);
         let history = HistoryIndex::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = engine
-            .search(&spaces, &history, MergeStrategy::Full, &mut clock)
+            .search(&spaces, &history, MergeStrategy::Full, &clock)
             .unwrap();
         for w in report.candidates.windows(2) {
             assert!(w[1].end_time_ns >= w[0].end_time_ns);
         }
-        assert_eq!(report.clock.total_ns(), report.candidates.last().unwrap().end_time_ns);
+        assert_eq!(
+            report.clock.total_ns(),
+            report.candidates.last().unwrap().end_time_ns
+        );
     }
 
     #[test]
@@ -449,9 +506,9 @@ mod tests {
         let (reg, dag, spaces) = scenario();
         let engine = MergeEngine::new(&reg, reg.store(), dag);
         let history = HistoryIndex::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = engine
-            .search(&spaces, &history, MergeStrategy::Full, &mut clock)
+            .search(&spaces, &history, MergeStrategy::Full, &clock)
             .unwrap();
         let (_, best) = report.best.clone().unwrap();
         for c in &report.candidates {

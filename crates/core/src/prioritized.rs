@@ -15,10 +15,12 @@ use crate::registry::ComponentRegistry;
 use crate::search_space::{CompatLut, SearchSpaces};
 use crate::tree::{NodeState, SearchTree};
 use mlcask_ml::metrics::Score;
-use mlcask_pipeline::clock::SimClock;
+use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::ComponentKey;
 use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
 use mlcask_pipeline::executor::{ExecOptions, Executor};
+use mlcask_pipeline::parallel::{map_indexed, ParallelismPolicy};
+use mlcask_pipeline::replay::{replay_run, CacheSnapshot, ProfileBook, ReplayCursor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -109,12 +111,32 @@ impl TrialStats {
 pub struct PrioritizedSearcher<'a> {
     registry: &'a ComponentRegistry,
     dag: Arc<PipelineDag>,
+    parallelism: ParallelismPolicy,
+}
+
+/// Phase-1 record of one trial: the search order with phase-1 scores, and
+/// the bound pipelines to replay for accounting.
+struct TracedTrial {
+    searched: Vec<(Vec<ComponentKey>, Option<Score>)>,
+    bound: Vec<BoundPipeline>,
 }
 
 impl<'a> PrioritizedSearcher<'a> {
-    /// Creates a searcher.
+    /// Creates a searcher (sequential trial evaluation).
     pub fn new(registry: &'a ComponentRegistry, dag: Arc<PipelineDag>) -> Self {
-        PrioritizedSearcher { registry, dag }
+        PrioritizedSearcher {
+            registry,
+            dag,
+            parallelism: ParallelismPolicy::Sequential,
+        }
+    }
+
+    /// Sets the worker pool used by [`PrioritizedSearcher::run_trials`].
+    /// Trials are independent, so they fan out across workers; the replayed
+    /// statistics are identical for every policy.
+    pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     fn bind(&self, keys: &[ComponentKey]) -> Result<BoundPipeline> {
@@ -125,18 +147,19 @@ impl<'a> PrioritizedSearcher<'a> {
         Ok(BoundPipeline::new(Arc::clone(&self.dag), components)?)
     }
 
-    /// Runs one trial: searches *all* live candidates in the order chosen by
-    /// `method`, reusing checkpoints within the trial exactly as a real
-    /// merge would. `initial_scores` seeds leaf scores (the trained
-    /// pipelines on both heads).
-    pub fn run_trial(
+    /// Phase 1 of one trial: search *all* live candidates in the order
+    /// chosen by `method`, executing them (traced) against a trial-local
+    /// history fork. The descent is driven by phase-1 scores, which are
+    /// deterministic; accounting happens later in [`Self::replay_trial`].
+    fn run_trial_traced(
         &self,
         spaces: &SearchSpaces,
         base_history: &HistoryIndex,
         initial_scores: &[(Vec<ComponentKey>, f64)],
         method: SearchMethod,
         seed: u64,
-    ) -> Result<TrialResult> {
+        book: &ProfileBook,
+    ) -> Result<TracedTrial> {
         let mut tree = SearchTree::build(spaces);
         let lut = CompatLut::build(self.registry, spaces)?;
         tree.prune_incompatible(&lut);
@@ -176,17 +199,16 @@ impl<'a> PrioritizedSearcher<'a> {
         };
 
         let executor = Executor::new(self.registry.store());
-        let mut clock = SimClock::new();
         let mut searched = Vec::with_capacity(leaves.len());
+        let mut bound = Vec::with_capacity(leaves.len());
         for rank in 1..=leaves.len() {
             let leaf = match &order {
                 Some(o) => o[rank - 1],
                 None => descend_best(&tree, &remaining, &mut rng),
             };
             let keys = tree.candidate(leaf);
-            let bound = self.bind(&keys)?;
-            let report = executor.run(&bound, &mut clock, Some(&history), ExecOptions::REUSE_ONLY)?;
-            let score = report.outcome.score();
+            let pipeline = self.bind(&keys)?;
+            let score = executor.run_traced(&pipeline, &history, book, false)?;
             if let Some(s) = score {
                 tree.node_mut(leaf).score = Some(s.value);
                 propagate_up(&mut tree, leaf);
@@ -198,11 +220,43 @@ impl<'a> PrioritizedSearcher<'a> {
             *remaining.get_mut(&tree.root()).expect("counted") -= 1;
             // Mark run so the prioritized descent skips it.
             tree.node_mut(leaf).executed = true;
+            searched.push((keys, score));
+            bound.push(pipeline);
+        }
+        Ok(TracedTrial { searched, bound })
+    }
+
+    /// Phase 2 of one trial: the deterministic accounting replay in search
+    /// order, mirroring what a live sequential trial would have charged.
+    /// `cursor` carries chunk-dedup state across trials in trial order.
+    fn replay_trial(
+        &self,
+        trial: &TracedTrial,
+        book: &ProfileBook,
+        pre: &CacheSnapshot,
+        cursor: &mut ReplayCursor,
+    ) -> Result<TrialResult> {
+        let store = self.registry.store();
+        let ledger = ClockLedger::new();
+        let mut sim = CacheSnapshot::new();
+        let mut searched = Vec::with_capacity(trial.searched.len());
+        for (idx, ((keys, _), pipeline)) in trial.searched.iter().zip(&trial.bound).enumerate() {
+            let report = replay_run(
+                store,
+                pipeline,
+                book,
+                pre,
+                &mut sim,
+                cursor,
+                &ledger,
+                ExecOptions::REUSE_ONLY,
+                true,
+            )?;
             searched.push(SearchedCandidate {
-                rank,
-                keys,
-                score,
-                end_time_ns: clock.snapshot().total_ns(),
+                rank: idx + 1,
+                keys: keys.clone(),
+                score: report.outcome.score(),
+                end_time_ns: ledger.snapshot().total_ns(),
             });
         }
 
@@ -221,8 +275,33 @@ impl<'a> PrioritizedSearcher<'a> {
         })
     }
 
+    /// Runs one trial: searches *all* live candidates in the order chosen by
+    /// `method`, reusing checkpoints within the trial exactly as a real
+    /// merge would. `initial_scores` seeds leaf scores (the trained
+    /// pipelines on both heads).
+    pub fn run_trial(
+        &self,
+        spaces: &SearchSpaces,
+        base_history: &HistoryIndex,
+        initial_scores: &[(Vec<ComponentKey>, f64)],
+        method: SearchMethod,
+        seed: u64,
+    ) -> Result<TrialResult> {
+        let book = ProfileBook::new();
+        let pre = base_history.snapshot();
+        let trial =
+            self.run_trial_traced(spaces, base_history, initial_scores, method, seed, &book)?;
+        let mut cursor = book.replay_cursor();
+        self.replay_trial(&trial, &book, &pre, &mut cursor)
+    }
+
     /// Runs `trials` independent trials and aggregates Fig. 10 / Table I
     /// statistics.
+    ///
+    /// Trials fan out over the searcher's [`ParallelismPolicy`]; a shared
+    /// [`ProfileBook`] deduplicates observations, and the accounting replay
+    /// walks trials in index order, so the aggregated statistics are
+    /// identical to a fully sequential run.
     pub fn run_trials(
         &self,
         spaces: &SearchSpaces,
@@ -232,15 +311,18 @@ impl<'a> PrioritizedSearcher<'a> {
         trials: usize,
         seed: u64,
     ) -> Result<TrialStats> {
+        let book = ProfileBook::new();
+        let pre = base_history.snapshot();
+        let seeds: Vec<u64> = (0..trials)
+            .map(|t| seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
+        let traced = map_indexed(self.parallelism, &seeds, |_, s| {
+            self.run_trial_traced(spaces, base_history, initial_scores, method, *s, &book)
+        });
         let mut results = Vec::with_capacity(trials);
-        for t in 0..trials {
-            results.push(self.run_trial(
-                spaces,
-                base_history,
-                initial_scores,
-                method,
-                seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15),
-            )?);
+        let mut cursor = book.replay_cursor();
+        for t in traced {
+            results.push(self.replay_trial(&t?, &book, &pre, &mut cursor)?);
         }
         let n = results.first().map(|r| r.searched.len()).unwrap_or(0);
         let mut per_rank = Vec::with_capacity(n);
@@ -255,8 +337,8 @@ impl<'a> PrioritizedSearcher<'a> {
                 .collect();
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             let m = mean(&scores);
-            let var = scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
-                / scores.len().max(1) as f64;
+            let var =
+                scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / scores.len().max(1) as f64;
             per_rank.push(RankStats {
                 avg_end_time_s: mean(&times),
                 mean_score: m,
@@ -354,7 +436,7 @@ fn descend_best(tree: &SearchTree, remaining: &HashMap<usize, usize>, rng: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+    use crate::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
     use mlcask_pipeline::semver::SemVer;
     use mlcask_storage::store::ChunkStore;
 
@@ -418,7 +500,13 @@ mod tests {
         let searcher = PrioritizedSearcher::new(&reg, dag);
         let history = HistoryIndex::new();
         let res = searcher
-            .run_trial(&spaces, &history, &initial_scores(&spaces), SearchMethod::Random, 7)
+            .run_trial(
+                &spaces,
+                &history,
+                &initial_scores(&spaces),
+                SearchMethod::Random,
+                7,
+            )
             .unwrap();
         assert_eq!(res.searched.len(), 8);
         // Every candidate distinct.

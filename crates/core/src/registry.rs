@@ -14,8 +14,8 @@ use mlcask_storage::hash::Hash256;
 use mlcask_storage::object::{ObjectKind, ObjectRef};
 use mlcask_storage::store::ChunkStore;
 use parking_lot::RwLock;
-use std::collections::{BTreeMap, HashMap};
 use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Deterministically synthesises an "executable" payload for a library
@@ -223,7 +223,8 @@ mod tests {
     fn versions_accumulate_in_order() {
         let reg = registry();
         for inc in 0..3 {
-            reg.register(toy_model(SemVer::master(0, inc), 4, 0.5)).unwrap();
+            reg.register(toy_model(SemVer::master(0, inc), 4, 0.5))
+                .unwrap();
         }
         let versions = reg.versions_of("test_model");
         assert_eq!(versions.len(), 3);
@@ -234,9 +235,11 @@ mod tests {
     #[test]
     fn consecutive_versions_dedup_in_store() {
         let reg = registry();
-        reg.register(toy_scaler(SemVer::master(0, 0), 4, 4, 1.0)).unwrap();
+        reg.register(toy_scaler(SemVer::master(0, 0), 4, 4, 1.0))
+            .unwrap();
         let first_bytes = reg.store().stats().kind(ObjectKind::Library).physical_bytes;
-        reg.register(toy_scaler(SemVer::master(0, 1), 4, 4, 2.0)).unwrap();
+        reg.register(toy_scaler(SemVer::master(0, 1), 4, 4, 2.0))
+            .unwrap();
         let after = reg.store().stats().kind(ObjectKind::Library);
         let second_bytes = after.physical_bytes - first_bytes;
         assert!(

@@ -9,11 +9,12 @@ use crate::history::HistoryIndex;
 use crate::merge::{MergeEngine, MergeSearchReport, MergeStrategy};
 use crate::registry::ComponentRegistry;
 use crate::search_space::SearchSpaces;
-use mlcask_pipeline::clock::SimClock;
+use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::{ComponentHandle, ComponentKey};
 use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
 use mlcask_pipeline::executor::{ExecOptions, Executor, RunOutcome, RunReport};
 use mlcask_pipeline::metafile::{PipelineMetafile, PipelineSlot};
+use mlcask_pipeline::parallel::ParallelismPolicy;
 use mlcask_storage::commit::{Commit, CommitGraph};
 use mlcask_storage::hash::Hash256;
 use mlcask_storage::object::ObjectKind;
@@ -52,6 +53,8 @@ pub struct MlCask {
     history: HistoryIndex,
     /// Pipeline metafiles by commit payload hash.
     metafiles: RwLock<HashMap<Hash256, PipelineMetafile>>,
+    /// Worker pool for merge-search candidate evaluation.
+    parallelism: ParallelismPolicy,
 }
 
 impl MlCask {
@@ -64,7 +67,20 @@ impl MlCask {
             graph: CommitGraph::new(),
             history: HistoryIndex::new(),
             metafiles: RwLock::new(HashMap::new()),
+            parallelism: ParallelismPolicy::Sequential,
         }
+    }
+
+    /// Sets the worker pool for merge-search candidate evaluation. Merge
+    /// reports are identical under every policy; only wall-clock changes.
+    pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> MlCask {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The configured candidate-evaluation policy.
+    pub fn parallelism(&self) -> ParallelismPolicy {
+        self.parallelism
     }
 
     /// The pipeline's name.
@@ -114,11 +130,11 @@ impl MlCask {
         branch: &str,
         keys: &[ComponentKey],
         message: &str,
-        clock: &mut SimClock,
+        ledger: &ClockLedger,
     ) -> Result<CommitResult> {
         let bound = self.bind(keys)?;
         let executor = Executor::new(self.store());
-        let report = executor.run(&bound, clock, Some(&self.history), ExecOptions::MLCASK)?;
+        let report = executor.run(&bound, ledger, Some(&self.history), ExecOptions::MLCASK)?;
         if !report.outcome.is_completed() {
             return Ok(CommitResult {
                 commit: None,
@@ -166,13 +182,12 @@ impl MlCask {
             score: report.outcome.score(),
         };
         let put = self.store().put_meta(ObjectKind::Pipeline, &metafile)?;
-        self.metafiles
-            .write()
-            .insert(put.object.id, metafile);
+        self.metafiles.write().insert(put.object.id, metafile);
         let commit = if self.graph.branches().is_empty() {
             self.graph.commit_root(branch, put.object.id, message)?
         } else if let Some(mh) = merge_parent {
-            self.graph.commit_merge(branch, mh, put.object.id, message)?
+            self.graph
+                .commit_merge(branch, mh, put.object.id, message)?
         } else {
             self.graph.commit(branch, put.object.id, message)?
         };
@@ -222,7 +237,7 @@ impl MlCask {
         let head_path = collect_path(&base_head)?;
         let merge_path = collect_path(&merge_head)?;
         Ok(SearchSpaces::build(
-            &self.dag.node_names().to_vec(),
+            self.dag.node_names(),
             &head_path,
             &merge_path,
         ))
@@ -230,7 +245,11 @@ impl MlCask {
 
     /// Initial leaf scores for prioritized search: the already-trained
     /// pipelines on both heads with their recorded metrics (§VII-E).
-    pub fn initial_scores(&self, base: &str, merging: &str) -> Result<Vec<(Vec<ComponentKey>, f64)>> {
+    pub fn initial_scores(
+        &self,
+        base: &str,
+        merging: &str,
+    ) -> Result<Vec<(Vec<ComponentKey>, f64)>> {
         let mut out = Vec::new();
         for b in [base, merging] {
             let meta = self.head_metafile(b)?;
@@ -252,7 +271,7 @@ impl MlCask {
         base: &str,
         merging: &str,
         strategy: MergeStrategy,
-        clock: &mut SimClock,
+        ledger: &ClockLedger,
     ) -> Result<MergeOutcome> {
         if base == merging {
             return Err(CoreError::SelfMerge(base.into()));
@@ -269,8 +288,7 @@ impl MlCask {
             let bound = self.bind(&keys)?;
             let executor = Executor::new(self.store());
             // Fully checkpointed: zero-cost replay to assemble the metafile.
-            let report =
-                executor.run(&bound, clock, Some(&self.history), ExecOptions::MLCASK)?;
+            let report = executor.run(&bound, ledger, Some(&self.history), ExecOptions::MLCASK)?;
             let commit = self.record_commit(
                 base,
                 &keys,
@@ -286,8 +304,9 @@ impl MlCask {
         }
 
         let spaces = self.merge_search_spaces(base, merging)?;
-        let engine = MergeEngine::new(&self.registry, self.store(), Arc::clone(&self.dag));
-        let report = engine.search(&spaces, &self.history, strategy, clock)?;
+        let engine = MergeEngine::new(&self.registry, self.store(), Arc::clone(&self.dag))
+            .with_parallelism(self.parallelism);
+        let report = engine.search(&spaces, &self.history, strategy, ledger)?;
         let Some((best_keys, _)) = report.best.clone() else {
             return Err(CoreError::NoViableCandidate);
         };
@@ -295,7 +314,7 @@ impl MlCask {
         // assemble its metafile, then commit with both parents.
         let bound = self.bind(&best_keys)?;
         let executor = Executor::new(self.store());
-        let replay = executor.run(&bound, clock, Some(&self.history), ExecOptions::MLCASK)?;
+        let replay = executor.run(&bound, ledger, Some(&self.history), ExecOptions::MLCASK)?;
         debug_assert!(matches!(replay.outcome, RunOutcome::Completed { .. }));
         let commit = self.record_commit(
             base,
@@ -315,7 +334,7 @@ impl MlCask {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::{toy_model, toy_scaler, toy_source, toy_slots};
+    use crate::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
     use mlcask_pipeline::semver::SemVer;
 
     struct Fixture {
@@ -362,13 +381,13 @@ mod tests {
         }
     }
 
-    fn seed_master(f: &Fixture, clock: &mut SimClock) -> Commit {
+    fn seed_master(f: &Fixture, ledger: &ClockLedger) -> Commit {
         f.sys
             .commit_pipeline(
                 "master",
                 &[f.src.clone(), f.s00.clone(), f.m00.clone()],
                 "initial pipeline",
-                clock,
+                ledger,
             )
             .unwrap()
             .commit
@@ -378,8 +397,8 @@ mod tests {
     #[test]
     fn commit_creates_metafile_and_history() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        let c = seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        let c = seed_master(&f, &clock);
         assert_eq!(c.label(), "master.0");
         let meta = f.sys.head_metafile("master").unwrap();
         assert_eq!(meta.label, "master.0");
@@ -391,8 +410,8 @@ mod tests {
     #[test]
     fn second_commit_reuses_unchanged_prefix() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         let before = clock.snapshot();
         // Only the model changes → source and scaler reused (C1).
         let res = f
@@ -401,12 +420,12 @@ mod tests {
                 "master",
                 &[f.src.clone(), f.s00.clone(), f.m01.clone()],
                 "bump model",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         assert_eq!(res.report.reused_count(), 2);
         assert_eq!(res.report.executed_count(), 1);
-        let delta = clock.delta_since(&SimClock::new());
+        let delta = clock.snapshot();
         assert!(delta.total_ns() > before.total_ns());
         assert_eq!(res.commit.unwrap().seq, 1);
     }
@@ -414,8 +433,8 @@ mod tests {
     #[test]
     fn precheck_rejection_commits_nothing() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         let before_ns = clock.snapshot().total_ns();
         // scaler 1.0 (dim 6) + model 0.4 (dim 4): the paper's incompatible
         // final iteration.
@@ -425,7 +444,7 @@ mod tests {
                 "master",
                 &[f.src.clone(), f.s10.clone(), f.m04.clone()],
                 "doomed",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         assert!(res.commit.is_none());
@@ -444,20 +463,20 @@ mod tests {
     #[test]
     fn fast_forward_merge() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         f.sys.branch("master", "dev").unwrap();
         f.sys
             .commit_pipeline(
                 "dev",
                 &[f.src.clone(), f.s00.clone(), f.m01.clone()],
                 "dev work",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         let out = f
             .sys
-            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .merge("master", "dev", MergeStrategy::Full, &clock)
             .unwrap();
         assert!(out.fast_forward);
         assert!(out.report.is_none());
@@ -465,17 +484,14 @@ mod tests {
         assert_eq!(c.parents.len(), 2);
         // Master's head now carries dev's pipeline.
         let meta = f.sys.head_metafile("master").unwrap();
-        assert_eq!(
-            meta.component_version("test_model").unwrap(),
-            &f.m01
-        );
+        assert_eq!(meta.component_version("test_model").unwrap(), &f.m01);
     }
 
     #[test]
     fn diverged_merge_selects_best_candidate() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         f.sys.branch("master", "dev").unwrap();
         // Master moves: better scaler.
         f.sys
@@ -483,7 +499,7 @@ mod tests {
                 "master",
                 &[f.src.clone(), f.s01.clone(), f.m00.clone()],
                 "scaler 0.1",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         // Dev moves: better model.
@@ -492,12 +508,12 @@ mod tests {
                 "dev",
                 &[f.src.clone(), f.s00.clone(), f.m01.clone()],
                 "model 0.1",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         let out = f
             .sys
-            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .merge("master", "dev", MergeStrategy::Full, &clock)
             .unwrap();
         assert!(!out.fast_forward);
         let report = out.report.unwrap();
@@ -519,8 +535,8 @@ mod tests {
     #[test]
     fn merge_search_space_excludes_pre_ancestor_versions() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         // Advance master twice before branching; the old model 0.0 version
         // predates the fork point and must not appear in the search space.
         f.sys
@@ -528,7 +544,7 @@ mod tests {
                 "master",
                 &[f.src.clone(), f.s00.clone(), f.m01.clone()],
                 "model 0.1",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         f.sys.branch("master", "dev").unwrap();
@@ -537,7 +553,7 @@ mod tests {
                 "master",
                 &[f.src.clone(), f.s01.clone(), f.m01.clone()],
                 "scaler 0.1",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         // Dev adopts the schema-changing scaler 1.0 together with the
@@ -547,7 +563,7 @@ mod tests {
                 "dev",
                 &[f.src.clone(), f.s10.clone(), f.m02.clone()],
                 "scaler 1.0 + model 0.2",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         let spaces = f.sys.merge_search_spaces("master", "dev").unwrap();
@@ -563,10 +579,10 @@ mod tests {
     #[test]
     fn self_merge_rejected() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         assert!(matches!(
-            f.sys.merge("master", "master", MergeStrategy::Full, &mut clock),
+            f.sys.merge("master", "master", MergeStrategy::Full, &clock),
             Err(CoreError::SelfMerge(_))
         ));
     }
@@ -574,15 +590,15 @@ mod tests {
     #[test]
     fn initial_scores_come_from_heads() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         f.sys.branch("master", "dev").unwrap();
         f.sys
             .commit_pipeline(
                 "dev",
                 &[f.src.clone(), f.s00.clone(), f.m01.clone()],
                 "dev",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         let scores = f.sys.initial_scores("master", "dev").unwrap();
@@ -593,15 +609,15 @@ mod tests {
     #[test]
     fn commit_after_dev_work_isolates_master() {
         let f = fixture();
-        let mut clock = SimClock::new();
-        seed_master(&f, &mut clock);
+        let clock = ClockLedger::new();
+        seed_master(&f, &clock);
         f.sys.branch("master", "dev").unwrap();
         f.sys
             .commit_pipeline(
                 "dev",
                 &[f.src.clone(), f.s01.clone(), f.m01.clone()],
                 "dev iteration",
-                &mut clock,
+                &clock,
             )
             .unwrap();
         // Master untouched ("the master branch remains unchanged before the

@@ -48,11 +48,7 @@ impl Component for ToySource {
         });
         let y = (0..self.rows).map(|r| r % 2).collect();
         Ok(Artifact::new(
-            ArtifactData::Features(Features {
-                x,
-                y,
-                n_classes: 2,
-            }),
+            ArtifactData::Features(Features { x, y, n_classes: 2 }),
             self.output_schema(),
         ))
     }

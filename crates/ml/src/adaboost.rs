@@ -357,12 +357,7 @@ mod tests {
         let (x, y) = synthetic_classification(150, 4, 2, 0.25, 15);
         let model = AdaBoost::fit(&x, &y, 2, AdaBoostConfig::default());
         // Errors stay below random guessing for every kept stump.
-        for (i, e) in model
-            .error_history
-            .iter()
-            .take(model.len())
-            .enumerate()
-        {
+        for (i, e) in model.error_history.iter().take(model.len()).enumerate() {
             assert!(*e < 0.5, "round {i} error {e}");
         }
     }

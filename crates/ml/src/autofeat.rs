@@ -51,9 +51,9 @@ impl GenFeature {
     pub fn eval(&self, row: &[f32]) -> f32 {
         match *self {
             GenFeature::Product(i, j) => row[i] * row[j],
-            GenFeature::Ratio(i, j) => (row[i] / (row[j].abs() + 1e-6)
-                * row[j].signum_or_one())
-            .clamp(-1e3, 1e3),
+            GenFeature::Ratio(i, j) => {
+                (row[i] / (row[j].abs() + 1e-6) * row[j].signum_or_one()).clamp(-1e3, 1e3)
+            }
         }
     }
 }
@@ -92,8 +92,10 @@ impl AutoFeat {
         let yf: Vec<f32> = y.iter().map(|&v| v as f32).collect();
         let mut candidates: Vec<(GenFeature, f32)> = Vec::new();
         let mut col = vec![0.0f32; x.rows()];
-        let push = |feat: GenFeature, x: &Matrix, col: &mut Vec<f32>,
-                        cands: &mut Vec<(GenFeature, f32)>| {
+        let push = |feat: GenFeature,
+                    x: &Matrix,
+                    col: &mut Vec<f32>,
+                    cands: &mut Vec<(GenFeature, f32)>| {
             for (r, c) in col.iter_mut().enumerate() {
                 *c = feat.eval(x.row(r));
             }
@@ -192,7 +194,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = Matrix::from_fn(n, 4, |_, _| rng.gen::<f32>() * 2.0 - 1.0);
         let y: Vec<usize> = (0..n)
-            .map(|r| if x.get(r, 0) * x.get(r, 1) > 0.0 { 1 } else { 0 })
+            .map(|r| {
+                if x.get(r, 0) * x.get(r, 1) > 0.0 {
+                    1
+                } else {
+                    0
+                }
+            })
             .collect();
         (x, y)
     }
@@ -214,7 +222,14 @@ mod tests {
     #[test]
     fn transform_appends_features() {
         let (x, y) = xor_like_data(100, 2);
-        let af = AutoFeat::fit(&x, &y, AutoFeatConfig { top_k: 5, ..Default::default() });
+        let af = AutoFeat::fit(
+            &x,
+            &y,
+            AutoFeatConfig {
+                top_k: 5,
+                ..Default::default()
+            },
+        );
         let t = af.transform(&x);
         assert_eq!(t.cols(), af.out_dim());
         assert_eq!(t.cols(), 4 + af.selected.len());

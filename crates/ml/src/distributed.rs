@@ -30,8 +30,8 @@ pub struct GpuCostModel {
 impl Default for GpuCostModel {
     fn default() -> Self {
         GpuCostModel {
-            ns_per_sample: 400_000,        // 0.4 ms / sample
-            allreduce_base_ns: 1_500_000,  // 1.5 ms
+            ns_per_sample: 400_000,       // 0.4 ms / sample
+            allreduce_base_ns: 1_500_000, // 1.5 ms
             allreduce_per_worker_ns: 500_000,
         }
     }
@@ -78,6 +78,7 @@ pub struct DistributedRun {
 /// Gradient math is real: every step trains on a full global batch (the
 /// union of the k shards), so larger `k` processes more samples per unit of
 /// virtual time — exactly the throughput effect in Fig. 11(a).
+#[allow(clippy::too_many_arguments)]
 pub fn train_distributed(
     x: &Matrix,
     y: &[usize],
@@ -243,8 +244,26 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let (x, y) = synthetic_classification(128, 4, 2, 0.2, 3);
-        let a = train_distributed(&x, &y, 2, &MlpConfig::default(), 2, 32, 10, GpuCostModel::default());
-        let b = train_distributed(&x, &y, 2, &MlpConfig::default(), 2, 32, 10, GpuCostModel::default());
+        let a = train_distributed(
+            &x,
+            &y,
+            2,
+            &MlpConfig::default(),
+            2,
+            32,
+            10,
+            GpuCostModel::default(),
+        );
+        let b = train_distributed(
+            &x,
+            &y,
+            2,
+            &MlpConfig::default(),
+            2,
+            32,
+            10,
+            GpuCostModel::default(),
+        );
         assert_eq!(
             a.curve.iter().map(|p| p.loss).collect::<Vec<_>>(),
             b.curve.iter().map(|p| p.loss).collect::<Vec<_>>()

@@ -201,10 +201,7 @@ impl Embedding {
     /// Deterministic work estimate: the factorisation dominates at
     /// `O(V^2 · dim · iterations)`.
     pub fn work_units(vocab: usize, config: &EmbeddingConfig) -> u64 {
-        (vocab as u64)
-            * (vocab as u64)
-            * (config.dim as u64)
-            * (config.iterations as u64)
+        (vocab as u64) * (vocab as u64) * (config.dim as u64) * (config.iterations as u64)
     }
 }
 
@@ -216,7 +213,9 @@ fn power_iteration(m: &Matrix, iterations: usize, seed: u64) -> (f32, Vec<f32>) 
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     let mut v: Vec<f32> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
         })
         .collect();
@@ -228,11 +227,7 @@ fn power_iteration(m: &Matrix, iterations: usize, seed: u64) -> (f32, Vec<f32>) 
             let row = m.row(r);
             next[r] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
         }
-        eig = next
-            .iter()
-            .zip(v.iter())
-            .map(|(a, b)| a * b)
-            .sum::<f32>();
+        eig = next.iter().zip(v.iter()).map(|(a, b)| a * b).sum::<f32>();
         normalise(&mut next);
         v = next;
     }
@@ -364,7 +359,10 @@ mod tests {
     fn empty_corpus() {
         let e = Embedding::train(&[], EmbeddingConfig::default());
         assert_eq!(e.vocab_size(), 0);
-        assert!(e.embed_document(&tokenize("anything")).iter().all(|&v| v == 0.0));
+        assert!(e
+            .embed_document(&tokenize("anything"))
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]

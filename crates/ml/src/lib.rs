@@ -27,6 +27,9 @@
 //! computational effort (see DESIGN.md §2 on the virtual clock).
 
 #![warn(missing_docs)]
+// Numeric kernels intentionally use index loops that mirror the math
+// notation; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
 
 pub mod adaboost;
 pub mod autofeat;

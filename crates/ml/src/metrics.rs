@@ -56,7 +56,11 @@ pub fn log_loss(prob_pos: &[f64], truth: &[usize]) -> f64 {
 /// Returns 0.5 when either class is absent.
 pub fn auc(prob_pos: &[f64], truth: &[usize]) -> f64 {
     assert_eq!(prob_pos.len(), truth.len(), "length mismatch");
-    let mut pairs: Vec<(f64, usize)> = prob_pos.iter().copied().zip(truth.iter().copied()).collect();
+    let mut pairs: Vec<(f64, usize)> = prob_pos
+        .iter()
+        .copied()
+        .zip(truth.iter().copied())
+        .collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let n_pos = truth.iter().filter(|&&t| t == 1).count();
     let n_neg = truth.len() - n_pos;

@@ -58,7 +58,10 @@ impl Mlp {
     /// Initialises an untrained network for `input_dim` features and
     /// `n_classes` outputs.
     pub fn new(input_dim: usize, n_classes: usize, config: MlpConfig) -> Mlp {
-        assert!(input_dim > 0 && n_classes > 0, "dimensions must be positive");
+        assert!(
+            input_dim > 0 && n_classes > 0,
+            "dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut dims = vec![input_dim];
         dims.extend_from_slice(&config.hidden);

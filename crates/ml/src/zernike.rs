@@ -44,9 +44,7 @@ pub fn radial_polynomial(n: u32, m: u32, rho: f64) -> f64 {
     let mut sum = 0.0;
     for s in 0..=((n - m) / 2) {
         let num = if s % 2 == 0 { 1.0 } else { -1.0 } * factorial(n - s);
-        let den = factorial(s)
-            * factorial((n + m) / 2 - s)
-            * factorial((n - m) / 2 - s);
+        let den = factorial(s) * factorial((n + m) / 2 - s) * factorial((n - m) / 2 - s);
         sum += num / den * rho.powi((n - 2 * s) as i32);
     }
     sum

@@ -283,7 +283,10 @@ mod tests {
             blob: vec![1, 2, 3],
             score: Score::new(MetricKind::Accuracy, 0.87),
         };
-        let schema = Schema::Model { family: "mlp".into() }.id();
+        let schema = Schema::Model {
+            family: "mlp".into(),
+        }
+        .id();
         let a = Artifact::new(ArtifactData::Model(m), schema);
         assert_eq!(a.score().unwrap().raw, 0.87);
         assert_eq!(a.data.kind_label(), "model");

@@ -1,78 +1,122 @@
-//! Deterministic virtual clock with per-stage accounting.
+//! Deterministic virtual time with thread-safe per-stage accounting.
 //!
-//! All reported times in the experiment harness come from this clock, not
+//! All reported times in the experiment harness come from this ledger, not
 //! wall time, so figures are identical across machines (DESIGN.md §2). The
 //! split between pre-processing, model training, and storage time is what
 //! Figs. 6 and 9 plot.
+//!
+//! [`ClockLedger`] replaces the old `SimClock`: charges go through `&self`
+//! (relaxed atomic adds), so an executor run no longer needs exclusive
+//! access to the time state and many runs can account concurrently into
+//! per-run ledgers. [`ClockSnapshot`] is the immutable, mergeable view: the
+//! parallel candidate-evaluation engines assign virtual end-times by a
+//! deterministic reduction over per-candidate snapshots (see
+//! `mlcask_pipeline::replay`), which keeps reports byte-identical between
+//! sequential and parallel execution.
 
 use crate::component::StageKind;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Accumulating virtual clock.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
-pub struct SimClock {
-    exec: BTreeMap<StageKind, Duration>,
-    storage: Duration,
+/// Accumulating, thread-safe virtual clock.
+#[derive(Debug, Default)]
+pub struct ClockLedger {
+    ingest_ns: AtomicU64,
+    preprocess_ns: AtomicU64,
+    training_ns: AtomicU64,
+    storage_ns: AtomicU64,
 }
 
-impl SimClock {
-    /// A clock at zero.
+impl ClockLedger {
+    /// A ledger at zero.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A ledger pre-loaded with a snapshot's charges.
+    pub fn from_snapshot(snap: &ClockSnapshot) -> Self {
+        let ledger = Self::new();
+        ledger.merge(snap);
+        ledger
+    }
+
     /// Charges execution time to a stage category.
-    pub fn charge_exec(&mut self, stage: StageKind, d: Duration) {
-        *self.exec.entry(stage).or_default() += d;
+    pub fn charge_exec(&self, stage: StageKind, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        match stage {
+            StageKind::Ingest => self.ingest_ns.fetch_add(ns, Ordering::Relaxed),
+            StageKind::PreProcess => self.preprocess_ns.fetch_add(ns, Ordering::Relaxed),
+            StageKind::ModelTraining => self.training_ns.fetch_add(ns, Ordering::Relaxed),
+        };
     }
 
     /// Charges storage (data preparation/transfer) time.
-    pub fn charge_storage(&mut self, d: Duration) {
-        self.storage += d;
+    pub fn charge_storage(&self, d: Duration) {
+        self.storage_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds a snapshot's charges into this ledger (the deterministic
+    /// reduction step of the parallel engines).
+    pub fn merge(&self, snap: &ClockSnapshot) {
+        self.ingest_ns.fetch_add(snap.ingest_ns, Ordering::Relaxed);
+        self.preprocess_ns
+            .fetch_add(snap.preprocess_ns, Ordering::Relaxed);
+        self.training_ns
+            .fetch_add(snap.training_ns, Ordering::Relaxed);
+        self.storage_ns
+            .fetch_add(snap.storage_ns, Ordering::Relaxed);
     }
 
     /// Total execution time across stages (the paper's "execution time").
     pub fn exec_total(&self) -> Duration {
-        self.exec.values().sum()
+        Duration::from_nanos(self.snapshot().exec_ns())
     }
 
     /// Execution time attributed to one stage kind.
     pub fn exec_for(&self, stage: StageKind) -> Duration {
-        self.exec.get(&stage).copied().unwrap_or_default()
+        let ns = match stage {
+            StageKind::Ingest => self.ingest_ns.load(Ordering::Relaxed),
+            StageKind::PreProcess => self.preprocess_ns.load(Ordering::Relaxed),
+            StageKind::ModelTraining => self.training_ns.load(Ordering::Relaxed),
+        };
+        Duration::from_nanos(ns)
     }
 
     /// Storage time (the paper's "storage time").
     pub fn storage_total(&self) -> Duration {
-        self.storage
+        Duration::from_nanos(self.storage_ns.load(Ordering::Relaxed))
     }
 
     /// Pipeline time = execution + storage (the paper's "pipeline time").
     pub fn pipeline_total(&self) -> Duration {
-        self.exec_total() + self.storage
+        Duration::from_nanos(self.snapshot().total_ns())
     }
 
     /// Immutable snapshot for reports.
+    ///
+    /// The four counters are read individually with relaxed ordering; take
+    /// snapshots at quiescent points (no concurrent charging) when exact
+    /// cross-field consistency matters — that is how the engines use it.
     pub fn snapshot(&self) -> ClockSnapshot {
         ClockSnapshot {
-            ingest_ns: self.exec_for(StageKind::Ingest).as_nanos() as u64,
-            preprocess_ns: self.exec_for(StageKind::PreProcess).as_nanos() as u64,
-            training_ns: self.exec_for(StageKind::ModelTraining).as_nanos() as u64,
-            storage_ns: self.storage.as_nanos() as u64,
+            ingest_ns: self.ingest_ns.load(Ordering::Relaxed),
+            preprocess_ns: self.preprocess_ns.load(Ordering::Relaxed),
+            training_ns: self.training_ns.load(Ordering::Relaxed),
+            storage_ns: self.storage_ns.load(Ordering::Relaxed),
         }
     }
 
     /// Difference `self - earlier` as a snapshot (for per-iteration deltas).
-    pub fn delta_since(&self, earlier: &SimClock) -> ClockSnapshot {
-        let a = self.snapshot();
-        let b = earlier.snapshot();
-        ClockSnapshot {
-            ingest_ns: a.ingest_ns - b.ingest_ns,
-            preprocess_ns: a.preprocess_ns - b.preprocess_ns,
-            training_ns: a.training_ns - b.training_ns,
-            storage_ns: a.storage_ns - b.storage_ns,
-        }
+    pub fn delta_since(&self, earlier: &ClockSnapshot) -> ClockSnapshot {
+        self.snapshot().minus(earlier)
+    }
+}
+
+impl Clone for ClockLedger {
+    fn clone(&self) -> Self {
+        ClockLedger::from_snapshot(&self.snapshot())
     }
 }
 
@@ -114,6 +158,16 @@ impl ClockSnapshot {
             storage_ns: self.storage_ns + other.storage_ns,
         }
     }
+
+    /// Element-wise difference `self - earlier` (saturating at zero).
+    pub fn minus(&self, earlier: &ClockSnapshot) -> ClockSnapshot {
+        ClockSnapshot {
+            ingest_ns: self.ingest_ns.saturating_sub(earlier.ingest_ns),
+            preprocess_ns: self.preprocess_ns.saturating_sub(earlier.preprocess_ns),
+            training_ns: self.training_ns.saturating_sub(earlier.training_ns),
+            storage_ns: self.storage_ns.saturating_sub(earlier.storage_ns),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +176,7 @@ mod tests {
 
     #[test]
     fn charges_accumulate_per_stage() {
-        let mut c = SimClock::new();
+        let c = ClockLedger::new();
         c.charge_exec(StageKind::PreProcess, Duration::from_millis(10));
         c.charge_exec(StageKind::PreProcess, Duration::from_millis(5));
         c.charge_exec(StageKind::ModelTraining, Duration::from_millis(20));
@@ -135,9 +189,9 @@ mod tests {
 
     #[test]
     fn snapshot_and_delta() {
-        let mut c = SimClock::new();
+        let c = ClockLedger::new();
         c.charge_exec(StageKind::Ingest, Duration::from_nanos(100));
-        let earlier = c.clone();
+        let earlier = c.snapshot();
         c.charge_exec(StageKind::ModelTraining, Duration::from_nanos(50));
         c.charge_storage(Duration::from_nanos(7));
         let d = c.delta_since(&earlier);
@@ -149,7 +203,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_plus() {
+    fn snapshot_plus_minus() {
         let a = ClockSnapshot {
             ingest_ns: 1,
             preprocess_ns: 2,
@@ -158,13 +212,54 @@ mod tests {
         };
         let b = a.plus(&a);
         assert_eq!(b.total_ns(), 20);
+        assert_eq!(b.minus(&a), a);
         assert!((a.total_secs() - 10e-9).abs() < 1e-18);
     }
 
     #[test]
-    fn zero_clock() {
-        let c = SimClock::new();
+    fn zero_ledger() {
+        let c = ClockLedger::new();
         assert_eq!(c.pipeline_total(), Duration::ZERO);
         assert_eq!(c.snapshot().total_ns(), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_over_snapshots() {
+        let parts: Vec<ClockSnapshot> = (0..4)
+            .map(|i| ClockSnapshot {
+                ingest_ns: i,
+                preprocess_ns: 2 * i,
+                training_ns: 3 * i,
+                storage_ns: 4 * i,
+            })
+            .collect();
+        let left = ClockLedger::new();
+        for p in &parts {
+            left.merge(p);
+        }
+        let right = ClockLedger::new();
+        for p in parts.iter().rev() {
+            right.merge(p);
+        }
+        assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    #[test]
+    fn concurrent_charging_is_lossless() {
+        use std::sync::Arc;
+        let c = Arc::new(ClockLedger::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.charge_exec(StageKind::ModelTraining, Duration::from_nanos(3));
+                        c.charge_storage(Duration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.snapshot().training_ns, 8 * 1000 * 3);
+        assert_eq!(c.snapshot().storage_ns, 8 * 1000);
     }
 }

@@ -213,11 +213,7 @@ pub(crate) mod test_support {
             let x = Matrix::from_fn(self.rows, self.dim, |r, c| ((r * self.dim + c) % 7) as f32);
             let y = (0..self.rows).map(|r| r % 2).collect();
             Ok(Artifact::new(
-                ArtifactData::Features(Features {
-                    x,
-                    y,
-                    n_classes: 2,
-                }),
+                ArtifactData::Features(Features { x, y, n_classes: 2 }),
                 self.output_schema(),
             ))
         }

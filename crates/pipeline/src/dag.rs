@@ -228,7 +228,8 @@ mod tests {
     use crate::semver::SemVer;
 
     fn chain3() -> (Arc<PipelineDag>, Vec<ComponentHandle>) {
-        let dag = Arc::new(PipelineDag::chain(&["test_source", "test_scaler", "test_model"]).unwrap());
+        let dag =
+            Arc::new(PipelineDag::chain(&["test_source", "test_scaler", "test_model"]).unwrap());
         let comps: Vec<ComponentHandle> = vec![
             Arc::new(TestSource {
                 version: SemVer::initial(),
@@ -318,7 +319,8 @@ mod tests {
 
     #[test]
     fn precheck_detects_static_incompatibility() {
-        let dag = Arc::new(PipelineDag::chain(&["test_source", "test_scaler", "test_model"]).unwrap());
+        let dag =
+            Arc::new(PipelineDag::chain(&["test_source", "test_scaler", "test_model"]).unwrap());
         let comps: Vec<ComponentHandle> = vec![
             Arc::new(TestSource {
                 version: SemVer::initial(),

@@ -116,6 +116,8 @@ mod tests {
             .to_string()
             .contains("cycle"));
         let k = ComponentKey::new("x", SemVer::initial());
-        assert!(PipelineError::UnknownComponent(k).to_string().contains("unknown"));
+        assert!(PipelineError::UnknownComponent(k)
+            .to_string()
+            .contains("unknown"));
     }
 }

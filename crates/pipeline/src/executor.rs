@@ -14,16 +14,17 @@
 //!   into different storage backends/cost models).
 
 use crate::artifact::Artifact;
-use crate::clock::SimClock;
+use crate::clock::ClockLedger;
 use crate::component::{ComponentKey, StageKind};
 use crate::dag::BoundPipeline;
 use crate::errors::{PipelineError, Result};
+use crate::parallel::{ParallelismPolicy, ShardedMap};
+use crate::replay::ProfileBook;
 use crate::schema::SchemaId;
 use mlcask_ml::metrics::Score;
 use mlcask_storage::hash::Hash256;
 use mlcask_storage::object::{ObjectKind, ObjectRef};
 use mlcask_storage::store::ChunkStore;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -58,10 +59,12 @@ pub trait OutputCache: Send + Sync {
     fn insert(&self, key: CacheKey, value: CachedOutput);
 }
 
-/// Simple in-memory [`OutputCache`].
+/// Sharded in-memory [`OutputCache`] safe for concurrent pipeline runs:
+/// independent shard locks keep parallel executors from serializing on one
+/// cache-wide lock.
 #[derive(Default)]
 pub struct MemoryCache {
-    map: RwLock<HashMap<CacheKey, CachedOutput>>,
+    map: ShardedMap<CacheKey, CachedOutput>,
 }
 
 impl MemoryCache {
@@ -72,22 +75,22 @@ impl MemoryCache {
 
     /// Number of checkpoints.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.len()
     }
 
     /// True if no checkpoints recorded.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.map.is_empty()
     }
 }
 
 impl OutputCache for MemoryCache {
     fn lookup(&self, key: &CacheKey) -> Option<CachedOutput> {
-        self.map.read().get(key).cloned()
+        self.map.get(key)
     }
 
     fn insert(&self, key: CacheKey, value: CachedOutput) {
-        self.map.write().insert(key, value);
+        self.map.insert(key, value);
     }
 }
 
@@ -100,6 +103,11 @@ pub struct ExecOptions {
     pub precheck: bool,
     /// Archive component outputs to the store.
     pub persist_outputs: bool,
+    /// Worker-pool size for engines that evaluate many *candidate
+    /// pipelines* under this policy (merge search, prioritized-search
+    /// trials). A single [`Executor::run`] is always sequential over its
+    /// own DAG; this knob parallelizes across independent runs.
+    pub parallelism: ParallelismPolicy,
 }
 
 impl ExecOptions {
@@ -108,6 +116,7 @@ impl ExecOptions {
         reuse: true,
         precheck: true,
         persist_outputs: true,
+        parallelism: ParallelismPolicy::Sequential,
     };
 
     /// MLflow-like policy: reuse, no precheck.
@@ -115,6 +124,7 @@ impl ExecOptions {
         reuse: true,
         precheck: false,
         persist_outputs: true,
+        parallelism: ParallelismPolicy::Sequential,
     };
 
     /// ModelDB-like policy: no reuse, no precheck.
@@ -122,7 +132,14 @@ impl ExecOptions {
         reuse: false,
         precheck: false,
         persist_outputs: true,
+        parallelism: ParallelismPolicy::Sequential,
     };
+
+    /// The same policy with a different candidate-evaluation pool size.
+    pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> ExecOptions {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 /// Per-stage record of one pipeline run.
@@ -223,7 +240,12 @@ impl<'s> Executor<'s> {
         Executor { store }
     }
 
-    /// Runs a bound pipeline under the given policy, charging `clock`.
+    /// Runs a bound pipeline under the given policy, charging `ledger`.
+    ///
+    /// The ledger is taken by shared reference — charging is atomic — so
+    /// many executor runs may account concurrently, each into its own
+    /// per-run ledger (or all into one shared ledger when per-candidate
+    /// attribution is not needed).
     ///
     /// Infrastructure failures (storage faults, malformed DAGs) surface as
     /// `Err`; *expected* failures (schema incompatibility discovered mid-run)
@@ -232,7 +254,7 @@ impl<'s> Executor<'s> {
     pub fn run(
         &self,
         pipeline: &BoundPipeline,
-        clock: &mut SimClock,
+        ledger: &ClockLedger,
         cache: Option<&dyn OutputCache>,
         options: ExecOptions,
     ) -> Result<RunReport> {
@@ -303,14 +325,11 @@ impl<'s> Executor<'s> {
                 if out.in_memory.is_none() {
                     if out.cached.object.is_null() {
                         return Err(PipelineError::Storage(
-                            mlcask_storage::errors::StorageError::NotFound(
-                                out.cached.artifact_id,
-                            ),
+                            mlcask_storage::errors::StorageError::NotFound(out.cached.artifact_id),
                         ));
                     }
                     let bytes = self.store.get_blob(&out.cached.object)?;
-                    materialise_ns +=
-                        self.store.read_cost(&out.cached.object).as_nanos() as u64;
+                    materialise_ns += self.store.read_cost(&out.cached.object).as_nanos() as u64;
                     let artifact = Artifact::from_bytes(&bytes).map_err(|e| {
                         PipelineError::Storage(mlcask_storage::errors::StorageError::Codec(
                             e.to_string(),
@@ -321,7 +340,7 @@ impl<'s> Executor<'s> {
                 input_artifacts.push(out.in_memory.clone().expect("just materialised"));
             }
             if materialise_ns > 0 {
-                clock.charge_storage(Duration::from_nanos(materialise_ns));
+                ledger.charge_storage(Duration::from_nanos(materialise_ns));
             }
 
             // Execute.
@@ -329,7 +348,7 @@ impl<'s> Executor<'s> {
             let exec_ns = work.saturating_mul(comp.ns_per_unit());
             match comp.run(&input_artifacts) {
                 Ok(artifact) => {
-                    clock.charge_exec(comp.stage(), Duration::from_nanos(exec_ns));
+                    ledger.charge_exec(comp.stage(), Duration::from_nanos(exec_ns));
                     let artifact_id = artifact.content_id();
                     let score = artifact.score();
                     if let Some(s) = score {
@@ -341,7 +360,7 @@ impl<'s> Executor<'s> {
                             _ => ObjectKind::Output,
                         };
                         let put = self.store.put_blob(kind, &artifact.to_bytes())?;
-                        clock.charge_storage(put.cost);
+                        ledger.charge_storage(put.cost);
                         (put.object, put.cost.as_nanos() as u64)
                     } else {
                         (ObjectRef::null(ObjectKind::Output), 0)
@@ -399,6 +418,134 @@ impl<'s> Executor<'s> {
             None => Err(PipelineError::NoScore),
         }
     }
+
+    /// Runs a bound pipeline for its *results only*, recording execution
+    /// profiles into `book` instead of charging a ledger or store stats.
+    ///
+    /// This is phase 1 of the parallel candidate-evaluation protocol (see
+    /// [`crate::replay`]): many traced runs may execute concurrently against
+    /// a shared concurrent `cache`, deduplicating work across candidates;
+    /// the deterministic accounting happens afterwards via
+    /// [`crate::replay::replay_run`] in canonical candidate order.
+    ///
+    /// Outputs are always persisted (the replay needs write traces).
+    /// `precheck` must match the policy the accounting replay will use, so
+    /// a prechecking policy leaves no phase-1 side-state for rejected
+    /// pipelines — exactly like the sequential executor.
+    ///
+    /// Returns the final model score, or `None` when the pipeline failed
+    /// mid-run (adaptive searchers need the score before accounting runs).
+    pub fn run_traced(
+        &self,
+        pipeline: &BoundPipeline,
+        cache: &dyn OutputCache,
+        book: &ProfileBook,
+        precheck: bool,
+    ) -> Result<Option<Score>> {
+        // Mirror the live executor: a prechecking policy rejects doomed
+        // pipelines before executing (or recording) anything, so replay's
+        // `RejectedByPrecheck` branch sees the same side-state a sequential
+        // run would have left.
+        if precheck
+            && matches!(
+                pipeline.precheck_compatibility(),
+                Err(PipelineError::IncompatibleSchema(_))
+            )
+        {
+            return Ok(None);
+        }
+        let order = pipeline.dag.topo_order()?;
+        let mut outputs: HashMap<usize, NodeOutput> = HashMap::new();
+        let mut final_score: Option<Score> = None;
+
+        for node in order {
+            let comp = &pipeline.components[node];
+            let preds = pipeline.dag.pre(node);
+            let input_ids: Vec<Hash256> = preds
+                .iter()
+                .map(|p| outputs[p].cached.artifact_id)
+                .collect();
+            let key = CacheKey {
+                component: comp.key(),
+                inputs: input_ids,
+            };
+
+            if let Some(hit) = cache.lookup(&key) {
+                if let Some(s) = hit.score {
+                    final_score = Some(s);
+                }
+                outputs.insert(
+                    node,
+                    NodeOutput {
+                        cached: hit,
+                        in_memory: None,
+                    },
+                );
+                continue;
+            }
+
+            // Materialise checkpointed inputs (results only, no charging).
+            let mut input_artifacts: Vec<Artifact> = Vec::with_capacity(preds.len());
+            for p in &preds {
+                let out = outputs.get_mut(p).expect("topological order");
+                if out.in_memory.is_none() {
+                    let bytes = self.store.get_blob(&out.cached.object)?;
+                    let artifact = Artifact::from_bytes(&bytes).map_err(|e| {
+                        PipelineError::Storage(mlcask_storage::errors::StorageError::Codec(
+                            e.to_string(),
+                        ))
+                    })?;
+                    out.in_memory = Some(artifact);
+                }
+                input_artifacts.push(out.in_memory.clone().expect("just materialised"));
+            }
+
+            let work = comp.work_units(&input_artifacts);
+            let exec_ns = work.saturating_mul(comp.ns_per_unit());
+            match comp.run(&input_artifacts) {
+                Ok(artifact) => {
+                    let artifact_id = artifact.content_id();
+                    if let Some(s) = artifact.score() {
+                        final_score = Some(s);
+                    }
+                    let kind = match comp.stage() {
+                        StageKind::ModelTraining => ObjectKind::Model,
+                        _ => ObjectKind::Output,
+                    };
+                    let (put, trace) = self.store.put_blob_traced(kind, &artifact.to_bytes())?;
+                    let cached = CachedOutput {
+                        object: put.object,
+                        artifact_id,
+                        schema: artifact.schema,
+                        score: artifact.score(),
+                    };
+                    cache.insert(key.clone(), cached.clone());
+                    book.record_profile(
+                        key,
+                        crate::replay::StageProfile {
+                            cached: cached.clone(),
+                            artifact_bytes: artifact.byte_len(),
+                            exec_ns,
+                            write: Some(trace),
+                        },
+                    );
+                    outputs.insert(
+                        node,
+                        NodeOutput {
+                            cached,
+                            in_memory: Some(artifact),
+                        },
+                    );
+                }
+                Err(PipelineError::IncompatibleSchema(_)) => {
+                    book.record_failure(key);
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(final_score)
+    }
 }
 
 #[cfg(test)]
@@ -438,9 +585,9 @@ mod tests {
     fn completes_and_scores() {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = exec
-            .run(&pipeline(2.0, 3, 3), &mut clock, None, ExecOptions::RERUN_ALL)
+            .run(&pipeline(2.0, 3, 3), &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         assert!(report.outcome.is_completed());
         assert_eq!(report.stages.len(), 3);
@@ -456,15 +603,15 @@ mod tests {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
         let cache = MemoryCache::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let p = pipeline(2.0, 3, 3);
         let first = exec
-            .run(&p, &mut clock, Some(&cache), ExecOptions::MLCASK)
+            .run(&p, &clock, Some(&cache), ExecOptions::MLCASK)
             .unwrap();
         assert_eq!(first.executed_count(), 3);
         let t_after_first = clock.pipeline_total();
         let second = exec
-            .run(&p, &mut clock, Some(&cache), ExecOptions::MLCASK)
+            .run(&p, &clock, Some(&cache), ExecOptions::MLCASK)
             .unwrap();
         assert_eq!(second.executed_count(), 0);
         assert_eq!(second.reused_count(), 3);
@@ -485,9 +632,9 @@ mod tests {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
         let cache = MemoryCache::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let p1 = pipeline(2.0, 3, 3);
-        exec.run(&p1, &mut clock, Some(&cache), ExecOptions::MLCASK)
+        exec.run(&p1, &clock, Some(&cache), ExecOptions::MLCASK)
             .unwrap();
         // Same source+scaler, different model quality → prefix reused, model
         // re-executed from the materialised scaler output.
@@ -504,7 +651,7 @@ mod tests {
         let p2 = BoundPipeline::new(dag, comps).unwrap();
         let before_storage = clock.storage_total();
         let report = exec
-            .run(&p2, &mut clock, Some(&cache), ExecOptions::MLCASK)
+            .run(&p2, &clock, Some(&cache), ExecOptions::MLCASK)
             .unwrap();
         assert_eq!(report.reused_count(), 2);
         assert_eq!(report.executed_count(), 1);
@@ -519,11 +666,11 @@ mod tests {
     fn precheck_rejects_without_charging_time() {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         // Scaler widens to 5 dims, model expects 3 → statically doomed.
         let doomed = pipeline(1.0, 5, 3);
         let report = exec
-            .run(&doomed, &mut clock, None, ExecOptions::MLCASK)
+            .run(&doomed, &clock, None, ExecOptions::MLCASK)
             .unwrap();
         assert!(matches!(
             report.outcome,
@@ -537,10 +684,10 @@ mod tests {
     fn without_precheck_fails_midway_after_spending_time() {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let doomed = pipeline(1.0, 5, 3);
         let report = exec
-            .run(&doomed, &mut clock, None, ExecOptions::RERUN_ALL)
+            .run(&doomed, &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         match &report.outcome {
             RunOutcome::Failed { at, .. } => assert_eq!(at.name, "test_model"),
@@ -556,12 +703,12 @@ mod tests {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
         let cache = MemoryCache::new();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let p = pipeline(2.0, 3, 3);
-        exec.run(&p, &mut clock, Some(&cache), ExecOptions::RERUN_ALL)
+        exec.run(&p, &clock, Some(&cache), ExecOptions::RERUN_ALL)
             .unwrap();
         let second = exec
-            .run(&p, &mut clock, Some(&cache), ExecOptions::RERUN_ALL)
+            .run(&p, &clock, Some(&cache), ExecOptions::RERUN_ALL)
             .unwrap();
         assert_eq!(second.executed_count(), 3, "ModelDB reruns everything");
     }
@@ -570,11 +717,11 @@ mod tests {
     fn duplicate_outputs_dedup_in_store() {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let p = pipeline(2.0, 3, 3);
-        exec.run(&p, &mut clock, None, ExecOptions::RERUN_ALL).unwrap();
+        exec.run(&p, &clock, None, ExecOptions::RERUN_ALL).unwrap();
         let physical_after_first = store.physical_bytes();
-        exec.run(&p, &mut clock, None, ExecOptions::RERUN_ALL).unwrap();
+        exec.run(&p, &clock, None, ExecOptions::RERUN_ALL).unwrap();
         // Identical outputs → chunk store stores nothing new.
         assert_eq!(store.physical_bytes(), physical_after_first);
         // But logical bytes doubled (ModelDB-style accounting).
@@ -585,8 +732,8 @@ mod tests {
     fn stage_time_attribution() {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
-        let mut clock = SimClock::new();
-        exec.run(&pipeline(2.0, 3, 3), &mut clock, None, ExecOptions::RERUN_ALL)
+        let clock = ClockLedger::new();
+        exec.run(&pipeline(2.0, 3, 3), &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         let snap = clock.snapshot();
         assert!(snap.ingest_ns > 0);

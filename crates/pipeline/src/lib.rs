@@ -29,6 +29,8 @@ pub mod dag;
 pub mod errors;
 pub mod executor;
 pub mod metafile;
+pub mod parallel;
+pub mod replay;
 pub mod schema;
 pub mod semver;
 
@@ -37,7 +39,7 @@ pub mod prelude {
     pub use crate::artifact::{
         Artifact, ArtifactData, Cell, Docs, Features, ImageSet, ModelArtifact, SequenceSet, Table,
     };
-    pub use crate::clock::{ClockSnapshot, SimClock};
+    pub use crate::clock::{ClockLedger, ClockSnapshot};
     pub use crate::component::{
         Component, ComponentFamily, ComponentHandle, ComponentKey, StageKind,
     };
@@ -48,6 +50,8 @@ pub mod prelude {
         RunReport, StageReport,
     };
     pub use crate::metafile::{DatasetMetafile, LibraryMetafile, PipelineMetafile, PipelineSlot};
+    pub use crate::parallel::{map_indexed, ParallelismPolicy, ShardedMap};
+    pub use crate::replay::{replay_run, CacheSnapshot, ProfileBook, ReplayCursor, StageProfile};
     pub use crate::schema::{Schema, SchemaId};
     pub use crate::semver::SemVer;
 }

@@ -149,7 +149,11 @@ mod tests {
             stage: StageKind::PreProcess,
             entry_point: "extract.main".into(),
             input_schema: Some(Schema::relational(&["age"]).id()),
-            output_schema: Schema::FeatureMatrix { dim: 8, n_classes: 2 }.id(),
+            output_schema: Schema::FeatureMatrix {
+                dim: 8,
+                n_classes: 2,
+            }
+            .id(),
             hyperparams: BTreeMap::from([("top_k".into(), "8".into())]),
             executable: obj(),
         };

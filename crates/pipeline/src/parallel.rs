@@ -1,0 +1,273 @@
+//! Worker-pool primitives for parallel candidate evaluation.
+//!
+//! The merge search and the prioritized-search trial harness evaluate many
+//! *independent* pipelines; [`map_indexed`] fans that work out over scoped
+//! threads while keeping results in input order so downstream accounting is
+//! deterministic. [`ParallelismPolicy`] is the user-facing knob, exposed on
+//! `ExecOptions`, `MergeEngine`, `PrioritizedSearcher`, and `MlCask`.
+//!
+//! Determinism contract: callers must make worker closures *pure up to
+//! commutative side effects* (content-addressed stores, output caches, and
+//! `ClockLedger` charges all commute); every ordering-sensitive computation
+//! (virtual end-times, storage accounting, best-candidate selection) is then
+//! performed by a sequential reduction over the index-ordered results — see
+//! `mlcask_pipeline::replay`.
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads candidate evaluation may use.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParallelismPolicy {
+    /// Evaluate candidates one at a time on the caller's thread.
+    #[default]
+    Sequential,
+    /// Evaluate candidates on a pool of `n` workers; `Parallel(0)` sizes the
+    /// pool to the machine's available parallelism.
+    Parallel(usize),
+}
+
+impl ParallelismPolicy {
+    /// A pool sized to the machine.
+    pub fn auto() -> ParallelismPolicy {
+        ParallelismPolicy::Parallel(0)
+    }
+
+    /// The concrete worker count this policy resolves to.
+    pub fn workers(&self) -> usize {
+        match self {
+            ParallelismPolicy::Sequential => 1,
+            ParallelismPolicy::Parallel(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ParallelismPolicy::Parallel(n) => *n,
+        }
+    }
+}
+
+/// Applies `f` to every item, possibly in parallel, returning results in
+/// input order. Work is distributed dynamically (an atomic cursor), so
+/// heterogeneous item costs balance across workers. Panics in workers
+/// propagate to the caller.
+pub fn map_indexed<T, R, F>(policy: ParallelismPolicy, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = policy.workers().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Number of independently locked shards in a [`ShardedMap`].
+const MAP_SHARDS: usize = 16;
+
+/// A concurrent hash map split into independently locked shards, so many
+/// worker threads can look up and insert without serializing on one lock.
+/// Backs the executor's `MemoryCache`, the replay `ProfileBook`, and the
+/// core crate's `HistoryIndex`.
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap {
+            shards: (0..MAP_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V> ShardedMap<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)].read().contains_key(key)
+    }
+
+    /// Inserts (last writer wins).
+    pub fn insert(&self, key: K, value: V) {
+        self.shards[self.shard_of(&key)].write().insert(key, value);
+    }
+
+    /// Inserts only if absent (first writer wins).
+    pub fn insert_if_absent(&self, key: K, value: V) {
+        self.shards[self.shard_of(&key)]
+            .write()
+            .entry(key)
+            .or_insert(value);
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
+    /// Cloned value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shards[self.shard_of(key)].read().get(key).cloned()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedMap<K, V> {
+    /// Independent deep copy with the same contents.
+    pub fn fork(&self) -> ShardedMap<K, V> {
+        ShardedMap {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(s.read().clone()))
+                .collect(),
+        }
+    }
+
+    /// Point-in-time copy of every entry as one `HashMap`.
+    pub fn to_hashmap(&self) -> HashMap<K, V> {
+        let mut out = HashMap::with_capacity(self.len());
+        for s in &self.shards {
+            for (k, v) in s.read().iter() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_map_basics() {
+        let m: ShardedMap<u32, String> = ShardedMap::new();
+        assert!(m.is_empty());
+        for i in 0..100u32 {
+            m.insert(i, i.to_string());
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&42).as_deref(), Some("42"));
+        assert!(m.contains(&7));
+        assert!(!m.contains(&1000));
+        m.insert_if_absent(42, "clobber".into());
+        assert_eq!(m.get(&42).as_deref(), Some("42"), "first writer wins");
+        let fork = m.fork();
+        fork.insert(1000, "x".into());
+        assert!(!m.contains(&1000), "fork is independent");
+        assert_eq!(m.to_hashmap().len(), 100);
+    }
+
+    #[test]
+    fn sharded_map_concurrent_inserts() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..250u32 {
+                        m.insert(t * 250 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn policy_workers() {
+        assert_eq!(ParallelismPolicy::Sequential.workers(), 1);
+        assert_eq!(ParallelismPolicy::Parallel(3).workers(), 3);
+        assert!(ParallelismPolicy::auto().workers() >= 1);
+        assert_eq!(ParallelismPolicy::default(), ParallelismPolicy::Sequential);
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for policy in [
+            ParallelismPolicy::Sequential,
+            ParallelismPolicy::Parallel(4),
+        ] {
+            let out = map_indexed(policy, &items, |i, x| (i as u64) * 1000 + x * 2);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, (i as u64) * 1000 + items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let items: Vec<u64> = (0..64).collect();
+        let seq = map_indexed(ParallelismPolicy::Sequential, &items, |_, x| x * x);
+        let par = map_indexed(ParallelismPolicy::Parallel(8), &items, |_, x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_indexed(ParallelismPolicy::Parallel(4), &empty, |_, x| *x).is_empty());
+        let one = [7u32];
+        assert_eq!(
+            map_indexed(ParallelismPolicy::Parallel(4), &one, |_, x| x + 1),
+            vec![8]
+        );
+    }
+
+    #[test]
+    fn really_runs_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..16).collect();
+        map_indexed(ParallelismPolicy::Parallel(4), &items, |_, _| {
+            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) > 1, "no overlap observed");
+    }
+}

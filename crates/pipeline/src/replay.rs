@@ -1,0 +1,307 @@
+//! Deterministic replay of traced pipeline executions.
+//!
+//! The parallel candidate-evaluation engines split every search into two
+//! phases:
+//!
+//! 1. **Execute (parallel, racy order)** — candidates run concurrently via
+//!    [`Executor::run_traced`](crate::executor::Executor::run_traced).
+//!    Component outputs, scores, and chunk layouts are pure functions of the
+//!    candidate, so the *results* are order-independent; only timing and
+//!    dedup attribution would be racy. Each distinct `(component, inputs)`
+//!    execution is recorded once in a shared [`ProfileBook`].
+//! 2. **Account (sequential, canonical order)** — [`replay_run`] walks the
+//!    candidates in index order and recomputes exactly what a fully
+//!    sequential engine would have charged: cache hits against the
+//!    sequentially-evolving checkpoint state, materialisation reads,
+//!    execution time from profiles, and storage writes replayed chunk-by-
+//!    chunk against a simulated "not yet persisted" set
+//!    ([`PutTrace::replay`]).
+//!
+//! The key order-independence argument: a chunk was present in the store
+//! *before* the whole evaluation iff **no** traced write observed it as new,
+//! which is invariant under phase-1 scheduling. Everything else the replay
+//! consumes (work units, artifact ids, blob layouts, failure points) is
+//! deterministic per candidate. Reports produced through this path are
+//! therefore byte-identical for `ParallelismPolicy::Sequential` and
+//! `ParallelismPolicy::Parallel(n)` — the property the
+//! `parallel_determinism` integration test pins down.
+
+use crate::clock::ClockLedger;
+use crate::dag::BoundPipeline;
+use crate::errors::{PipelineError, Result};
+use crate::executor::{CacheKey, CachedOutput, ExecOptions, RunOutcome, RunReport, StageReport};
+use crate::parallel::ShardedMap;
+use mlcask_storage::hash::Hash256;
+use mlcask_storage::object::ObjectRef;
+use mlcask_storage::store::{ChunkStore, PutTrace};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Everything the accounting replay needs to know about one component
+/// execution observed during phase 1.
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    /// The checkpoint the execution produced.
+    pub cached: CachedOutput,
+    /// Logical artifact size (`Artifact::byte_len`), independent of the
+    /// persisted blob encoding.
+    pub artifact_bytes: u64,
+    /// Deterministic execution cost in virtual nanoseconds.
+    pub exec_ns: u64,
+    /// Chunk-level trace of the persisted output blob, if any.
+    pub write: Option<PutTrace>,
+}
+
+/// Concurrent record of phase-1 executions, shared by all workers of one
+/// search. Profile inserts are first-wins (racing executions of the same
+/// key produce identical profiles up to `was_new` flags, which are
+/// aggregated separately in `new_chunks`).
+#[derive(Default)]
+pub struct ProfileBook {
+    profiles: ShardedMap<CacheKey, StageProfile>,
+    failures: RwLock<HashSet<CacheKey>>,
+    new_chunks: Mutex<HashSet<Hash256>>,
+}
+
+impl ProfileBook {
+    /// Empty book.
+    pub fn new() -> ProfileBook {
+        ProfileBook::default()
+    }
+
+    /// Records an execution profile (first writer wins).
+    pub fn record_profile(&self, key: CacheKey, profile: StageProfile) {
+        if let Some(w) = &profile.write {
+            self.observe_write(w);
+        }
+        self.profiles.insert_if_absent(key, profile);
+    }
+
+    /// Records that executing `key` fails with a schema incompatibility.
+    pub fn record_failure(&self, key: CacheKey) {
+        self.failures.write().insert(key);
+    }
+
+    /// Folds a write trace's newly-persisted chunk hashes into the "new
+    /// during this evaluation" set.
+    pub fn observe_write(&self, trace: &PutTrace) {
+        let mut set = self.new_chunks.lock();
+        for c in &trace.chunks {
+            if c.was_new {
+                set.insert(c.hash);
+            }
+        }
+        if trace.manifest.was_new {
+            set.insert(trace.manifest.hash);
+        }
+    }
+
+    /// The profile recorded for `key`, if any.
+    pub fn profile(&self, key: &CacheKey) -> Option<StageProfile> {
+        self.profiles.get(key)
+    }
+
+    /// True if phase 1 observed `key` failing.
+    pub fn is_failure(&self, key: &CacheKey) -> bool {
+        self.failures.read().contains(key)
+    }
+
+    /// Starts a replay cursor over this book's observations: the simulated
+    /// set of chunks that the canonical sequential order has not yet
+    /// persisted.
+    pub fn replay_cursor(&self) -> ReplayCursor {
+        ReplayCursor {
+            unseen: self.new_chunks.lock().clone(),
+        }
+    }
+}
+
+/// Mutable chunk-dedup state threaded through a replay in canonical order.
+#[derive(Debug, Clone)]
+pub struct ReplayCursor {
+    /// Chunks phase 1 persisted that the replay has not yet attributed.
+    pub unseen: HashSet<Hash256>,
+}
+
+/// Checkpoint contents keyed like an `OutputCache`, used for the replay's
+/// sequential cache simulation.
+pub type CacheSnapshot = HashMap<CacheKey, CachedOutput>;
+
+struct ReplayNode {
+    cached: CachedOutput,
+    in_memory: bool,
+}
+
+/// Replays one candidate's execution for accounting, mirroring
+/// [`Executor::run`](crate::executor::Executor::run) charge-for-charge.
+///
+/// * `pre` — checkpoints that existed before the whole search (sequential
+///   runs would hit these from the first candidate on).
+/// * `sim` — checkpoints "created so far" in replay order; grown by this
+///   call when `use_cache` is set.
+/// * `cursor` — chunk-dedup state in replay order (shared across all
+///   candidates of the search, in index order).
+///
+/// Charges land on `ledger`; stats deltas are recorded on `store` exactly
+/// as the sequential engine would have recorded them.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_run(
+    store: &ChunkStore,
+    pipeline: &BoundPipeline,
+    book: &ProfileBook,
+    pre: &CacheSnapshot,
+    sim: &mut CacheSnapshot,
+    cursor: &mut ReplayCursor,
+    ledger: &ClockLedger,
+    options: ExecOptions,
+    use_cache: bool,
+) -> Result<RunReport> {
+    let order = pipeline.dag.topo_order()?;
+    let mut stages: Vec<StageReport> = Vec::with_capacity(order.len());
+
+    if options.precheck {
+        if let Err(PipelineError::IncompatibleSchema(detail)) = pipeline.precheck_compatibility() {
+            return Ok(RunReport {
+                stages,
+                outcome: RunOutcome::RejectedByPrecheck {
+                    at: detail.component,
+                },
+            });
+        }
+    }
+
+    let mut outputs: HashMap<usize, ReplayNode> = HashMap::new();
+    let mut final_score = None;
+
+    for node in order {
+        let comp = &pipeline.components[node];
+        let preds = pipeline.dag.pre(node);
+        let input_ids: Vec<Hash256> = preds
+            .iter()
+            .map(|p| outputs[p].cached.artifact_id)
+            .collect();
+        let key = CacheKey {
+            component: comp.key(),
+            inputs: input_ids,
+        };
+
+        // Reuse path under the *sequential* cache state.
+        if options.reuse && use_cache {
+            let hit = sim.get(&key).or_else(|| pre.get(&key)).cloned();
+            if let Some(hit) = hit {
+                stages.push(StageReport {
+                    component: comp.key(),
+                    stage: comp.stage(),
+                    reused: true,
+                    exec_ns: 0,
+                    storage_ns: 0,
+                    output: hit.object,
+                    artifact_id: hit.artifact_id,
+                    artifact_bytes: hit.object.len,
+                });
+                if let Some(s) = hit.score {
+                    final_score = Some(s);
+                }
+                outputs.insert(
+                    node,
+                    ReplayNode {
+                        cached: hit,
+                        in_memory: false,
+                    },
+                );
+                continue;
+            }
+        }
+
+        // Materialise checkpointed inputs, exactly like the live executor.
+        let mut materialise_ns: u64 = 0;
+        for p in &preds {
+            let out = outputs.get_mut(p).expect("topological order");
+            if !out.in_memory {
+                if out.cached.object.is_null() {
+                    return Err(PipelineError::Storage(
+                        mlcask_storage::errors::StorageError::NotFound(out.cached.artifact_id),
+                    ));
+                }
+                materialise_ns += store.read_cost(&out.cached.object).as_nanos() as u64;
+                out.in_memory = true;
+            }
+        }
+        if materialise_ns > 0 {
+            ledger.charge_storage(Duration::from_nanos(materialise_ns));
+        }
+
+        // Failure point observed in phase 1: inputs were materialised (and
+        // paid for) but the component never charged execution time.
+        if book.is_failure(&key) {
+            let at = comp.key();
+            return Ok(RunReport {
+                stages,
+                outcome: RunOutcome::Failed {
+                    reason: format!("schema incompatibility at {at}"),
+                    at,
+                },
+            });
+        }
+
+        let prof = book.profile(&key).ok_or_else(|| {
+            PipelineError::InvalidDag(format!(
+                "replay invariant violated: no phase-1 profile for {}",
+                key.component
+            ))
+        })?;
+
+        ledger.charge_exec(comp.stage(), Duration::from_nanos(prof.exec_ns));
+        if let Some(s) = prof.cached.score {
+            final_score = Some(s);
+        }
+        let (cached, storage_ns) = if options.persist_outputs {
+            let trace = prof.write.as_ref().ok_or_else(|| {
+                PipelineError::InvalidDag(
+                    "replay invariant violated: phase 1 did not persist an output".into(),
+                )
+            })?;
+            let (cost, stats) = trace.replay(&store.cost_model(), &mut cursor.unseen);
+            ledger.charge_storage(cost);
+            store.record_stats(trace.kind, stats);
+            (prof.cached.clone(), cost.as_nanos() as u64)
+        } else {
+            (
+                CachedOutput {
+                    object: ObjectRef::null(mlcask_storage::object::ObjectKind::Output),
+                    ..prof.cached.clone()
+                },
+                0,
+            )
+        };
+        if use_cache {
+            sim.insert(key, cached.clone());
+        }
+        stages.push(StageReport {
+            component: comp.key(),
+            stage: comp.stage(),
+            reused: false,
+            exec_ns: prof.exec_ns,
+            storage_ns: storage_ns + materialise_ns,
+            output: cached.object,
+            artifact_id: cached.artifact_id,
+            artifact_bytes: prof.artifact_bytes,
+        });
+        outputs.insert(
+            node,
+            ReplayNode {
+                cached,
+                in_memory: true,
+            },
+        );
+    }
+
+    match final_score {
+        Some(score) => Ok(RunReport {
+            stages,
+            outcome: RunOutcome::Completed { score },
+        }),
+        None => Err(PipelineError::NoScore),
+    }
+}

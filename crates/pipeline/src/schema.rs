@@ -157,19 +157,41 @@ mod tests {
 
     #[test]
     fn feature_matrix_dims_matter() {
-        let a = Schema::FeatureMatrix { dim: 10, n_classes: 2 };
-        let b = Schema::FeatureMatrix { dim: 12, n_classes: 2 };
-        let c = Schema::FeatureMatrix { dim: 10, n_classes: 3 };
+        let a = Schema::FeatureMatrix {
+            dim: 10,
+            n_classes: 2,
+        };
+        let b = Schema::FeatureMatrix {
+            dim: 12,
+            n_classes: 2,
+        };
+        let c = Schema::FeatureMatrix {
+            dim: 10,
+            n_classes: 3,
+        };
         assert_ne!(a.id(), b.id());
         assert_ne!(a.id(), c.id());
-        assert_eq!(a.id(), Schema::FeatureMatrix { dim: 10, n_classes: 2 }.id());
+        assert_eq!(
+            a.id(),
+            Schema::FeatureMatrix {
+                dim: 10,
+                n_classes: 2
+            }
+            .id()
+        );
     }
 
     #[test]
     fn variant_tags_prevent_cross_kind_collisions() {
         // Same numeric payloads in different variants must not collide.
-        let img = Schema::ImageSet { side: 16, n_classes: 10 };
-        let seq = Schema::Sequences { n_symbols: 16, n_classes: 10 };
+        let img = Schema::ImageSet {
+            side: 16,
+            n_classes: 10,
+        };
+        let seq = Schema::Sequences {
+            n_symbols: 16,
+            n_classes: 10,
+        };
         assert_ne!(img.id(), seq.id());
     }
 
@@ -183,8 +205,14 @@ mod tests {
     #[test]
     fn model_family_distinguishes() {
         assert_ne!(
-            Schema::Model { family: "mlp".into() }.id(),
-            Schema::Model { family: "adaboost".into() }.id()
+            Schema::Model {
+                family: "mlp".into()
+            }
+            .id(),
+            Schema::Model {
+                family: "adaboost".into()
+            }
+            .id()
         );
     }
 
@@ -197,7 +225,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let s = Schema::ImageSet { side: 8, n_classes: 4 };
+        let s = Schema::ImageSet {
+            side: 8,
+            n_classes: 4,
+        };
         let json = serde_json::to_string(&s).unwrap();
         let back: Schema = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);

@@ -106,6 +106,10 @@ impl FileBackend {
                 let rest = entry.file_name().to_string_lossy().to_string();
                 if let Some(h) = Hash256::from_hex(&format!("{prefix}{rest}")) {
                     index.insert(h, entry.metadata()?.len());
+                } else if rest.contains(".tmp.") {
+                    // Staging file orphaned by a crash mid-put; safe to drop
+                    // (its content was never committed to the index).
+                    let _ = fs::remove_file(entry.path());
                 }
             }
         }
@@ -130,14 +134,28 @@ impl StorageBackend for FileBackend {
         }
         let path = self.path_for(key);
         fs::create_dir_all(path.parent().expect("fanout dir"))?;
-        let tmp = path.with_extension("tmp");
+        // Parallel candidate evaluation can race identical content-addressed
+        // writes; each writer stages through a unique temp file, and the
+        // rename + index insert commit under the write lock so exactly one
+        // writer reports the key as new.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(data)?;
             f.sync_all()?;
         }
+        let mut index = self.index.write();
+        if index.contains_key(&key) {
+            let _ = fs::remove_file(&tmp);
+            return Ok(false);
+        }
         fs::rename(&tmp, &path)?;
-        self.index.write().insert(key, data.len() as u64);
+        index.insert(key, data.len() as u64);
         Ok(true)
     }
 
@@ -236,6 +254,66 @@ mod tests {
         let path = dir.join(&hex[..2]).join(&hex[2..]);
         fs::write(&path, b"evil bytes").unwrap();
         assert!(matches!(be.get(key), Err(StorageError::Corrupt { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_open_sweeps_orphaned_temp_files() {
+        let dir = std::env::temp_dir().join(format!("mlcask-fb-sweep-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = Hash256::of(b"content");
+        {
+            let be = FileBackend::open(&dir).unwrap();
+            be.put(key, b"content").unwrap();
+        }
+        // Simulate a crash mid-put: an orphaned staging file next to the
+        // committed object.
+        let hex = key.to_hex();
+        let orphan = dir
+            .join(&hex[..2])
+            .join(format!("{}.tmp.9999.3", &hex[2..]));
+        fs::write(&orphan, b"half-written").unwrap();
+        let be = FileBackend::open(&dir).unwrap();
+        assert!(!orphan.exists(), "open() sweeps orphaned temp files");
+        assert_eq!(be.get(key).unwrap().as_ref(), b"content");
+        assert_eq!(be.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_concurrent_identical_puts() {
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("mlcask-fb-race-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let be = Arc::new(FileBackend::open(&dir).unwrap());
+        let payload = vec![7u8; 4096];
+        let key = Hash256::of(&payload);
+        let mut new_count = 0usize;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let be = Arc::clone(&be);
+                    let payload = payload.clone();
+                    s.spawn(move || be.put(Hash256::of(&payload), &payload).unwrap())
+                })
+                .collect();
+            for h in handles {
+                if h.join().unwrap() {
+                    new_count += 1;
+                }
+            }
+        });
+        assert_eq!(new_count, 1, "exactly one writer persists the key");
+        assert_eq!(be.get(key).unwrap().as_ref(), &payload[..]);
+        // No stray temp files left behind.
+        let hex = key.to_hex();
+        let fanout = dir.join(&hex[..2]);
+        let leftovers: Vec<_> = fs::read_dir(&fanout)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().to_string())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

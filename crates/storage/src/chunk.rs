@@ -39,7 +39,10 @@ impl ChunkParams {
     /// Creates validated parameters.
     pub fn new(min_size: usize, avg_size: usize, max_size: usize) -> Self {
         assert!(min_size >= 1, "min_size must be positive");
-        assert!(avg_size.is_power_of_two(), "avg_size must be a power of two");
+        assert!(
+            avg_size.is_power_of_two(),
+            "avg_size must be a power of two"
+        );
         assert!(
             min_size <= avg_size && avg_size <= max_size,
             "need min <= avg <= max"

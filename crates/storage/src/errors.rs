@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn io_conversion_preserves_source() {
-        let e: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: StorageError = std::io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

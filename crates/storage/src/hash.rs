@@ -253,15 +253,15 @@ impl fmt::Display for Hash256 {
 }
 
 impl Serialize for Hash256 {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.to_hex())
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_hex())
     }
 }
 
-impl<'de> Deserialize<'de> for Hash256 {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
-        Hash256::from_hex(&s).ok_or_else(|| serde::de::Error::custom("invalid Hash256 hex"))
+impl Deserialize for Hash256 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = String::from_value(v)?;
+        Hash256::from_hex(&s).ok_or_else(|| serde::Error::custom("invalid Hash256 hex"))
     }
 }
 

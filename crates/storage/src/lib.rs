@@ -52,6 +52,6 @@ pub mod prelude {
     pub use crate::errors::{Result as StorageResult, StorageError};
     pub use crate::hash::{Hash256, Sha256};
     pub use crate::object::{Manifest, ObjectKind, ObjectRef};
-    pub use crate::stats::{KindStats, StorageStats};
-    pub use crate::store::{ChunkStore, PutOutcome};
+    pub use crate::stats::{AtomicStats, KindStats, StorageStats};
+    pub use crate::store::{ChunkStore, PutOutcome, PutTrace, WriteObs};
 }

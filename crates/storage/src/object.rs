@@ -36,6 +36,18 @@ impl ObjectKind {
         ObjectKind::Model,
     ];
 
+    /// Dense index of this kind within [`ObjectKind::ALL`] (used by the
+    /// lock-free per-kind statistics counters).
+    pub fn index(&self) -> usize {
+        match self {
+            ObjectKind::Dataset => 0,
+            ObjectKind::Library => 1,
+            ObjectKind::Pipeline => 2,
+            ObjectKind::Output => 3,
+            ObjectKind::Model => 4,
+        }
+    }
+
     /// Stable label for reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -191,6 +203,15 @@ mod tests {
         // Corrupt the logical length field.
         enc[0] ^= 1;
         assert_eq!(Manifest::decode(&enc), None);
+    }
+
+    #[test]
+    fn object_kind_index_matches_all_ordering() {
+        // AtomicStats records by `index()` and snapshots by iterating `ALL`;
+        // the two orderings must agree.
+        for (i, k) in ObjectKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "{k:?}");
+        }
     }
 
     #[test]

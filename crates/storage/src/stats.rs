@@ -84,6 +84,67 @@ impl StorageStats {
     }
 }
 
+/// Lock-free accounting table: one set of atomic counters per
+/// [`ObjectKind`], so parallel writers never serialize on a shared mutex
+/// (the old design guarded a whole [`StorageStats`] with one `Mutex`).
+#[derive(Debug, Default)]
+pub struct AtomicStats {
+    per_kind: [AtomicKindStats; ObjectKind::ALL.len()],
+}
+
+#[derive(Debug, Default)]
+struct AtomicKindStats {
+    blobs_written: AtomicU64,
+    logical_bytes: AtomicU64,
+    physical_bytes: AtomicU64,
+    chunks_seen: AtomicU64,
+    chunks_deduped: AtomicU64,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+impl AtomicStats {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one blob write (relaxed atomic adds; totals are exact, only
+    /// cross-counter ordering is unsynchronized).
+    pub fn record(&self, kind: ObjectKind, delta: KindStats) {
+        let k = &self.per_kind[kind.index()];
+        k.blobs_written
+            .fetch_add(delta.blobs_written, Ordering::Relaxed);
+        k.logical_bytes
+            .fetch_add(delta.logical_bytes, Ordering::Relaxed);
+        k.physical_bytes
+            .fetch_add(delta.physical_bytes, Ordering::Relaxed);
+        k.chunks_seen
+            .fetch_add(delta.chunks_seen, Ordering::Relaxed);
+        k.chunks_deduped
+            .fetch_add(delta.chunks_deduped, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy as the serializable [`StorageStats`] table.
+    pub fn snapshot(&self) -> StorageStats {
+        let mut out = StorageStats::new();
+        for kind in ObjectKind::ALL {
+            let k = &self.per_kind[kind.index()];
+            let delta = KindStats {
+                blobs_written: k.blobs_written.load(Ordering::Relaxed),
+                logical_bytes: k.logical_bytes.load(Ordering::Relaxed),
+                physical_bytes: k.physical_bytes.load(Ordering::Relaxed),
+                chunks_seen: k.chunks_seen.load(Ordering::Relaxed),
+                chunks_deduped: k.chunks_deduped.load(Ordering::Relaxed),
+            };
+            if delta != KindStats::default() {
+                out.record(kind, delta);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +212,32 @@ mod tests {
         b.record(ObjectKind::Model, d);
         a.merge(&b);
         assert_eq!(a.kind(ObjectKind::Model).logical_bytes, 20);
+    }
+
+    #[test]
+    fn atomic_stats_concurrent_recording_is_exact() {
+        let table = AtomicStats::new();
+        let delta = KindStats {
+            blobs_written: 1,
+            logical_bytes: 10,
+            physical_bytes: 7,
+            chunks_seen: 2,
+            chunks_deduped: 1,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        table.record(ObjectKind::Output, delta);
+                        table.record(ObjectKind::Model, delta);
+                    }
+                });
+            }
+        });
+        let snap = table.snapshot();
+        assert_eq!(snap.kind(ObjectKind::Output).blobs_written, 8 * 500);
+        assert_eq!(snap.kind(ObjectKind::Model).logical_bytes, 8 * 500 * 10);
+        assert_eq!(snap.total().physical_bytes, 2 * 8 * 500 * 7);
     }
 
     #[test]

@@ -12,9 +12,8 @@ use crate::costmodel::StorageCostModel;
 use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
 use crate::object::{Manifest, ObjectKind, ObjectRef};
-use crate::stats::{KindStats, StorageStats};
+use crate::stats::{AtomicStats, KindStats, StorageStats};
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,12 +28,77 @@ pub struct PutOutcome {
     pub cost: Duration,
 }
 
+/// One chunk-level observation from a traced write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteObs {
+    /// Chunk content address.
+    pub hash: Hash256,
+    /// Chunk length in bytes.
+    pub len: u64,
+    /// True if this write persisted the chunk (it was absent before).
+    pub was_new: bool,
+}
+
+/// Chunk-level record of one traced blob write, sufficient to *replay* the
+/// write's dedup accounting later under any write order.
+///
+/// The parallel candidate-evaluation engines execute pipelines concurrently
+/// (racy write order) but charge storage time by replaying these traces in
+/// the candidates' index order against a simulated chunk set, which makes
+/// the reported costs identical to a fully sequential run. The key
+/// property: a chunk was present *before* the whole evaluation iff no
+/// traced write observed it as new — an order-independent predicate.
+#[derive(Debug, Clone)]
+pub struct PutTrace {
+    /// Accounting category.
+    pub kind: ObjectKind,
+    /// Logical blob length presented to the store.
+    pub logical: u64,
+    /// Data chunks, in blob order.
+    pub chunks: Vec<WriteObs>,
+    /// The manifest object.
+    pub manifest: WriteObs,
+}
+
+impl PutTrace {
+    /// Replays this write against a simulated set of not-yet-persisted chunk
+    /// hashes, consuming the chunks it persists. Returns the modeled cost
+    /// and stats delta the live sequential store would have produced at this
+    /// point in the replay order.
+    pub fn replay(
+        &self,
+        cost: &StorageCostModel,
+        unseen: &mut std::collections::HashSet<Hash256>,
+    ) -> (Duration, KindStats) {
+        let mut physical = 0u64;
+        let mut deduped = 0u64;
+        for c in &self.chunks {
+            if unseen.remove(&c.hash) {
+                physical += c.len;
+            } else {
+                deduped += 1;
+            }
+        }
+        if unseen.remove(&self.manifest.hash) {
+            physical += self.manifest.len;
+        }
+        let stats = KindStats {
+            blobs_written: 1,
+            logical_bytes: self.logical,
+            physical_bytes: physical,
+            chunks_seen: self.chunks.len() as u64,
+            chunks_deduped: deduped,
+        };
+        (cost.write_cost(self.logical, physical), stats)
+    }
+}
+
 /// Content-addressed, deduplicating blob store.
 pub struct ChunkStore {
     backend: Arc<dyn StorageBackend>,
     params: ChunkParams,
     cost: StorageCostModel,
-    stats: Mutex<StorageStats>,
+    stats: AtomicStats,
 }
 
 impl ChunkStore {
@@ -48,7 +112,7 @@ impl ChunkStore {
             backend,
             params,
             cost,
-            stats: Mutex::new(StorageStats::new()),
+            stats: AtomicStats::new(),
         }
     }
 
@@ -82,17 +146,56 @@ impl ChunkStore {
 
     /// Writes a blob, deduplicating chunks, and returns its reference.
     pub fn put_blob(&self, kind: ObjectKind, data: &[u8]) -> Result<PutOutcome> {
+        let (outcome, trace) = self.write_blob(kind, data)?;
+        let mut deduped = 0u64;
+        for c in &trace.chunks {
+            if !c.was_new {
+                deduped += 1;
+            }
+        }
+        self.stats.record(
+            kind,
+            KindStats {
+                blobs_written: 1,
+                logical_bytes: trace.logical,
+                physical_bytes: outcome.physical_bytes,
+                chunks_seen: trace.chunks.len() as u64,
+                chunks_deduped: deduped,
+            },
+        );
+        Ok(outcome)
+    }
+
+    /// Writes a blob like [`ChunkStore::put_blob`] but records **no**
+    /// statistics; instead it returns the chunk-level [`PutTrace`] so a
+    /// deterministic replay can attribute cost and stats in a canonical
+    /// order. Used by the parallel candidate-evaluation engines.
+    pub fn put_blob_traced(&self, kind: ObjectKind, data: &[u8]) -> Result<(PutOutcome, PutTrace)> {
+        self.write_blob(kind, data)
+    }
+
+    /// Applies a replayed stats delta (the replay half of the traced-write
+    /// protocol).
+    pub fn record_stats(&self, kind: ObjectKind, delta: KindStats) {
+        self.stats.record(kind, delta);
+    }
+
+    fn write_blob(&self, kind: ObjectKind, data: &[u8]) -> Result<(PutOutcome, PutTrace)> {
         let chunks = chunk_blob(data, self.params);
         let mut new_bytes = 0u64;
-        let mut deduped = 0u64;
+        let mut obs = Vec::with_capacity(chunks.len());
         for c in &chunks {
             let s = c.offset as usize;
             let e = s + c.len as usize;
-            if self.backend.put(c.hash, &data[s..e])? {
+            let was_new = self.backend.put(c.hash, &data[s..e])?;
+            if was_new {
                 new_bytes += c.len as u64;
-            } else {
-                deduped += 1;
             }
+            obs.push(WriteObs {
+                hash: c.hash,
+                len: c.len as u64,
+                was_new,
+            });
         }
         let manifest = Manifest::from_chunks(&chunks);
         let enc = manifest.encode();
@@ -100,25 +203,28 @@ impl ChunkStore {
         let manifest_new = self.backend.put(id, &enc)?;
         let manifest_bytes = if manifest_new { enc.len() as u64 } else { 0 };
         let physical = new_bytes + manifest_bytes;
-        self.stats.lock().record(
+        let trace = PutTrace {
             kind,
-            KindStats {
-                blobs_written: 1,
-                logical_bytes: data.len() as u64,
+            logical: data.len() as u64,
+            chunks: obs,
+            manifest: WriteObs {
+                hash: id,
+                len: enc.len() as u64,
+                was_new: manifest_new,
+            },
+        };
+        Ok((
+            PutOutcome {
+                object: ObjectRef {
+                    id,
+                    kind,
+                    len: data.len() as u64,
+                },
                 physical_bytes: physical,
-                chunks_seen: chunks.len() as u64,
-                chunks_deduped: deduped,
+                cost: self.cost.write_cost(data.len() as u64, physical),
             },
-        );
-        Ok(PutOutcome {
-            object: ObjectRef {
-                id,
-                kind,
-                len: data.len() as u64,
-            },
-            physical_bytes: physical,
-            cost: self.cost.write_cost(data.len() as u64, physical),
-        })
+            trace,
+        ))
     }
 
     /// Reads a blob back by reference.
@@ -152,7 +258,7 @@ impl ChunkStore {
 
     /// Snapshot of accumulated statistics.
     pub fn stats(&self) -> StorageStats {
-        self.stats.lock().clone()
+        self.stats.snapshot()
     }
 
     /// Physical bytes held by the backend.
@@ -286,6 +392,48 @@ mod tests {
             store.put_blob(ObjectKind::Dataset, &data).unwrap();
         }
         assert!(store.stats().dedup_ratio() > 4.0);
+    }
+
+    #[test]
+    fn traced_write_replay_matches_live_accounting() {
+        // Two stores fed the same blobs: one live, one traced + replayed.
+        let live = ChunkStore::in_memory_small();
+        let traced = ChunkStore::in_memory_small();
+        let blobs = [
+            random_bytes(10, 30_000),
+            random_bytes(11, 10_000),
+            random_bytes(10, 30_000), // duplicate of the first
+        ];
+        let mut live_costs = Vec::new();
+        for b in &blobs {
+            live_costs.push(live.put_blob(ObjectKind::Output, b).unwrap().cost);
+        }
+        let mut traces = Vec::new();
+        let mut unseen = std::collections::HashSet::new();
+        for b in &blobs {
+            let (_, t) = traced.put_blob_traced(ObjectKind::Output, b).unwrap();
+            for c in &t.chunks {
+                if c.was_new {
+                    unseen.insert(c.hash);
+                }
+            }
+            if t.manifest.was_new {
+                unseen.insert(t.manifest.hash);
+            }
+            traces.push(t);
+        }
+        assert_eq!(
+            traced.stats().total(),
+            KindStats::default(),
+            "traced writes record nothing"
+        );
+        for (t, live_cost) in traces.iter().zip(&live_costs) {
+            let (cost, stats) = t.replay(&traced.cost_model(), &mut unseen);
+            assert_eq!(cost, *live_cost, "replayed cost equals live cost");
+            traced.record_stats(t.kind, stats);
+        }
+        assert_eq!(traced.stats(), live.stats(), "replayed stats equal live");
+        assert_eq!(traced.physical_bytes(), live.physical_bytes());
     }
 
     proptest! {

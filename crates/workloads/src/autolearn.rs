@@ -295,11 +295,7 @@ impl Component for AdaModel {
         // the mean training-error margin so the merge search sees a total
         // order over candidates (raw accuracy is preserved in `raw`).
         let margin: f64 = 1.0
-            - model
-                .error_history
-                .iter()
-                .copied()
-                .sum::<f64>()
+            - model.error_history.iter().copied().sum::<f64>()
                 / model.error_history.len().max(1) as f64;
         let mut score = Score::new(MetricKind::Accuracy, acc);
         score.value += margin * 1e-4;
@@ -405,8 +401,18 @@ pub fn build() -> Workload {
     ]];
     let dev_updates = vec![
         vec![data.key(), zernikes[0].key(), autos[0].key(), find_model(1)],
-        vec![data.key(), zernikes[0].key(), auto_v1.clone(), find_model(2)],
-        vec![data.key(), zernikes[0].key(), auto_v1.clone(), find_model(3)],
+        vec![
+            data.key(),
+            zernikes[0].key(),
+            auto_v1.clone(),
+            find_model(2),
+        ],
+        vec![
+            data.key(),
+            zernikes[0].key(),
+            auto_v1.clone(),
+            find_model(3),
+        ],
     ];
 
     let mut handles = vec![data];
@@ -429,12 +435,12 @@ pub fn build() -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlcask_pipeline::clock::SimClock;
+    use mlcask_pipeline::clock::ClockLedger;
     use mlcask_pipeline::dag::BoundPipeline;
     use mlcask_pipeline::executor::{ExecOptions, Executor};
     use mlcask_storage::store::ChunkStore;
 
-    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, SimClock) {
+    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, ClockLedger) {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
         let handles: Vec<ComponentHandle> = keys
@@ -442,9 +448,9 @@ mod tests {
             .map(|k| w.handles.iter().find(|h| &h.key() == k).unwrap().clone())
             .collect();
         let bound = BoundPipeline::new(Arc::new(w.dag()), handles).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = exec
-            .run(&bound, &mut clock, None, ExecOptions::RERUN_ALL)
+            .run(&bound, &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         (report.outcome.score().expect("completed").raw, clock)
     }

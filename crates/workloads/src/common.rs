@@ -73,7 +73,10 @@ impl Workload {
         }
         assert!(self.model_slot < self.slots.len());
         let (slot, ref v) = self.incompat_update;
-        assert!(slot != self.model_slot, "incompat update must be pre-processing");
+        assert!(
+            slot != self.model_slot,
+            "incompat update must be pre-processing"
+        );
         assert_eq!(v.name, self.slots[slot]);
         for update in self.head_updates.iter().chain(self.dev_updates.iter()) {
             assert_eq!(update.len(), self.slots.len());
@@ -175,11 +178,7 @@ mod tests {
     #[test]
     fn train_eval_mlp_produces_score() {
         let (x, y) = synthetic_classification(200, 6, 2, 0.2, 9);
-        let f = Features {
-            x,
-            y,
-            n_classes: 2,
-        };
+        let f = Features { x, y, n_classes: 2 };
         let m = train_eval_mlp(&f, MlpConfig::default(), "test");
         assert!(m.score.raw > 0.6, "separable data should score well");
         assert!(!m.blob.is_empty());

@@ -4,8 +4,8 @@
 //! diagonals, rings) rendered at 16×16 with per-sample jitter and noise —
 //! enough shape variety that Zernike moments separate the classes.
 
-use mlcask_pipeline::artifact::ImageSet;
 use mlcask_ml::zernike::Image;
+use mlcask_pipeline::artifact::ImageSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -42,9 +42,8 @@ pub fn generate(n: usize, missing_rate: f64, seed: u64) -> Table {
         let dx_idx = rng.gen_range(0..DX_CODES.len());
         let n_procs = rng.gen_range(0i64..6);
         // Risk score drives both labs and the label.
-        let risk = (age - 18.0) / 77.0 * 0.4
-            + dx_idx as f32 / 8.0 * 0.3
-            + n_procs as f32 / 6.0 * 0.3;
+        let risk =
+            (age - 18.0) / 77.0 * 0.4 + dx_idx as f32 / 8.0 * 0.3 + n_procs as f32 / 6.0 * 0.3;
         let los = 1.0 + risk * 20.0 + rng.gen_range(-0.5f32..0.5);
         let mut row = vec![
             Cell::I(pid as i64),
@@ -63,7 +62,9 @@ pub fn generate(n: usize, missing_rate: f64, seed: u64) -> Table {
                 row.push(Cell::Null);
             } else {
                 let base = (lab as f32 + 1.0) * 10.0;
-                row.push(Cell::F(base * (1.0 + 2.0 * risk) + rng.gen_range(-1.0f32..1.0)));
+                row.push(Cell::F(
+                    base * (1.0 + 2.0 * risk) + rng.gen_range(-1.0f32..1.0),
+                ));
             }
         }
         // Sharpen the risk-label link so model quality is measurable.

@@ -11,20 +11,54 @@ use rand::{Rng, SeedableRng};
 
 /// Positive sentiment vocabulary.
 pub const POSITIVE: [&str; 12] = [
-    "great", "excellent", "wonderful", "superb", "masterpiece", "moving", "brilliant",
-    "delightful", "captivating", "stunning", "charming", "perfect",
+    "great",
+    "excellent",
+    "wonderful",
+    "superb",
+    "masterpiece",
+    "moving",
+    "brilliant",
+    "delightful",
+    "captivating",
+    "stunning",
+    "charming",
+    "perfect",
 ];
 
 /// Negative sentiment vocabulary.
 pub const NEGATIVE: [&str; 12] = [
-    "terrible", "awful", "boring", "dreadful", "mess", "tedious", "bland", "clumsy",
-    "forgettable", "painful", "shallow", "incoherent",
+    "terrible",
+    "awful",
+    "boring",
+    "dreadful",
+    "mess",
+    "tedious",
+    "bland",
+    "clumsy",
+    "forgettable",
+    "painful",
+    "shallow",
+    "incoherent",
 ];
 
 /// Neutral filler vocabulary.
 pub const NEUTRAL: [&str; 16] = [
-    "movie", "film", "plot", "actor", "scene", "director", "story", "screen", "character",
-    "dialogue", "music", "ending", "camera", "script", "cast", "pacing",
+    "movie",
+    "film",
+    "plot",
+    "actor",
+    "scene",
+    "director",
+    "story",
+    "screen",
+    "character",
+    "dialogue",
+    "music",
+    "ending",
+    "camera",
+    "script",
+    "cast",
+    "pacing",
 ];
 
 /// Generates `n` labelled reviews of roughly `len` tokens each.

@@ -70,7 +70,12 @@ impl Component for DpmData {
         ckd_schema().id()
     }
     fn run(&self, _inputs: &[Artifact]) -> Result<Artifact> {
-        let t = ckd::generate(N_PATIENTS, N_VISITS, 0.08, 70 + self.version.increment as u64);
+        let t = ckd::generate(
+            N_PATIENTS,
+            N_VISITS,
+            0.08,
+            70 + self.version.increment as u64,
+        );
         Ok(Artifact::new(ArtifactData::Table(t), self.output_schema()))
     }
     fn work_units(&self, _inputs: &[Artifact]) -> u64 {
@@ -311,7 +316,11 @@ impl Component for HmmDebias {
             }
             let mean_sym = seq.iter().sum::<usize>() as f32 / seq.len() as f32;
             x.set(r, 2 * states, mean_sym / s.n_symbols as f32);
-            x.set(r, 2 * states + 1, hmm.log_likelihood(seq) as f32 / seq.len() as f32 / 10.0);
+            x.set(
+                r,
+                2 * states + 1,
+                hmm.log_likelihood(seq) as f32 / seq.len() as f32 / 10.0,
+            );
         }
         Ok(Artifact::new(
             ArtifactData::Features(Features {
@@ -380,7 +389,11 @@ impl Component for DpmModel {
         ))
     }
     fn work_units(&self, _inputs: &[Artifact]) -> u64 {
-        mlp_work_units(hmm_feature_dim(self.expects_states), &self.config, N_PATIENTS)
+        mlp_work_units(
+            hmm_feature_dim(self.expects_states),
+            &self.config,
+            N_PATIENTS,
+        )
     }
     fn ns_per_unit(&self) -> u64 {
         1_000
@@ -538,12 +551,12 @@ pub fn build() -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlcask_pipeline::clock::SimClock;
+    use mlcask_pipeline::clock::ClockLedger;
     use mlcask_pipeline::dag::BoundPipeline;
     use mlcask_pipeline::executor::{ExecOptions, Executor};
     use mlcask_storage::store::ChunkStore;
 
-    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, SimClock) {
+    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, ClockLedger) {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
         let handles: Vec<ComponentHandle> = keys
@@ -551,9 +564,9 @@ mod tests {
             .map(|k| w.handles.iter().find(|h| &h.key() == k).unwrap().clone())
             .collect();
         let bound = BoundPipeline::new(Arc::new(w.dag()), handles).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = exec
-            .run(&bound, &mut clock, None, ExecOptions::RERUN_ALL)
+            .run(&bound, &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         (report.outcome.score().expect("completed").raw, clock)
     }

@@ -240,11 +240,7 @@ impl FeatureExtract {
                 _ => 0,
             });
         }
-        Features {
-            x,
-            y,
-            n_classes: 2,
-        }
+        Features { x, y, n_classes: 2 }
     }
 }
 
@@ -384,9 +380,11 @@ pub fn build() -> Workload {
                 version: SemVer::master(0, i),
             })
         })
-        .chain(std::iter::once::<ComponentHandle>(Arc::new(FeatureExtract {
-            version: SemVer::master(1, 0),
-        })))
+        .chain(std::iter::once::<ComponentHandle>(Arc::new(
+            FeatureExtract {
+                version: SemVer::master(1, 0),
+            },
+        )))
         .collect();
     // CNNs: 0.0, 0.1, 0.4, 0.5, 0.6, 0.7 expect DIM_V0; 0.2, 0.3 expect
     // DIM_V1 (developed against the new extractor).
@@ -428,17 +426,34 @@ pub fn build() -> Workload {
         vec![data.key()],
         cleanses.iter().map(mk_key).collect(),
         extracts[..4].iter().map(mk_key).collect(),
-        vec![find_cnn(0), find_cnn(1), find_cnn(4), find_cnn(5), find_cnn(6), find_cnn(7)],
+        vec![
+            find_cnn(0),
+            find_cnn(1),
+            find_cnn(4),
+            find_cnn(5),
+            find_cnn(6),
+            find_cnn(7),
+        ],
     ];
     let fe_v1 = extracts[4].key();
     // Fig. 3 branch histories.
     let head_updates = vec![
         // master.1: cleansing 0.1 + CNN 0.4.
-        vec![data.key(), cleanses[1].key(), extracts[0].key(), find_cnn(4)],
+        vec![
+            data.key(),
+            cleanses[1].key(),
+            extracts[0].key(),
+            find_cnn(4),
+        ],
     ];
     let dev_updates = vec![
         // dev.1: CNN 0.1.
-        vec![data.key(), cleanses[0].key(), extracts[0].key(), find_cnn(1)],
+        vec![
+            data.key(),
+            cleanses[0].key(),
+            extracts[0].key(),
+            find_cnn(1),
+        ],
         // dev.2: feature extraction 1.0 (schema change) + CNN 0.2.
         vec![data.key(), cleanses[0].key(), fe_v1.clone(), find_cnn(2)],
         // dev.3: CNN 0.3.
@@ -465,12 +480,12 @@ pub fn build() -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlcask_pipeline::clock::SimClock;
+    use mlcask_pipeline::clock::ClockLedger;
     use mlcask_pipeline::dag::BoundPipeline;
     use mlcask_pipeline::executor::{ExecOptions, Executor};
     use mlcask_storage::store::ChunkStore;
 
-    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, SimClock) {
+    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, ClockLedger) {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
         let handles: Vec<ComponentHandle> = keys
@@ -484,9 +499,9 @@ mod tests {
             })
             .collect();
         let bound = BoundPipeline::new(Arc::new(w.dag()), handles).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = exec
-            .run(&bound, &mut clock, None, ExecOptions::RERUN_ALL)
+            .run(&bound, &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         (report.outcome.score().expect("completed").raw, clock)
     }
@@ -536,10 +551,8 @@ mod tests {
             .map(|k| w.handles.iter().find(|h| &h.key() == k).unwrap().clone())
             .collect();
         let bound = BoundPipeline::new(Arc::new(w.dag()), handles).unwrap();
-        let mut clock = SimClock::new();
-        let report = exec
-            .run(&bound, &mut clock, None, ExecOptions::MLCASK)
-            .unwrap();
+        let clock = ClockLedger::new();
+        let report = exec.run(&bound, &clock, None, ExecOptions::MLCASK).unwrap();
         assert!(!report.outcome.is_completed());
     }
 

@@ -509,12 +509,12 @@ pub fn build() -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mlcask_pipeline::clock::SimClock;
+    use mlcask_pipeline::clock::ClockLedger;
     use mlcask_pipeline::dag::BoundPipeline;
     use mlcask_pipeline::executor::{ExecOptions, Executor};
     use mlcask_storage::store::ChunkStore;
 
-    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, SimClock) {
+    fn run_pipeline(w: &Workload, keys: &[ComponentKey]) -> (f64, ClockLedger) {
         let store = ChunkStore::in_memory_small();
         let exec = Executor::new(&store);
         let handles: Vec<ComponentHandle> = keys
@@ -522,9 +522,9 @@ mod tests {
             .map(|k| w.handles.iter().find(|h| &h.key() == k).unwrap().clone())
             .collect();
         let bound = BoundPipeline::new(Arc::new(w.dag()), handles).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = exec
-            .run(&bound, &mut clock, None, ExecOptions::RERUN_ALL)
+            .run(&bound, &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         (report.outcome.score().expect("completed").raw, clock)
     }

@@ -15,7 +15,7 @@ use crate::common::Workload;
 use crate::errors::Result;
 use mlcask_core::registry::ComponentRegistry;
 use mlcask_core::system::MlCask;
-use mlcask_pipeline::clock::SimClock;
+use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::ComponentKey;
 use mlcask_storage::chunk::ChunkParams;
 use mlcask_storage::costmodel::StorageCostModel;
@@ -50,19 +50,21 @@ impl Default for LinearScenario {
 /// scenario. All systems under test replay this same sequence, so
 /// comparisons isolate the system policies.
 pub fn linear_update_sequence(w: &Workload, sc: &LinearScenario) -> Vec<Vec<ComponentKey>> {
-    assert!(sc.iterations >= 2, "need at least initial + final iterations");
+    assert!(
+        sc.iterations >= 2,
+        "need at least initial + final iterations"
+    );
     let mut rng = StdRng::seed_from_u64(sc.seed);
     let mut idx: Vec<usize> = vec![0; w.slots.len()];
     let preproc_slots = w.preproc_slots();
     let mut out = Vec::with_capacity(sc.iterations);
     out.push(w.initial.clone());
-    let current =
-        |idx: &[usize]| -> Vec<ComponentKey> {
-            idx.iter()
-                .enumerate()
-                .map(|(s, &i)| w.chains[s][i].clone())
-                .collect()
-        };
+    let current = |idx: &[usize]| -> Vec<ComponentKey> {
+        idx.iter()
+            .enumerate()
+            .map(|(s, &i)| w.chains[s][i].clone())
+            .collect()
+    };
     for it in 1..sc.iterations {
         if it == sc.iterations - 1 {
             // Final iteration: schema-changing pre-processing update without
@@ -132,16 +134,16 @@ pub fn build_system(w: &Workload) -> Result<(Arc<ComponentRegistry>, MlCask)> {
 /// commit on `master`, a `dev` branch, then the workload's head/dev update
 /// sequences. Returns the clock used (development time, excluded from merge
 /// measurements).
-pub fn setup_nonlinear(sys: &MlCask, w: &Workload) -> Result<SimClock> {
-    let mut clock = SimClock::new();
-    sys.commit_pipeline("master", &w.initial, "initial pipeline", &mut clock)?;
+pub fn setup_nonlinear(sys: &MlCask, w: &Workload) -> Result<ClockLedger> {
+    let clock = ClockLedger::new();
+    sys.commit_pipeline("master", &w.initial, "initial pipeline", &clock)?;
     sys.branch("master", "dev")?;
     for (i, keys) in w.head_updates.iter().enumerate() {
-        let res = sys.commit_pipeline("master", keys, &format!("head update {i}"), &mut clock)?;
+        let res = sys.commit_pipeline("master", keys, &format!("head update {i}"), &clock)?;
         assert!(res.commit.is_some(), "head update {i} must be committable");
     }
     for (i, keys) in w.dev_updates.iter().enumerate() {
-        let res = sys.commit_pipeline("dev", keys, &format!("dev update {i}"), &mut clock)?;
+        let res = sys.commit_pipeline("dev", keys, &format!("dev update {i}"), &clock)?;
         assert!(res.commit.is_some(), "dev update {i} must be committable");
     }
     Ok(clock)
@@ -179,7 +181,10 @@ mod tests {
     fn linear_sequence_is_deterministic() {
         let w = readmission::build();
         let sc = LinearScenario::default();
-        assert_eq!(linear_update_sequence(&w, &sc), linear_update_sequence(&w, &sc));
+        assert_eq!(
+            linear_update_sequence(&w, &sc),
+            linear_update_sequence(&w, &sc)
+        );
         let other = LinearScenario {
             seed: 7,
             ..LinearScenario::default()
@@ -208,14 +213,17 @@ mod tests {
         let w = readmission::build();
         let (_reg, sys) = build_system(&w).unwrap();
         setup_nonlinear(&sys, &w).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let out = sys
-            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .merge("master", "dev", MergeStrategy::Full, &clock)
             .unwrap();
         assert!(!out.fast_forward);
         let report = out.report.unwrap();
         assert_eq!(report.candidates_total, 20);
-        assert!(report.candidates_pruned > 0, "PC must prune some candidates");
+        assert!(
+            report.candidates_pruned > 0,
+            "PC must prune some candidates"
+        );
         assert!(report.reused_components > 0, "PR must reuse checkpoints");
         assert!(report.best.is_some());
     }

@@ -12,25 +12,29 @@ use mlcask::prelude::*;
 fn main() {
     let workload = mlcask::workloads::dpm::build();
     let (_registry, sys) = build_system(&workload).expect("system builds");
-    let mut clock = SimClock::new();
+    let clock = ClockLedger::new();
 
     // Production pipeline goes live.
     let initial = sys
-        .commit_pipeline("master", &workload.initial, "production v1", &mut clock)
+        .commit_pipeline("master", &workload.initial, "production v1", &clock)
         .expect("initial commit");
     let baseline_score = initial.report.outcome.score().unwrap().raw;
     println!("production (master.0) accuracy: {baseline_score:.4}");
 
     // Two teams branch off production.
     sys.branch("master", "ds-team").expect("branch ds-team");
-    sys.branch("master", "clinical-team").expect("branch clinical-team");
+    sys.branch("master", "clinical-team")
+        .expect("branch clinical-team");
 
     // The data-science team tries model variants on its branch.
     let mut model_keys = workload.initial.clone();
-    for (i, version) in workload.chains[workload.model_slot][1..3].iter().enumerate() {
+    for (i, version) in workload.chains[workload.model_slot][1..3]
+        .iter()
+        .enumerate()
+    {
         model_keys[workload.model_slot] = version.clone();
         let res = sys
-            .commit_pipeline("ds-team", &model_keys, &format!("model trial {i}"), &mut clock)
+            .commit_pipeline("ds-team", &model_keys, &format!("model trial {i}"), &clock)
             .expect("ds commit");
         println!(
             "ds-team trial {i}: model {} → accuracy {:.4}",
@@ -44,7 +48,7 @@ fn main() {
     clean_keys[1] = workload.chains[1][1].clone();
     clean_keys[2] = workload.chains[2][1].clone();
     let res = sys
-        .commit_pipeline("clinical-team", &clean_keys, "better imputation", &mut clock)
+        .commit_pipeline("clinical-team", &clean_keys, "better imputation", &clock)
         .expect("clinical commit");
     println!(
         "clinical-team: new cleansing → accuracy {:.4}",
@@ -54,18 +58,22 @@ fn main() {
     // Merge the data-science branch into production first. Master has not
     // moved, so this is a fast-forward merge.
     let m1 = sys
-        .merge("master", "ds-team", MergeStrategy::Full, &mut clock)
+        .merge("master", "ds-team", MergeStrategy::Full, &clock)
         .expect("merge ds-team");
     let s1 = best_score(&sys, &m1);
     println!(
         "\nmerged ds-team → master: accuracy {s1:.4}{}",
-        if m1.fast_forward { " (fast-forward)" } else { "" }
+        if m1.fast_forward {
+            " (fast-forward)"
+        } else {
+            ""
+        }
     );
 
     // Then merge the clinical branch; the search space now spans both teams'
     // updates, so the merge can pick cross-team combinations no one tested.
     let m2 = sys
-        .merge("master", "clinical-team", MergeStrategy::Full, &mut clock)
+        .merge("master", "clinical-team", MergeStrategy::Full, &clock)
         .expect("merge clinical-team");
     let s2 = best_score(&sys, &m2);
     let report = m2.report.as_ref().expect("search happened");

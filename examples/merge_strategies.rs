@@ -11,7 +11,10 @@ use mlcask::prelude::*;
 fn main() {
     let workload = mlcask::workloads::autolearn::build();
 
-    println!("merging dev into master on the '{}' pipeline\n", workload.name);
+    println!(
+        "merging dev into master on the '{}' pipeline\n",
+        workload.name
+    );
     println!(
         "{:<18} {:>10} {:>9} {:>9} {:>9} {:>11} {:>9}",
         "strategy", "candidates", "executed", "reused", "failed", "time (s)", "score"
@@ -26,8 +29,8 @@ fn main() {
         // Fresh system per strategy so histories don't leak across runs.
         let (_registry, sys) = build_system(&workload).expect("system builds");
         setup_nonlinear(&sys, &workload).expect("fig-3 history");
-        let mut clock = SimClock::new();
-        match sys.merge("master", "dev", strategy, &mut clock) {
+        let clock = ClockLedger::new();
+        match sys.merge("master", "dev", strategy, &clock) {
             Ok(outcome) => {
                 let r = outcome.report.expect("diverged merge");
                 println!(

@@ -13,12 +13,12 @@ fn main() {
     //    and a fresh MLCask system over an in-memory ForkBase-like store.
     let workload = mlcask::workloads::readmission::build();
     let (_registry, sys) = build_system(&workload).expect("system builds");
-    let mut clock = SimClock::new();
+    let clock = ClockLedger::new();
 
     // 2. Commit the initial pipeline on master. MLCask runs it, archives
     //    every component output, and records the metric score.
     let initial = sys
-        .commit_pipeline("master", &workload.initial, "initial pipeline", &mut clock)
+        .commit_pipeline("master", &workload.initial, "initial pipeline", &clock)
         .expect("initial commit");
     let commit = initial.commit.expect("committed");
     println!(
@@ -33,7 +33,7 @@ fn main() {
     sys.branch("master", "dev").expect("branch");
     for (i, update) in workload.dev_updates.iter().enumerate() {
         let res = sys
-            .commit_pipeline("dev", update, &format!("dev update {i}"), &mut clock)
+            .commit_pipeline("dev", update, &format!("dev update {i}"), &clock)
             .expect("dev commit");
         let report = &res.report;
         println!(
@@ -47,7 +47,7 @@ fn main() {
 
     // 4. Meanwhile master also moved (another user role).
     for (i, update) in workload.head_updates.iter().enumerate() {
-        sys.commit_pipeline("master", update, &format!("head update {i}"), &mut clock)
+        sys.commit_pipeline("master", update, &format!("head update {i}"), &clock)
             .expect("head commit");
     }
 
@@ -55,7 +55,7 @@ fn main() {
     //    developed since the common ancestor, pruned by compatibility (PC)
     //    and accelerated by reusable checkpoints (PR).
     let outcome = sys
-        .merge("master", "dev", MergeStrategy::Full, &mut clock)
+        .merge("master", "dev", MergeStrategy::Full, &clock)
         .expect("merge");
     let report = outcome.report.expect("diverged merge");
     println!(

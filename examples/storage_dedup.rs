@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example storage_dedup`
 
-use mlcask::prelude::*;
 use mlcask::core::registry::simulated_executable;
+use mlcask::prelude::*;
 
 fn main() {
     let store = ChunkStore::in_memory();

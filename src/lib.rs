@@ -13,23 +13,26 @@
 //! ```
 //! use mlcask::prelude::*;
 //!
-//! // Build the paper's running example: the Readmission pipeline.
+//! // Build the paper's running example: the Readmission pipeline. Merge
+//! // candidates evaluate on a worker pool; reports are identical to
+//! // sequential evaluation (deterministic virtual time), only faster.
 //! let workload = mlcask::workloads::readmission::build();
 //! let (_registry, sys) = build_system(&workload).unwrap();
-//! let mut clock = SimClock::new();
+//! let sys = sys.with_parallelism(ParallelismPolicy::auto());
+//! let clock = ClockLedger::new();
 //!
 //! // Commit the initial pipeline on master.
 //! let result = sys
-//!     .commit_pipeline("master", &workload.initial, "initial", &mut clock)
+//!     .commit_pipeline("master", &workload.initial, "initial", &clock)
 //!     .unwrap();
 //! assert_eq!(result.commit.unwrap().label(), "master.0");
 //!
 //! // Branch for development, commit an update, and merge it back.
 //! sys.branch("master", "dev").unwrap();
-//! sys.commit_pipeline("dev", &workload.dev_updates[0], "dev work", &mut clock)
+//! sys.commit_pipeline("dev", &workload.dev_updates[0], "dev work", &clock)
 //!     .unwrap();
 //! let merged = sys
-//!     .merge("master", "dev", MergeStrategy::Full, &mut clock)
+//!     .merge("master", "dev", MergeStrategy::Full, &clock)
 //!     .unwrap();
 //! assert!(merged.commit.is_some());
 //! ```

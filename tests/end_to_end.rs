@@ -11,9 +11,9 @@ fn fig3_merge_works_on_all_four_workloads() {
     for workload in all_workloads() {
         let (_registry, sys) = build_system(&workload).unwrap();
         setup_nonlinear(&sys, &workload).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let outcome = sys
-            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .merge("master", "dev", MergeStrategy::Full, &clock)
             .unwrap_or_else(|e| panic!("{} merge failed: {e}", workload.name));
         assert!(!outcome.fast_forward, "{}", workload.name);
         let report = outcome.report.unwrap();
@@ -50,8 +50,8 @@ fn merged_pipeline_replays_from_checkpoints() {
     let workload = by_name("readmission").unwrap();
     let (_registry, sys) = build_system(&workload).unwrap();
     setup_nonlinear(&sys, &workload).unwrap();
-    let mut clock = SimClock::new();
-    sys.merge("master", "dev", MergeStrategy::Full, &mut clock)
+    let clock = ClockLedger::new();
+    sys.merge("master", "dev", MergeStrategy::Full, &clock)
         .unwrap();
     let meta = sys.head_metafile("master").unwrap();
     let keys = meta.component_keys();
@@ -59,7 +59,7 @@ fn merged_pipeline_replays_from_checkpoints() {
     let before = clock.snapshot().exec_ns();
     let executor = Executor::new(sys.store());
     let report = executor
-        .run(&bound, &mut clock, Some(sys.history()), ExecOptions::MLCASK)
+        .run(&bound, &clock, Some(sys.history()), ExecOptions::MLCASK)
         .unwrap();
     assert_eq!(report.executed_count(), 0, "everything checkpointed");
     assert_eq!(clock.snapshot().exec_ns(), before, "no execution time");
@@ -114,9 +114,9 @@ fn lineage_is_fully_traceable() {
     let workload = by_name("sa").unwrap();
     let (_registry, sys) = build_system(&workload).unwrap();
     setup_nonlinear(&sys, &workload).unwrap();
-    let mut clock = SimClock::new();
+    let clock = ClockLedger::new();
     let outcome = sys
-        .merge("master", "dev", MergeStrategy::Full, &mut clock)
+        .merge("master", "dev", MergeStrategy::Full, &clock)
         .unwrap();
     let merge_commit = outcome.commit.unwrap();
     let ancestors = sys.graph().ancestors(merge_commit.id).unwrap();
@@ -138,9 +138,9 @@ fn full_scenario_is_deterministic() {
         let workload = by_name("autolearn").unwrap();
         let (_registry, sys) = build_system(&workload).unwrap();
         setup_nonlinear(&sys, &workload).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let outcome = sys
-            .merge("master", "dev", MergeStrategy::Full, &mut clock)
+            .merge("master", "dev", MergeStrategy::Full, &clock)
             .unwrap();
         let report = outcome.report.unwrap();
         (

@@ -1,0 +1,198 @@
+//! Determinism of the parallel candidate-evaluation engines.
+//!
+//! `MergeEngine::search` and `PrioritizedSearcher::run_trials` evaluate
+//! candidates in two phases: parallel traced execution, then a sequential
+//! accounting replay in canonical order (see `mlcask_pipeline::replay`).
+//! These tests pin the resulting guarantee: for every strategy and worker
+//! count, the report — candidate order, scores, virtual end-times, storage
+//! accounting, ledger totals, and history side-state — is **byte-identical**
+//! (compared via JSON serialization) to the sequential engine's.
+
+use mlcask_core::history::HistoryIndex;
+use mlcask_core::merge::{MergeEngine, MergeSearchReport, MergeStrategy};
+use mlcask_core::prioritized::{PrioritizedSearcher, SearchMethod};
+use mlcask_core::registry::ComponentRegistry;
+use mlcask_core::search_space::SearchSpaces;
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::dag::PipelineDag;
+use mlcask_pipeline::executor::{ExecOptions, Executor};
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_pipeline::semver::SemVer;
+use mlcask_storage::store::ChunkStore;
+use std::sync::Arc;
+
+/// A Fig.-3-like scenario: 1 source × 3 scalers × 5 models, with schema
+/// incompatibilities so some candidates fail (exercising the failure path).
+fn scenario() -> (ComponentRegistry, Arc<PipelineDag>, SearchSpaces) {
+    let store = Arc::new(ChunkStore::in_memory_small());
+    let reg = ComponentRegistry::with_exe_size(store, 2048);
+    let src = toy_source(SemVer::master(0, 0), 4, 16);
+    let scalers = [
+        toy_scaler(SemVer::master(0, 0), 4, 4, 1.0),
+        toy_scaler(SemVer::master(0, 1), 4, 4, 2.0),
+        toy_scaler(SemVer::master(1, 0), 4, 6, 3.0), // schema change
+    ];
+    let models = [
+        toy_model(SemVer::master(0, 0), 4, 0.50),
+        toy_model(SemVer::master(0, 1), 4, 0.60),
+        toy_model(SemVer::master(0, 2), 6, 0.70),
+        toy_model(SemVer::master(0, 3), 6, 0.80),
+        toy_model(SemVer::master(0, 4), 4, 0.90),
+    ];
+    let mut spaces = SearchSpaces {
+        slot_names: toy_slots().iter().map(|s| s.to_string()).collect(),
+        per_slot: vec![vec![], vec![], vec![]],
+    };
+    reg.register(src.clone()).unwrap();
+    spaces.per_slot[0].push(src.key());
+    for c in &scalers {
+        reg.register(c.clone()).unwrap();
+        spaces.per_slot[1].push(c.key());
+    }
+    for c in &models {
+        reg.register(c.clone()).unwrap();
+        spaces.per_slot[2].push(c.key());
+    }
+    let dag = Arc::new(PipelineDag::chain(&toy_slots()).unwrap());
+    (reg, dag, spaces)
+}
+
+/// Runs a fresh merge search under `policy` and returns every observable:
+/// the full report plus ledger totals, store stats, and history size.
+fn run_search(
+    strategy: MergeStrategy,
+    policy: ParallelismPolicy,
+    pretrain: bool,
+) -> (MergeSearchReport, String) {
+    let (reg, dag, spaces) = scenario();
+    let history = HistoryIndex::new();
+    if pretrain {
+        // Checkpoint one pipeline up front so the Full strategy exercises
+        // pre-existing history reuse.
+        let keys = vec![
+            spaces.per_slot[0][0].clone(),
+            spaces.per_slot[1][0].clone(),
+            spaces.per_slot[2][0].clone(),
+        ];
+        let engine = MergeEngine::new(&reg, reg.store(), dag.clone());
+        let bound = engine.bind(&keys).unwrap();
+        let warm = ClockLedger::new();
+        Executor::new(reg.store())
+            .run(&bound, &warm, Some(&history), ExecOptions::MLCASK)
+            .unwrap();
+    }
+    let engine = MergeEngine::new(&reg, reg.store(), dag).with_parallelism(policy);
+    let ledger = ClockLedger::new();
+    let report = engine.search(&spaces, &history, strategy, &ledger).unwrap();
+    let observables = format!(
+        "report={} ledger={} stats={} history_len={}",
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&ledger.snapshot()).unwrap(),
+        serde_json::to_string(&reg.store().stats()).unwrap(),
+        history.len(),
+    );
+    (report, observables)
+}
+
+#[test]
+fn merge_search_parallel_report_identical_to_sequential() {
+    for strategy in [
+        MergeStrategy::Full,
+        MergeStrategy::WithoutPr,
+        MergeStrategy::WithoutPcPr,
+        MergeStrategy::Naive,
+    ] {
+        let (_, sequential) = run_search(strategy, ParallelismPolicy::Sequential, false);
+        for workers in [2, 4, 8] {
+            let (_, parallel) = run_search(strategy, ParallelismPolicy::Parallel(workers), false);
+            assert_eq!(
+                sequential, parallel,
+                "{strategy:?} with {workers} workers diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_search_with_prior_history_identical() {
+    for strategy in [MergeStrategy::Full, MergeStrategy::Naive] {
+        let (_, sequential) = run_search(strategy, ParallelismPolicy::Sequential, true);
+        let (_, parallel) = run_search(strategy, ParallelismPolicy::Parallel(4), true);
+        assert_eq!(
+            sequential, parallel,
+            "{strategy:?} with warm history diverged"
+        );
+    }
+}
+
+#[test]
+fn parallel_candidate_end_times_are_monotone() {
+    let (report, _) = run_search(MergeStrategy::Full, ParallelismPolicy::Parallel(4), false);
+    assert!(!report.candidates.is_empty());
+    for w in report.candidates.windows(2) {
+        assert!(w[1].end_time_ns >= w[0].end_time_ns);
+    }
+    assert_eq!(
+        report.clock.total_ns(),
+        report.candidates.last().unwrap().end_time_ns,
+        "merge clock ends at the last candidate's end time"
+    );
+}
+
+fn initial_scores(spaces: &SearchSpaces) -> Vec<(Vec<ComponentKey>, f64)> {
+    vec![
+        (
+            vec![
+                spaces.per_slot[0][0].clone(),
+                spaces.per_slot[1][1].clone(),
+                spaces.per_slot[2][4].clone(),
+            ],
+            0.9,
+        ),
+        (
+            vec![
+                spaces.per_slot[0][0].clone(),
+                spaces.per_slot[1][0].clone(),
+                spaces.per_slot[2][0].clone(),
+            ],
+            0.4,
+        ),
+    ]
+}
+
+fn run_trials(policy: ParallelismPolicy, method: SearchMethod) -> String {
+    let (reg, dag, spaces) = scenario();
+    let history = HistoryIndex::new();
+    let searcher = PrioritizedSearcher::new(&reg, dag).with_parallelism(policy);
+    let stats = searcher
+        .run_trials(&spaces, &history, &initial_scores(&spaces), method, 12, 42)
+        .unwrap();
+    format!(
+        "stats={} store={}",
+        serde_json::to_string(&stats).unwrap(),
+        serde_json::to_string(&reg.store().stats()).unwrap(),
+    )
+}
+
+#[test]
+fn prioritized_trials_parallel_identical_to_sequential() {
+    for method in [SearchMethod::Prioritized, SearchMethod::Random] {
+        let sequential = run_trials(ParallelismPolicy::Sequential, method);
+        for workers in [2, 4] {
+            let parallel = run_trials(ParallelismPolicy::Parallel(workers), method);
+            assert_eq!(
+                sequential, parallel,
+                "{method:?} trials with {workers} workers diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_policy_matches_sequential_too() {
+    let (_, sequential) = run_search(MergeStrategy::Full, ParallelismPolicy::Sequential, false);
+    let (_, auto) = run_search(MergeStrategy::Full, ParallelismPolicy::auto(), false);
+    assert_eq!(sequential, auto);
+}

@@ -6,10 +6,7 @@ use mlcask::prelude::*;
 use std::sync::Arc;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "mlcask-it-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("mlcask-it-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -37,9 +34,9 @@ fn pipeline_artifacts_survive_store_reopen() {
         let dag = Arc::new(workload.dag());
         let components = workload.initial.iter().map(&handle_for).collect();
         let bound = BoundPipeline::new(dag, components).unwrap();
-        let mut clock = SimClock::new();
+        let clock = ClockLedger::new();
         let report = Executor::new(&store)
-            .run(&bound, &mut clock, None, ExecOptions::RERUN_ALL)
+            .run(&bound, &clock, None, ExecOptions::RERUN_ALL)
             .unwrap();
         assert!(report.outcome.is_completed());
         let refs: Vec<_> = report.stages.iter().map(|s| s.output).collect();

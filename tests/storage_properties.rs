@@ -118,9 +118,9 @@ proptest! {
 fn executor_outputs_recoverable() {
     let workload = by_name("autolearn").unwrap();
     let (_registry, sys) = build_system(&workload).unwrap();
-    let mut clock = SimClock::new();
+    let clock = ClockLedger::new();
     let res = sys
-        .commit_pipeline("master", &workload.initial, "init", &mut clock)
+        .commit_pipeline("master", &workload.initial, "init", &clock)
         .unwrap();
     for stage in &res.report.stages {
         let bytes = sys.store().get_blob(&stage.output).unwrap();

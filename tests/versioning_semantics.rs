@@ -4,36 +4,40 @@
 
 use mlcask::prelude::*;
 
-fn readmission_system() -> (Workload, MlCask, SimClock) {
+fn readmission_system() -> (Workload, MlCask, ClockLedger) {
     let workload = by_name("readmission").unwrap();
     let (_registry, sys) = build_system(&workload).unwrap();
-    let mut clock = SimClock::new();
-    sys.commit_pipeline("master", &workload.initial, "init", &mut clock)
+    let clock = ClockLedger::new();
+    sys.commit_pipeline("master", &workload.initial, "init", &clock)
         .unwrap();
     (workload, sys, clock)
 }
 
 #[test]
 fn branch_isolates_user_roles() {
-    let (workload, sys, mut clock) = readmission_system();
+    let (workload, sys, clock) = readmission_system();
     sys.branch("master", "jane-dev").unwrap();
     sys.branch("master", "frank-dev").unwrap();
     // Jane updates the model; Frank updates cleansing.
     let mut jane = workload.initial.clone();
     jane[3] = workload.chains[3][1].clone();
-    sys.commit_pipeline("jane-dev", &jane, "jane model", &mut clock)
+    sys.commit_pipeline("jane-dev", &jane, "jane model", &clock)
         .unwrap();
     let mut frank = workload.initial.clone();
     frank[1] = workload.chains[1][1].clone();
-    sys.commit_pipeline("frank-dev", &frank, "frank cleanse", &mut clock)
+    sys.commit_pipeline("frank-dev", &frank, "frank cleanse", &clock)
         .unwrap();
     // Neither branch sees the other's update; master sees neither.
     assert_eq!(
-        sys.head_metafile("jane-dev").unwrap().component_version("data_cleanse"),
+        sys.head_metafile("jane-dev")
+            .unwrap()
+            .component_version("data_cleanse"),
         Some(&workload.initial[1])
     );
     assert_eq!(
-        sys.head_metafile("frank-dev").unwrap().component_version("cnn"),
+        sys.head_metafile("frank-dev")
+            .unwrap()
+            .component_version("cnn"),
         Some(&workload.initial[3])
     );
     assert_eq!(sys.graph().head("master").unwrap().seq, 0);
@@ -41,13 +45,13 @@ fn branch_isolates_user_roles() {
 
 #[test]
 fn fast_forward_merge_duplicates_merge_head() {
-    let (workload, sys, mut clock) = readmission_system();
+    let (workload, sys, clock) = readmission_system();
     sys.branch("master", "dev").unwrap();
-    sys.commit_pipeline("dev", &workload.dev_updates[0], "dev", &mut clock)
+    sys.commit_pipeline("dev", &workload.dev_updates[0], "dev", &clock)
         .unwrap();
     let dev_meta = sys.head_metafile("dev").unwrap();
     let outcome = sys
-        .merge("master", "dev", MergeStrategy::Full, &mut clock)
+        .merge("master", "dev", MergeStrategy::Full, &clock)
         .unwrap();
     assert!(outcome.fast_forward);
     let master_meta = sys.head_metafile("master").unwrap();
@@ -61,13 +65,13 @@ fn fast_forward_merge_duplicates_merge_head() {
 
 #[test]
 fn incompatible_commit_is_rejected_before_running() {
-    let (workload, sys, mut clock) = readmission_system();
+    let (workload, sys, clock) = readmission_system();
     let before = clock.snapshot();
     let (slot, ref v1) = workload.incompat_update;
     let mut keys = workload.initial.clone();
     keys[slot] = v1.clone();
     let res = sys
-        .commit_pipeline("master", &keys, "doomed", &mut clock)
+        .commit_pipeline("master", &keys, "doomed", &clock)
         .unwrap();
     assert!(res.commit.is_none());
     assert!(matches!(
@@ -97,18 +101,18 @@ fn semver_rules_hold_across_workload_families() {
 
 #[test]
 fn merge_commit_score_recorded_in_metafile() {
-    let (workload, sys, mut clock) = readmission_system();
+    let (workload, sys, clock) = readmission_system();
     sys.branch("master", "dev").unwrap();
     for (i, u) in workload.dev_updates.iter().enumerate() {
-        sys.commit_pipeline("dev", u, &format!("dev {i}"), &mut clock)
+        sys.commit_pipeline("dev", u, &format!("dev {i}"), &clock)
             .unwrap();
     }
     for (i, u) in workload.head_updates.iter().enumerate() {
-        sys.commit_pipeline("master", u, &format!("head {i}"), &mut clock)
+        sys.commit_pipeline("master", u, &format!("head {i}"), &clock)
             .unwrap();
     }
     let outcome = sys
-        .merge("master", "dev", MergeStrategy::Full, &mut clock)
+        .merge("master", "dev", MergeStrategy::Full, &clock)
         .unwrap();
     let report = outcome.report.unwrap();
     let meta = sys.head_metafile("master").unwrap();
@@ -121,21 +125,21 @@ fn merge_commit_score_recorded_in_metafile() {
 
 #[test]
 fn search_space_respects_common_ancestor_boundary() {
-    let (workload, sys, mut clock) = readmission_system();
+    let (workload, sys, clock) = readmission_system();
     // Advance master twice, then branch: pre-branch versions (other than the
     // fork point's) must not enter the merge search space.
     let mut keys = workload.initial.clone();
     keys[3] = workload.chains[3][1].clone();
-    sys.commit_pipeline("master", &keys, "pre-branch model bump", &mut clock)
+    sys.commit_pipeline("master", &keys, "pre-branch model bump", &clock)
         .unwrap();
     sys.branch("master", "dev").unwrap();
     let mut dev_keys = keys.clone();
     dev_keys[1] = workload.chains[1][1].clone();
-    sys.commit_pipeline("dev", &dev_keys, "dev cleanse", &mut clock)
+    sys.commit_pipeline("dev", &dev_keys, "dev cleanse", &clock)
         .unwrap();
     let mut head_keys = keys.clone();
     head_keys[3] = workload.chains[3][2].clone();
-    sys.commit_pipeline("master", &head_keys, "head model", &mut clock)
+    sys.commit_pipeline("master", &head_keys, "head model", &clock)
         .unwrap();
     let spaces = sys.merge_search_spaces("master", "dev").unwrap();
     // CNN space: fork version + head's new one — NOT the pre-branch 0.0.

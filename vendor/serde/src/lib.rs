@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde` built on a simple value tree.
+//!
+//! The workspace cannot reach a crate registry, so this crate provides the
+//! subset of serde's API the repository actually uses: the `Serialize` /
+//! `Deserialize` traits (here defined over a [`Value`] tree rather than
+//! serde's visitor-based data model), derive macros re-exported from
+//! `serde_derive`, and the `de::DeserializeOwned` bound. `serde_json` in
+//! `vendor/` renders [`Value`] to JSON text and back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short name of the variant, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// The pairs if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The items if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserializer-side re-exports mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Marker bound equivalent to serde's `DeserializeOwned`.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Serializer-side re-exports mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Expects a map, with a type name for the error message.
+pub fn expect_map<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    v.as_map()
+        .ok_or_else(|| Error::custom(format!("{ty}: expected object, got {}", v.type_name())))
+}
+
+/// Expects a sequence of exactly `n` items.
+pub fn expect_seq<'a>(v: &'a Value, n: usize, ty: &str) -> Result<&'a [Value], Error> {
+    let s = v
+        .as_seq()
+        .ok_or_else(|| Error::custom(format!("{ty}: expected array, got {}", v.type_name())))?;
+    if s.len() != n {
+        return Err(Error::custom(format!(
+            "{ty}: expected {n} elements, got {}",
+            s.len()
+        )));
+    }
+    Ok(s)
+}
+
+/// Looks up a key in an object.
+pub fn map_get<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserializes a struct field; a missing key behaves as `null` so `Option`
+/// fields tolerate omission.
+pub fn field<T: Deserialize>(m: &[(String, Value)], key: &str, ty: &str) -> Result<T, Error> {
+    match map_get(m, key) {
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("{ty}: missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom(format!(
+                "expected bool, got {}",
+                v.type_name()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    _ => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            v.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range")))?,
+                    _ => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            v.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    _ => Err(Error::custom(format!(
+                        "expected number, got {}",
+                        v.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom(format!(
+                "expected string, got {}",
+                v.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom(format!(
+                "expected array, got {}",
+                v.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Renders a map key: string keys pass through, any other serialized value
+/// keys by its JSON-ish debug form (matches serde_json's restriction to
+/// string-like keys for the types this workspace serializes).
+fn key_string<K: Serialize>(k: &K) -> String {
+    match k.to_value() {
+        Value::Str(s) => s,
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        other => panic!("unsupported map key type: {}", other.type_name()),
+    }
+}
+
+fn key_parse<K: Deserialize>(s: &str) -> Result<K, Error> {
+    // Try string first, then integers — covers every key type in use.
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key `{s}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = expect_map(v, "BTreeMap")?;
+        m.iter()
+            .map(|(k, v)| Ok((key_parse(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k), v.to_value()))
+            .collect();
+        // Deterministic output regardless of hash order.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = expect_map(v, "HashMap")?;
+        m.iter()
+            .map(|(k, v)| Ok((key_parse(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = [$($n),+].len();
+                let s = expect_seq(v, n, "tuple")?;
+                Ok(($($t::from_value(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

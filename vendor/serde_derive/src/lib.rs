@@ -1,0 +1,475 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace derives on:
+//! structs with named fields, tuple structs, and enums whose variants are
+//! unit, tuple, or struct-like. Generics and `#[serde(...)]` attributes are
+//! intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes, visibility, and misc modifiers until `struct`/`enum`.
+    let kind = loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                // `pub`, `pub(crate)`, etc.
+                i += 1;
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = toks.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token before item keyword: {other:?}")),
+        }
+    };
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generics on `{name}`"
+            ));
+        }
+    }
+
+    if kind == "struct" {
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            None => Fields::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        };
+        Ok(Item::Struct { name, fields })
+    } else {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, got {other:?}")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Commas inside
+/// angle brackets (e.g. `BTreeMap<K, V>`) are skipped via depth tracking;
+/// parens/brackets/braces arrive as single groups so they need no tracking.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip attributes and visibility.
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                        i += 1;
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = toks.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type until a top-level comma.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated entries in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx == toks.len() - 1 {
+                    trailing_comma = true;
+                } else {
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip attributes (doc comments on variants).
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to the next comma (covers explicit discriminants).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vn, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                    ),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                               (::std::string::String::from({vn:?}), \
+                                ::serde::Value::Map(vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![\
+                           (::std::string::String::from({vn:?}), \
+                            ::serde::Serialize::to_value(__f0))])"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![\
+                               (::std::string::String::from({vn:?}), \
+                                ::serde::Value::Seq(vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__m, {f:?}, {name:?})?"))
+                        .collect();
+                    format!(
+                        "let __m = ::serde::expect_map(__v, {name:?})?; \
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __s = ::serde::expect_seq(__v, {n}, {name:?})?; \
+                         ::std::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vn, _)| format!("{vn:?} => ::std::result::Result::Ok({name}::{vn})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vn, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fs) => {
+                        let label = format!("{name}::{vn}");
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__m, {f:?}, {label:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => {{ \
+                               let __m = ::serde::expect_map(__payload, {label:?})?; \
+                               ::std::result::Result::Ok({name}::{vn} {{ {} }}) \
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    Fields::Tuple(1) => Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                           ::serde::Deserialize::from_value(__payload)?))"
+                    )),
+                    Fields::Tuple(n) => {
+                        let label = format!("{name}::{vn}");
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => {{ \
+                               let __s = ::serde::expect_seq(__payload, {n}, {label:?})?; \
+                               ::std::result::Result::Ok({name}::{vn}({})) \
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     match __v {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {units} \
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                           format!(\"unknown {name} variant `{{__other}}`\"))), \
+                       }}, \
+                       ::serde::Value::Map(__m0) if __m0.len() == 1 => {{ \
+                         let (__tag, __payload) = (&__m0[0].0, &__m0[0].1); \
+                         match __tag.as_str() {{ \
+                           {datas} \
+                           __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant `{{__other}}`\"))), \
+                         }} \
+                       }}, \
+                       __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"{name}: unexpected {{}}\", __other.type_name()))), \
+                     }} \
+                   }} \
+                 }}",
+                units = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                datas = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(", "))
+                },
+            )
+        }
+    }
+}
