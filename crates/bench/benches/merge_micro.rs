@@ -76,26 +76,27 @@ fn toy_setup() -> (
 }
 
 fn bench_pruning(c: &mut Criterion) {
-    let (reg, _dag, spaces, history) = toy_setup();
+    let (reg, dag, spaces, history) = toy_setup();
+    let preds = dag.predecessors();
     let mut g = c.benchmark_group("pruning");
     g.bench_function("compat_lut_build", |b| {
-        b.iter(|| CompatLut::build(black_box(&reg), black_box(&spaces)).unwrap())
+        b.iter(|| CompatLut::build(black_box(&reg), black_box(&spaces), black_box(&preds)).unwrap())
     });
-    let lut = CompatLut::build(&reg, &spaces).unwrap();
+    let lut = CompatLut::build(&reg, &spaces, &preds).unwrap();
     g.bench_function("prune_incompatible", |b| {
         b.iter_with_setup(
             || SearchTree::build(&spaces),
-            |mut tree| tree.prune_incompatible(black_box(&lut)),
+            |mut tree| tree.prune_incompatible(black_box(&lut), black_box(&preds)),
         )
     });
     g.bench_function("mark_checkpoints", |b| {
         b.iter_with_setup(
             || {
                 let mut tree = SearchTree::build(&spaces);
-                tree.prune_incompatible(&lut);
+                tree.prune_incompatible(&lut, &preds);
                 tree
             },
-            |mut tree| tree.mark_checkpoints(black_box(&history)),
+            |mut tree| tree.mark_checkpoints(black_box(&history), black_box(&preds)),
         )
     });
     g.finish();

@@ -158,21 +158,24 @@ impl<'a> MergeEngine<'a> {
         let stats_before = self.store.stats().total();
         let mut tree = SearchTree::build(spaces);
         let candidates_total = spaces.candidate_upper_bound();
+        // Real DAG in-edges per slot: PC/PR follow the pipeline shape, which
+        // need not be a chain.
+        let preds = self.dag.predecessors();
 
         // Strategy-specific pruning/marking.
         let mut candidates_pruned = 0usize;
         match strategy {
             MergeStrategy::WithoutPcPr | MergeStrategy::Naive => {}
             MergeStrategy::WithoutPr => {
-                let lut = CompatLut::build(self.registry, spaces)?;
-                tree.prune_incompatible(&lut);
+                let lut = CompatLut::build(self.registry, spaces, &preds)?;
+                tree.prune_incompatible(&lut, &preds);
                 candidates_pruned = candidates_total - tree.live_leaves().len();
             }
             MergeStrategy::Full => {
-                let lut = CompatLut::build(self.registry, spaces)?;
-                tree.prune_incompatible(&lut);
+                let lut = CompatLut::build(self.registry, spaces, &preds)?;
+                tree.prune_incompatible(&lut, &preds);
                 candidates_pruned = candidates_total - tree.live_leaves().len();
-                tree.mark_checkpoints(history);
+                tree.mark_checkpoints(history, &preds);
             }
         }
 
@@ -216,6 +219,11 @@ impl<'a> MergeEngine<'a> {
         // checkpoints land there exactly as in a sequential run; the
         // ablations get a search-local scratch cache (work dedup only —
         // their accounting below still pays every execution).
+        //
+        // The worker pool splits across two levels: candidates fan out
+        // first, and any leftover workers fan the independent DAG nodes
+        // *inside* each candidate out (wavefront execution) — one budget,
+        // never oversubscribed.
         let book = ProfileBook::new();
         let scratch = MemoryCache::new();
         let (pre, phase_cache): (CacheSnapshot, &dyn OutputCache) = if use_history {
@@ -224,8 +232,9 @@ impl<'a> MergeEngine<'a> {
             (CacheSnapshot::new(), &scratch)
         };
         let executor = Executor::new(self.store);
-        let traced = map_indexed(options.parallelism, &bound, |_, pipeline| {
-            executor.run_traced(pipeline, phase_cache, &book, options.precheck)
+        let (outer, inner) = options.parallelism.split(bound.len());
+        let traced = map_indexed(outer, &bound, |_, pipeline| {
+            executor.run_traced_with(pipeline, phase_cache, &book, options.precheck, inner)
         });
         for t in traced {
             t?;

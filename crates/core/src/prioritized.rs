@@ -151,6 +151,11 @@ impl<'a> PrioritizedSearcher<'a> {
     /// chosen by `method`, executing them (traced) against a trial-local
     /// history fork. The descent is driven by phase-1 scores, which are
     /// deterministic; accounting happens later in [`Self::replay_trial`].
+    /// `inner` is the DAG-internal worker budget each candidate's
+    /// wavefront may use (candidates within one trial are searched
+    /// strictly in order — the descent is adaptive — so node-level fan-out
+    /// is the only intra-trial parallelism available).
+    #[allow(clippy::too_many_arguments)]
     fn run_trial_traced(
         &self,
         spaces: &SearchSpaces,
@@ -159,12 +164,14 @@ impl<'a> PrioritizedSearcher<'a> {
         method: SearchMethod,
         seed: u64,
         book: &ProfileBook,
+        inner: ParallelismPolicy,
     ) -> Result<TracedTrial> {
         let mut tree = SearchTree::build(spaces);
-        let lut = CompatLut::build(self.registry, spaces)?;
-        tree.prune_incompatible(&lut);
+        let preds = self.dag.predecessors();
+        let lut = CompatLut::build(self.registry, spaces, &preds)?;
+        tree.prune_incompatible(&lut, &preds);
         let history = base_history.deep_clone();
-        tree.mark_checkpoints(&history);
+        tree.mark_checkpoints(&history, &preds);
 
         let leaves = tree.live_leaves();
         let mut leaf_of: HashMap<Vec<ComponentKey>, usize> = HashMap::new();
@@ -208,7 +215,7 @@ impl<'a> PrioritizedSearcher<'a> {
             };
             let keys = tree.candidate(leaf);
             let pipeline = self.bind(&keys)?;
-            let score = executor.run_traced(&pipeline, &history, book, false)?;
+            let score = executor.run_traced_with(&pipeline, &history, book, false, inner)?;
             if let Some(s) = score {
                 tree.node_mut(leaf).score = Some(s.value);
                 propagate_up(&mut tree, leaf);
@@ -289,8 +296,17 @@ impl<'a> PrioritizedSearcher<'a> {
     ) -> Result<TrialResult> {
         let book = ProfileBook::new();
         let pre = base_history.snapshot();
-        let trial =
-            self.run_trial_traced(spaces, base_history, initial_scores, method, seed, &book)?;
+        // One trial: the whole pool is available to each candidate's DAG.
+        let (_, inner) = self.parallelism.split(1);
+        let trial = self.run_trial_traced(
+            spaces,
+            base_history,
+            initial_scores,
+            method,
+            seed,
+            &book,
+            inner,
+        )?;
         let mut cursor = book.replay_cursor();
         self.replay_trial(&trial, &book, &pre, &mut cursor)
     }
@@ -316,8 +332,19 @@ impl<'a> PrioritizedSearcher<'a> {
         let seeds: Vec<u64> = (0..trials)
             .map(|t| seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
             .collect();
-        let traced = map_indexed(self.parallelism, &seeds, |_, s| {
-            self.run_trial_traced(spaces, base_history, initial_scores, method, *s, &book)
+        // Split the pool: trials fan out first; leftover workers execute
+        // each candidate's independent DAG nodes.
+        let (outer, inner) = self.parallelism.split(trials);
+        let traced = map_indexed(outer, &seeds, |_, s| {
+            self.run_trial_traced(
+                spaces,
+                base_history,
+                initial_scores,
+                method,
+                *s,
+                &book,
+                inner,
+            )
         });
         let mut results = Vec::with_capacity(trials);
         let mut cursor = book.replay_cursor();

@@ -59,6 +59,15 @@ impl SearchSpaces {
         self.per_slot.iter().map(|s| s.len().max(1)).product()
     }
 
+    /// Predecessor lists of a *chain* over these slots (`slot i-1 → slot
+    /// i`) — the shape of the paper's four pipelines, for callers without a
+    /// DAG at hand.
+    pub fn chain_predecessors(&self) -> Vec<Vec<usize>> {
+        (0..self.per_slot.len())
+            .map(|i| if i == 0 { Vec::new() } else { vec![i - 1] })
+            .collect()
+    }
+
     /// Number of slots.
     pub fn len(&self) -> usize {
         self.per_slot.len()
@@ -78,23 +87,33 @@ pub struct CompatLut {
 }
 
 impl CompatLut {
-    /// Builds the LUT for consecutive slots of the search space, using the
-    /// declared input/output schemas from the registry ("evaluated based on
-    /// the pipelines' version history").
-    pub fn build(registry: &ComponentRegistry, spaces: &SearchSpaces) -> Result<CompatLut> {
+    /// Builds the LUT for every data-flow edge of the pipeline DAG, using
+    /// the declared input/output schemas from the registry ("evaluated
+    /// based on the pipelines' version history").
+    ///
+    /// `preds[slot]` lists the slots feeding `slot`
+    /// ([`mlcask_pipeline::dag::PipelineDag::predecessors`]); for the
+    /// paper's chain pipelines this is `[slot - 1]`, but diamond/fan-in
+    /// DAGs check each real edge instead of assuming adjacency.
+    pub fn build(
+        registry: &ComponentRegistry,
+        spaces: &SearchSpaces,
+        preds: &[Vec<usize>],
+    ) -> Result<CompatLut> {
         let mut pairs = HashSet::new();
-        for window in spaces.per_slot.windows(2) {
-            let (producers, consumers) = (&window[0], &window[1]);
-            for p in producers {
-                let ph = registry.resolve(p)?;
-                for c in consumers {
-                    let ch = registry.resolve(c)?;
-                    let compatible = match ch.input_schema() {
-                        Some(expected) => ph.output_schema() == expected,
-                        None => true,
-                    };
-                    if compatible {
-                        pairs.insert((p.clone(), c.clone()));
+        for (slot, producers_slots) in preds.iter().enumerate() {
+            for &p_slot in producers_slots {
+                for p in &spaces.per_slot[p_slot] {
+                    let ph = registry.resolve(p)?;
+                    for c in &spaces.per_slot[slot] {
+                        let ch = registry.resolve(c)?;
+                        let compatible = match ch.input_schema() {
+                            Some(expected) => ph.output_schema() == expected,
+                            None => true,
+                        };
+                        if compatible {
+                            pairs.insert((p.clone(), c.clone()));
+                        }
                     }
                 }
             }
@@ -237,7 +256,7 @@ mod tests {
                 vec![m00.key(), m02.key()],
             ],
         };
-        let lut = CompatLut::build(&reg, &spaces).unwrap();
+        let lut = CompatLut::build(&reg, &spaces, &spaces.chain_predecessors()).unwrap();
         // Source feeds both scalers (scaler 1.0 still *reads* dim 4).
         assert!(lut.compatible(&src.key(), &s00.key()));
         assert!(lut.compatible(&src.key(), &s10.key()));
@@ -261,6 +280,6 @@ mod tests {
                 vec![ComponentKey::new("b", SemVer::initial())],
             ],
         };
-        assert!(CompatLut::build(&reg, &spaces).is_err());
+        assert!(CompatLut::build(&reg, &spaces, &spaces.chain_predecessors()).is_err());
     }
 }

@@ -45,6 +45,14 @@ pub struct MergeOutcome {
 }
 
 /// A version-controlled ML pipeline: MLCask's user-facing object.
+///
+/// Owns the commit graph (pipeline repository), the reusable-output
+/// [`HistoryIndex`], and the pipeline's DAG shape; commits, branches, and
+/// metric-driven merges go through it. A [`ParallelismPolicy`] set via
+/// [`MlCask::with_parallelism`] is threaded through every execution —
+/// merge candidates fan out across workers, and a single commit over a
+/// non-chain DAG fans its independent nodes out — without changing any
+/// report or statistic (see `mlcask_pipeline::replay`).
 pub struct MlCask {
     name: String,
     dag: Arc<PipelineDag>,
@@ -71,11 +79,19 @@ impl MlCask {
         }
     }
 
-    /// Sets the worker pool for merge-search candidate evaluation. Merge
-    /// reports are identical under every policy; only wall-clock changes.
+    /// Sets the worker pool used by this system's pipeline executions:
+    /// merge-search candidates fan out across workers, and a single
+    /// commit's non-chain DAG fans its independent nodes out (wavefront
+    /// execution). Reports are identical under every policy; only
+    /// wall-clock changes.
     pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> MlCask {
         self.parallelism = parallelism;
         self
+    }
+
+    /// The MLCask execution policy carrying this system's worker pool.
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions::MLCASK.with_parallelism(self.parallelism)
     }
 
     /// The configured candidate-evaluation policy.
@@ -134,7 +150,7 @@ impl MlCask {
     ) -> Result<CommitResult> {
         let bound = self.bind(keys)?;
         let executor = Executor::new(self.store());
-        let report = executor.run(&bound, ledger, Some(&self.history), ExecOptions::MLCASK)?;
+        let report = executor.run(&bound, ledger, Some(&self.history), self.exec_options())?;
         if !report.outcome.is_completed() {
             return Ok(CommitResult {
                 commit: None,
@@ -161,24 +177,29 @@ impl MlCask {
             Ok(h) => h.seq + 1,
             Err(_) => 0,
         };
+        // Stages arrive in topological order, which on a non-chain DAG can
+        // differ from slot order; match them to slots by component name
+        // (names are unique per DAG).
+        let stage_of: HashMap<&str, &mlcask_pipeline::executor::StageReport> = report
+            .stages
+            .iter()
+            .map(|s| (s.component.name.as_str(), s))
+            .collect();
         let metafile = PipelineMetafile {
             name: self.name.clone(),
             label: format!("{branch}.{next_seq}"),
             slots: keys
                 .iter()
-                .zip(report.stages.iter())
-                .map(|(k, s)| PipelineSlot {
-                    component: k.clone(),
-                    output: s.output,
-                    artifact_id: s.artifact_id,
+                .map(|k| {
+                    let s = stage_of[k.name.as_str()];
+                    PipelineSlot {
+                        component: k.clone(),
+                        output: s.output,
+                        artifact_id: s.artifact_id,
+                    }
                 })
                 .collect(),
-            edges: self
-                .dag
-                .node_names()
-                .windows(2)
-                .map(|w| (w[0].clone(), w[1].clone()))
-                .collect(),
+            edges: self.dag.named_edges(),
             score: report.outcome.score(),
         };
         let put = self.store().put_meta(ObjectKind::Pipeline, &metafile)?;
@@ -288,7 +309,7 @@ impl MlCask {
             let bound = self.bind(&keys)?;
             let executor = Executor::new(self.store());
             // Fully checkpointed: zero-cost replay to assemble the metafile.
-            let report = executor.run(&bound, ledger, Some(&self.history), ExecOptions::MLCASK)?;
+            let report = executor.run(&bound, ledger, Some(&self.history), self.exec_options())?;
             let commit = self.record_commit(
                 base,
                 &keys,
@@ -314,7 +335,7 @@ impl MlCask {
         // assemble its metafile, then commit with both parents.
         let bound = self.bind(&best_keys)?;
         let executor = Executor::new(self.store());
-        let replay = executor.run(&bound, ledger, Some(&self.history), ExecOptions::MLCASK)?;
+        let replay = executor.run(&bound, ledger, Some(&self.history), self.exec_options())?;
         debug_assert!(matches!(replay.outcome, RunOutcome::Completed { .. }));
         let commit = self.record_commit(
             base,

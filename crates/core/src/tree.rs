@@ -58,6 +58,26 @@ pub struct SearchTree {
     pub slot_names: Vec<String>,
 }
 
+/// One step of the iterative tree walks below: enter a node (process it and
+/// descend) or leave one (pop its path state).
+enum WalkStep {
+    Enter(usize),
+    Exit,
+}
+
+/// The tree walks index per-level path state by predecessor slot, which is
+/// only sound when every slot's predecessors are earlier slots — i.e. slot
+/// order is topological. Fail loudly (instead of an opaque index panic)
+/// when a caller violates that.
+fn assert_topological(preds: &[Vec<usize>]) {
+    for (level, ps) in preds.iter().enumerate() {
+        assert!(
+            ps.iter().all(|&j| j < level),
+            "slot order must be topological: slot {level} has a predecessor slot >= {level}"
+        );
+    }
+}
+
 impl SearchTree {
     /// Algorithm 1: full cartesian expansion of the search spaces.
     pub fn build(spaces: &SearchSpaces) -> SearchTree {
@@ -173,54 +193,97 @@ impl SearchTree {
     }
 
     /// PC pruning (§VI-A): marks nodes whose component is incompatible with
-    /// their parent as [`NodeState::Incompatible`] (whole subtrees die with
-    /// them). Returns the number of nodes newly marked (subtree roots only).
-    pub fn prune_incompatible(&mut self, lut: &CompatLut) -> usize {
+    /// any of its DAG-predecessor slots' chosen versions as
+    /// [`NodeState::Incompatible`] (whole subtrees die with them).
+    ///
+    /// `preds[level]` lists the slots feeding `level`
+    /// ([`mlcask_pipeline::dag::PipelineDag::predecessors`]); for chain
+    /// pipelines that is `[level - 1]` (the tree parent), but diamond/fan-in
+    /// DAGs check every real in-edge against the versions already chosen on
+    /// the path. Slot order must be topological (`preds[level]` may only
+    /// reference earlier levels) — asserted here with a clear message.
+    /// Returns the number of nodes newly marked (subtree roots only).
+    pub fn prune_incompatible(&mut self, lut: &CompatLut, preds: &[Vec<usize>]) -> usize {
+        assert_topological(preds);
         let mut pruned = 0;
-        // BFS from root; children of a pruned node stay unreachable.
-        let mut queue = vec![0usize];
-        while let Some(id) = queue.pop() {
-            let children = self.nodes[id].children.clone();
-            let parent_comp = self.nodes[id].component.clone();
-            for c in children {
-                if let (Some(p), Some(k)) = (&parent_comp, &self.nodes[c].component) {
-                    if !lut.compatible(p, k) {
-                        self.nodes[c].state = NodeState::Incompatible;
-                        pruned += 1;
-                        continue; // do not descend
-                    }
+        // DFS with explicit enter/exit steps so the per-level path state is
+        // maintained by push/pop instead of cloned per node.
+        let mut path: Vec<ComponentKey> = Vec::new();
+        let mut stack: Vec<WalkStep> = self.nodes[0]
+            .children
+            .iter()
+            .rev()
+            .map(|&c| WalkStep::Enter(c))
+            .collect();
+        while let Some(step) = stack.pop() {
+            let c = match step {
+                WalkStep::Exit => {
+                    path.pop();
+                    continue;
                 }
-                queue.push(c);
+                WalkStep::Enter(c) => c,
+            };
+            let child = self.nodes[c].component.clone().expect("non-root");
+            let level = self.nodes[c].level.expect("non-root");
+            let incompatible = preds[level]
+                .iter()
+                .any(|&j| !lut.compatible(&path[j], &child));
+            if incompatible {
+                self.nodes[c].state = NodeState::Incompatible;
+                pruned += 1;
+                continue; // do not descend
             }
+            path.push(child);
+            stack.push(WalkStep::Exit);
+            stack.extend(
+                self.nodes[c]
+                    .children
+                    .iter()
+                    .rev()
+                    .map(|&g| WalkStep::Enter(g)),
+            );
         }
         pruned
     }
 
     /// PR marking (§VI-B): flags nodes whose output already exists in the
     /// history as [`NodeState::Checkpointed`] (green) and records the output
-    /// reference. A node can only be checkpointed if its parent is (the
-    /// cache key chains input artifact ids). Returns the count marked.
-    pub fn mark_checkpoints(&mut self, history: &HistoryIndex) -> usize {
+    /// reference. A node can only be checkpointed when the outputs of *all*
+    /// its DAG-predecessor slots are known (the cache key lists their
+    /// artifact ids in edge order); `preds` is as in
+    /// [`SearchTree::prune_incompatible`]. Returns the count marked.
+    pub fn mark_checkpoints(&mut self, history: &HistoryIndex, preds: &[Vec<usize>]) -> usize {
+        assert_topological(preds);
         let mut marked = 0;
-        let mut queue = vec![0usize];
-        while let Some(id) = queue.pop() {
-            let children = self.nodes[id].children.clone();
-            // Input ids for children = parent's output artifact (if any).
-            let parent_output = self.nodes[id].output.clone();
-            let parent_is_root = id == 0;
-            let parent_executed = self.nodes[id].executed;
-            for c in children {
-                if self.nodes[c].state == NodeState::Incompatible {
+        // DFS with explicit enter/exit steps; the per-level known outputs
+        // are maintained by push/pop instead of cloned per node.
+        let mut outs: Vec<Option<CachedOutput>> = Vec::new();
+        let mut stack: Vec<WalkStep> = self.nodes[0]
+            .children
+            .iter()
+            .rev()
+            .map(|&c| WalkStep::Enter(c))
+            .collect();
+        while let Some(step) = stack.pop() {
+            let c = match step {
+                WalkStep::Exit => {
+                    outs.pop();
                     continue;
                 }
-                if !parent_executed {
-                    continue; // prefix unknown → cannot have a checkpoint
-                }
-                let inputs = match (&parent_output, parent_is_root) {
-                    (_, true) => Vec::new(), // level-0 sources take no input
-                    (Some(o), false) => vec![o.artifact_id],
-                    (None, false) => continue,
-                };
+                WalkStep::Enter(c) => c,
+            };
+            if self.nodes[c].state == NodeState::Incompatible {
+                continue;
+            }
+            let level = self.nodes[c].level.expect("non-root");
+            // Inputs = predecessor outputs in edge order; unknown
+            // predecessor output (not checkpointed) → prefix unknown →
+            // cannot have a checkpoint.
+            let inputs: Option<Vec<_>> = preds[level]
+                .iter()
+                .map(|&j| outs[j].as_ref().map(|o| o.artifact_id))
+                .collect();
+            if let Some(inputs) = inputs {
                 let key = CacheKey {
                     component: self.nodes[c].component.clone().expect("non-root"),
                     inputs,
@@ -231,8 +294,16 @@ impl SearchTree {
                     self.nodes[c].state = NodeState::Checkpointed;
                     marked += 1;
                 }
-                queue.push(c);
             }
+            outs.push(self.nodes[c].output.clone());
+            stack.push(WalkStep::Exit);
+            stack.extend(
+                self.nodes[c]
+                    .children
+                    .iter()
+                    .rev()
+                    .map(|&g| WalkStep::Enter(g)),
+            );
         }
         marked
     }
@@ -345,7 +416,7 @@ mod tests {
         // four level-1 nodes (2 parents × 2 versions) are pruned; level-0
         // nodes survive because the virtual root imposes no constraint.
         let lut = CompatLut::default();
-        let pruned_all = tree.prune_incompatible(&lut);
+        let pruned_all = tree.prune_incompatible(&lut, &s.chain_predecessors());
         assert_eq!(pruned_all, 4);
         assert!(tree.live_leaves().is_empty());
         // (Schema-driven LUT behaviour is covered in search_space tests.)
@@ -353,19 +424,21 @@ mod tests {
 
     #[test]
     fn state_counts_sum_to_non_root_nodes() {
-        let mut tree = SearchTree::build(&spaces(&[2, 3]));
+        let s = spaces(&[2, 3]);
+        let mut tree = SearchTree::build(&s);
         let lut = CompatLut::default();
-        tree.prune_incompatible(&lut);
+        tree.prune_incompatible(&lut, &s.chain_predecessors());
         let c = tree.state_counts();
         assert_eq!(c.checkpointed + c.feasible + c.incompatible, tree.len() - 1);
     }
 
     #[test]
     fn reachable_feasible_excludes_hidden_nodes() {
-        let mut tree = SearchTree::build(&spaces(&[2, 3]));
+        let s = spaces(&[2, 3]);
+        let mut tree = SearchTree::build(&s);
         // Empty LUT prunes all level-1 children... and level-0 nodes have no
-        // parent component, so they stay feasible.
-        tree.prune_incompatible(&CompatLut::default());
+        // predecessors, so they stay feasible.
+        tree.prune_incompatible(&CompatLut::default(), &s.chain_predecessors());
         assert_eq!(tree.reachable_feasible(), 2, "only the two level-0 nodes");
     }
 }

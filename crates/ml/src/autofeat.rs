@@ -1,6 +1,6 @@
 //! Autolearn-style automated feature generation and selection.
 //!
-//! The Autolearn pipeline "employs the Autolearn [8] algorithm to generate
+//! The Autolearn pipeline "employs the Autolearn \[8\] algorithm to generate
 //! and select features automatically" (§VII-A). Following Kaul et al.
 //! (ICDM'17), we generate pairwise *ratio* and *product* features from the
 //! base feature set, then keep the `top_k` generated features ranked by

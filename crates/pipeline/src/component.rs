@@ -287,6 +287,137 @@ pub(crate) mod test_support {
         }
     }
 
+    /// Pre-processing branch with a configurable slot name, so non-chain
+    /// DAG tests can bind several independent branches of one diamond.
+    pub struct TestBranch {
+        pub name: &'static str,
+        pub version: SemVer,
+        pub dim: usize,
+        pub factor: f32,
+        /// Extra work spin (deterministic) so branch overlap is measurable.
+        pub spin: u32,
+    }
+
+    impl Component for TestBranch {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn version(&self) -> SemVer {
+            self.version.clone()
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::PreProcess
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(
+                Schema::FeatureMatrix {
+                    dim: self.dim,
+                    n_classes: 2,
+                }
+                .id(),
+            )
+        }
+        fn output_schema(&self) -> SchemaId {
+            self.input_schema().expect("branch has an input schema")
+        }
+        fn run(&self, inputs: &[Artifact]) -> Result<Artifact> {
+            self.check_compatibility(inputs)?;
+            let ArtifactData::Features(f) = &inputs[0].data else {
+                return Err(PipelineError::WrongArtifactKind {
+                    component: self.key(),
+                    expected: "features",
+                    actual: inputs[0].data.kind_label(),
+                });
+            };
+            let mut factor = self.factor;
+            for _ in 0..self.spin {
+                factor = (factor * 1.0000001).min(1e6);
+            }
+            let x = Matrix::from_fn(f.x.rows(), self.dim, |r, c| f.x.get(r, c) * factor);
+            Ok(Artifact::new(
+                ArtifactData::Features(Features {
+                    x,
+                    y: f.y.clone(),
+                    n_classes: f.n_classes,
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.first().map(|a| a.byte_len()).unwrap_or(1)
+        }
+    }
+
+    /// Fan-in component averaging equal-schema branch outputs, for
+    /// diamond/fan-in DAG tests. `dim_out != dim_in` models a schema
+    /// change.
+    pub struct TestJoin {
+        pub version: SemVer,
+        pub dim_in: usize,
+        pub dim_out: usize,
+    }
+
+    impl Component for TestJoin {
+        fn name(&self) -> &str {
+            "test_join"
+        }
+        fn version(&self) -> SemVer {
+            self.version.clone()
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::PreProcess
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(
+                Schema::FeatureMatrix {
+                    dim: self.dim_in,
+                    n_classes: 2,
+                }
+                .id(),
+            )
+        }
+        fn output_schema(&self) -> SchemaId {
+            Schema::FeatureMatrix {
+                dim: self.dim_out,
+                n_classes: 2,
+            }
+            .id()
+        }
+        fn run(&self, inputs: &[Artifact]) -> Result<Artifact> {
+            self.check_compatibility(inputs)?;
+            let features: Vec<&Features> = inputs
+                .iter()
+                .map(|a| match &a.data {
+                    ArtifactData::Features(f) => Ok(f),
+                    other => Err(PipelineError::WrongArtifactKind {
+                        component: self.key(),
+                        expected: "features",
+                        actual: other.kind_label(),
+                    }),
+                })
+                .collect::<Result<_>>()?;
+            let first = features.first().expect("join has at least one input");
+            let x = Matrix::from_fn(first.x.rows(), self.dim_out, |r, c| {
+                if c < self.dim_in {
+                    features.iter().map(|f| f.x.get(r, c)).sum::<f32>() / features.len() as f32
+                } else {
+                    0.0
+                }
+            });
+            Ok(Artifact::new(
+                ArtifactData::Features(Features {
+                    x,
+                    y: first.y.clone(),
+                    n_classes: first.n_classes,
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.iter().map(|a| a.byte_len()).sum::<u64>().max(1)
+        }
+    }
+
     /// Terminal "model" that scores higher for larger scale factors.
     pub struct TestModel {
         pub version: SemVer,

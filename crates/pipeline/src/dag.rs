@@ -4,6 +4,12 @@
 //! whose edges carry data flow. The paper's evaluated pipelines are chains,
 //! but the structure (and the executor) supports general DAGs; the merge
 //! search tree linearises components in topological order.
+//!
+//! Non-chain shapes are first-class: [`PipelineDag::fan`] builds the
+//! diamond/fan-in pipelines the DAG-parallel executor exploits, and the
+//! scheduling helpers ([`PipelineDag::indegrees`],
+//! [`PipelineDag::adjacency`], [`PipelineDag::max_width`]) drive the
+//! wavefront scheduler in [`crate::executor`].
 
 use crate::component::ComponentHandle;
 use crate::errors::{PipelineError, Result};
@@ -33,6 +39,24 @@ impl PipelineDag {
         }
         for w in slots.windows(2) {
             dag.add_edge(w[0], w[1])?;
+        }
+        Ok(dag)
+    }
+
+    /// Builds a fan-out/fan-in DAG: `source → each branch → sink` — the
+    /// diamond shape when two branches are given. This is the smallest
+    /// pipeline family with DAG-internal parallelism: all branches are
+    /// independent and may execute concurrently.
+    pub fn fan(source: &str, branches: &[&str], sink: &str) -> Result<PipelineDag> {
+        let mut dag = PipelineDag::new();
+        dag.add_node(source)?;
+        for b in branches {
+            dag.add_node(b)?;
+        }
+        dag.add_node(sink)?;
+        for b in branches {
+            dag.add_edge(source, b)?;
+            dag.add_edge(b, sink)?;
         }
         Ok(dag)
     }
@@ -136,6 +160,77 @@ impl PipelineDag {
             return Err(PipelineError::InvalidDag("cycle detected".into()));
         }
         Ok(out)
+    }
+
+    /// All data-flow edges as `(from, to)` node-index pairs, in insertion
+    /// order.
+    pub fn edge_list(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// All data-flow edges as `(from, to)` node-name pairs, in insertion
+    /// order (the representation pipeline metafiles record).
+    pub fn named_edges(&self) -> Vec<(String, String)> {
+        self.edges
+            .iter()
+            .map(|&(f, t)| (self.nodes[f].clone(), self.nodes[t].clone()))
+            .collect()
+    }
+
+    /// In-degree of every node — the ready-set seed of the wavefront
+    /// scheduler (a node is runnable once its in-degree counter drains to
+    /// zero).
+    pub fn indegrees(&self) -> Vec<usize> {
+        let mut indeg = vec![0usize; self.nodes.len()];
+        for (_, t) in &self.edges {
+            indeg[*t] += 1;
+        }
+        indeg
+    }
+
+    /// Successor adjacency list for every node, in edge order.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for &(f, t) in &self.edges {
+            adj[f].push(t);
+        }
+        adj
+    }
+
+    /// Predecessor list for every node, in edge order — [`PipelineDag::pre`]
+    /// for all nodes at once. The merge search uses this to check
+    /// compatibility and checkpoint reuse along real DAG edges rather than
+    /// assuming a chain.
+    pub fn predecessors(&self) -> Vec<Vec<usize>> {
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for &(f, t) in &self.edges {
+            preds[t].push(f);
+        }
+        preds
+    }
+
+    /// Width of the widest wavefront: the maximum number of nodes sharing
+    /// one longest-path depth. A chain has width 1; a diamond has width 2.
+    /// The executor uses this as the parallelism gate — DAG-internal
+    /// fan-out only pays off when some wavefront holds more than one node.
+    pub fn max_width(&self) -> usize {
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => return 1,
+        };
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut width: HashMap<usize, usize> = HashMap::new();
+        for node in order {
+            let d = self
+                .pre(node)
+                .iter()
+                .map(|&p| depth[p] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[node] = d;
+            *width.entry(d).or_insert(0) += 1;
+        }
+        width.values().copied().max().unwrap_or(1)
     }
 
     /// Source nodes (no predecessors).
@@ -303,6 +398,29 @@ mod tests {
         assert_eq!(order[0], 0);
         assert_eq!(order[3], 3);
         assert_eq!(dag.pre(3).len(), 2);
+    }
+
+    #[test]
+    fn fan_builder_and_scheduling_helpers() {
+        let dag = PipelineDag::fan("src", &["a", "b", "c"], "sink").unwrap();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.sources(), vec![0]);
+        assert_eq!(dag.sinks(), vec![4]);
+        assert_eq!(dag.pre(4).len(), 3);
+        assert_eq!(dag.indegrees(), vec![0, 1, 1, 1, 3]);
+        assert_eq!(dag.adjacency()[0], vec![1, 2, 3]);
+        assert_eq!(dag.edge_list().len(), 6);
+        assert_eq!(dag.named_edges()[0], ("src".to_string(), "a".to_string()));
+        assert_eq!(dag.max_width(), 3, "three branches run concurrently");
+    }
+
+    #[test]
+    fn chain_has_width_one() {
+        let dag = PipelineDag::chain(&["a", "b", "c"]).unwrap();
+        assert_eq!(dag.max_width(), 1);
+        assert_eq!(dag.indegrees(), vec![0, 1, 1]);
+        let diamond = PipelineDag::fan("s", &["l", "r"], "j").unwrap();
+        assert_eq!(diamond.max_width(), 2);
     }
 
     #[test]

@@ -12,21 +12,28 @@
 //!   when the failing component executes).
 //! * `persist_outputs` — archive every component output (all systems do,
 //!   into different storage backends/cost models).
+//! * `parallelism` — fan independent DAG nodes of one pipeline out onto a
+//!   worker pool (wavefront scheduling). Chains execute sequentially; any
+//!   pipeline with parallel width takes the two-phase traced-execute +
+//!   canonical-replay path, whose observables are byte-identical to
+//!   sequential execution (see [`crate::replay`]).
 
 use crate::artifact::Artifact;
 use crate::clock::ClockLedger;
 use crate::component::{ComponentKey, StageKind};
 use crate::dag::BoundPipeline;
 use crate::errors::{PipelineError, Result};
-use crate::parallel::{ParallelismPolicy, ShardedMap};
-use crate::replay::ProfileBook;
+use crate::parallel::{run_dag, NodeVerdict, ParallelismPolicy, ShardedMap};
+use crate::replay::{replay_run, CacheSnapshot, ProfileBook, StageProfile};
 use crate::schema::SchemaId;
 use mlcask_ml::metrics::Score;
 use mlcask_storage::hash::Hash256;
 use mlcask_storage::object::{ObjectKind, ObjectRef};
 use mlcask_storage::store::ChunkStore;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// Key identifying "this component version applied to these exact inputs".
@@ -103,10 +110,11 @@ pub struct ExecOptions {
     pub precheck: bool,
     /// Archive component outputs to the store.
     pub persist_outputs: bool,
-    /// Worker-pool size for engines that evaluate many *candidate
-    /// pipelines* under this policy (merge search, prioritized-search
-    /// trials). A single [`Executor::run`] is always sequential over its
-    /// own DAG; this knob parallelizes across independent runs.
+    /// Worker-pool size, applied at two levels: engines that evaluate many
+    /// *candidate pipelines* fan candidates out across workers, and a
+    /// single [`Executor::run`] over a non-chain DAG fans its *independent
+    /// nodes* out (wavefront scheduling). Reports are byte-identical for
+    /// every worker count; see [`crate::replay`].
     pub parallelism: ParallelismPolicy,
 }
 
@@ -223,7 +231,11 @@ impl RunReport {
     }
 }
 
-/// The executor. Holds a reference to the store all artifacts go to.
+/// Runs bound pipelines against a [`ChunkStore`], implementing checkpoint
+/// reuse, output archiving, virtual-time accounting, and (for non-chain
+/// DAGs under a parallel [`ParallelismPolicy`]) wavefront execution of
+/// independent nodes. Stateless apart from the store reference — cheap to
+/// construct per run and safe to share across threads.
 pub struct Executor<'s> {
     store: &'s ChunkStore,
 }
@@ -232,6 +244,55 @@ pub struct Executor<'s> {
 struct NodeOutput {
     cached: CachedOutput,
     in_memory: Option<Artifact>,
+}
+
+/// Phase-1 state of one completed wavefront node.
+struct WaveSlot {
+    key: CacheKey,
+    cached: CachedOutput,
+    /// In-memory output; `None` for cache hits until a successor
+    /// materialises them from the store. Shared so sibling consumers can
+    /// deep-copy it outside the slot lock.
+    artifact: Option<std::sync::Arc<Artifact>>,
+}
+
+/// Everything phase 1 of a wavefront execution leaves behind for the
+/// canonical accounting replay.
+struct WavefrontRun {
+    /// Per-node results, indexed by node id; `None` for nodes never reached
+    /// (at or beyond a failure frontier).
+    slots: Vec<Mutex<Option<WaveSlot>>>,
+    /// Checkpoints that already existed in the lookup cache before this run
+    /// — the `pre` state the replay's reuse simulation consults.
+    pre: CacheSnapshot,
+    /// True if any node failed (statically predicted or observed live).
+    failed: bool,
+}
+
+/// First node in canonical topological order whose declared input schema is
+/// incompatible with a predecessor's declared output schema — the node at
+/// which a sequential run of a schema-honest pipeline fails.
+///
+/// The wavefront scheduler stops short of this frontier so a parallel run
+/// executes (and persists) exactly the node set a sequential run would,
+/// keeping even the physical store contents identical across worker counts.
+/// Components whose run-time behaviour contradicts their declared schemas
+/// fail past this prediction; those are handled dynamically (see
+/// [`Executor::run_traced_with`]) with a weaker guarantee: all observables
+/// stay deterministic, but nodes independent of the failure may execute
+/// that a sequential run would have skipped.
+fn static_failure_node(pipeline: &BoundPipeline, order: &[usize]) -> Option<usize> {
+    order
+        .iter()
+        .copied()
+        .find(|&node| match pipeline.components[node].input_schema() {
+            None => false,
+            Some(expected) => pipeline
+                .dag
+                .pre(node)
+                .iter()
+                .any(|&p| pipeline.components[p].output_schema() != expected),
+        })
 }
 
 impl<'s> Executor<'s> {
@@ -251,7 +312,41 @@ impl<'s> Executor<'s> {
     /// `Err`; *expected* failures (schema incompatibility discovered mid-run)
     /// are reported in [`RunOutcome`] so callers can account for the time the
     /// failed run consumed — exactly what Fig. 5's last iteration measures.
+    ///
+    /// When `options.parallelism` grants more than one worker and the DAG
+    /// has independent branches ([`crate::dag::PipelineDag::max_width`]
+    /// `> 1`), execution switches to the two-phase wavefront path: nodes run
+    /// concurrently for their results, then the accounting is replayed in
+    /// canonical topological order, so the report, ledger charges, store
+    /// statistics, and cache side-state are byte-identical to a sequential
+    /// run (see [`crate::replay`]). One caveat applies to components whose
+    /// `run` fails with a schema error *despite compatible declared schemas*
+    /// (a contract violation the static failure frontier cannot predict):
+    /// all of the above observables remain byte-identical, but sibling
+    /// nodes that a sequential run would not have reached may persist
+    /// orphan blobs, so the backend's raw physical bytes can exceed a
+    /// sequential run's.
     pub fn run(
+        &self,
+        pipeline: &BoundPipeline,
+        ledger: &ClockLedger,
+        cache: Option<&dyn OutputCache>,
+        options: ExecOptions,
+    ) -> Result<RunReport> {
+        // The wavefront path needs write traces, which exist only when
+        // outputs are persisted; chains have no exploitable width.
+        if options.parallelism.workers() > 1
+            && options.persist_outputs
+            && pipeline.dag.max_width() > 1
+        {
+            return self.run_wavefront(pipeline, ledger, cache, options);
+        }
+        self.run_sequential(pipeline, ledger, cache, options)
+    }
+
+    /// The classic strictly-sequential execution path: one node at a time in
+    /// canonical topological order, charging `ledger` as it goes.
+    fn run_sequential(
         &self,
         pipeline: &BoundPipeline,
         ledger: &ClockLedger,
@@ -422,11 +517,35 @@ impl<'s> Executor<'s> {
     /// Runs a bound pipeline for its *results only*, recording execution
     /// profiles into `book` instead of charging a ledger or store stats.
     ///
-    /// This is phase 1 of the parallel candidate-evaluation protocol (see
+    /// This is phase 1 of the parallel evaluation protocol (see
     /// [`crate::replay`]): many traced runs may execute concurrently against
     /// a shared concurrent `cache`, deduplicating work across candidates;
     /// the deterministic accounting happens afterwards via
     /// [`crate::replay::replay_run`] in canonical candidate order.
+    ///
+    /// Nodes of this pipeline execute sequentially; use
+    /// [`Executor::run_traced_with`] to also fan independent DAG nodes out
+    /// on a worker pool.
+    pub fn run_traced(
+        &self,
+        pipeline: &BoundPipeline,
+        cache: &dyn OutputCache,
+        book: &ProfileBook,
+        precheck: bool,
+    ) -> Result<Option<Score>> {
+        self.run_traced_with(
+            pipeline,
+            cache,
+            book,
+            precheck,
+            ParallelismPolicy::Sequential,
+        )
+    }
+
+    /// [`Executor::run_traced`] with DAG-internal parallelism: independent
+    /// nodes of *this* pipeline execute concurrently on `policy`'s workers
+    /// (the wavefront scheduler), composing with the engines' candidate- and
+    /// trial-level fan-out via [`ParallelismPolicy::split`].
     ///
     /// Outputs are always persisted (the replay needs write traces).
     /// `precheck` must match the policy the accounting replay will use, so
@@ -434,13 +553,17 @@ impl<'s> Executor<'s> {
     /// pipelines — exactly like the sequential executor.
     ///
     /// Returns the final model score, or `None` when the pipeline failed
-    /// mid-run (adaptive searchers need the score before accounting runs).
-    pub fn run_traced(
+    /// (adaptive searchers need the score before accounting runs). Failures
+    /// are anticipated by a static walk over declared schemas (the failure
+    /// frontier), so the executed node set — and hence all recorded
+    /// side-state — is the same for every worker count.
+    pub fn run_traced_with(
         &self,
         pipeline: &BoundPipeline,
         cache: &dyn OutputCache,
         book: &ProfileBook,
         precheck: bool,
+        policy: ParallelismPolicy,
     ) -> Result<Option<Score>> {
         // Mirror the live executor: a prechecking policy rejects doomed
         // pipelines before executing (or recording) anything, so replay's
@@ -454,97 +577,285 @@ impl<'s> Executor<'s> {
         {
             return Ok(None);
         }
-        let order = pipeline.dag.topo_order()?;
-        let mut outputs: HashMap<usize, NodeOutput> = HashMap::new();
+        let phase1 =
+            self.wavefront_phase1(pipeline, Some(cache), Some(cache), book, policy, false)?;
+        if phase1.failed {
+            return Ok(None);
+        }
+        // The final score is the last score in canonical topological order,
+        // exactly as the sequential traced walk would have observed it.
         let mut final_score: Option<Score> = None;
-
-        for node in order {
-            let comp = &pipeline.components[node];
-            let preds = pipeline.dag.pre(node);
-            let input_ids: Vec<Hash256> = preds
-                .iter()
-                .map(|p| outputs[p].cached.artifact_id)
-                .collect();
-            let key = CacheKey {
-                component: comp.key(),
-                inputs: input_ids,
-            };
-
-            if let Some(hit) = cache.lookup(&key) {
-                if let Some(s) = hit.score {
+        for node in pipeline.dag.topo_order()? {
+            if let Some(slot) = phase1.slots[node].lock().as_ref() {
+                if let Some(s) = slot.cached.score {
                     final_score = Some(s);
                 }
-                outputs.insert(
-                    node,
-                    NodeOutput {
-                        cached: hit,
-                        in_memory: None,
-                    },
-                );
-                continue;
-            }
-
-            // Materialise checkpointed inputs (results only, no charging).
-            let mut input_artifacts: Vec<Artifact> = Vec::with_capacity(preds.len());
-            for p in &preds {
-                let out = outputs.get_mut(p).expect("topological order");
-                if out.in_memory.is_none() {
-                    let bytes = self.store.get_blob(&out.cached.object)?;
-                    let artifact = Artifact::from_bytes(&bytes).map_err(|e| {
-                        PipelineError::Storage(mlcask_storage::errors::StorageError::Codec(
-                            e.to_string(),
-                        ))
-                    })?;
-                    out.in_memory = Some(artifact);
-                }
-                input_artifacts.push(out.in_memory.clone().expect("just materialised"));
-            }
-
-            let work = comp.work_units(&input_artifacts);
-            let exec_ns = work.saturating_mul(comp.ns_per_unit());
-            match comp.run(&input_artifacts) {
-                Ok(artifact) => {
-                    let artifact_id = artifact.content_id();
-                    if let Some(s) = artifact.score() {
-                        final_score = Some(s);
-                    }
-                    let kind = match comp.stage() {
-                        StageKind::ModelTraining => ObjectKind::Model,
-                        _ => ObjectKind::Output,
-                    };
-                    let (put, trace) = self.store.put_blob_traced(kind, &artifact.to_bytes())?;
-                    let cached = CachedOutput {
-                        object: put.object,
-                        artifact_id,
-                        schema: artifact.schema,
-                        score: artifact.score(),
-                    };
-                    cache.insert(key.clone(), cached.clone());
-                    book.record_profile(
-                        key,
-                        crate::replay::StageProfile {
-                            cached: cached.clone(),
-                            artifact_bytes: artifact.byte_len(),
-                            exec_ns,
-                            write: Some(trace),
-                        },
-                    );
-                    outputs.insert(
-                        node,
-                        NodeOutput {
-                            cached,
-                            in_memory: Some(artifact),
-                        },
-                    );
-                }
-                Err(PipelineError::IncompatibleSchema(_)) => {
-                    book.record_failure(key);
-                    return Ok(None);
-                }
-                Err(e) => return Err(e),
             }
         }
         Ok(final_score)
+    }
+
+    /// DAG-parallel [`Executor::run`]: phase 1 executes independent nodes
+    /// concurrently (traced, uncharged), phase 2 replays the accounting in
+    /// canonical topological order so every observable — report, ledger,
+    /// store statistics, cache side-state — is byte-identical to
+    /// [`Executor::run_sequential`] (up to orphan physical bytes when a
+    /// schema-dishonest component fails dynamically; see
+    /// [`Executor::run`]).
+    fn run_wavefront(
+        &self,
+        pipeline: &BoundPipeline,
+        ledger: &ClockLedger,
+        cache: Option<&dyn OutputCache>,
+        options: ExecOptions,
+    ) -> Result<RunReport> {
+        if options.precheck {
+            if let Err(PipelineError::IncompatibleSchema(detail)) =
+                pipeline.precheck_compatibility()
+            {
+                // Rejected before any execution: zero time charged.
+                return Ok(RunReport {
+                    stages: Vec::new(),
+                    outcome: RunOutcome::RejectedByPrecheck {
+                        at: detail.component,
+                    },
+                });
+            }
+        }
+        let book = ProfileBook::new();
+        // Lookups respect the reuse policy; checkpoint *inserts* are
+        // deferred to after the replay so the caller's cache receives
+        // exactly the entries a sequential run would have recorded, even on
+        // failure paths.
+        let lookup = if options.reuse { cache } else { None };
+        let phase1 =
+            self.wavefront_phase1(pipeline, lookup, None, &book, options.parallelism, true)?;
+
+        let mut sim = CacheSnapshot::new();
+        let mut cursor = book.replay_cursor();
+        let report = replay_run(
+            self.store,
+            pipeline,
+            &book,
+            &phase1.pre,
+            &mut sim,
+            &mut cursor,
+            ledger,
+            options,
+            options.reuse,
+        )?;
+
+        // Canonical cache side-state: the sequential executor records a
+        // checkpoint for every stage it executed (whatever the reuse
+        // policy), and nothing beyond the stage it failed at.
+        if let Some(c) = cache {
+            let order = pipeline.dag.topo_order()?;
+            for (stage, node) in report.stages.iter().zip(&order) {
+                if stage.reused {
+                    continue;
+                }
+                if let Some(slot) = phase1.slots[*node].lock().take() {
+                    c.insert(slot.key, slot.cached);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Phase 1 of wavefront execution: runs the pipeline's nodes on
+    /// `policy`'s worker pool for their results only, recording execution
+    /// profiles and write traces into `book`.
+    ///
+    /// * `lookup` — consulted before executing a node; hits skip execution.
+    /// * `live_insert` — receives checkpoints as nodes complete (the shared
+    ///   phase-1 cache of the candidate-evaluation engines); pass `None` to
+    ///   defer inserts to the caller.
+    /// * `track_pre` — record lookup hits into the returned `pre` snapshot
+    ///   (needed only by [`Executor::run_wavefront`]'s replay; the traced
+    ///   engine path skips the bookkeeping).
+    ///
+    /// Scheduling is bounded by the canonical failure frontier: nodes at or
+    /// after the first statically-incompatible node (in topological order)
+    /// are never dispatched, and the frontier node's failure is recorded in
+    /// `book` so the replay stops exactly where a sequential run would.
+    fn wavefront_phase1(
+        &self,
+        pipeline: &BoundPipeline,
+        lookup: Option<&dyn OutputCache>,
+        live_insert: Option<&dyn OutputCache>,
+        book: &ProfileBook,
+        policy: ParallelismPolicy,
+        track_pre: bool,
+    ) -> Result<WavefrontRun> {
+        let order = pipeline.dag.topo_order()?;
+        let fail_at = static_failure_node(pipeline, &order);
+        let mut allowed = vec![true; order.len()];
+        if let Some(fail) = fail_at {
+            let mut beyond = false;
+            for &node in &order {
+                beyond = beyond || node == fail;
+                if beyond {
+                    allowed[node] = false;
+                }
+            }
+        }
+        let slots: Vec<Mutex<Option<WaveSlot>>> =
+            (0..order.len()).map(|_| Mutex::new(None)).collect();
+        let pre: Mutex<CacheSnapshot> = Mutex::new(CacheSnapshot::new());
+        let dynamic_failure = AtomicBool::new(false);
+
+        run_dag(
+            policy,
+            pipeline.dag.indegrees(),
+            &pipeline.dag.adjacency(),
+            |node| -> Result<NodeVerdict> {
+                if !allowed[node] {
+                    // Beyond the failure frontier: never executes, but its
+                    // (equally excluded) successors must still be released
+                    // so the scheduler drains.
+                    return Ok(NodeVerdict::Continue);
+                }
+                let comp = &pipeline.components[node];
+                let preds = pipeline.dag.pre(node);
+                let input_ids: Vec<Hash256> = preds
+                    .iter()
+                    .map(|p| {
+                        slots[*p]
+                            .lock()
+                            .as_ref()
+                            .expect("predecessors complete before their successors run")
+                            .cached
+                            .artifact_id
+                    })
+                    .collect();
+                let key = CacheKey {
+                    component: comp.key(),
+                    inputs: input_ids,
+                };
+
+                if let Some(cache) = lookup {
+                    if let Some(hit) = cache.lookup(&key) {
+                        if track_pre {
+                            pre.lock().insert(key.clone(), hit.clone());
+                        }
+                        *slots[node].lock() = Some(WaveSlot {
+                            key,
+                            cached: hit,
+                            artifact: None,
+                        });
+                        return Ok(NodeVerdict::Continue);
+                    }
+                }
+
+                // Materialise checkpointed inputs (results only; the replay
+                // charges the read costs in canonical order). Each slot lock
+                // is held only to obtain the shared handle; the deep copy
+                // handed to the component happens outside it, so sibling
+                // consumers of one input do not serialize on its lock.
+                let mut input_handles: Vec<std::sync::Arc<Artifact>> =
+                    Vec::with_capacity(preds.len());
+                for p in &preds {
+                    let mut slot = slots[*p].lock();
+                    let slot = slot.as_mut().expect("topological order");
+                    if slot.artifact.is_none() {
+                        if slot.cached.object.is_null() {
+                            return Err(PipelineError::Storage(
+                                mlcask_storage::errors::StorageError::NotFound(
+                                    slot.cached.artifact_id,
+                                ),
+                            ));
+                        }
+                        let bytes = self.store.get_blob(&slot.cached.object)?;
+                        let artifact = Artifact::from_bytes(&bytes).map_err(|e| {
+                            PipelineError::Storage(mlcask_storage::errors::StorageError::Codec(
+                                e.to_string(),
+                            ))
+                        })?;
+                        slot.artifact = Some(std::sync::Arc::new(artifact));
+                    }
+                    input_handles.push(std::sync::Arc::clone(
+                        slot.artifact.as_ref().expect("just materialised"),
+                    ));
+                }
+                let input_artifacts: Vec<Artifact> =
+                    input_handles.iter().map(|a| (**a).clone()).collect();
+
+                let work = comp.work_units(&input_artifacts);
+                let exec_ns = work.saturating_mul(comp.ns_per_unit());
+                match comp.run(&input_artifacts) {
+                    Ok(artifact) => {
+                        let artifact_id = artifact.content_id();
+                        let kind = match comp.stage() {
+                            StageKind::ModelTraining => ObjectKind::Model,
+                            _ => ObjectKind::Output,
+                        };
+                        let (put, trace) =
+                            self.store.put_blob_traced(kind, &artifact.to_bytes())?;
+                        let cached = CachedOutput {
+                            object: put.object,
+                            artifact_id,
+                            schema: artifact.schema,
+                            score: artifact.score(),
+                        };
+                        if let Some(c) = live_insert {
+                            c.insert(key.clone(), cached.clone());
+                        }
+                        book.record_profile(
+                            key.clone(),
+                            StageProfile {
+                                cached: cached.clone(),
+                                artifact_bytes: artifact.byte_len(),
+                                exec_ns,
+                                write: Some(trace),
+                            },
+                        );
+                        *slots[node].lock() = Some(WaveSlot {
+                            key,
+                            cached,
+                            artifact: Some(std::sync::Arc::new(artifact)),
+                        });
+                        Ok(NodeVerdict::Continue)
+                    }
+                    Err(PipelineError::IncompatibleSchema(_)) => {
+                        // A component whose run-time check contradicts its
+                        // declared schemas — invisible to the static
+                        // frontier. Record it and prune its descendants;
+                        // independent nodes keep running so the executed set
+                        // stays deterministic.
+                        book.record_failure(key);
+                        dynamic_failure.store(true, Ordering::Relaxed);
+                        Ok(NodeVerdict::SkipSuccessors)
+                    }
+                    Err(e) => Err(e),
+                }
+            },
+        )?;
+
+        // Record the statically predicted failure so the replay (and the
+        // engines' score accounting) stops at the canonical node. Skipped if
+        // a dynamic failure upstream already prevented the frontier node's
+        // inputs from existing — the replay stops at that earlier node.
+        let mut failed = dynamic_failure.load(Ordering::Relaxed);
+        if let Some(fail) = fail_at {
+            failed = true;
+            let inputs: Option<Vec<Hash256>> = pipeline
+                .dag
+                .pre(fail)
+                .iter()
+                .map(|p| slots[*p].lock().as_ref().map(|s| s.cached.artifact_id))
+                .collect();
+            if let Some(inputs) = inputs {
+                book.record_failure(CacheKey {
+                    component: pipeline.components[fail].key(),
+                    inputs,
+                });
+            }
+        }
+        Ok(WavefrontRun {
+            slots,
+            pre: pre.into_inner(),
+            failed,
+        })
     }
 }
 
@@ -726,6 +1037,180 @@ mod tests {
         assert_eq!(store.physical_bytes(), physical_after_first);
         // But logical bytes doubled (ModelDB-style accounting).
         assert!(store.stats().total().logical_bytes >= 2 * physical_after_first / 2);
+    }
+
+    /// Diamond DAG: source → {left, right} → join → model.
+    fn diamond(dim: usize, join_out: usize, model_in: usize) -> BoundPipeline {
+        use crate::component::test_support::{TestBranch, TestJoin};
+        let mut dag = PipelineDag::new();
+        for n in ["test_source", "left", "right", "test_join", "test_model"] {
+            dag.add_node(n).unwrap();
+        }
+        dag.add_edge("test_source", "left").unwrap();
+        dag.add_edge("test_source", "right").unwrap();
+        dag.add_edge("left", "test_join").unwrap();
+        dag.add_edge("right", "test_join").unwrap();
+        dag.add_edge("test_join", "test_model").unwrap();
+        let comps: Vec<ComponentHandle> = vec![
+            Arc::new(TestSource {
+                version: SemVer::initial(),
+                dim,
+                rows: 8,
+            }),
+            Arc::new(TestBranch {
+                name: "left",
+                version: SemVer::initial(),
+                dim,
+                factor: 2.0,
+                spin: 0,
+            }),
+            Arc::new(TestBranch {
+                name: "right",
+                version: SemVer::initial(),
+                dim,
+                factor: 3.0,
+                spin: 0,
+            }),
+            Arc::new(TestJoin {
+                version: SemVer::initial(),
+                dim_in: dim,
+                dim_out: join_out,
+            }),
+            Arc::new(TestModel {
+                version: SemVer::initial(),
+                dim_in: model_in,
+                quality: 0.3,
+            }),
+        ];
+        BoundPipeline::new(Arc::new(dag), comps).unwrap()
+    }
+
+    /// Serialised observables of one run: report + ledger + store stats.
+    fn run_diamond_observables(
+        p: &BoundPipeline,
+        policy: ParallelismPolicy,
+        options: ExecOptions,
+        with_cache: bool,
+    ) -> (String, usize) {
+        let store = ChunkStore::in_memory_small();
+        let exec = Executor::new(&store);
+        let cache = MemoryCache::new();
+        let clock = ClockLedger::new();
+        let report = exec
+            .run(
+                p,
+                &clock,
+                if with_cache { Some(&cache) } else { None },
+                options.with_parallelism(policy),
+            )
+            .unwrap();
+        (
+            format!(
+                "report={} clock={} stats={} physical={}",
+                serde_json::to_string(&report).unwrap(),
+                serde_json::to_string(&clock.snapshot()).unwrap(),
+                serde_json::to_string(&store.stats()).unwrap(),
+                store.physical_bytes(),
+            ),
+            cache.len(),
+        )
+    }
+
+    #[test]
+    fn diamond_wavefront_matches_sequential() {
+        let p = diamond(3, 3, 3);
+        for options in [ExecOptions::MLCASK, ExecOptions::RERUN_ALL] {
+            for with_cache in [false, true] {
+                let (seq, seq_cache) =
+                    run_diamond_observables(&p, ParallelismPolicy::Sequential, options, with_cache);
+                for workers in [2, 8] {
+                    let (par, par_cache) = run_diamond_observables(
+                        &p,
+                        ParallelismPolicy::Parallel(workers),
+                        options,
+                        with_cache,
+                    );
+                    assert_eq!(seq, par, "{workers} workers diverged");
+                    assert_eq!(seq_cache, par_cache);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_wavefront_failure_matches_sequential() {
+        // Join widens to 5 dims, model expects 3: the run fails at the model
+        // after both branches and the join executed (and were paid for).
+        let doomed = diamond(3, 5, 3);
+        let (seq, seq_cache) = run_diamond_observables(
+            &doomed,
+            ParallelismPolicy::Sequential,
+            ExecOptions::RERUN_ALL,
+            true,
+        );
+        for workers in [2, 8] {
+            let (par, par_cache) = run_diamond_observables(
+                &doomed,
+                ParallelismPolicy::Parallel(workers),
+                ExecOptions::RERUN_ALL,
+                true,
+            );
+            assert_eq!(seq, par, "failure path with {workers} workers diverged");
+            assert_eq!(seq_cache, par_cache, "cache side-state diverged");
+        }
+    }
+
+    #[test]
+    fn diamond_wavefront_reuses_checkpoints() {
+        let store = ChunkStore::in_memory_small();
+        let exec = Executor::new(&store);
+        let cache = MemoryCache::new();
+        let clock = ClockLedger::new();
+        let p = diamond(3, 3, 3);
+        let options = ExecOptions::MLCASK.with_parallelism(ParallelismPolicy::Parallel(4));
+        let first = exec.run(&p, &clock, Some(&cache), options).unwrap();
+        assert_eq!(first.executed_count(), 5);
+        let t_after_first = clock.pipeline_total();
+        let second = exec.run(&p, &clock, Some(&cache), options).unwrap();
+        assert_eq!(second.reused_count(), 5, "full reuse through the wavefront");
+        assert_eq!(clock.pipeline_total(), t_after_first);
+        assert_eq!(
+            second.outcome.score().unwrap().raw,
+            first.outcome.score().unwrap().raw
+        );
+    }
+
+    #[test]
+    fn wavefront_gate_ignores_chains_and_unpersisted_runs() {
+        // A chain with a parallel policy must still take the sequential path
+        // (wavefront needs width); observables are identical either way, so
+        // pin the equality here.
+        let p = pipeline(2.0, 3, 3);
+        let store = ChunkStore::in_memory_small();
+        let exec = Executor::new(&store);
+        let clock = ClockLedger::new();
+        let report = exec
+            .run(
+                &p,
+                &clock,
+                None,
+                ExecOptions::RERUN_ALL.with_parallelism(ParallelismPolicy::Parallel(8)),
+            )
+            .unwrap();
+        assert!(report.outcome.is_completed());
+        // persist_outputs=false runs must not hit the traced path (it would
+        // persist blobs the policy forbids).
+        let store2 = ChunkStore::in_memory_small();
+        let exec2 = Executor::new(&store2);
+        let no_persist = ExecOptions {
+            persist_outputs: false,
+            ..ExecOptions::RERUN_ALL
+        }
+        .with_parallelism(ParallelismPolicy::Parallel(8));
+        let d = diamond(3, 3, 3);
+        let report2 = exec2.run(&d, &clock, None, no_persist).unwrap();
+        assert!(report2.outcome.is_completed());
+        assert_eq!(store2.physical_bytes(), 0, "nothing persisted");
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! | Execution, output archiving, reuse (§IV, C1) | [`executor`] |
 //! | Execution vs storage time split (§VII-B) | [`clock`] |
 //!
+//! Beyond the paper, this crate supplies the parallel-execution substrate:
+//! [`parallel`] (worker pools, the DAG wavefront scheduler, and the
+//! [`parallel::ParallelismPolicy`] knob) and [`replay`] (the
+//! traced-execute/deterministic-replay protocol that keeps parallel
+//! reports byte-identical to sequential ones).
+//!
 //! The versioning semantics themselves (branching, merging, search-tree
 //! pruning) live in `mlcask-core`, which builds on this crate.
 
@@ -50,7 +56,7 @@ pub mod prelude {
         RunReport, StageReport,
     };
     pub use crate::metafile::{DatasetMetafile, LibraryMetafile, PipelineMetafile, PipelineSlot};
-    pub use crate::parallel::{map_indexed, ParallelismPolicy, ShardedMap};
+    pub use crate::parallel::{map_indexed, run_dag, NodeVerdict, ParallelismPolicy, ShardedMap};
     pub use crate::replay::{replay_run, CacheSnapshot, ProfileBook, ReplayCursor, StageProfile};
     pub use crate::schema::{Schema, SchemaId};
     pub use crate::semver::SemVer;

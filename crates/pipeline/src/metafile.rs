@@ -88,9 +88,10 @@ pub struct PipelineMetafile {
     pub name: String,
     /// Version label `branch.seq` (e.g. `master.0`).
     pub label: String,
-    /// Slots in topological order with their bound versions and outputs.
+    /// Slots in pipeline slot order (DAG node order) with their bound
+    /// versions and outputs.
     pub slots: Vec<PipelineSlot>,
-    /// Data-flow edges by slot name.
+    /// Data-flow edges by slot name — the full DAG shape, not just a chain.
     pub edges: Vec<(String, String)>,
     /// Final metric score of the run that produced this version.
     pub score: Option<Score>,

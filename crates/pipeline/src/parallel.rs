@@ -1,10 +1,19 @@
-//! Worker-pool primitives for parallel candidate evaluation.
+//! Worker-pool primitives for parallel pipeline evaluation.
 //!
-//! The merge search and the prioritized-search trial harness evaluate many
-//! *independent* pipelines; [`map_indexed`] fans that work out over scoped
-//! threads while keeping results in input order so downstream accounting is
-//! deterministic. [`ParallelismPolicy`] is the user-facing knob, exposed on
-//! `ExecOptions`, `MergeEngine`, `PrioritizedSearcher`, and `MlCask`.
+//! Two fan-out shapes share one pool budget:
+//!
+//! * **Across pipelines** — the merge search and the prioritized-search
+//!   trial harness evaluate many *independent* pipelines; [`map_indexed`]
+//!   fans that work out over scoped threads while keeping results in input
+//!   order so downstream accounting is deterministic.
+//! * **Within one pipeline** — independent DAG nodes of a *single* pipeline
+//!   run concurrently via [`run_dag`], a ready-set (wavefront) scheduler: a
+//!   node is dispatched the moment its last predecessor completes.
+//!
+//! [`ParallelismPolicy`] is the user-facing knob, exposed on `ExecOptions`,
+//! `MergeEngine`, `PrioritizedSearcher`, and `MlCask`;
+//! [`ParallelismPolicy::split`] divides one budget between the two levels
+//! without oversubscribing.
 //!
 //! Determinism contract: callers must make worker closures *pure up to
 //! commutative side effects* (content-addressed stores, output caches, and
@@ -16,9 +25,11 @@
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Condvar as StdCondvar;
+use std::sync::Mutex as StdMutex;
 
 /// How many worker threads candidate evaluation may use.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +57,33 @@ impl ParallelismPolicy {
                 .unwrap_or(1),
             ParallelismPolicy::Parallel(n) => *n,
         }
+    }
+
+    /// Divides this pool between an outer fan-out over `outer_items`
+    /// independent work items and DAG-internal execution *inside* each
+    /// item, without oversubscribing: the outer level gets
+    /// `min(workers, outer_items)` workers and each item inherits the
+    /// leftover `workers / outer` as its inner policy.
+    ///
+    /// With many items (a wide merge search) all workers go to the outer
+    /// level and inner execution stays sequential; with few items (one
+    /// trial, one commit) the spare workers flow into each pipeline's
+    /// wavefront instead.
+    pub fn split(&self, outer_items: usize) -> (ParallelismPolicy, ParallelismPolicy) {
+        let w = self.workers();
+        if w <= 1 {
+            return (ParallelismPolicy::Sequential, ParallelismPolicy::Sequential);
+        }
+        let outer = w.min(outer_items.max(1));
+        let inner = w / outer;
+        let as_policy = |n: usize| {
+            if n <= 1 {
+                ParallelismPolicy::Sequential
+            } else {
+                ParallelismPolicy::Parallel(n)
+            }
+        };
+        (as_policy(outer), as_policy(inner))
     }
 }
 
@@ -81,6 +119,167 @@ where
         .into_iter()
         .map(|slot| slot.into_inner().expect("worker filled every slot"))
         .collect()
+}
+
+/// Directs the [`run_dag`] scheduler after one node completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeVerdict {
+    /// The node succeeded: release its successors into the ready set.
+    Continue,
+    /// The node hit an *expected* failure (e.g. a schema incompatibility):
+    /// its successors stay unreachable, but independent nodes keep
+    /// executing. This keeps the executed node set deterministic — it
+    /// depends only on the DAG and which nodes fail, never on worker count
+    /// or completion order.
+    SkipSuccessors,
+}
+
+struct DagState<E> {
+    ready: VecDeque<usize>,
+    indeg: Vec<usize>,
+    in_flight: usize,
+    stop: bool,
+    err: Option<E>,
+}
+
+/// Decrements `in_flight` and halts the scheduler if the worker unwinds
+/// inside the node callback, so sibling workers blocked on the condvar are
+/// released instead of deadlocking while the panic propagates.
+struct FlightGuard<'a, E> {
+    state: &'a StdMutex<DagState<E>>,
+    cv: &'a StdCondvar,
+    armed: bool,
+}
+
+impl<E> Drop for FlightGuard<'_, E> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.in_flight -= 1;
+            s.stop = true;
+            drop(s);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Executes the nodes of a DAG on a worker pool, dispatching each node the
+/// moment its last predecessor completes (a ready-set wavefront scheduler).
+///
+/// * `indeg[i]` — number of predecessors of node `i` (see
+///   [`crate::dag::PipelineDag::indegrees`]).
+/// * `adjacency[i]` — successors of node `i` (see
+///   [`crate::dag::PipelineDag::adjacency`]).
+/// * `f(i)` — executes node `i`; its [`NodeVerdict`] tells the scheduler
+///   whether to release the node's successors or stop dispatching.
+///
+/// With one worker the nodes run on the caller's thread in canonical
+/// topological order (lowest index first among ready nodes — the
+/// [`crate::dag::PipelineDag::topo_order`] tie-break). With more workers
+/// the completion order is racy, so callers must keep `f`'s side effects
+/// commutative and defer ordering-sensitive accounting to a deterministic
+/// replay (see [`crate::replay`]).
+///
+/// Which nodes run is *not* racy: a node runs iff every ancestor returned
+/// [`NodeVerdict::Continue`], a predicate independent of scheduling. Nodes
+/// left unreachable by a [`NodeVerdict::SkipSuccessors`] are simply never
+/// visited; `run_dag` still returns `Ok`.
+///
+/// The first `Err` from `f` halts dispatch and is returned; panics in
+/// workers propagate to the caller.
+pub fn run_dag<E, F>(
+    policy: ParallelismPolicy,
+    indeg: Vec<usize>,
+    adjacency: &[Vec<usize>],
+    f: F,
+) -> std::result::Result<(), E>
+where
+    F: Fn(usize) -> std::result::Result<NodeVerdict, E> + Sync,
+    E: Send,
+{
+    let n = indeg.len();
+    let workers = policy.workers().min(n.max(1));
+    if workers <= 1 {
+        let mut indeg = indeg;
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        while let Some(&next) = ready.iter().min() {
+            ready.retain(|&x| x != next);
+            if f(next)? == NodeVerdict::Continue {
+                for &s in &adjacency[next] {
+                    indeg[s] -= 1;
+                    if indeg[s] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let ready: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let state = StdMutex::new(DagState {
+        ready,
+        indeg,
+        in_flight: 0,
+        stop: false,
+        err: None,
+    });
+    let cv = StdCondvar::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let node = {
+                    let mut s = state.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if s.stop {
+                            return;
+                        }
+                        if let Some(next) = s.ready.pop_front() {
+                            s.in_flight += 1;
+                            break next;
+                        }
+                        if s.in_flight == 0 {
+                            return;
+                        }
+                        s = cv.wait(s).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                let mut panic_guard = FlightGuard {
+                    state: &state,
+                    cv: &cv,
+                    armed: true,
+                };
+                let verdict = f(node);
+                panic_guard.armed = false;
+                let mut s = state.lock().unwrap_or_else(|e| e.into_inner());
+                s.in_flight -= 1;
+                match verdict {
+                    Ok(NodeVerdict::Continue) => {
+                        for &suc in &adjacency[node] {
+                            s.indeg[suc] -= 1;
+                            if s.indeg[suc] == 0 {
+                                s.ready.push_back(suc);
+                            }
+                        }
+                    }
+                    Ok(NodeVerdict::SkipSuccessors) => {}
+                    Err(e) => {
+                        if s.err.is_none() {
+                            s.err = Some(e);
+                        }
+                        s.stop = true;
+                    }
+                }
+                drop(s);
+                cv.notify_all();
+            });
+        }
+    });
+    let s = state.into_inner().unwrap_or_else(|e| e.into_inner());
+    match s.err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Number of independently locked shards in a [`ShardedMap`].
@@ -254,6 +453,156 @@ mod tests {
             map_indexed(ParallelismPolicy::Parallel(4), &one, |_, x| x + 1),
             vec![8]
         );
+    }
+
+    #[test]
+    fn split_divides_the_pool() {
+        // Many items: all workers fan out, inner stays sequential.
+        assert_eq!(
+            ParallelismPolicy::Parallel(8).split(32),
+            (
+                ParallelismPolicy::Parallel(8),
+                ParallelismPolicy::Sequential
+            )
+        );
+        // Few items: spare workers flow into each item's wavefront.
+        assert_eq!(
+            ParallelismPolicy::Parallel(8).split(2),
+            (
+                ParallelismPolicy::Parallel(2),
+                ParallelismPolicy::Parallel(4)
+            )
+        );
+        // One item: everything goes inner.
+        assert_eq!(
+            ParallelismPolicy::Parallel(6).split(1),
+            (
+                ParallelismPolicy::Sequential,
+                ParallelismPolicy::Parallel(6)
+            )
+        );
+        assert_eq!(
+            ParallelismPolicy::Sequential.split(10),
+            (ParallelismPolicy::Sequential, ParallelismPolicy::Sequential)
+        );
+        // Never oversubscribes: outer * inner <= workers.
+        for w in 1..16 {
+            for items in 1..40 {
+                let (o, i) = ParallelismPolicy::Parallel(w).split(items);
+                assert!(o.workers() * i.workers() <= w, "{w} workers, {items} items");
+            }
+        }
+    }
+
+    /// A diamond: 0 → {1, 2} → 3.
+    fn diamond() -> (Vec<usize>, Vec<Vec<usize>>) {
+        (vec![0, 1, 1, 2], vec![vec![1, 2], vec![3], vec![3], vec![]])
+    }
+
+    #[test]
+    fn run_dag_respects_dependencies() {
+        use std::sync::Mutex;
+        for policy in [
+            ParallelismPolicy::Sequential,
+            ParallelismPolicy::Parallel(4),
+        ] {
+            let (indeg, adj) = diamond();
+            let done: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            run_dag::<(), _>(policy, indeg, &adj, |node| {
+                let seen = done.lock().unwrap().clone();
+                match node {
+                    0 => assert!(seen.is_empty()),
+                    1 | 2 => assert!(seen.contains(&0)),
+                    _ => assert!(seen.contains(&1) && seen.contains(&2)),
+                }
+                done.lock().unwrap().push(node);
+                Ok(NodeVerdict::Continue)
+            })
+            .unwrap();
+            let mut order = done.into_inner().unwrap();
+            order.sort();
+            assert_eq!(order, vec![0, 1, 2, 3], "every node ran exactly once");
+        }
+    }
+
+    #[test]
+    fn run_dag_sequential_uses_canonical_topo_order() {
+        use std::sync::Mutex;
+        let (indeg, adj) = diamond();
+        let done: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        run_dag::<(), _>(ParallelismPolicy::Sequential, indeg, &adj, |node| {
+            done.lock().unwrap().push(node);
+            Ok(NodeVerdict::Continue)
+        })
+        .unwrap();
+        assert_eq!(done.into_inner().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_dag_skip_successors_prunes_descendants_only() {
+        use std::sync::Mutex;
+        for policy in [
+            ParallelismPolicy::Sequential,
+            ParallelismPolicy::Parallel(4),
+        ] {
+            let (indeg, adj) = diamond();
+            let done: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            run_dag::<(), _>(policy, indeg, &adj, |node| {
+                done.lock().unwrap().push(node);
+                if node == 1 {
+                    Ok(NodeVerdict::SkipSuccessors)
+                } else {
+                    Ok(NodeVerdict::Continue)
+                }
+            })
+            .unwrap();
+            let mut order = done.into_inner().unwrap();
+            order.sort();
+            // Node 3 needs both 1 and 2; 1 failed, so 3 never runs — but the
+            // independent sibling 2 still does, whatever the worker count.
+            assert_eq!(order, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn run_dag_propagates_errors() {
+        let (indeg, adj) = diamond();
+        let err = run_dag::<String, _>(ParallelismPolicy::Parallel(4), indeg, &adj, |node| {
+            if node == 1 {
+                Err("boom".to_string())
+            } else {
+                Ok(NodeVerdict::Continue)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn run_dag_overlaps_independent_branches() {
+        let indeg = vec![0, 1, 1, 1, 1, 4];
+        let adj = vec![vec![1, 2, 3, 4], vec![5], vec![5], vec![5], vec![5], vec![]];
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_dag::<(), _>(ParallelismPolicy::Parallel(4), indeg, &adj, |_| {
+            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            Ok(NodeVerdict::Continue)
+        })
+        .unwrap();
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "sibling branches never overlapped"
+        );
+    }
+
+    #[test]
+    fn run_dag_empty() {
+        run_dag::<(), _>(ParallelismPolicy::Parallel(4), Vec::new(), &[], |_| {
+            panic!("no nodes to run")
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,21 +1,33 @@
 //! Deterministic replay of traced pipeline executions.
 //!
-//! The parallel candidate-evaluation engines split every search into two
-//! phases:
+//! The parallel engines split every evaluation into two phases:
 //!
-//! 1. **Execute (parallel, racy order)** — candidates run concurrently via
-//!    [`Executor::run_traced`](crate::executor::Executor::run_traced).
+//! 1. **Execute (parallel, racy order)** — work runs concurrently via
+//!    [`Executor::run_traced`](crate::executor::Executor::run_traced) /
+//!    [`run_traced_with`](crate::executor::Executor::run_traced_with).
 //!    Component outputs, scores, and chunk layouts are pure functions of the
 //!    candidate, so the *results* are order-independent; only timing and
 //!    dedup attribution would be racy. Each distinct `(component, inputs)`
 //!    execution is recorded once in a shared [`ProfileBook`].
 //! 2. **Account (sequential, canonical order)** — [`replay_run`] walks the
-//!    candidates in index order and recomputes exactly what a fully
+//!    work in canonical order and recomputes exactly what a fully
 //!    sequential engine would have charged: cache hits against the
 //!    sequentially-evolving checkpoint state, materialisation reads,
 //!    execution time from profiles, and storage writes replayed chunk-by-
 //!    chunk against a simulated "not yet persisted" set
 //!    ([`PutTrace::replay`]).
+//!
+//! The protocol is applied at two granularities:
+//!
+//! * **Across candidates** — `MergeEngine::search` and
+//!   `PrioritizedSearcher::run_trials` trace candidates concurrently, then
+//!   replay them in candidate-index order.
+//! * **Within one pipeline** — the executor's wavefront path
+//!   ([`Executor::run`](crate::executor::Executor::run) with a parallel
+//!   policy on a non-chain DAG) traces independent DAG nodes concurrently,
+//!   then replays that *single* candidate: [`replay_run`] walks its nodes
+//!   in canonical topological order, which is the per-node half of the same
+//!   argument.
 //!
 //! The key order-independence argument: a chunk was present in the store
 //! *before* the whole evaluation iff **no** traced write observed it as new,

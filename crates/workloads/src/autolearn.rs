@@ -429,6 +429,7 @@ pub fn build() -> Workload {
         incompat_update: (2, auto_v1),
         head_updates,
         dev_updates,
+        edges: Vec::new(),
     }
 }
 

@@ -1,10 +1,11 @@
-//! Shared scaffolding for the four evaluation workloads.
+//! Shared scaffolding for the evaluation workloads.
 //!
-//! Every workload exposes the same structure: a linear pipeline DAG, a
-//! family of component versions mirroring the paper's Figs. 2–3 histories,
-//! an increment-only *linear chain* per slot (for the Fig. 5–7 scenario),
-//! one schema-changing *incompatible update* (the last linear iteration),
-//! and the Fig. 3 branch histories (for the Fig. 8–10 merge scenario).
+//! Every workload exposes the same structure: a pipeline DAG (the paper's
+//! four pipelines are chains; [`crate::fusion`] is a diamond), a family of
+//! component versions mirroring the paper's Figs. 2–3 histories, an
+//! increment-only *linear chain* per slot (for the Fig. 5–7 scenario), one
+//! schema-changing *incompatible update* (the last linear iteration), and
+//! the Fig. 3 branch histories (for the Fig. 8–10 merge scenario).
 
 use crate::errors::Result;
 use mlcask_core::registry::ComponentRegistry;
@@ -25,7 +26,7 @@ pub struct Workload {
     /// The initial (`0.0` everywhere) pipeline.
     pub initial: Vec<ComponentKey>,
     /// Increment-only version chain per slot (index-aligned with `slots`);
-    /// chain[0] is the initial version.
+    /// `chain[0]` is the initial version.
     pub chains: Vec<Vec<ComponentKey>>,
     /// Which slot holds the model.
     pub model_slot: usize,
@@ -36,13 +37,30 @@ pub struct Workload {
     pub head_updates: Vec<Vec<ComponentKey>>,
     /// Successive full pipelines committed on MERGE_HEAD (Fig. 3).
     pub dev_updates: Vec<Vec<ComponentKey>>,
+    /// Data-flow edges by slot name. Empty means a linear chain over
+    /// `slots` (the shape of the paper's four pipelines); non-empty gives
+    /// the full DAG (e.g. the [`crate::fusion`] diamond). Slot order must
+    /// be topological.
+    pub edges: Vec<(String, String)>,
 }
 
 impl Workload {
-    /// The pipeline DAG (a chain, as in all four evaluated pipelines).
+    /// The pipeline DAG: a chain over `slots` unless explicit `edges` give
+    /// a non-chain shape.
     pub fn dag(&self) -> PipelineDag {
         let names: Vec<&str> = self.slots.iter().map(|s| s.as_str()).collect();
-        PipelineDag::chain(&names).expect("workload slots form a valid chain")
+        if self.edges.is_empty() {
+            return PipelineDag::chain(&names).expect("workload slots form a valid chain");
+        }
+        let mut dag = PipelineDag::new();
+        for n in &names {
+            dag.add_node(n).expect("workload slot names are unique");
+        }
+        for (f, t) in &self.edges {
+            dag.add_edge(f, t)
+                .expect("workload edges reference known slots");
+        }
+        dag
     }
 
     /// Registers every component version with a registry.
@@ -81,6 +99,16 @@ impl Workload {
         for update in self.head_updates.iter().chain(self.dev_updates.iter()) {
             assert_eq!(update.len(), self.slots.len());
         }
+        // The DAG must be well-formed *and* listed in topological slot
+        // order (node ids equal slot indices; the merge-search tree indexes
+        // per-level path state by predecessor slot). With in-order slots,
+        // the canonical topo order is exactly 0..n.
+        let order = self.dag().topo_order().expect("workload DAG is acyclic");
+        assert_eq!(
+            order,
+            (0..self.slots.len()).collect::<Vec<_>>(),
+            "workload slots must be listed in topological order"
+        );
     }
 }
 

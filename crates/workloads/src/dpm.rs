@@ -545,6 +545,7 @@ pub fn build() -> Workload {
         incompat_update: (3, hmm_v1),
         head_updates,
         dev_updates,
+        edges: Vec::new(),
     }
 }
 

@@ -474,6 +474,7 @@ pub fn build() -> Workload {
         incompat_update: (2, fe_v1),
         head_updates,
         dev_updates,
+        edges: Vec::new(),
     }
 }
 

@@ -503,6 +503,7 @@ pub fn build() -> Workload {
         incompat_update: (3, embed_v1),
         head_updates,
         dev_updates,
+        edges: Vec::new(),
     }
 }
 

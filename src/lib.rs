@@ -45,8 +45,13 @@
 //! | [`ml`] | MLP, HMM, AdaBoost, embeddings, Zernike moments, Autolearn |
 //! | [`pipeline`] | components, semantic versions, DAG, executor, clock |
 //! | [`core`] | branching, metric-driven merge, PC/PR pruning, prioritized search |
-//! | [`workloads`] | Readmission, DPM, SA, Autolearn + scenario drivers |
+//! | [`workloads`] | Readmission, DPM, SA, Autolearn, the diamond Fusion + scenario drivers |
 //! | [`baselines`] | ModelDB-like and MLflow-like comparison systems |
+//!
+//! The repository-level `README.md` covers building, benches, and the
+//! figure harness; `ARCHITECTURE.md` explains the parallel execution
+//! engine (the traced-execute + deterministic-replay protocol and the DAG
+//! wavefront scheduler).
 
 #![warn(missing_docs)]
 

@@ -196,3 +196,359 @@ fn auto_policy_matches_sequential_too() {
     let (_, auto) = run_search(MergeStrategy::Full, ParallelismPolicy::auto(), false);
     assert_eq!(sequential, auto);
 }
+
+// ---------------------------------------------------------------------------
+// Non-chain DAGs: the wavefront executor must be byte-identical to sequential
+// execution for every worker count, including interleaved traced writes from
+// sibling branches and mid-DAG failures.
+// ---------------------------------------------------------------------------
+
+mod dag {
+    use super::*;
+    use mlcask_ml::metrics::{MetricKind, Score};
+    use mlcask_ml::tensor::Matrix;
+    use mlcask_pipeline::artifact::{Artifact, ArtifactData, Features, ModelArtifact};
+    use mlcask_pipeline::component::{Component, ComponentHandle, StageKind};
+    use mlcask_pipeline::dag::BoundPipeline;
+    use mlcask_pipeline::errors::Result as PipelineResult;
+    use mlcask_pipeline::executor::MemoryCache;
+    use mlcask_pipeline::schema::{Schema, SchemaId};
+
+    const DIM: usize = 6;
+    const ROWS: usize = 64;
+
+    fn feature_schema(dim: usize) -> SchemaId {
+        Schema::FeatureMatrix { dim, n_classes: 2 }.id()
+    }
+
+    struct Src;
+
+    impl Component for Src {
+        fn name(&self) -> &str {
+            "src"
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::Ingest
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            None
+        }
+        fn output_schema(&self) -> SchemaId {
+            feature_schema(DIM)
+        }
+        fn run(&self, _inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            let x = Matrix::from_fn(ROWS, DIM, |r, c| ((r * 13 + c * 5) % 11) as f32 / 11.0);
+            let y = (0..ROWS).map(|r| r % 2).collect();
+            Ok(Artifact::new(
+                ArtifactData::Features(Features { x, y, n_classes: 2 }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, _inputs: &[Artifact]) -> u64 {
+            (ROWS * DIM) as u64
+        }
+    }
+
+    /// Sibling branch. Every `Twin` with the same `factor` produces a
+    /// byte-identical artifact, so parallel siblings race their traced
+    /// writes on exactly the same chunks — the dedup-attribution case the
+    /// replay protocol must keep canonical.
+    struct Twin {
+        name: &'static str,
+        factor: f32,
+    }
+
+    impl Component for Twin {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::PreProcess
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(feature_schema(DIM))
+        }
+        fn output_schema(&self) -> SchemaId {
+            feature_schema(DIM)
+        }
+        fn run(&self, inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            self.check_compatibility(inputs)?;
+            let ArtifactData::Features(f) = &inputs[0].data else {
+                unreachable!("schema-checked input");
+            };
+            let x = Matrix::from_fn(f.x.rows(), DIM, |r, c| f.x.get(r, c) * self.factor);
+            Ok(Artifact::new(
+                ArtifactData::Features(Features {
+                    x,
+                    y: f.y.clone(),
+                    n_classes: f.n_classes,
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.first().map(|a| a.byte_len()).unwrap_or(1)
+        }
+    }
+
+    /// Fan-in joining all branch outputs; `dim_out` lets tests inject a
+    /// schema change for mid-DAG failure coverage.
+    struct Join {
+        dim_out: usize,
+    }
+
+    impl Component for Join {
+        fn name(&self) -> &str {
+            "join"
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::PreProcess
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(feature_schema(DIM))
+        }
+        fn output_schema(&self) -> SchemaId {
+            feature_schema(self.dim_out)
+        }
+        fn run(&self, inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            self.check_compatibility(inputs)?;
+            let feats: Vec<&Features> = inputs
+                .iter()
+                .map(|a| match &a.data {
+                    ArtifactData::Features(f) => f,
+                    _ => unreachable!("schema-checked input"),
+                })
+                .collect();
+            let first = feats[0];
+            let x = Matrix::from_fn(first.x.rows(), self.dim_out, |r, c| {
+                if c < DIM {
+                    feats.iter().map(|f| f.x.get(r, c)).sum::<f32>() / feats.len() as f32
+                } else {
+                    0.0
+                }
+            });
+            Ok(Artifact::new(
+                ArtifactData::Features(Features {
+                    x,
+                    y: first.y.clone(),
+                    n_classes: first.n_classes,
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.iter().map(|a| a.byte_len()).sum::<u64>().max(1)
+        }
+    }
+
+    struct Model {
+        dim_in: usize,
+    }
+
+    impl Component for Model {
+        fn name(&self) -> &str {
+            "model"
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::ModelTraining
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(feature_schema(self.dim_in))
+        }
+        fn output_schema(&self) -> SchemaId {
+            Schema::Model {
+                family: "dag-test".into(),
+            }
+            .id()
+        }
+        fn run(&self, inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            self.check_compatibility(inputs)?;
+            let ArtifactData::Features(f) = &inputs[0].data else {
+                unreachable!("schema-checked input");
+            };
+            let mean = f.x.as_slice().iter().map(|v| *v as f64).sum::<f64>()
+                / f.x.as_slice().len().max(1) as f64;
+            Ok(Artifact::new(
+                ArtifactData::Model(ModelArtifact {
+                    family: "dag-test".into(),
+                    blob: vec![7u8; 48],
+                    score: Score::new(MetricKind::Accuracy, (0.5 + mean / 4.0).min(1.0)),
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.first().map(|a| a.byte_len() * 2).unwrap_or(1)
+        }
+    }
+
+    /// `src → {twin_a, twin_b, twin_c} → join → model`, with twins
+    /// producing byte-identical outputs (maximal traced-write contention).
+    fn fan_pipeline(join_out: usize, model_in: usize) -> BoundPipeline {
+        let mut dag = PipelineDag::new();
+        for n in ["src", "twin_a", "twin_b", "twin_c", "join", "model"] {
+            dag.add_node(n).unwrap();
+        }
+        for b in ["twin_a", "twin_b", "twin_c"] {
+            dag.add_edge("src", b).unwrap();
+            dag.add_edge(b, "join").unwrap();
+        }
+        dag.add_edge("join", "model").unwrap();
+        let comps: Vec<ComponentHandle> = vec![
+            Arc::new(Src),
+            Arc::new(Twin {
+                name: "twin_a",
+                factor: 2.0,
+            }),
+            Arc::new(Twin {
+                name: "twin_b",
+                factor: 2.0,
+            }),
+            Arc::new(Twin {
+                name: "twin_c",
+                factor: 2.0,
+            }),
+            Arc::new(Join { dim_out: join_out }),
+            Arc::new(Model { dim_in: model_in }),
+        ];
+        BoundPipeline::new(Arc::new(dag), comps).unwrap()
+    }
+
+    /// Runs the fan pipeline twice on one fresh store (second run re-writes
+    /// identical content, pinning cross-run dedup attribution) and returns
+    /// every observable.
+    fn run_fan(policy: ParallelismPolicy, join_out: usize, model_in: usize) -> String {
+        let p = fan_pipeline(join_out, model_in);
+        let store = ChunkStore::in_memory_small();
+        let exec = Executor::new(&store);
+        let cache = MemoryCache::new();
+        let ledger = ClockLedger::new();
+        let options = ExecOptions::RERUN_ALL.with_parallelism(policy);
+        let first = exec.run(&p, &ledger, Some(&cache), options).unwrap();
+        let second = exec.run(&p, &ledger, Some(&cache), options).unwrap();
+        format!(
+            "first={} second={} ledger={} stats={} physical={} cache_len={}",
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            serde_json::to_string(&ledger.snapshot()).unwrap(),
+            serde_json::to_string(&store.stats()).unwrap(),
+            store.physical_bytes(),
+            cache.len(),
+        )
+    }
+
+    #[test]
+    fn fan_dag_identical_across_worker_counts() {
+        let sequential = run_fan(ParallelismPolicy::Sequential, DIM, DIM);
+        for workers in [1, 2, 8] {
+            let parallel = run_fan(ParallelismPolicy::Parallel(workers), DIM, DIM);
+            assert_eq!(
+                sequential, parallel,
+                "fan DAG with {workers} workers diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn fan_dag_mid_failure_identical_across_worker_counts() {
+        // Join widens to DIM+2 but the model expects DIM: the run fails at
+        // the model *after* all three sibling branches and the join ran.
+        let sequential = run_fan(ParallelismPolicy::Sequential, DIM + 2, DIM);
+        for workers in [1, 2, 8] {
+            let parallel = run_fan(ParallelismPolicy::Parallel(workers), DIM + 2, DIM);
+            assert_eq!(
+                sequential, parallel,
+                "failing fan DAG with {workers} workers diverged"
+            );
+        }
+    }
+
+    /// Full collaborative lifecycle on the diamond fusion workload: commit,
+    /// branch, fast-forward merge, diverged metric-driven merge — all
+    /// observables identical across worker counts {1, 2, 8}.
+    fn run_fusion_lifecycle(policy: ParallelismPolicy) -> String {
+        use mlcask_workloads::scenario::{build_system, setup_nonlinear};
+        let w = mlcask_workloads::fusion::build();
+        let (reg, sys) = build_system(&w).unwrap();
+        let sys = sys.with_parallelism(policy);
+        setup_nonlinear(&sys, &w).unwrap();
+        let clock = ClockLedger::new();
+        let merge = sys
+            .merge("master", "dev", MergeStrategy::Full, &clock)
+            .unwrap();
+        let meta = sys.head_metafile("master").unwrap();
+        format!(
+            "ff={} report={} meta={} clock={} stats={} history_len={}",
+            merge.fast_forward,
+            serde_json::to_string(&merge.report).unwrap(),
+            serde_json::to_string(&meta).unwrap(),
+            serde_json::to_string(&clock.snapshot()).unwrap(),
+            serde_json::to_string(&reg.store().stats()).unwrap(),
+            sys.history().len(),
+        )
+    }
+
+    #[test]
+    fn fusion_diamond_merge_identical_across_worker_counts() {
+        let sequential = run_fusion_lifecycle(ParallelismPolicy::Sequential);
+        for workers in [2, 8] {
+            let parallel = run_fusion_lifecycle(ParallelismPolicy::Parallel(workers));
+            assert_eq!(
+                sequential, parallel,
+                "fusion lifecycle with {workers} workers diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_prioritized_trials_identical_across_worker_counts() {
+        let run = |policy: ParallelismPolicy| {
+            use mlcask_workloads::scenario::{build_system, setup_nonlinear};
+            let w = mlcask_workloads::fusion::build();
+            let (reg, sys) = build_system(&w).unwrap();
+            setup_nonlinear(&sys, &w).unwrap();
+            let spaces = sys.merge_search_spaces("master", "dev").unwrap();
+            let init = sys.initial_scores("master", "dev").unwrap();
+            let searcher = PrioritizedSearcher::new(sys.registry(), Arc::clone(sys.dag()))
+                .with_parallelism(policy);
+            let stats = searcher
+                .run_trials(
+                    &spaces,
+                    sys.history(),
+                    &init,
+                    SearchMethod::Prioritized,
+                    3,
+                    11,
+                )
+                .unwrap();
+            format!(
+                "stats={} store={}",
+                serde_json::to_string(&stats).unwrap(),
+                serde_json::to_string(&reg.store().stats()).unwrap(),
+            )
+        };
+        let sequential = run(ParallelismPolicy::Sequential);
+        // 8 workers over 3 trials splits the pool as outer=3, inner=2, so
+        // each trial's candidates run their diamond wavefronts on 2 workers
+        // — trial-level fan-out genuinely composed with node-level fan-out.
+        for workers in [2, 8] {
+            let parallel = run(ParallelismPolicy::Parallel(workers));
+            assert_eq!(
+                sequential, parallel,
+                "fusion trials with {workers} workers diverged"
+            );
+        }
+    }
+}
