@@ -238,6 +238,9 @@ fn timed_run(policy: ParallelismPolicy) -> (f64, String) {
 }
 
 fn main() {
+    // Smoke mode (CI): one parallel run instead of the full worker sweep,
+    // and no wall-clock threshold — the identity assertion still runs.
+    let smoke = std::env::var("MLCASK_BENCH_SMOKE").is_ok();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -257,8 +260,8 @@ fn main() {
         "-".into(),
     ]);
     let mut best_speedup = 1.0f64;
-    let mut sweep = vec![2, 4];
-    if cores > 4 {
+    let mut sweep = if smoke { vec![2] } else { vec![2, 4] };
+    if !smoke && cores > 4 {
         sweep.push(cores);
     }
     for workers in sweep {
@@ -279,6 +282,9 @@ fn main() {
     println!(
         "\nbest speedup {best_speedup:.1}x over sequential ({BRANCHES} independent branches, identical reports)"
     );
+    if smoke {
+        return;
+    }
     if cores >= 4 && best_speedup < 1.5 {
         println!("warning: expected >=1.5x speedup on a >=4-core machine");
         std::process::exit(1);

@@ -1,0 +1,187 @@
+//! Multi-tenant workspace economics: cross-pipeline dedup + batched commits.
+//!
+//! Two measurements on the shared-workspace layer:
+//!
+//! 1. **Cross-tenant dedup** — N teams evolve the Readmission workload over
+//!    one shared `Workspace` vs. one isolated `MlCask` instance per team.
+//!    Shared chunks (datasets, library executables, reusable outputs) are
+//!    stored once physically; the bench reports the per-tenant
+//!    first-writer-pays attribution, the fair-share view, and the bytes an
+//!    isolated-store deployment would pay instead.
+//! 2. **Batched commits** — the same update sequence committed one
+//!    `commit_pipeline` at a time vs. one `Workspace::commit_batch`: heads
+//!    and commit ids are asserted identical while the batch performs a
+//!    single commit-graph append and amortizes the store's fixed per-object
+//!    latency across all metafiles.
+//!
+//! Run with `--release`:
+//!
+//! ```text
+//! cargo run --release -p mlcask_bench --bin multi_tenant
+//! ```
+//!
+//! Set `MLCASK_BENCH_SMOKE=1` to run a reduced configuration (CI smoke:
+//! checks the bin still works, skips the economics thresholds).
+
+use mlcask_bench::{f2, mib, print_header, print_row, ratio};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_workloads::readmission;
+use mlcask_workloads::scenario::{
+    build_multi_tenant, build_system, linear_update_sequence, setup_nonlinear, LinearScenario,
+};
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::var("MLCASK_BENCH_SMOKE").is_ok();
+    let teams: Vec<String> = (0..if smoke { 2 } else { 4 })
+        .map(|i| format!("team_{}", (b'a' + i as u8) as char))
+        .collect();
+    let team_refs: Vec<&str> = teams.iter().map(|s| s.as_str()).collect();
+    let w = readmission::build();
+
+    // ---- 1. Cross-tenant dedup: shared workspace vs isolated stores. ----
+    let (ws, systems) = build_multi_tenant(&w, &team_refs).expect("workspace builds");
+    for t in &systems {
+        setup_nonlinear(&t.sys, &w).expect("tenant history builds");
+    }
+    let shared_physical = ws.store().physical_bytes();
+    let shared_logical = ws.store().stats().total().logical_bytes;
+
+    let mut isolated_physical = 0u64;
+    for _ in &teams {
+        let (_reg, sys) = build_system(&w).expect("isolated system builds");
+        setup_nonlinear(&sys, &w).expect("isolated history builds");
+        isolated_physical += sys.store().physical_bytes();
+    }
+
+    println!("# Multi-tenant workspace — dedup + batched commits");
+    println!(
+        "\n{} teams x readmission (Fig. 3 history each), one shared store",
+        teams.len()
+    );
+    print_header(
+        "per-tenant storage attribution",
+        &[
+            "tenant",
+            "logical MiB",
+            "paid MiB (first-writer)",
+            "fair-share MiB",
+        ],
+    );
+    let usages = ws.usages();
+    let shares = ws.shared_view();
+    for team in &teams {
+        print_row(&[
+            team.clone(),
+            mib(usages[team].logical_bytes),
+            mib(usages[team].physical_bytes),
+            mib(shares[team].amortized_bytes as u64),
+        ]);
+    }
+    let attributed: u64 = usages.values().map(|u| u.physical_bytes).sum();
+    assert_eq!(
+        attributed, shared_physical,
+        "first-writer-pays attribution must sum to the store total"
+    );
+
+    print_header(
+        "shared workspace vs isolated stores",
+        &["deployment", "physical MiB", "vs shared"],
+    );
+    print_row(&[
+        "shared workspace".into(),
+        mib(shared_physical),
+        "1.0x".into(),
+    ]);
+    print_row(&[
+        format!("{} isolated stores", teams.len()),
+        mib(isolated_physical),
+        ratio(isolated_physical as f64, shared_physical as f64),
+    ]);
+    let dedup = shared_logical as f64 / shared_physical.max(1) as f64;
+    let cross = isolated_physical as f64 / shared_physical.max(1) as f64;
+    println!(
+        "\nshared-store dedup ratio {dedup:.2} (logical/physical); isolated stores pay {cross:.2}x the bytes"
+    );
+
+    // ---- 2. Batched commits: N appends vs one. ----
+    let iterations = if smoke { 4 } else { 10 };
+    let sc = LinearScenario {
+        iterations,
+        ..LinearScenario::default()
+    };
+    // Drop the scenario's final (deliberately incompatible) update so every
+    // commit in the throughput comparison lands.
+    let seq = linear_update_sequence(&w, &sc);
+    let updates: Vec<(Vec<ComponentKey>, String)> = seq[..seq.len() - 1]
+        .iter()
+        .enumerate()
+        .map(|(i, keys)| (keys.clone(), format!("update {i}")))
+        .collect();
+
+    let (_reg_u, sys_u) = build_system(&w).expect("unbatched system builds");
+    let clock_u = ClockLedger::new();
+    let start = Instant::now();
+    for (keys, msg) in &updates {
+        let res = sys_u
+            .commit_pipeline("master", keys, msg, &clock_u)
+            .expect("unbatched commit");
+        assert!(res.commit.is_some());
+    }
+    let wall_u = start.elapsed().as_secs_f64();
+
+    let (_reg_b, sys_b) = build_system(&w).expect("batched system builds");
+    let clock_b = ClockLedger::new();
+    let start = Instant::now();
+    let results = sys_b
+        .workspace()
+        .commit_batch(&sys_b, "master", &updates, &clock_b)
+        .expect("batched commit");
+    let wall_b = start.elapsed().as_secs_f64();
+
+    // Heads and ids must be identical — the batch only amortizes cost.
+    let head_u = sys_u.graph().head("master").expect("unbatched head");
+    let head_b = sys_b.graph().head("master").expect("batched head");
+    assert_eq!(
+        head_u.id, head_b.id,
+        "batched history must equal sequential"
+    );
+    assert_eq!(results.len(), updates.len());
+
+    print_header(
+        "batched vs unbatched commits",
+        &["path", "commits", "graph appends", "wall s", "commits/s"],
+    );
+    print_row(&[
+        "commit_pipeline xN".into(),
+        updates.len().to_string(),
+        sys_u.graph().append_ops().to_string(),
+        f2(wall_u),
+        f2(updates.len() as f64 / wall_u.max(1e-9)),
+    ]);
+    print_row(&[
+        "commit_batch".into(),
+        updates.len().to_string(),
+        sys_b.graph().append_ops().to_string(),
+        f2(wall_b),
+        f2(updates.len() as f64 / wall_b.max(1e-9)),
+    ]);
+    assert_eq!(sys_b.graph().append_ops(), 1, "one append for the batch");
+    assert_eq!(sys_u.graph().append_ops(), updates.len() as u64);
+    let saved_latency_ms = (updates.len().saturating_sub(1) as u64
+        * sys_b.store().cost_model().latency_ns) as f64
+        / 1e6;
+    println!(
+        "\nbatch: 1 graph append instead of {}, {saved_latency_ms:.1} ms of modeled per-object latency amortized away",
+        updates.len()
+    );
+
+    if !smoke {
+        assert!(
+            cross > 1.5,
+            "expected isolated stores to pay >1.5x the shared workspace, got {cross:.2}x"
+        );
+        assert!(dedup > 1.5, "expected dedup ratio >1.5, got {dedup:.2}");
+    }
+}

@@ -246,6 +246,9 @@ fn timed_search(policy: ParallelismPolicy) -> (f64, String) {
 }
 
 fn main() {
+    // Smoke mode (CI): one parallel run instead of the full worker sweep,
+    // and no wall-clock threshold — the identity assertion still runs.
+    let smoke = std::env::var("MLCASK_BENCH_SMOKE").is_ok();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -263,7 +266,12 @@ fn main() {
         "-".into(),
     ]);
     let mut best_speedup = 1.0f64;
-    for workers in [2, 4, cores.max(4)] {
+    let sweep = if smoke {
+        vec![2]
+    } else {
+        vec![2, 4, cores.max(4)]
+    };
+    for workers in sweep {
         let (wall, report) = timed_search(ParallelismPolicy::Parallel(workers));
         let speedup = seq_wall / wall.max(1e-9);
         best_speedup = best_speedup.max(speedup);
@@ -282,6 +290,9 @@ fn main() {
         "\nbest speedup {best_speedup:.1}x over sequential ({} candidates, identical reports)",
         32
     );
+    if smoke {
+        return;
+    }
     if cores >= 4 && best_speedup < 1.5 {
         println!("warning: expected >=1.5x speedup on a >=4-core machine");
         std::process::exit(1);

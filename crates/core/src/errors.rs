@@ -24,6 +24,10 @@ pub enum CoreError {
     NoViableCandidate,
     /// A merge was requested into a branch that equals the merge source.
     SelfMerge(String),
+    /// A tenant with this name is already registered in the workspace.
+    TenantExists(String),
+    /// The pipeline system belongs to a different workspace.
+    ForeignSystem(String),
     /// Underlying pipeline failure.
     Pipeline(PipelineError),
     /// Underlying storage failure.
@@ -42,6 +46,10 @@ impl fmt::Display for CoreError {
                 write!(f, "merge search produced no executable pipeline candidate")
             }
             CoreError::SelfMerge(b) => write!(f, "cannot merge branch '{b}' into itself"),
+            CoreError::TenantExists(t) => write!(f, "tenant '{t}' already exists"),
+            CoreError::ForeignSystem(s) => {
+                write!(f, "pipeline system '{s}' belongs to a different workspace")
+            }
             CoreError::Pipeline(e) => write!(f, "pipeline error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
         }

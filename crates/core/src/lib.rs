@@ -53,6 +53,7 @@ pub mod search_space;
 pub mod system;
 pub mod testkit;
 pub mod tree;
+pub mod workspace;
 
 /// Common imports for downstream crates.
 pub mod prelude {
@@ -66,4 +67,5 @@ pub mod prelude {
     pub use crate::search_space::{CompatLut, SearchSpaces};
     pub use crate::system::{CommitResult, MergeOutcome, MlCask};
     pub use crate::tree::{NodeState, SearchTree, StateCounts, TreeNode};
+    pub use crate::workspace::{Tenant, Workspace};
 }

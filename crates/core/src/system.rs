@@ -9,6 +9,7 @@ use crate::history::HistoryIndex;
 use crate::merge::{MergeEngine, MergeSearchReport, MergeStrategy};
 use crate::registry::ComponentRegistry;
 use crate::search_space::SearchSpaces;
+use crate::workspace::Workspace;
 use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::{ComponentHandle, ComponentKey};
 use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
@@ -17,7 +18,7 @@ use mlcask_pipeline::metafile::{PipelineMetafile, PipelineSlot};
 use mlcask_pipeline::parallel::ParallelismPolicy;
 use mlcask_storage::commit::{Commit, CommitGraph};
 use mlcask_storage::hash::Hash256;
-use mlcask_storage::object::ObjectKind;
+use mlcask_storage::object::{ObjectKind, ObjectRef};
 use mlcask_storage::store::ChunkStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -46,36 +47,69 @@ pub struct MergeOutcome {
 
 /// A version-controlled ML pipeline: MLCask's user-facing object.
 ///
-/// Owns the commit graph (pipeline repository), the reusable-output
-/// [`HistoryIndex`], and the pipeline's DAG shape; commits, branches, and
-/// metric-driven merges go through it. A [`ParallelismPolicy`] set via
-/// [`MlCask::with_parallelism`] is threaded through every execution —
-/// merge candidates fan out across workers, and a single commit over a
-/// non-chain DAG fans its independent nodes out — without changing any
-/// report or statistic (see `mlcask_pipeline::replay`).
+/// The commit graph (pipeline repository), the reusable-output
+/// [`HistoryIndex`], and the object store are owned by a [`Workspace`] the
+/// system is a view of: a solo system created with [`MlCask::new`] gets a
+/// private workspace, while systems opened through
+/// [`Tenant::open_pipeline`](crate::workspace::Tenant) share one workspace
+/// — and hence one deduplicating store, one commit graph (branches
+/// namespaced `tenant/branch`), and one checkpoint history — with every
+/// other tenant. Commits, branches, and metric-driven merges go through
+/// it. A [`ParallelismPolicy`] set via [`MlCask::with_parallelism`] is
+/// threaded through every execution — merge candidates fan out across
+/// workers, and a single commit over a non-chain DAG fans its independent
+/// nodes out — without changing any report or statistic (see
+/// `mlcask_pipeline::replay`).
 pub struct MlCask {
     name: String,
     dag: Arc<PipelineDag>,
     registry: Arc<ComponentRegistry>,
-    graph: CommitGraph,
-    history: HistoryIndex,
-    /// Pipeline metafiles by commit payload hash.
+    workspace: Arc<Workspace>,
+    /// Branch namespace (the tenant name); `None` for solo systems.
+    namespace: Option<String>,
+    /// Pipeline metafiles by commit payload hash (in-memory cache over the
+    /// store's persisted copies).
     metafiles: RwLock<HashMap<Hash256, PipelineMetafile>>,
     /// Worker pool for merge-search candidate evaluation.
     parallelism: ParallelismPolicy,
 }
 
 impl MlCask {
-    /// Opens a new pipeline system over a registry (and its store).
+    /// Opens a new single-tenant pipeline system over a registry (and its
+    /// store): a thin convenience over a private [`Workspace`].
     pub fn new(name: &str, dag: PipelineDag, registry: Arc<ComponentRegistry>) -> MlCask {
+        let workspace = Workspace::over(Arc::clone(registry.store()));
+        workspace.attach_registry(&registry);
+        Self::in_workspace(workspace, None, name, dag, registry)
+    }
+
+    /// Opens a system as a view over `workspace` (used by
+    /// [`Tenant::open_pipeline`](crate::workspace::Tenant) and
+    /// [`MlCask::new`]). With a namespace, every branch name this system
+    /// sees maps to `"{namespace}/{branch}"` in the shared graph.
+    pub(crate) fn in_workspace(
+        workspace: Arc<Workspace>,
+        namespace: Option<String>,
+        name: &str,
+        dag: PipelineDag,
+        registry: Arc<ComponentRegistry>,
+    ) -> MlCask {
         MlCask {
             name: name.to_string(),
             dag: Arc::new(dag),
             registry,
-            graph: CommitGraph::new(),
-            history: HistoryIndex::new(),
+            workspace,
+            namespace,
             metafiles: RwLock::new(HashMap::new()),
             parallelism: ParallelismPolicy::Sequential,
+        }
+    }
+
+    /// Maps a caller-facing branch name into the shared graph's namespace.
+    fn ns(&self, branch: &str) -> String {
+        match &self.namespace {
+            Some(tenant) => format!("{tenant}/{branch}"),
+            None => branch.to_string(),
         }
     }
 
@@ -114,14 +148,33 @@ impl MlCask {
         &self.registry
     }
 
-    /// The commit graph (pipeline repository).
+    /// The commit graph (pipeline repository) — shared across every tenant
+    /// of the workspace; this system's branches appear under their
+    /// namespaced names.
     pub fn graph(&self) -> &CommitGraph {
-        &self.graph
+        self.workspace.graph().as_ref()
     }
 
-    /// The reusable-output history.
+    /// The reusable-output history — shared across every tenant of the
+    /// workspace (cross-pipeline checkpoint reuse).
     pub fn history(&self) -> &HistoryIndex {
-        &self.history
+        self.workspace.history()
+    }
+
+    /// The workspace this system is a view of.
+    pub fn workspace(&self) -> &Arc<Workspace> {
+        &self.workspace
+    }
+
+    /// The branch namespace (tenant name) of this system, if any.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
+    }
+
+    /// The shared-graph name of a caller-facing branch: `"{tenant}/{branch}"`
+    /// for tenant systems, `branch` unchanged for solo systems.
+    pub fn qualified_branch(&self, branch: &str) -> String {
+        self.ns(branch)
     }
 
     /// The pipeline shape.
@@ -150,7 +203,7 @@ impl MlCask {
     ) -> Result<CommitResult> {
         let bound = self.bind(keys)?;
         let executor = Executor::new(self.store());
-        let report = executor.run(&bound, ledger, Some(&self.history), self.exec_options())?;
+        let report = executor.run(&bound, ledger, Some(self.history()), self.exec_options())?;
         if !report.outcome.is_completed() {
             return Ok(CommitResult {
                 commit: None,
@@ -164,19 +217,14 @@ impl MlCask {
         })
     }
 
-    fn record_commit(
+    /// Builds the metafile describing one committed run of this pipeline.
+    fn build_metafile(
         &self,
-        branch: &str,
+        ns_branch: &str,
+        seq: u32,
         keys: &[ComponentKey],
         report: &RunReport,
-        message: &str,
-        merge_parent: Option<Hash256>,
-    ) -> Result<Commit> {
-        // Next label: branch.seq (root = 0).
-        let next_seq = match self.graph.head(branch) {
-            Ok(h) => h.seq + 1,
-            Err(_) => 0,
-        };
+    ) -> PipelineMetafile {
         // Stages arrive in topological order, which on a non-chain DAG can
         // differ from slot order; match them to slots by component name
         // (names are unique per DAG).
@@ -185,9 +233,9 @@ impl MlCask {
             .iter()
             .map(|s| (s.component.name.as_str(), s))
             .collect();
-        let metafile = PipelineMetafile {
+        PipelineMetafile {
             name: self.name.clone(),
-            label: format!("{branch}.{next_seq}"),
+            label: format!("{ns_branch}.{seq}"),
             slots: keys
                 .iter()
                 .map(|k| {
@@ -201,48 +249,174 @@ impl MlCask {
                 .collect(),
             edges: self.dag.named_edges(),
             score: report.outcome.score(),
-        };
+        }
+    }
+
+    fn record_commit(
+        &self,
+        branch: &str,
+        keys: &[ComponentKey],
+        report: &RunReport,
+        message: &str,
+        merge_parent: Option<Hash256>,
+    ) -> Result<Commit> {
+        let branch = self.ns(branch);
+        // Next label: branch.seq (root = 0 when the branch does not exist).
+        let head = self.graph().head(&branch).ok();
+        let next_seq = head.as_ref().map(|h| h.seq + 1).unwrap_or(0);
+        let metafile = self.build_metafile(&branch, next_seq, keys, report);
         let put = self.store().put_meta(ObjectKind::Pipeline, &metafile)?;
         self.metafiles.write().insert(put.object.id, metafile);
-        let commit = if self.graph.branches().is_empty() {
-            self.graph.commit_root(branch, put.object.id, message)?
-        } else if let Some(mh) = merge_parent {
-            self.graph
-                .commit_merge(branch, mh, put.object.id, message)?
+        let commit = if let Some(mh) = merge_parent {
+            self.graph()
+                .commit_merge(&branch, mh, put.object.id, message)?
+        } else if head.is_some() {
+            self.graph().commit(&branch, put.object.id, message)?
         } else {
-            self.graph.commit(branch, put.object.id, message)?
+            self.graph().commit_root(&branch, put.object.id, message)?
         };
         Ok(commit)
+    }
+
+    /// Groups consecutive commits on one branch into a batch: each update
+    /// runs under the usual MLCask policy *in order* (so later updates reuse
+    /// earlier checkpoints), then the successful runs' metafiles are stored
+    /// through [`ChunkStore::put_meta_batch`] and appended to the graph in
+    /// **one** [`CommitGraph::commit_batch`] transaction.
+    ///
+    /// The produced heads, commit ids, labels, and history are identical to
+    /// calling [`MlCask::commit_pipeline`] once per update; only the cost is
+    /// amortized (one fixed store round-trip, one graph append). Updates the
+    /// precheck rejects (or that fail mid-run) yield a [`CommitResult`] with
+    /// no commit and consume no label, exactly like the unbatched path. A
+    /// *hard* error (unregistered component, storage fault, quota breach)
+    /// also mirrors the sequential driver: the updates that already
+    /// completed are committed first, then the error is returned — the
+    /// graph ends exactly where N sequential calls stopping at the same
+    /// error would leave it.
+    pub fn commit_pipeline_batch(
+        &self,
+        branch: &str,
+        updates: &[(Vec<ComponentKey>, String)],
+        ledger: &ClockLedger,
+    ) -> Result<Vec<CommitResult>> {
+        let ns_branch = self.ns(branch);
+        let executor = Executor::new(self.store());
+        // Phase 1: run everything in commit order against the shared
+        // history; collect the reports and which updates commit. A hard
+        // error stops the phase but not the batch — the completed prefix
+        // still commits below, exactly as sequential calls would have.
+        let mut reports: Vec<RunReport> = Vec::with_capacity(updates.len());
+        let mut committable: Vec<usize> = Vec::new();
+        let mut pending_err: Option<CoreError> = None;
+        for (keys, _) in updates {
+            let run = match self.bind(keys) {
+                Ok(bound) => executor
+                    .run(&bound, ledger, Some(self.history()), self.exec_options())
+                    .map_err(CoreError::from),
+                Err(e) => Err(e),
+            };
+            match run {
+                Ok(report) => {
+                    if report.outcome.is_completed() {
+                        committable.push(reports.len());
+                    }
+                    reports.push(report);
+                }
+                Err(e) => {
+                    pending_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Phase 2: metafiles for the committable prefix-sequenced runs.
+        let base_seq = match self.graph().head(&ns_branch) {
+            Ok(h) => h.seq + 1,
+            Err(_) => 0,
+        };
+        let metafiles: Vec<PipelineMetafile> = committable
+            .iter()
+            .enumerate()
+            .map(|(offset, &i)| {
+                self.build_metafile(
+                    &ns_branch,
+                    base_seq + offset as u32,
+                    &updates[i].0,
+                    &reports[i],
+                )
+            })
+            .collect();
+        let puts = self
+            .store()
+            .put_meta_batch(ObjectKind::Pipeline, &metafiles)?;
+        {
+            let mut cache = self.metafiles.write();
+            for (put, metafile) in puts.iter().zip(&metafiles) {
+                cache.insert(put.object.id, metafile.clone());
+            }
+        }
+        // Phase 3: one commit-graph append for the whole batch.
+        let entries: Vec<(Hash256, String)> = committable
+            .iter()
+            .zip(&puts)
+            .map(|(&i, put)| (put.object.id, updates[i].1.clone()))
+            .collect();
+        let commits = self.graph().commit_batch(&ns_branch, &entries)?;
+        if let Some(e) = pending_err {
+            return Err(e);
+        }
+        let mut commits = commits.into_iter();
+        Ok(reports
+            .into_iter()
+            .map(|report| CommitResult {
+                commit: if report.outcome.is_completed() {
+                    commits.next()
+                } else {
+                    None
+                },
+                report,
+            })
+            .collect())
     }
 
     /// Creates a branch at `from`'s head (the paper's isolation of stable
     /// production pipelines from development pipelines).
     pub fn branch(&self, from: &str, new_branch: &str) -> Result<Commit> {
-        Ok(self.graph.branch(from, new_branch)?)
+        Ok(self.graph().branch(&self.ns(from), &self.ns(new_branch))?)
     }
 
-    /// The pipeline metafile committed at `commit`.
+    /// The pipeline metafile committed at `commit`. Falls back to the
+    /// store's persisted copy when it is not in this system's in-memory
+    /// cache (e.g. a commit created by a sibling view of the workspace).
     pub fn metafile_of(&self, commit: &Commit) -> Result<PipelineMetafile> {
-        self.metafiles
-            .read()
-            .get(&commit.payload)
-            .cloned()
-            .ok_or_else(|| CoreError::MissingMetafile(commit.label()))
+        if let Some(meta) = self.metafiles.read().get(&commit.payload) {
+            return Ok(meta.clone());
+        }
+        let meta: PipelineMetafile = self
+            .store()
+            .get_meta(&ObjectRef {
+                id: commit.payload,
+                kind: ObjectKind::Pipeline,
+                len: 0,
+            })
+            .map_err(|_| CoreError::MissingMetafile(commit.label()))?;
+        self.metafiles.write().insert(commit.payload, meta.clone());
+        Ok(meta)
     }
 
     /// The metafile at a branch head.
     pub fn head_metafile(&self, branch: &str) -> Result<PipelineMetafile> {
-        let head = self.graph.head(branch)?;
+        let head = self.graph().head(&self.ns(branch))?;
         self.metafile_of(&head)
     }
 
     /// Builds the merge search spaces for merging `merging` into `base`
     /// (§V): versions developed since the common ancestor on either branch.
     pub fn merge_search_spaces(&self, base: &str, merging: &str) -> Result<SearchSpaces> {
-        let base_head = self.graph.head(base)?;
-        let merge_head = self.graph.head(merging)?;
+        let base_head = self.graph().head(&self.ns(base))?;
+        let merge_head = self.graph().head(&self.ns(merging))?;
         let ancestor = self
-            .graph
+            .graph()
             .common_ancestor(base_head.id, merge_head.id)?
             .ok_or_else(|| CoreError::NoCommonAncestor {
                 base: base.into(),
@@ -250,7 +424,7 @@ impl MlCask {
             })?;
         let collect_path = |head: &Commit| -> Result<Vec<PipelineMetafile>> {
             let mut metas = vec![self.metafile_of(&ancestor)?];
-            for c in self.graph.path_from(ancestor.id, head.id)? {
+            for c in self.graph().path_from(ancestor.id, head.id)? {
                 metas.push(self.metafile_of(&c)?);
             }
             Ok(metas)
@@ -297,10 +471,10 @@ impl MlCask {
         if base == merging {
             return Err(CoreError::SelfMerge(base.into()));
         }
-        let base_head = self.graph.head(base)?;
-        let merge_head = self.graph.head(merging)?;
+        let base_head = self.graph().head(&self.ns(base))?;
+        let merge_head = self.graph().head(&self.ns(merging))?;
 
-        if self.graph.is_fast_forward(base_head.id, merge_head.id)? {
+        if self.graph().is_fast_forward(base_head.id, merge_head.id)? {
             // "MLCask duplicates the latest version in MERGE_HEAD, changes
             // its branch to HEAD, creates a new commit on HEAD, and finally
             // sets its parents to both MERGE_HEAD and HEAD."
@@ -309,7 +483,7 @@ impl MlCask {
             let bound = self.bind(&keys)?;
             let executor = Executor::new(self.store());
             // Fully checkpointed: zero-cost replay to assemble the metafile.
-            let report = executor.run(&bound, ledger, Some(&self.history), self.exec_options())?;
+            let report = executor.run(&bound, ledger, Some(self.history()), self.exec_options())?;
             let commit = self.record_commit(
                 base,
                 &keys,
@@ -327,7 +501,7 @@ impl MlCask {
         let spaces = self.merge_search_spaces(base, merging)?;
         let engine = MergeEngine::new(&self.registry, self.store(), Arc::clone(&self.dag))
             .with_parallelism(self.parallelism);
-        let report = engine.search(&spaces, &self.history, strategy, ledger)?;
+        let report = engine.search(&spaces, self.history(), strategy, ledger)?;
         let Some((best_keys, _)) = report.best.clone() else {
             return Err(CoreError::NoViableCandidate);
         };
@@ -335,7 +509,7 @@ impl MlCask {
         // assemble its metafile, then commit with both parents.
         let bound = self.bind(&best_keys)?;
         let executor = Executor::new(self.store());
-        let replay = executor.run(&bound, ledger, Some(&self.history), self.exec_options())?;
+        let replay = executor.run(&bound, ledger, Some(self.history()), self.exec_options())?;
         debug_assert!(matches!(replay.outcome, RunOutcome::Completed { .. }));
         let commit = self.record_commit(
             base,

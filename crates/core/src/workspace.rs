@@ -1,0 +1,413 @@
+//! The multi-tenant workspace: one shared store, many pipeline systems.
+//!
+//! The paper's collaborative setting has many teams evolving pipelines over
+//! shared dataset/library repositories; the storage savings in Figs. 7–8
+//! come precisely from different collaborators' versions sharing physical
+//! chunks. A [`Workspace`] makes that sharing real: it owns a single
+//! [`ChunkStore`] + [`CommitGraph`] + [`HistoryIndex`], and hands out
+//! per-tenant handles ([`Tenant`]) whose [`MlCask`] systems are *views* over
+//! that shared state:
+//!
+//! * **Shared dedup** — every tenant's writes deduplicate against every
+//!   other tenant's chunks; attribution is first-writer-pays with a
+//!   shared-refcount fair-share view (see [`mlcask_storage::tenant`]).
+//! * **Tenant-namespaced branches** — tenant `team_a`'s branch `master`
+//!   lives in the shared commit graph as `team_a/master`, so the graph is
+//!   one auditable history while tenants stay isolated.
+//! * **Quotas** — each tenant's [`QuotaPolicy`] is enforced by the store on
+//!   every (traced or live) write; a breach surfaces as
+//!   [`StorageError::QuotaExceeded`](mlcask_storage::errors::StorageError)
+//!   and aborts the offending commit/search without touching the graph.
+//! * **Batched commits** — [`Workspace::commit_batch`] folds N consecutive
+//!   commits on one branch into one metafile-blob batch and a single
+//!   commit-graph append, amortizing the per-object round-trip for CI-style
+//!   high-frequency updates while producing heads and history identical to
+//!   N sequential [`MlCask::commit_pipeline`] calls.
+//! * **Orphan GC** — [`Workspace::sweep_orphans`] walks every live root
+//!   (commit metafiles, checkpointed outputs, registered executables) and
+//!   drops unattributed blobs, e.g. those persisted by racing siblings of a
+//!   dynamically failing node (see `ARCHITECTURE.md`).
+//!
+//! [`MlCask::new`] remains the single-tenant convenience: it builds a
+//! private workspace under the hood, so existing callers are unaffected.
+
+use crate::errors::{CoreError, Result};
+use crate::history::HistoryIndex;
+use crate::registry::ComponentRegistry;
+use crate::system::{CommitResult, MlCask};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::dag::PipelineDag;
+use mlcask_pipeline::metafile::PipelineMetafile;
+use mlcask_storage::commit::CommitGraph;
+use mlcask_storage::hash::Hash256;
+use mlcask_storage::object::{ObjectKind, ObjectRef};
+use mlcask_storage::store::{ChunkStore, SweepReport};
+use mlcask_storage::tenant::{QuotaPolicy, SharedUsage, TenantId, TenantUsage};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+struct WorkspaceState {
+    /// Tenant name → id, in registration order.
+    tenants: BTreeMap<String, TenantId>,
+    next_id: u32,
+    /// Registries opened against this workspace — GC roots for
+    /// [`Workspace::sweep_orphans`].
+    registries: Vec<Arc<ComponentRegistry>>,
+}
+
+/// Shared ownership of store, commit graph, and reusable-output history for
+/// many tenant pipeline systems. See the module docs for the full picture.
+pub struct Workspace {
+    store: Arc<ChunkStore>,
+    graph: Arc<CommitGraph>,
+    history: HistoryIndex,
+    state: RwLock<WorkspaceState>,
+}
+
+impl Workspace {
+    /// Opens a workspace over an existing (root, untenanted) store.
+    pub fn over(store: Arc<ChunkStore>) -> Arc<Workspace> {
+        Arc::new(Workspace {
+            store,
+            graph: Arc::new(CommitGraph::new()),
+            history: HistoryIndex::new(),
+            state: RwLock::new(WorkspaceState {
+                tenants: BTreeMap::new(),
+                next_id: 0,
+                registries: Vec::new(),
+            }),
+        })
+    }
+
+    /// In-memory workspace with default (ForkBase-like) store parameters.
+    pub fn in_memory() -> Arc<Workspace> {
+        Self::over(Arc::new(ChunkStore::in_memory()))
+    }
+
+    /// In-memory workspace with small chunks, convenient for tests.
+    pub fn in_memory_small() -> Arc<Workspace> {
+        Self::over(Arc::new(ChunkStore::in_memory_small()))
+    }
+
+    /// The shared root store (untenanted view).
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        &self.store
+    }
+
+    /// The shared commit graph. Tenant branches appear namespaced
+    /// (`tenant/branch`).
+    pub fn graph(&self) -> &Arc<CommitGraph> {
+        &self.graph
+    }
+
+    /// The shared reusable-output history: checkpoints recorded by one
+    /// tenant's runs are reused by every other tenant's (the paper's
+    /// cross-pipeline reuse).
+    pub fn history(&self) -> &HistoryIndex {
+        &self.history
+    }
+
+    /// Registers a tenant under `name` with the given quota and returns its
+    /// handle. Fails if the name is taken.
+    pub fn add_tenant(self: &Arc<Self>, name: &str, quota: QuotaPolicy) -> Result<Tenant> {
+        let id = {
+            let mut state = self.state.write();
+            if state.tenants.contains_key(name) {
+                return Err(CoreError::TenantExists(name.to_string()));
+            }
+            let id = TenantId(state.next_id);
+            state.next_id += 1;
+            state.tenants.insert(name.to_string(), id);
+            id
+        };
+        self.store.tenant_accounts().register(id, quota);
+        Ok(Tenant {
+            workspace: Arc::clone(self),
+            name: name.to_string(),
+            id,
+            store: Arc::new(self.store.for_tenant(id)),
+        })
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.state.read().tenants.keys().cloned().collect()
+    }
+
+    /// First-writer-pays usage per tenant name.
+    pub fn usages(&self) -> BTreeMap<String, TenantUsage> {
+        let accounts = self.store.tenant_accounts();
+        self.state
+            .read()
+            .tenants
+            .iter()
+            .map(|(name, id)| (name.clone(), accounts.usage(*id)))
+            .collect()
+    }
+
+    /// Shared-refcount (fair-share) usage per tenant name.
+    pub fn shared_view(&self) -> BTreeMap<String, SharedUsage> {
+        let by_id = self.store.tenant_accounts().shared_view();
+        self.state
+            .read()
+            .tenants
+            .iter()
+            .map(|(name, id)| (name.clone(), by_id.get(id).copied().unwrap_or_default()))
+            .collect()
+    }
+
+    /// Records a registry as a GC root provider (called by
+    /// [`Tenant::open_pipeline`] and [`MlCask::new`]).
+    pub(crate) fn attach_registry(&self, registry: &Arc<ComponentRegistry>) {
+        let mut state = self.state.write();
+        if !state.registries.iter().any(|r| Arc::ptr_eq(r, registry)) {
+            state.registries.push(Arc::clone(registry));
+        }
+    }
+
+    /// Groups `updates` — consecutive `(component keys, message)` commits on
+    /// one branch of `sys` — into a single batch: every pipeline runs under
+    /// the usual MLCask policy (reuse + precheck, in order, so later updates
+    /// reuse earlier checkpoints), successful runs' metafiles are stored as
+    /// one blob batch, and the commits land in **one** commit-graph append.
+    ///
+    /// Heads, commit ids, labels, and history are identical to calling
+    /// [`MlCask::commit_pipeline`] once per update; rejected/failed updates
+    /// produce a `CommitResult` with no commit, exactly as the unbatched
+    /// path would. What changes is cost: one fixed store round-trip and one
+    /// graph append amortized over the whole batch
+    /// ([`CommitGraph::append_ops`] advances by one).
+    ///
+    /// Fails with [`CoreError::ForeignSystem`] if `sys` belongs to a
+    /// different workspace.
+    pub fn commit_batch(
+        &self,
+        sys: &MlCask,
+        branch: &str,
+        updates: &[(Vec<ComponentKey>, String)],
+        ledger: &ClockLedger,
+    ) -> Result<Vec<CommitResult>> {
+        if !std::ptr::eq(Arc::as_ptr(sys.workspace()), self) {
+            return Err(CoreError::ForeignSystem(sys.name().to_string()));
+        }
+        sys.commit_pipeline_batch(branch, updates, ledger)
+    }
+
+    /// Deletes every stored blob unreachable from the workspace's live
+    /// roots: commit payload metafiles, the component outputs those
+    /// metafiles reference, every checkpoint in the shared history, and the
+    /// executables of every attached registry.
+    ///
+    /// The only writes this can reclaim are unattributed orphans — blobs
+    /// persisted by racing siblings of a dynamically failing node (see the
+    /// dynamic-failure caveat in `ARCHITECTURE.md`), or left behind by
+    /// quota-aborted evaluations — restoring byte-level parity with a
+    /// sequential run.
+    ///
+    /// **Quiescence required:** call between evaluations, not during one.
+    /// A commit or merge search in flight has persisted traced outputs
+    /// whose checkpoint roots land only at its canonical replay; a
+    /// concurrent sweep would see them as unrooted and delete them out
+    /// from under the evaluation.
+    pub fn sweep_orphans(&self) -> Result<SweepReport> {
+        let mut roots: HashSet<Hash256> = HashSet::new();
+        // Commit payloads + the outputs their metafiles reference.
+        let mut commit_ids: HashSet<Hash256> = HashSet::new();
+        for branch in self.graph.branches() {
+            let head = self.graph.head(&branch)?;
+            commit_ids.extend(self.graph.ancestors(head.id)?);
+        }
+        for id in commit_ids {
+            let commit = self.graph.get(id)?;
+            roots.insert(commit.payload);
+            let meta: PipelineMetafile = self.store.get_meta(&ObjectRef {
+                id: commit.payload,
+                kind: ObjectKind::Pipeline,
+                len: 0,
+            })?;
+            for slot in &meta.slots {
+                if !slot.output.is_null() {
+                    roots.insert(slot.output.id);
+                }
+            }
+        }
+        // Every checkpoint in the shared history (losing merge candidates
+        // included — they are legitimately reusable).
+        for cached in self.history.snapshot().values() {
+            if !cached.object.is_null() {
+                roots.insert(cached.object.id);
+            }
+        }
+        // Registered component executables.
+        for registry in &self.state.read().registries {
+            for name in registry.names() {
+                for key in registry.versions_of(&name) {
+                    if let Some(lib) = registry.get(&key) {
+                        roots.insert(lib.executable.id);
+                    }
+                }
+            }
+        }
+        Ok(self.store.sweep_orphans(roots)?)
+    }
+}
+
+/// A tenant's handle into a shared [`Workspace`].
+pub struct Tenant {
+    workspace: Arc<Workspace>,
+    name: String,
+    id: TenantId,
+    store: Arc<ChunkStore>,
+}
+
+impl Tenant {
+    /// The tenant's name (also its branch namespace).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's accounting id.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The workspace this tenant belongs to.
+    pub fn workspace(&self) -> &Arc<Workspace> {
+        &self.workspace
+    }
+
+    /// The tenant-scoped store view: same physical store, writes attributed
+    /// (and quota-checked) against this tenant. Build the tenant's
+    /// [`ComponentRegistry`] over this store so library archives are
+    /// attributed too.
+    pub fn store(&self) -> &Arc<ChunkStore> {
+        &self.store
+    }
+
+    /// This tenant's first-writer-pays usage.
+    pub fn usage(&self) -> TenantUsage {
+        self.workspace.store.tenant_accounts().usage(self.id)
+    }
+
+    /// Opens a pipeline system for this tenant over the shared workspace.
+    /// The system's branches are namespaced `"{tenant}/{branch}"` in the
+    /// shared commit graph; callers keep using plain branch names.
+    ///
+    /// `registry` should be built over [`Tenant::store`] so every archived
+    /// executable is attributed to this tenant; it is also recorded as a GC
+    /// root provider for [`Workspace::sweep_orphans`].
+    pub fn open_pipeline(
+        &self,
+        pipeline_name: &str,
+        dag: PipelineDag,
+        registry: Arc<ComponentRegistry>,
+    ) -> MlCask {
+        self.workspace.attach_registry(&registry);
+        MlCask::in_workspace(
+            Arc::clone(&self.workspace),
+            Some(self.name.clone()),
+            pipeline_name,
+            dag,
+            registry,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
+    use mlcask_pipeline::semver::SemVer;
+
+    fn tenant_system(t: &Tenant) -> MlCask {
+        let registry = Arc::new(ComponentRegistry::with_exe_size(
+            Arc::clone(t.store()),
+            2048,
+        ));
+        for c in [
+            toy_source(SemVer::master(0, 0), 4, 16),
+            toy_scaler(SemVer::master(0, 0), 4, 4, 1.0),
+            toy_model(SemVer::master(0, 0), 4, 0.5),
+            toy_model(SemVer::master(0, 1), 4, 0.6),
+        ] {
+            registry.register(c).unwrap();
+        }
+        let dag = PipelineDag::chain(&toy_slots()).unwrap();
+        t.open_pipeline("toy", dag, registry)
+    }
+
+    fn toy_keys(sys: &MlCask, model_inc: u32) -> Vec<ComponentKey> {
+        let reg = sys.registry();
+        vec![
+            reg.versions_of("test_source")[0].clone(),
+            reg.versions_of("test_scaler")[0].clone(),
+            reg.versions_of("test_model")[model_inc as usize].clone(),
+        ]
+    }
+
+    #[test]
+    fn duplicate_tenant_names_rejected() {
+        let ws = Workspace::in_memory_small();
+        ws.add_tenant("team_a", QuotaPolicy::UNLIMITED).unwrap();
+        assert!(matches!(
+            ws.add_tenant("team_a", QuotaPolicy::UNLIMITED),
+            Err(CoreError::TenantExists(_))
+        ));
+        assert_eq!(ws.tenant_names(), vec!["team_a"]);
+    }
+
+    #[test]
+    fn tenants_share_one_store_and_namespace_branches() {
+        let ws = Workspace::in_memory_small();
+        let a = ws.add_tenant("team_a", QuotaPolicy::UNLIMITED).unwrap();
+        let b = ws.add_tenant("team_b", QuotaPolicy::UNLIMITED).unwrap();
+        let sys_a = tenant_system(&a);
+        let sys_b = tenant_system(&b);
+        let clock = ClockLedger::new();
+        sys_a
+            .commit_pipeline("master", &toy_keys(&sys_a, 0), "a initial", &clock)
+            .unwrap();
+        sys_b
+            .commit_pipeline("master", &toy_keys(&sys_b, 0), "b initial", &clock)
+            .unwrap();
+        // Both masters live side by side in the shared graph, namespaced.
+        assert_eq!(
+            ws.graph().branches(),
+            vec!["team_a/master", "team_b/master"]
+        );
+        assert_eq!(
+            sys_a.head_metafile("master").unwrap().label,
+            "team_a/master.0"
+        );
+        // Identical components: tenant B's blobs dedup against A's, and B's
+        // runs reuse A's checkpoints outright through the shared history.
+        let usage = ws.usages();
+        assert!(usage["team_a"].physical_bytes > 0);
+        assert!(
+            usage["team_b"].physical_bytes * 10 < usage["team_a"].physical_bytes,
+            "tenant B re-pays little: {usage:?}"
+        );
+        assert_eq!(
+            usage["team_a"].physical_bytes + usage["team_b"].physical_bytes,
+            ws.store().physical_bytes(),
+            "first-writer-pays sums to the store total"
+        );
+        let shared = ws.shared_view();
+        assert!(shared["team_b"].referenced_bytes > 0);
+    }
+
+    #[test]
+    fn foreign_system_rejected_by_commit_batch() {
+        let ws = Workspace::in_memory_small();
+        let other = Workspace::in_memory_small();
+        let t = other.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+        let sys = tenant_system(&t);
+        let clock = ClockLedger::new();
+        assert!(matches!(
+            ws.commit_batch(&sys, "master", &[], &clock),
+            Err(CoreError::ForeignSystem(_))
+        ));
+    }
+}

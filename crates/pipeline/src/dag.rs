@@ -209,6 +209,28 @@ impl PipelineDag {
         preds
     }
 
+    /// Critical-path length of every node: the number of nodes on the
+    /// longest downstream path starting at (and including) the node. Sinks
+    /// have length 1; a chain's source has length `n`.
+    ///
+    /// The wavefront scheduler pops the ready node with the longest
+    /// critical path first — finishing long dependency chains early shaves
+    /// the tail on skewed DAGs, while FIFO order can strand the critical
+    /// chain behind a burst of short independent branches.
+    pub fn critical_path_lengths(&self) -> Vec<u64> {
+        let order = match self.topo_order() {
+            Ok(o) => o,
+            Err(_) => return vec![1; self.nodes.len()],
+        };
+        let adj = self.adjacency();
+        let mut cp = vec![1u64; self.nodes.len()];
+        for &node in order.iter().rev() {
+            let downstream = adj[node].iter().map(|&s| cp[s]).max().unwrap_or(0);
+            cp[node] = 1 + downstream;
+        }
+        cp
+    }
+
     /// Width of the widest wavefront: the maximum number of nodes sharing
     /// one longest-path depth. A chain has width 1; a diamond has width 2.
     /// The executor uses this as the parallelism gate — DAG-internal
@@ -421,6 +443,24 @@ mod tests {
         assert_eq!(dag.indegrees(), vec![0, 1, 1]);
         let diamond = PipelineDag::fan("s", &["l", "r"], "j").unwrap();
         assert_eq!(diamond.max_width(), 2);
+    }
+
+    #[test]
+    fn critical_path_lengths_measure_downstream_chains() {
+        let chain = PipelineDag::chain(&["a", "b", "c"]).unwrap();
+        assert_eq!(chain.critical_path_lengths(), vec![3, 2, 1]);
+        // Skewed DAG: src feeds a long chain (x1→x2→x3) and a short leaf.
+        let mut dag = PipelineDag::new();
+        for n in ["src", "x1", "x2", "x3", "leaf"] {
+            dag.add_node(n).unwrap();
+        }
+        dag.add_edge("src", "x1").unwrap();
+        dag.add_edge("x1", "x2").unwrap();
+        dag.add_edge("x2", "x3").unwrap();
+        dag.add_edge("src", "leaf").unwrap();
+        assert_eq!(dag.critical_path_lengths(), vec![4, 3, 2, 1, 1]);
+        let fan = PipelineDag::fan("s", &["a", "b"], "t").unwrap();
+        assert_eq!(fan.critical_path_lengths(), vec![3, 2, 2, 1]);
     }
 
     #[test]

@@ -708,6 +708,7 @@ impl<'s> Executor<'s> {
             policy,
             pipeline.dag.indegrees(),
             &pipeline.dag.adjacency(),
+            &pipeline.dag.critical_path_lengths(),
             |node| -> Result<NodeVerdict> {
                 if !allowed[node] {
                     // Beyond the failure frontier: never executes, but its

@@ -25,7 +25,7 @@
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Condvar as StdCondvar;
@@ -135,11 +135,24 @@ pub enum NodeVerdict {
 }
 
 struct DagState<E> {
-    ready: VecDeque<usize>,
+    ready: Vec<usize>,
     indeg: Vec<usize>,
     in_flight: usize,
     stop: bool,
     err: Option<E>,
+}
+
+/// Removes and returns the best ready node: longest critical path first
+/// (see [`crate::dag::PipelineDag::critical_path_lengths`]), lowest index
+/// on ties. With an empty `priority` slice this degenerates to canonical
+/// lowest-index (FIFO-equivalent) popping.
+fn pop_ready(ready: &mut Vec<usize>, priority: &[u64]) -> Option<usize> {
+    let pos = ready
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &n)| (std::cmp::Reverse(priority.get(n).copied().unwrap_or(0)), n))
+        .map(|(i, _)| i)?;
+    Some(ready.swap_remove(pos))
 }
 
 /// Decrements `in_flight` and halts the scheduler if the worker unwinds
@@ -170,6 +183,13 @@ impl<E> Drop for FlightGuard<'_, E> {
 ///   [`crate::dag::PipelineDag::indegrees`]).
 /// * `adjacency[i]` — successors of node `i` (see
 ///   [`crate::dag::PipelineDag::adjacency`]).
+/// * `priority[i]` — dispatch priority among simultaneously-ready nodes;
+///   highest first, lowest index on ties. Callers pass
+///   [`crate::dag::PipelineDag::critical_path_lengths`] so the node heading
+///   the longest remaining dependency chain is dispatched first
+///   (cost-aware wavefront ordering — FIFO can strand the critical chain
+///   behind a burst of short branches on skewed DAGs). An empty slice
+///   means no preference (canonical lowest-index order).
 /// * `f(i)` — executes node `i`; its [`NodeVerdict`] tells the scheduler
 ///   whether to release the node's successors or stop dispatching.
 ///
@@ -191,6 +211,7 @@ pub fn run_dag<E, F>(
     policy: ParallelismPolicy,
     indeg: Vec<usize>,
     adjacency: &[Vec<usize>],
+    priority: &[u64],
     f: F,
 ) -> std::result::Result<(), E>
 where
@@ -216,7 +237,7 @@ where
         return Ok(());
     }
 
-    let ready: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let state = StdMutex::new(DagState {
         ready,
         indeg,
@@ -234,7 +255,7 @@ where
                         if s.stop {
                             return;
                         }
-                        if let Some(next) = s.ready.pop_front() {
+                        if let Some(next) = pop_ready(&mut s.ready, priority) {
                             s.in_flight += 1;
                             break next;
                         }
@@ -258,7 +279,7 @@ where
                         for &suc in &adjacency[node] {
                             s.indeg[suc] -= 1;
                             if s.indeg[suc] == 0 {
-                                s.ready.push_back(suc);
+                                s.ready.push(suc);
                             }
                         }
                     }
@@ -508,7 +529,7 @@ mod tests {
         ] {
             let (indeg, adj) = diamond();
             let done: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-            run_dag::<(), _>(policy, indeg, &adj, |node| {
+            run_dag::<(), _>(policy, indeg, &adj, &[], |node| {
                 let seen = done.lock().unwrap().clone();
                 match node {
                     0 => assert!(seen.is_empty()),
@@ -530,7 +551,7 @@ mod tests {
         use std::sync::Mutex;
         let (indeg, adj) = diamond();
         let done: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-        run_dag::<(), _>(ParallelismPolicy::Sequential, indeg, &adj, |node| {
+        run_dag::<(), _>(ParallelismPolicy::Sequential, indeg, &adj, &[], |node| {
             done.lock().unwrap().push(node);
             Ok(NodeVerdict::Continue)
         })
@@ -547,7 +568,7 @@ mod tests {
         ] {
             let (indeg, adj) = diamond();
             let done: Mutex<Vec<usize>> = Mutex::new(Vec::new());
-            run_dag::<(), _>(policy, indeg, &adj, |node| {
+            run_dag::<(), _>(policy, indeg, &adj, &[], |node| {
                 done.lock().unwrap().push(node);
                 if node == 1 {
                     Ok(NodeVerdict::SkipSuccessors)
@@ -567,7 +588,7 @@ mod tests {
     #[test]
     fn run_dag_propagates_errors() {
         let (indeg, adj) = diamond();
-        let err = run_dag::<String, _>(ParallelismPolicy::Parallel(4), indeg, &adj, |node| {
+        let err = run_dag::<String, _>(ParallelismPolicy::Parallel(4), indeg, &adj, &[], |node| {
             if node == 1 {
                 Err("boom".to_string())
             } else {
@@ -583,7 +604,7 @@ mod tests {
         let adj = vec![vec![1, 2, 3, 4], vec![5], vec![5], vec![5], vec![5], vec![]];
         let in_flight = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
-        run_dag::<(), _>(ParallelismPolicy::Parallel(4), indeg, &adj, |_| {
+        run_dag::<(), _>(ParallelismPolicy::Parallel(4), indeg, &adj, &[], |_| {
             let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_millis(5));
@@ -598,8 +619,62 @@ mod tests {
     }
 
     #[test]
+    fn pop_ready_prefers_longest_critical_path() {
+        // Priorities: node 2 heads the longest chain, so it pops first even
+        // though nodes 0 and 1 were enqueued earlier; ties break low-index.
+        let mut ready = vec![0, 1, 2, 3];
+        let priority = [1, 3, 5, 3];
+        assert_eq!(pop_ready(&mut ready, &priority), Some(2));
+        assert_eq!(pop_ready(&mut ready, &priority), Some(1), "tie → low index");
+        assert_eq!(pop_ready(&mut ready, &priority), Some(3));
+        assert_eq!(pop_ready(&mut ready, &priority), Some(0));
+        assert_eq!(pop_ready(&mut ready, &priority), None);
+        // Empty priority slice: canonical lowest-index order.
+        let mut fifo = vec![2, 0, 1];
+        assert_eq!(pop_ready(&mut fifo, &[]), Some(0));
+        assert_eq!(pop_ready(&mut fifo, &[]), Some(1));
+        assert_eq!(pop_ready(&mut fifo, &[]), Some(2));
+    }
+
+    #[test]
+    fn run_dag_critical_path_first_dispatch_order() {
+        use std::sync::Mutex;
+        // Skewed DAG: src → x1 → x2 → x3 (long chain) plus short leaves
+        // src → {4, 5}. With 2 workers and critical-path priorities, the
+        // chain head x1 must be among the first two nodes dispatched after
+        // src (the workers pop the two highest-priority ready nodes);
+        // dispatch *completion* order is racy, so only membership is pinned.
+        let indeg = vec![0, 1, 1, 1, 1, 1];
+        let adj: Vec<Vec<usize>> = vec![vec![1, 4, 5], vec![2], vec![3], vec![], vec![], vec![]];
+        let priority = [4u64, 3, 2, 1, 1, 1];
+        for _ in 0..16 {
+            let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            run_dag::<(), _>(
+                ParallelismPolicy::Parallel(2),
+                indeg.clone(),
+                &adj,
+                &priority,
+                |n| {
+                    order.lock().unwrap().push(n);
+                    Ok(NodeVerdict::Continue)
+                },
+            )
+            .unwrap();
+            let order = order.into_inner().unwrap();
+            assert_eq!(order[0], 0, "source first");
+            assert!(
+                order[1..3].contains(&1),
+                "chain head stranded behind short leaves: {order:?}"
+            );
+            let mut all = order.clone();
+            all.sort();
+            assert_eq!(all, vec![0, 1, 2, 3, 4, 5], "every node ran once");
+        }
+    }
+
+    #[test]
     fn run_dag_empty() {
-        run_dag::<(), _>(ParallelismPolicy::Parallel(4), Vec::new(), &[], |_| {
+        run_dag::<(), _>(ParallelismPolicy::Parallel(4), Vec::new(), &[], &[], |_| {
             panic!("no nodes to run")
         })
         .unwrap();

@@ -276,7 +276,9 @@ pub fn replay_run(
             })?;
             let (cost, stats) = trace.replay(&store.cost_model(), &mut cursor.unseen);
             ledger.charge_storage(cost);
-            store.record_stats(trace.kind, stats);
+            // Stats *and* per-tenant attribution land here, in canonical
+            // replay order, so tenant usage is deterministic too.
+            store.record_replayed_write(trace, stats);
             (prof.cached.clone(), cost.as_nanos() as u64)
         } else {
             (

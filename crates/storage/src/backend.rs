@@ -32,13 +32,25 @@ pub trait StorageBackend: Send + Sync {
     }
     /// Total physical bytes stored.
     fn physical_bytes(&self) -> u64;
+    /// All stored keys (order unspecified) — the orphan sweep's enumeration.
+    fn keys(&self) -> Vec<Hash256>;
+    /// Removes `key`, returning the freed byte count (`None` if absent).
+    fn remove(&self, key: Hash256) -> Result<Option<u64>>;
+}
+
+/// The map and its byte total live under one lock: `put` must update both
+/// atomically or `physical_bytes` can be observed out of sync with `len`
+/// under concurrency (the old design used two separate `RwLock`s).
+#[derive(Default)]
+struct MemState {
+    map: HashMap<Hash256, Bytes>,
+    bytes: u64,
 }
 
 /// In-memory backend used by tests and experiments.
 #[derive(Default)]
 pub struct MemBackend {
-    map: RwLock<HashMap<Hash256, Bytes>>,
-    bytes: RwLock<u64>,
+    state: RwLock<MemState>,
 }
 
 impl MemBackend {
@@ -50,33 +62,49 @@ impl MemBackend {
 
 impl StorageBackend for MemBackend {
     fn put(&self, key: Hash256, data: &[u8]) -> Result<bool> {
-        let mut map = self.map.write();
-        if map.contains_key(&key) {
+        let mut state = self.state.write();
+        if state.map.contains_key(&key) {
             return Ok(false);
         }
-        map.insert(key, Bytes::copy_from_slice(data));
-        *self.bytes.write() += data.len() as u64;
+        state.map.insert(key, Bytes::copy_from_slice(data));
+        state.bytes += data.len() as u64;
         Ok(true)
     }
 
     fn get(&self, key: Hash256) -> Result<Bytes> {
-        self.map
+        self.state
             .read()
+            .map
             .get(&key)
             .cloned()
             .ok_or(StorageError::NotFound(key))
     }
 
     fn contains(&self, key: Hash256) -> bool {
-        self.map.read().contains_key(&key)
+        self.state.read().map.contains_key(&key)
     }
 
     fn len(&self) -> usize {
-        self.map.read().len()
+        self.state.read().map.len()
     }
 
     fn physical_bytes(&self) -> u64 {
-        *self.bytes.read()
+        self.state.read().bytes
+    }
+
+    fn keys(&self) -> Vec<Hash256> {
+        self.state.read().map.keys().copied().collect()
+    }
+
+    fn remove(&self, key: Hash256) -> Result<Option<u64>> {
+        let mut state = self.state.write();
+        match state.map.remove(&key) {
+            Some(data) => {
+                state.bytes -= data.len() as u64;
+                Ok(Some(data.len() as u64))
+            }
+            None => Ok(None),
+        }
     }
 }
 
@@ -187,6 +215,27 @@ impl StorageBackend for FileBackend {
     fn physical_bytes(&self) -> u64 {
         self.index.read().values().sum()
     }
+
+    fn keys(&self) -> Vec<Hash256> {
+        self.index.read().keys().copied().collect()
+    }
+
+    fn remove(&self, key: Hash256) -> Result<Option<u64>> {
+        let mut index = self.index.write();
+        let Some(&len) = index.get(&key) else {
+            return Ok(None);
+        };
+        // Delete the file before dropping the index entry: if the unlink
+        // fails, the entry stays and the index remains consistent with disk
+        // (a missing file is fine — the entry was the stale part).
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        index.remove(&key);
+        Ok(Some(len))
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +259,17 @@ mod tests {
             Err(StorageError::NotFound(_))
         ));
         assert_eq!(backend.physical_bytes(), 6);
+        let mut keys = backend.keys();
+        keys.sort();
+        let mut expected = vec![a, b];
+        expected.sort();
+        assert_eq!(keys, expected);
+        assert_eq!(backend.remove(a).unwrap(), Some(3));
+        assert_eq!(backend.remove(a).unwrap(), None, "double remove is a no-op");
+        assert!(!backend.contains(a));
+        assert_eq!(backend.len(), 1);
+        assert_eq!(backend.physical_bytes(), 3);
+        assert!(backend.put(a, b"aaa").unwrap(), "removed keys can return");
     }
 
     #[test]

@@ -68,7 +68,12 @@ pub struct CommitGraph {
     commits: RwLock<HashMap<Hash256, Commit>>,
     branches: RwLock<HashMap<String, Hash256>>,
     tick: RwLock<u64>,
+    /// Number of graph-append *operations* (lock transactions), not commits:
+    /// a [`CommitGraph::commit_batch`] of N commits counts as one append.
+    appends: AtomicU64,
 }
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 impl CommitGraph {
     /// Empty graph.
@@ -80,6 +85,13 @@ impl CommitGraph {
         let mut t = self.tick.write();
         *t += 1;
         *t
+    }
+
+    /// Number of append operations performed so far. Batched commits count
+    /// once however many commits they append — the quantity the batched
+    /// commit path amortizes.
+    pub fn append_ops(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
     }
 
     /// Creates a root commit on a new branch.
@@ -100,6 +112,7 @@ impl CommitGraph {
         };
         self.commits.write().insert(id, c.clone());
         self.branches.write().insert(branch.to_string(), id);
+        self.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
 
@@ -120,7 +133,56 @@ impl CommitGraph {
         };
         self.commits.write().insert(id, c.clone());
         self.branches.write().insert(branch.to_string(), id);
+        self.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
+    }
+
+    /// Appends several commits to `branch` in one graph transaction: the
+    /// locks are taken once and [`CommitGraph::append_ops`] advances by one,
+    /// however long the batch. The produced commits — ids, parents,
+    /// sequence numbers, ticks — are identical to appending the entries one
+    /// at a time with [`CommitGraph::commit`] (creating the branch's root
+    /// commit first if the branch does not exist yet).
+    pub fn commit_batch(&self, branch: &str, entries: &[(Hash256, String)]) -> Result<Vec<Commit>> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut commits = self.commits.write();
+        let mut branches = self.branches.write();
+        let mut tick = self.tick.write();
+        let mut head: Option<Commit> = match branches.get(branch) {
+            Some(id) => Some(
+                commits
+                    .get(id)
+                    .cloned()
+                    .ok_or(StorageError::NotFound(*id))?,
+            ),
+            None => None,
+        };
+        let mut out = Vec::with_capacity(entries.len());
+        for (payload, message) in entries {
+            *tick += 1;
+            let (parents, seq) = match &head {
+                Some(h) => (vec![h.id], h.seq + 1),
+                None => (vec![], 0),
+            };
+            let id = Commit::compute_id(&parents, branch, seq, *payload, message, *tick);
+            let c = Commit {
+                id,
+                parents,
+                branch: branch.to_string(),
+                seq,
+                payload: *payload,
+                message: message.clone(),
+                tick: *tick,
+            };
+            commits.insert(id, c.clone());
+            head = Some(c.clone());
+            out.push(c);
+        }
+        branches.insert(branch.to_string(), out.last().expect("non-empty batch").id);
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
     }
 
     /// Records a merge commit on `base_branch` with two parents.
@@ -150,6 +212,7 @@ impl CommitGraph {
         };
         self.commits.write().insert(id, c.clone());
         self.branches.write().insert(base_branch.to_string(), id);
+        self.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
 
@@ -423,6 +486,41 @@ mod tests {
     fn path_from_self_is_empty() {
         let (g, cs) = linear_graph();
         assert!(g.path_from(cs[3].id, cs[3].id).unwrap().is_empty());
+    }
+
+    #[test]
+    fn commit_batch_matches_sequential_commits() {
+        let entries: Vec<(Hash256, String)> = (0..4u8)
+            .map(|n| (payload(n), format!("update {n}")))
+            .collect();
+        // Sequential reference.
+        let seq = CommitGraph::new();
+        let mut seq_commits = vec![seq
+            .commit_root("master", entries[0].0, &entries[0].1)
+            .unwrap()];
+        for (p, m) in &entries[1..] {
+            seq_commits.push(seq.commit("master", *p, m).unwrap());
+        }
+        // Batched: one append op, identical commits.
+        let batched = CommitGraph::new();
+        let out = batched.commit_batch("master", &entries).unwrap();
+        assert_eq!(out, seq_commits, "batch reproduces sequential commits");
+        assert_eq!(batched.append_ops(), 1);
+        assert_eq!(seq.append_ops(), 4);
+        assert_eq!(
+            batched.head("master").unwrap().id,
+            seq.head("master").unwrap().id
+        );
+        // A batch onto an existing head chains from it.
+        let more = batched
+            .commit_batch("master", &[(payload(9), "tail".into())])
+            .unwrap();
+        assert_eq!(more[0].seq, 4);
+        assert_eq!(more[0].parents, vec![out[3].id]);
+        assert_eq!(batched.append_ops(), 2);
+        // Empty batches are free.
+        assert!(batched.commit_batch("master", &[]).unwrap().is_empty());
+        assert_eq!(batched.append_ops(), 2);
     }
 
     #[test]

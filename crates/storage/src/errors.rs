@@ -1,6 +1,7 @@
 //! Error type for the storage engine.
 
 use crate::hash::Hash256;
+use crate::tenant::TenantId;
 use std::fmt;
 
 /// Errors surfaced by storage operations.
@@ -21,6 +22,17 @@ pub enum StorageError {
         /// The digest actually computed from the bytes.
         actual: Hash256,
     },
+    /// A tenant's write would breach its [`crate::tenant::QuotaPolicy`].
+    QuotaExceeded {
+        /// The tenant whose quota would be breached.
+        tenant: TenantId,
+        /// Cumulative bytes the write would bring the tenant to.
+        needed: u64,
+        /// The configured limit.
+        limit: u64,
+        /// Which axis was breached ("logical bytes" / "physical bytes").
+        resource: &'static str,
+    },
     /// Underlying I/O failure (file backend).
     Io(std::io::Error),
     /// (De)serialisation failure for manifests/commits.
@@ -39,6 +51,15 @@ impl fmt::Display for StorageError {
                 "corrupt object: expected {}, got {}",
                 expected.short(),
                 actual.short()
+            ),
+            StorageError::QuotaExceeded {
+                tenant,
+                needed,
+                limit,
+                resource,
+            } => write!(
+                f,
+                "{tenant} quota exceeded: write needs {needed} {resource} (limit {limit})"
             ),
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
             StorageError::Codec(m) => write!(f, "codec error: {m}"),
@@ -89,6 +110,14 @@ mod tests {
             actual: Hash256::ZERO,
         };
         assert!(c.to_string().contains("corrupt"));
+        let q = StorageError::QuotaExceeded {
+            tenant: TenantId(3),
+            needed: 120,
+            limit: 100,
+            resource: "physical bytes",
+        };
+        let msg = q.to_string();
+        assert!(msg.contains("tenant#3") && msg.contains("120") && msg.contains("100"));
     }
 
     #[test]

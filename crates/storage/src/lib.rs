@@ -42,6 +42,7 @@ pub mod hash;
 pub mod object;
 pub mod stats;
 pub mod store;
+pub mod tenant;
 
 /// Common imports for downstream crates.
 pub mod prelude {
@@ -53,5 +54,6 @@ pub mod prelude {
     pub use crate::hash::{Hash256, Sha256};
     pub use crate::object::{Manifest, ObjectKind, ObjectRef};
     pub use crate::stats::{AtomicStats, KindStats, StorageStats};
-    pub use crate::store::{ChunkStore, PutOutcome, PutTrace, WriteObs};
+    pub use crate::store::{ChunkStore, PutOutcome, PutTrace, SweepReport, WriteObs};
+    pub use crate::tenant::{QuotaPolicy, SharedUsage, TenantAccounts, TenantId, TenantUsage};
 }

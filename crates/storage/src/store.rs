@@ -5,6 +5,12 @@
 //! Writing the same (or a slightly edited) blob twice therefore costs only
 //! the changed chunks, which is exactly the property the paper exploits for
 //! libraries and reusable component outputs.
+//!
+//! One physical store can serve many tenants: [`ChunkStore::for_tenant`]
+//! produces a view that shares the backend, statistics, and dedup state but
+//! attributes every write to one [`TenantId`] — charging quota checks and
+//! first-writer-pays byte accounting through the shared
+//! [`TenantAccounts`] (see [`crate::tenant`]).
 
 use crate::backend::{MemBackend, StorageBackend};
 use crate::chunk::{chunk_blob, ChunkParams};
@@ -13,7 +19,9 @@ use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
 use crate::object::{Manifest, ObjectKind, ObjectRef};
 use crate::stats::{AtomicStats, KindStats, StorageStats};
+use crate::tenant::{TenantAccounts, TenantId, TenantUsage};
 use bytes::Bytes;
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,12 +101,30 @@ impl PutTrace {
     }
 }
 
+/// Result of an orphan sweep ([`ChunkStore::sweep_orphans`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Distinct objects (manifests + chunks) reachable from the roots.
+    pub live_objects: usize,
+    /// Unreachable objects deleted from the backend.
+    pub removed_objects: usize,
+    /// Physical bytes reclaimed.
+    pub removed_bytes: u64,
+}
+
 /// Content-addressed, deduplicating blob store.
+///
+/// Statistics and tenant accounting sit behind `Arc`s so tenant-scoped
+/// views ([`ChunkStore::for_tenant`]) share them with the root store.
 pub struct ChunkStore {
     backend: Arc<dyn StorageBackend>,
     params: ChunkParams,
     cost: StorageCostModel,
-    stats: AtomicStats,
+    stats: Arc<AtomicStats>,
+    tenants: Arc<TenantAccounts>,
+    /// When set, writes through this view are attributed (and quota-checked)
+    /// against the tenant.
+    tenant: Option<TenantId>,
 }
 
 impl ChunkStore {
@@ -112,8 +138,37 @@ impl ChunkStore {
             backend,
             params,
             cost,
-            stats: AtomicStats::new(),
+            stats: Arc::new(AtomicStats::new()),
+            tenants: Arc::new(TenantAccounts::new()),
+            tenant: None,
         }
+    }
+
+    /// A view of the same physical store that attributes every write to
+    /// `tenant`: quota checks apply before any chunk is persisted, and
+    /// first-writer-pays usage plus chunk references accrue in the shared
+    /// [`TenantAccounts`]. Backend, dedup state, cost model, and statistics
+    /// are shared with the parent — a blob written by one tenant
+    /// deduplicates against every other tenant's chunks.
+    pub fn for_tenant(&self, tenant: TenantId) -> ChunkStore {
+        ChunkStore {
+            backend: Arc::clone(&self.backend),
+            params: self.params,
+            cost: self.cost,
+            stats: Arc::clone(&self.stats),
+            tenants: Arc::clone(&self.tenants),
+            tenant: Some(tenant),
+        }
+    }
+
+    /// The tenant this view writes as, if any.
+    pub fn tenant(&self) -> Option<TenantId> {
+        self.tenant
+    }
+
+    /// The shared tenant accounting table.
+    pub fn tenant_accounts(&self) -> &Arc<TenantAccounts> {
+        &self.tenants
     }
 
     /// In-memory store with default (ForkBase-like) parameters.
@@ -147,23 +202,51 @@ impl ChunkStore {
     /// Writes a blob, deduplicating chunks, and returns its reference.
     pub fn put_blob(&self, kind: ObjectKind, data: &[u8]) -> Result<PutOutcome> {
         let (outcome, trace) = self.write_blob(kind, data)?;
-        let mut deduped = 0u64;
-        for c in &trace.chunks {
-            if !c.was_new {
-                deduped += 1;
-            }
-        }
+        self.record_live_write(&trace, outcome.physical_bytes);
+        Ok(outcome)
+    }
+
+    /// Applies the stats delta of a completed (non-traced) write.
+    fn record_live_write(&self, trace: &PutTrace, physical: u64) {
+        let deduped = trace.chunks.iter().filter(|c| !c.was_new).count() as u64;
         self.stats.record(
-            kind,
+            trace.kind,
             KindStats {
                 blobs_written: 1,
                 logical_bytes: trace.logical,
-                physical_bytes: outcome.physical_bytes,
+                physical_bytes: physical,
                 chunks_seen: trace.chunks.len() as u64,
                 chunks_deduped: deduped,
             },
         );
-        Ok(outcome)
+        self.attribute_tenant(trace, physical);
+    }
+
+    /// Charges this view's tenant (if any) for one blob write and records
+    /// its chunk references in the shared ledger.
+    ///
+    /// Tenant attribution deliberately mirrors the statistics protocol:
+    /// live writes charge immediately, traced writes charge during the
+    /// deterministic replay ([`ChunkStore::record_replayed_write`]) — so
+    /// per-tenant usage, like every other observable, is byte-identical
+    /// across worker counts.
+    fn attribute_tenant(&self, trace: &PutTrace, physical: u64) {
+        let Some(tenant) = self.tenant else {
+            return;
+        };
+        self.tenants.charge(
+            tenant,
+            TenantUsage {
+                blobs_written: 1,
+                logical_bytes: trace.logical,
+                physical_bytes: physical,
+            },
+        );
+        for c in &trace.chunks {
+            self.tenants.add_chunk_ref(c.hash, c.len, tenant);
+        }
+        self.tenants
+            .add_chunk_ref(trace.manifest.hash, trace.manifest.len, tenant);
     }
 
     /// Writes a blob like [`ChunkStore::put_blob`] but records **no**
@@ -180,8 +263,48 @@ impl ChunkStore {
         self.stats.record(kind, delta);
     }
 
+    /// The replay half of the traced-write protocol with tenant attribution:
+    /// applies the stats delta *and* charges this view's tenant the
+    /// canonical (replay-order) bytes. Parallel engines call this instead of
+    /// [`ChunkStore::record_stats`] so per-tenant accounting stays
+    /// deterministic whatever the phase-1 schedule.
+    pub fn record_replayed_write(&self, trace: &PutTrace, delta: KindStats) {
+        self.stats.record(trace.kind, delta);
+        self.attribute_tenant(trace, delta.physical_bytes);
+    }
+
     fn write_blob(&self, kind: ObjectKind, data: &[u8]) -> Result<(PutOutcome, PutTrace)> {
         let chunks = chunk_blob(data, self.params);
+        let manifest = Manifest::from_chunks(&chunks);
+        let enc = manifest.encode();
+        let id = Hash256::of(&enc);
+        // Quota gate: tenant-attributed writes (live *and* traced) are
+        // checked before any chunk is persisted, so a breaching write
+        // leaves no partial state. The physical estimate is an upper bound
+        // (repeated chunks within one blob count once per occurrence).
+        // Usage advances when writes are *attributed* — immediately for
+        // live writes, at replay time for traced ones — so one in-flight
+        // parallel evaluation can overshoot by its own writes; the next
+        // write after attribution catches the breach (see
+        // `TenantAccounts::check` for the concurrency contract).
+        if let Some(tenant) = self.tenant {
+            let quota = self.tenants.quota(tenant);
+            let physical_estimate = if quota.max_physical_bytes.is_some() {
+                let mut est: u64 = chunks
+                    .iter()
+                    .filter(|c| !self.backend.contains(c.hash))
+                    .map(|c| c.len as u64)
+                    .sum();
+                if !self.backend.contains(id) {
+                    est += enc.len() as u64;
+                }
+                est
+            } else {
+                0
+            };
+            self.tenants
+                .check(tenant, data.len() as u64, physical_estimate)?;
+        }
         let mut new_bytes = 0u64;
         let mut obs = Vec::with_capacity(chunks.len());
         for c in &chunks {
@@ -197,9 +320,6 @@ impl ChunkStore {
                 was_new,
             });
         }
-        let manifest = Manifest::from_chunks(&chunks);
-        let enc = manifest.encode();
-        let id = Hash256::of(&enc);
         let manifest_new = self.backend.put(id, &enc)?;
         let manifest_bytes = if manifest_new { enc.len() as u64 } else { 0 };
         let physical = new_bytes + manifest_bytes;
@@ -278,6 +398,75 @@ impl ChunkStore {
     pub fn get_meta<T: serde::de::DeserializeOwned>(&self, object: &ObjectRef) -> Result<T> {
         let bytes = self.get_blob(object)?;
         Ok(serde_json::from_slice(&bytes)?)
+    }
+
+    /// Stores a batch of metadata records in one store round-trip: every
+    /// record gets its usual content address (identical to what
+    /// [`ChunkStore::put_meta`] would produce), but the fixed per-object
+    /// latency of the cost model is charged **once** for the whole batch —
+    /// the amortization the batched commit path exploits for CI-style
+    /// high-frequency updates.
+    pub fn put_meta_batch<T: serde::Serialize>(
+        &self,
+        kind: ObjectKind,
+        values: &[T],
+    ) -> Result<Vec<PutOutcome>> {
+        let mut out = Vec::with_capacity(values.len());
+        for (i, value) in values.iter().enumerate() {
+            let bytes = serde_json::to_vec(value)?;
+            let (mut outcome, trace) = self.write_blob(kind, &bytes)?;
+            self.record_live_write(&trace, outcome.physical_bytes);
+            if i > 0 {
+                // Later records ride the batch's single round-trip.
+                outcome.cost = outcome
+                    .cost
+                    .saturating_sub(Duration::from_nanos(self.cost.latency_ns));
+            }
+            out.push(outcome);
+        }
+        Ok(out)
+    }
+
+    /// Deletes every backend object unreachable from `roots` and returns
+    /// what was reclaimed.
+    ///
+    /// Each root is the content address of a stored blob (a manifest); the
+    /// manifest and all chunks it lists are live. Everything else —
+    /// typically blobs persisted by racing siblings of a dynamically
+    /// failing node, which no metafile or checkpoint ever came to reference
+    /// — is removed, restoring byte-level parity with a sequential run.
+    /// Roots not present in the backend are ignored (callers may pass
+    /// references whose blobs were already swept).
+    pub fn sweep_orphans(&self, roots: impl IntoIterator<Item = Hash256>) -> Result<SweepReport> {
+        let mut live: HashSet<Hash256> = HashSet::new();
+        for root in roots {
+            if !live.insert(root) {
+                continue;
+            }
+            let Ok(bytes) = self.backend.get(root) else {
+                continue;
+            };
+            if let Some(manifest) = Manifest::decode(&bytes) {
+                for entry in &manifest.chunks {
+                    live.insert(entry.hash);
+                }
+            }
+        }
+        let mut report = SweepReport {
+            live_objects: live.len(),
+            ..SweepReport::default()
+        };
+        for key in self.backend.keys() {
+            if live.contains(&key) {
+                continue;
+            }
+            if let Some(freed) = self.backend.remove(key)? {
+                report.removed_objects += 1;
+                report.removed_bytes += freed;
+                self.tenants.drop_chunk(&key);
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -434,6 +623,163 @@ mod tests {
         }
         assert_eq!(traced.stats(), live.stats(), "replayed stats equal live");
         assert_eq!(traced.physical_bytes(), live.physical_bytes());
+    }
+
+    #[test]
+    fn tenant_views_share_dedup_and_split_attribution() {
+        use crate::tenant::{QuotaPolicy, TenantId};
+        let root = ChunkStore::in_memory_small();
+        let a = root.for_tenant(TenantId(1));
+        let b = root.for_tenant(TenantId(2));
+        root.tenant_accounts()
+            .register(TenantId(1), QuotaPolicy::UNLIMITED);
+        root.tenant_accounts()
+            .register(TenantId(2), QuotaPolicy::UNLIMITED);
+        let data = random_bytes(20, 40_000);
+        let first = a.put_blob(ObjectKind::Dataset, &data).unwrap();
+        let second = b.put_blob(ObjectKind::Dataset, &data).unwrap();
+        assert_eq!(first.object, second.object, "one shared store");
+        assert!(first.physical_bytes > 0);
+        assert_eq!(second.physical_bytes, 0, "tenant B dedups against A");
+        // First-writer-pays attribution.
+        let ua = root.tenant_accounts().usage(TenantId(1));
+        let ub = root.tenant_accounts().usage(TenantId(2));
+        assert_eq!(ua.logical_bytes, 40_000);
+        assert_eq!(ub.logical_bytes, 40_000);
+        assert_eq!(ua.physical_bytes, first.physical_bytes);
+        assert_eq!(ub.physical_bytes, 0);
+        assert_eq!(
+            ua.physical_bytes + ub.physical_bytes,
+            root.physical_bytes(),
+            "per-tenant physical sums to the store total"
+        );
+        // Shared-refcount view splits every chunk between the two tenants.
+        let view = root.tenant_accounts().shared_view();
+        assert_eq!(
+            view[&TenantId(1)].referenced_bytes,
+            view[&TenantId(2)].referenced_bytes
+        );
+        assert!(
+            (view[&TenantId(1)].amortized_bytes - root.physical_bytes() as f64 / 2.0).abs() < 1e-6
+        );
+        // Untenanted root writes stay unattributed.
+        root.put_blob(ObjectKind::Output, b"root data").unwrap();
+        assert_eq!(root.tenant_accounts().usage(TenantId(1)), ua);
+    }
+
+    #[test]
+    fn quota_breach_aborts_before_persisting() {
+        use crate::tenant::{QuotaPolicy, TenantId};
+        let root = ChunkStore::in_memory_small();
+        let t = root.for_tenant(TenantId(7));
+        root.tenant_accounts()
+            .register(TenantId(7), QuotaPolicy::logical(10_000));
+        let small = random_bytes(30, 8_000);
+        t.put_blob(ObjectKind::Output, &small).unwrap();
+        let bytes_before = root.physical_bytes();
+        let too_big = random_bytes(31, 4_000);
+        assert!(matches!(
+            t.put_blob(ObjectKind::Output, &too_big),
+            Err(StorageError::QuotaExceeded {
+                resource: "logical bytes",
+                ..
+            })
+        ));
+        assert_eq!(
+            root.physical_bytes(),
+            bytes_before,
+            "breaching write persisted nothing"
+        );
+        // Physical quotas respect dedup: rewriting existing content needs
+        // (almost) no new physical bytes, so it passes a tight physical cap.
+        let p = root.for_tenant(TenantId(8));
+        root.tenant_accounts()
+            .register(TenantId(8), QuotaPolicy::physical(1_000));
+        p.put_blob(ObjectKind::Output, &small).unwrap();
+        assert!(matches!(
+            p.put_blob(ObjectKind::Output, &too_big),
+            Err(StorageError::QuotaExceeded {
+                resource: "physical bytes",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn put_meta_batch_matches_ids_and_amortizes_latency() {
+        #[derive(serde::Serialize, serde::Deserialize)]
+        struct Meta {
+            label: String,
+            n: u32,
+        }
+        let metas: Vec<Meta> = (0..4)
+            .map(|n| Meta {
+                label: format!("m{n}"),
+                n,
+            })
+            .collect();
+        let seq = ChunkStore::in_memory_small();
+        let seq_outs: Vec<PutOutcome> = metas
+            .iter()
+            .map(|m| seq.put_meta(ObjectKind::Pipeline, m).unwrap())
+            .collect();
+        let batched = ChunkStore::in_memory_small();
+        let batch_outs = batched
+            .put_meta_batch(ObjectKind::Pipeline, &metas)
+            .unwrap();
+        let latency = Duration::from_nanos(seq.cost_model().latency_ns);
+        for (i, (s, b)) in seq_outs.iter().zip(&batch_outs).enumerate() {
+            assert_eq!(s.object, b.object, "batched ids identical to put_meta");
+            if i == 0 {
+                assert_eq!(s.cost, b.cost);
+            } else {
+                assert_eq!(s.cost, b.cost + latency, "later records skip the latency");
+            }
+        }
+        assert_eq!(batched.stats().kind(ObjectKind::Pipeline).blobs_written, 4);
+    }
+
+    #[test]
+    fn sweep_orphans_removes_unreachable_blobs_only() {
+        let store = ChunkStore::in_memory_small();
+        let live_data = random_bytes(40, 30_000);
+        let orphan_data = random_bytes(41, 20_000);
+        let live = store.put_blob(ObjectKind::Output, &live_data).unwrap();
+        let orphan = store.put_blob(ObjectKind::Output, &orphan_data).unwrap();
+        let before = store.physical_bytes();
+        let report = store.sweep_orphans([live.object.id]).unwrap();
+        assert!(report.removed_objects > 0);
+        assert_eq!(report.removed_bytes, orphan.physical_bytes);
+        assert_eq!(store.physical_bytes(), before - orphan.physical_bytes);
+        // Live blob still reads back; orphan is gone.
+        assert_eq!(
+            store.get_blob(&live.object).unwrap().as_ref(),
+            &live_data[..]
+        );
+        assert!(store.get_blob(&orphan.object).is_err());
+        // Second sweep is a no-op; unknown roots are ignored.
+        let again = store
+            .sweep_orphans([live.object.id, Hash256::of(b"ghost")])
+            .unwrap();
+        assert_eq!(again.removed_objects, 0);
+    }
+
+    #[test]
+    fn sweep_keeps_chunks_shared_with_live_blobs() {
+        let store = ChunkStore::in_memory_small();
+        // Two blobs sharing a long common prefix share chunks; sweeping the
+        // second must not tear chunks out from under the first.
+        let mut base = random_bytes(50, 100_000);
+        let live = store.put_blob(ObjectKind::Output, &base).unwrap();
+        base[99_000] ^= 0xff;
+        let orphan = store.put_blob(ObjectKind::Output, &base).unwrap();
+        store.sweep_orphans([live.object.id]).unwrap();
+        assert_eq!(
+            store.get_blob(&live.object).unwrap().len(),
+            100_000,
+            "shared chunks survived the sweep"
+        );
+        assert!(store.get_blob(&orphan.object).is_err());
     }
 
     proptest! {

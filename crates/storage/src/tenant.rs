@@ -1,0 +1,394 @@
+//! Multi-tenant accounting for a shared [`ChunkStore`](crate::store::ChunkStore).
+//!
+//! The paper's economic argument is that content-addressed storage lets many
+//! collaborators' pipeline versions share physical chunks. When several
+//! tenants (teams, pipelines, CI jobs) write through one store, three
+//! questions arise that single-tenant accounting cannot answer:
+//!
+//! 1. **Who pays for a deduplicated chunk?** The *first-writer-pays* view
+//!    charges the tenant whose write actually persisted the chunk; later
+//!    writers of the same content are charged zero physical bytes. Summed
+//!    over tenants, first-writer-pays physical bytes equal the store's
+//!    total physical bytes — nothing is double-counted or lost.
+//! 2. **How much does each tenant *depend on*?** The *shared-refcount* view
+//!    divides every chunk's size evenly among the tenants referencing it,
+//!    so a dataset shared by four teams costs each team a quarter. This is
+//!    the fair-share number a capacity planner bills against.
+//! 3. **How is a tenant stopped from filling the store?** A [`QuotaPolicy`]
+//!    caps a tenant's logical and/or first-writer-pays physical bytes;
+//!    breaching writes fail with
+//!    [`StorageError::QuotaExceeded`](crate::errors::StorageError) *before*
+//!    any chunk is persisted.
+//!
+//! All bookkeeping lives in [`TenantAccounts`], shared (via `Arc`) by every
+//! tenant-scoped view of one store (see
+//! [`ChunkStore::for_tenant`](crate::store::ChunkStore::for_tenant)).
+
+use crate::errors::{Result, StorageError};
+use crate::hash::Hash256;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifies one tenant of a shared store. Handed out by the workspace
+/// layer; the store only uses it as an accounting key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Byte limits for one tenant; `None` means unlimited.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuotaPolicy {
+    /// Cap on cumulative logical bytes presented to the store.
+    pub max_logical_bytes: Option<u64>,
+    /// Cap on cumulative first-writer-pays physical bytes.
+    pub max_physical_bytes: Option<u64>,
+}
+
+impl QuotaPolicy {
+    /// No limits.
+    pub const UNLIMITED: QuotaPolicy = QuotaPolicy {
+        max_logical_bytes: None,
+        max_physical_bytes: None,
+    };
+
+    /// Caps logical bytes only.
+    pub fn logical(max: u64) -> QuotaPolicy {
+        QuotaPolicy {
+            max_logical_bytes: Some(max),
+            ..Self::UNLIMITED
+        }
+    }
+
+    /// Caps first-writer-pays physical bytes only.
+    pub fn physical(max: u64) -> QuotaPolicy {
+        QuotaPolicy {
+            max_physical_bytes: Some(max),
+            ..Self::UNLIMITED
+        }
+    }
+}
+
+/// Cumulative write accounting for one tenant (first-writer-pays).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantUsage {
+    /// Blobs written by this tenant (including logical duplicates).
+    pub blobs_written: u64,
+    /// Bytes this tenant presented to the store.
+    pub logical_bytes: u64,
+    /// New chunk bytes this tenant's writes actually persisted.
+    pub physical_bytes: u64,
+}
+
+/// The shared-refcount view of one tenant's footprint.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedUsage {
+    /// Total bytes of distinct chunks this tenant references.
+    pub referenced_bytes: u64,
+    /// Fair share: every referenced chunk's size divided by the number of
+    /// tenants referencing it.
+    pub amortized_bytes: f64,
+}
+
+struct TenantState {
+    quota: QuotaPolicy,
+    usage: TenantUsage,
+}
+
+/// Per-chunk reference record: size plus the distinct tenants that wrote it.
+struct ChunkOwners {
+    len: u64,
+    owners: Vec<TenantId>,
+}
+
+/// Number of independently locked shards in the chunk-owner ledger.
+const CHUNK_SHARDS: usize = 16;
+
+/// Shared accounting table for all tenants of one store.
+///
+/// Tenant state (quota + usage) sits behind one small lock — it is touched
+/// once per blob. The chunk-owner ledger is sharded like the pipeline
+/// crate's `ShardedMap` because it is touched once per *chunk*.
+pub struct TenantAccounts {
+    tenants: RwLock<BTreeMap<TenantId, TenantState>>,
+    chunks: Vec<RwLock<HashMap<Hash256, ChunkOwners>>>,
+}
+
+impl Default for TenantAccounts {
+    fn default() -> Self {
+        TenantAccounts {
+            tenants: RwLock::new(BTreeMap::new()),
+            chunks: (0..CHUNK_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+impl TenantAccounts {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(&self, hash: &Hash256) -> usize {
+        // Content addresses are uniformly distributed; the first byte is as
+        // good a shard key as any hasher's output.
+        hash.0[0] as usize % self.chunks.len()
+    }
+
+    /// Registers (or re-quotas) a tenant. Usage is preserved across quota
+    /// changes.
+    pub fn register(&self, tenant: TenantId, quota: QuotaPolicy) {
+        let mut t = self.tenants.write();
+        t.entry(tenant)
+            .and_modify(|s| s.quota = quota)
+            .or_insert(TenantState {
+                quota,
+                usage: TenantUsage::default(),
+            });
+    }
+
+    /// The quota in effect for a tenant (unlimited if never registered).
+    pub fn quota(&self, tenant: TenantId) -> QuotaPolicy {
+        self.tenants
+            .read()
+            .get(&tenant)
+            .map(|s| s.quota)
+            .unwrap_or(QuotaPolicy::UNLIMITED)
+    }
+
+    /// Cumulative first-writer-pays usage of a tenant.
+    pub fn usage(&self, tenant: TenantId) -> TenantUsage {
+        self.tenants
+            .read()
+            .get(&tenant)
+            .map(|s| s.usage)
+            .unwrap_or_default()
+    }
+
+    /// Usage of every registered tenant.
+    pub fn usages(&self) -> BTreeMap<TenantId, TenantUsage> {
+        self.tenants
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.usage))
+            .collect()
+    }
+
+    /// Checks whether a write of `logical_delta` logical and (an upper bound
+    /// of) `physical_delta` physical bytes would breach the tenant's quota.
+    ///
+    /// Enforcement is check-then-write: concurrent writers of one tenant can
+    /// race past the check by at most their in-flight writes, which is the
+    /// standard quota semantics of shared stores (quotas bound growth, they
+    /// are not transactional reservations).
+    pub fn check(&self, tenant: TenantId, logical_delta: u64, physical_delta: u64) -> Result<()> {
+        let t = self.tenants.read();
+        let Some(state) = t.get(&tenant) else {
+            return Ok(());
+        };
+        if let Some(max) = state.quota.max_logical_bytes {
+            let needed = state.usage.logical_bytes + logical_delta;
+            if needed > max {
+                return Err(StorageError::QuotaExceeded {
+                    tenant,
+                    needed,
+                    limit: max,
+                    resource: "logical bytes",
+                });
+            }
+        }
+        if let Some(max) = state.quota.max_physical_bytes {
+            let needed = state.usage.physical_bytes + physical_delta;
+            if needed > max {
+                return Err(StorageError::QuotaExceeded {
+                    tenant,
+                    needed,
+                    limit: max,
+                    resource: "physical bytes",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a completed write against a tenant.
+    pub fn charge(&self, tenant: TenantId, delta: TenantUsage) {
+        let mut t = self.tenants.write();
+        let state = t.entry(tenant).or_insert(TenantState {
+            quota: QuotaPolicy::UNLIMITED,
+            usage: TenantUsage::default(),
+        });
+        state.usage.blobs_written += delta.blobs_written;
+        state.usage.logical_bytes += delta.logical_bytes;
+        state.usage.physical_bytes += delta.physical_bytes;
+    }
+
+    /// Records that `tenant` references the chunk at `hash` (`len` bytes).
+    /// Idempotent per (chunk, tenant) pair.
+    pub fn add_chunk_ref(&self, hash: Hash256, len: u64, tenant: TenantId) {
+        let mut shard = self.chunks[self.shard_of(&hash)].write();
+        let entry = shard.entry(hash).or_insert(ChunkOwners {
+            len,
+            owners: Vec::new(),
+        });
+        if !entry.owners.contains(&tenant) {
+            entry.owners.push(tenant);
+        }
+    }
+
+    /// Drops a chunk from the shared-refcount ledger (orphan GC).
+    pub fn drop_chunk(&self, hash: &Hash256) {
+        self.chunks[self.shard_of(hash)].write().remove(hash);
+    }
+
+    /// Number of distinct chunks the ledger attributes.
+    pub fn tracked_chunks(&self) -> usize {
+        self.chunks.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// The shared-refcount view: every chunk's size split evenly among the
+    /// tenants referencing it.
+    pub fn shared_view(&self) -> BTreeMap<TenantId, SharedUsage> {
+        let mut out: BTreeMap<TenantId, SharedUsage> = self
+            .tenants
+            .read()
+            .keys()
+            .map(|k| (*k, SharedUsage::default()))
+            .collect();
+        for shard in &self.chunks {
+            for entry in shard.read().values() {
+                let share = entry.len as f64 / entry.owners.len().max(1) as f64;
+                for owner in &entry.owners {
+                    let s = out.entry(*owner).or_default();
+                    s.referenced_bytes += entry.len;
+                    s.amortized_bytes += share;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: TenantId = TenantId(1);
+    const B: TenantId = TenantId(2);
+
+    #[test]
+    fn register_and_quota_lookup() {
+        let acc = TenantAccounts::new();
+        assert_eq!(acc.quota(A), QuotaPolicy::UNLIMITED);
+        acc.register(A, QuotaPolicy::logical(100));
+        assert_eq!(acc.quota(A).max_logical_bytes, Some(100));
+        // Re-registering changes the quota but keeps usage.
+        acc.charge(
+            A,
+            TenantUsage {
+                blobs_written: 1,
+                logical_bytes: 10,
+                physical_bytes: 10,
+            },
+        );
+        acc.register(A, QuotaPolicy::physical(50));
+        assert_eq!(acc.usage(A).logical_bytes, 10);
+        assert_eq!(acc.quota(A).max_physical_bytes, Some(50));
+    }
+
+    #[test]
+    fn check_enforces_both_axes() {
+        let acc = TenantAccounts::new();
+        acc.register(
+            A,
+            QuotaPolicy {
+                max_logical_bytes: Some(100),
+                max_physical_bytes: Some(40),
+            },
+        );
+        acc.charge(
+            A,
+            TenantUsage {
+                blobs_written: 1,
+                logical_bytes: 90,
+                physical_bytes: 30,
+            },
+        );
+        assert!(acc.check(A, 10, 10).is_ok());
+        assert!(matches!(
+            acc.check(A, 11, 0),
+            Err(StorageError::QuotaExceeded {
+                resource: "logical bytes",
+                ..
+            })
+        ));
+        assert!(matches!(
+            acc.check(A, 0, 11),
+            Err(StorageError::QuotaExceeded {
+                resource: "physical bytes",
+                ..
+            })
+        ));
+        // Unregistered tenants are unlimited.
+        assert!(acc.check(B, u64::MAX / 2, u64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn shared_view_splits_chunks_evenly() {
+        let acc = TenantAccounts::new();
+        acc.register(A, QuotaPolicy::UNLIMITED);
+        acc.register(B, QuotaPolicy::UNLIMITED);
+        let shared = Hash256::of(b"shared");
+        let solo = Hash256::of(b"solo");
+        acc.add_chunk_ref(shared, 100, A);
+        acc.add_chunk_ref(shared, 100, B);
+        acc.add_chunk_ref(shared, 100, B); // idempotent
+        acc.add_chunk_ref(solo, 40, A);
+        let view = acc.shared_view();
+        assert_eq!(view[&A].referenced_bytes, 140);
+        assert_eq!(view[&B].referenced_bytes, 100);
+        assert!((view[&A].amortized_bytes - 90.0).abs() < 1e-9);
+        assert!((view[&B].amortized_bytes - 50.0).abs() < 1e-9);
+        // Amortized shares sum to the bytes of all tracked chunks.
+        let total: f64 = view.values().map(|s| s.amortized_bytes).sum();
+        assert!((total - 140.0).abs() < 1e-9);
+        assert_eq!(acc.tracked_chunks(), 2);
+        acc.drop_chunk(&solo);
+        assert_eq!(acc.tracked_chunks(), 1);
+    }
+
+    #[test]
+    fn concurrent_charges_are_exact() {
+        let acc = TenantAccounts::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..200u64 {
+                        acc.charge(
+                            A,
+                            TenantUsage {
+                                blobs_written: 1,
+                                logical_bytes: 10,
+                                physical_bytes: 5,
+                            },
+                        );
+                        acc.add_chunk_ref(Hash256::of(&i.to_le_bytes()), 10, A);
+                    }
+                });
+            }
+        });
+        let u = acc.usage(A);
+        assert_eq!(u.blobs_written, 8 * 200);
+        assert_eq!(u.logical_bytes, 8 * 200 * 10);
+        assert_eq!(u.physical_bytes, 8 * 200 * 5);
+        assert_eq!(acc.tracked_chunks(), 200);
+    }
+}

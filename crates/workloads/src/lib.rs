@@ -64,7 +64,8 @@ pub fn by_name(name: &str) -> Option<Workload> {
 pub mod prelude {
     pub use crate::common::Workload;
     pub use crate::scenario::{
-        build_system, linear_update_sequence, setup_nonlinear, LinearScenario,
+        build_multi_tenant, build_system, join_workspace, linear_update_sequence, setup_nonlinear,
+        LinearScenario, TenantSystem,
     };
     pub use crate::{all_workloads, by_name};
 }

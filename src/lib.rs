@@ -44,14 +44,16 @@
 //! | [`storage`] | content-addressed chunk store, commit graph, cost models |
 //! | [`ml`] | MLP, HMM, AdaBoost, embeddings, Zernike moments, Autolearn |
 //! | [`pipeline`] | components, semantic versions, DAG, executor, clock |
-//! | [`core`] | branching, metric-driven merge, PC/PR pruning, prioritized search |
+//! | [`core`] | branching, metric-driven merge, PC/PR pruning, prioritized search, multi-tenant workspace |
 //! | [`workloads`] | Readmission, DPM, SA, Autolearn, the diamond Fusion + scenario drivers |
 //! | [`baselines`] | ModelDB-like and MLflow-like comparison systems |
 //!
 //! The repository-level `README.md` covers building, benches, and the
 //! figure harness; `ARCHITECTURE.md` explains the parallel execution
 //! engine (the traced-execute + deterministic-replay protocol and the DAG
-//! wavefront scheduler).
+//! wavefront scheduler) and the multi-tenant workspace layer (shared-store
+//! ownership, tenant quotas and dedup attribution, batched commits,
+//! orphan GC).
 
 #![warn(missing_docs)]
 

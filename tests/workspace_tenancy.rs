@@ -1,0 +1,708 @@
+//! Multi-tenant workspace semantics: shared-store dedup attribution,
+//! quota enforcement, batched-commit equivalence, orphan GC, and parallel
+//! determinism of a multi-tenant workload.
+
+use mlcask_core::errors::CoreError;
+use mlcask_core::registry::ComponentRegistry;
+use mlcask_core::system::MlCask;
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
+use mlcask_core::workspace::{Tenant, Workspace};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::dag::PipelineDag;
+use mlcask_pipeline::errors::PipelineError;
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_pipeline::semver::SemVer;
+use mlcask_storage::errors::StorageError;
+use mlcask_storage::tenant::QuotaPolicy;
+use mlcask_workloads::fusion;
+use mlcask_workloads::scenario::{build_multi_tenant, setup_nonlinear};
+use std::sync::Arc;
+
+/// Opens the toy chain pipeline for a tenant (registry over its store view).
+fn toy_system(t: &Tenant) -> MlCask {
+    let registry = Arc::new(ComponentRegistry::with_exe_size(
+        Arc::clone(t.store()),
+        4096,
+    ));
+    for c in [
+        toy_source(SemVer::master(0, 0), 4, 16),
+        toy_scaler(SemVer::master(0, 0), 4, 4, 1.0),
+        toy_scaler(SemVer::master(0, 1), 4, 4, 2.0),
+        toy_model(SemVer::master(0, 0), 4, 0.5),
+        toy_model(SemVer::master(0, 1), 4, 0.6),
+        toy_model(SemVer::master(0, 2), 4, 0.7),
+    ] {
+        registry.register(c).unwrap();
+    }
+    let dag = PipelineDag::chain(&toy_slots()).unwrap();
+    t.open_pipeline("toy", dag, registry)
+}
+
+fn keys(sys: &MlCask, scaler_inc: usize, model_inc: usize) -> Vec<ComponentKey> {
+    let reg = sys.registry();
+    vec![
+        reg.versions_of("test_source")[0].clone(),
+        reg.versions_of("test_scaler")[scaler_inc].clone(),
+        reg.versions_of("test_model")[model_inc].clone(),
+    ]
+}
+
+fn is_quota_error(err: &CoreError) -> bool {
+    matches!(
+        err,
+        CoreError::Pipeline(PipelineError::Storage(StorageError::QuotaExceeded { .. }))
+    )
+}
+
+#[test]
+fn dedup_attribution_across_two_tenants() {
+    let ws = Workspace::in_memory_small();
+    let a = ws.add_tenant("team_a", QuotaPolicy::UNLIMITED).unwrap();
+    let b = ws.add_tenant("team_b", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_a = toy_system(&a);
+    let sys_b = toy_system(&b);
+    let clock = ClockLedger::new();
+    // Both tenants commit the identical pipeline: identical library
+    // executables and identical component outputs.
+    sys_a
+        .commit_pipeline("master", &keys(&sys_a, 0, 0), "a initial", &clock)
+        .unwrap();
+    let physical_after_a = ws.store().physical_bytes();
+    sys_b
+        .commit_pipeline("master", &keys(&sys_b, 0, 0), "b initial", &clock)
+        .unwrap();
+    // The shared chunks are stored once: tenant B added almost nothing
+    // physically (only its namespaced metafile differs).
+    let usage = ws.usages();
+    assert!(usage["team_a"].physical_bytes > 0);
+    assert!(
+        usage["team_b"].physical_bytes < physical_after_a / 20,
+        "tenant B re-paid {} of {}",
+        usage["team_b"].physical_bytes,
+        physical_after_a
+    );
+    // First-writer-pays attribution is conservative: tenant sums equal the
+    // backend's physical bytes exactly.
+    assert_eq!(
+        usage["team_a"].physical_bytes + usage["team_b"].physical_bytes,
+        ws.store().physical_bytes()
+    );
+    // Both tenants reference the shared chunks in the fair-share view.
+    let shared = ws.shared_view();
+    assert!(shared["team_b"].referenced_bytes > 0);
+    assert!(shared["team_a"].amortized_bytes > shared["team_b"].amortized_bytes);
+    // Isolation: each tenant sees only its own branches under its names.
+    assert_eq!(
+        ws.graph().branches(),
+        vec!["team_a/master", "team_b/master"]
+    );
+    assert_eq!(
+        sys_a.head_metafile("master").unwrap().label,
+        "team_a/master.0"
+    );
+    assert_eq!(
+        sys_b.head_metafile("master").unwrap().label,
+        "team_b/master.0"
+    );
+}
+
+#[test]
+fn quota_breach_aborts_commit_and_search_without_corrupting_graph() {
+    let ws = Workspace::in_memory_small();
+    let t = ws.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+    let sys = toy_system(&t);
+    let clock = ClockLedger::new();
+    sys.commit_pipeline("master", &keys(&sys, 0, 0), "initial", &clock)
+        .unwrap();
+    sys.branch("master", "dev").unwrap();
+    sys.commit_pipeline("master", &keys(&sys, 1, 0), "head scaler", &clock)
+        .unwrap();
+    sys.commit_pipeline("dev", &keys(&sys, 0, 1), "dev model", &clock)
+        .unwrap();
+    let head_before = sys.graph().head("team/master").unwrap();
+    let commits_before = sys.graph().len();
+
+    // Clamp the quota to the bytes already used: the next attributed write
+    // breaches.
+    let used = t.usage().logical_bytes;
+    ws.store()
+        .tenant_accounts()
+        .register(t.id(), QuotaPolicy::logical(used));
+
+    // A fresh commit aborts mid-run...
+    let err = sys
+        .commit_pipeline("master", &keys(&sys, 1, 2), "over quota", &clock)
+        .unwrap_err();
+    assert!(is_quota_error(&err), "unexpected error: {err}");
+    // ...and so does the merge search, whose candidate evaluations write
+    // through the same tenant view.
+    let err = sys
+        .merge(
+            "master",
+            "dev",
+            mlcask_core::merge::MergeStrategy::Full,
+            &clock,
+        )
+        .unwrap_err();
+    assert!(is_quota_error(&err), "unexpected error: {err}");
+
+    // The graph is untouched: same head, same commit count, and the
+    // workspace still works once the quota is raised.
+    assert_eq!(sys.graph().head("team/master").unwrap().id, head_before.id);
+    assert_eq!(sys.graph().len(), commits_before);
+    ws.store()
+        .tenant_accounts()
+        .register(t.id(), QuotaPolicy::UNLIMITED);
+    let merged = sys
+        .merge(
+            "master",
+            "dev",
+            mlcask_core::merge::MergeStrategy::Full,
+            &clock,
+        )
+        .unwrap();
+    assert!(merged.commit.is_some(), "raised quota unblocks the merge");
+}
+
+#[test]
+fn quota_of_one_tenant_does_not_throttle_another() {
+    let ws = Workspace::in_memory_small();
+    let starved = ws.add_tenant("starved", QuotaPolicy::UNLIMITED).unwrap();
+    let healthy = ws.add_tenant("healthy", QuotaPolicy::UNLIMITED).unwrap();
+    let clock = ClockLedger::new();
+    let sys_starved = toy_system(&starved);
+    let sys_healthy = toy_system(&healthy);
+    // Starve the first tenant after registration: its next write breaches.
+    ws.store().tenant_accounts().register(
+        starved.id(),
+        QuotaPolicy::logical(starved.usage().logical_bytes),
+    );
+    let err = sys_starved
+        .commit_pipeline("master", &keys(&sys_starved, 0, 0), "nope", &clock)
+        .unwrap_err();
+    assert!(is_quota_error(&err), "{err}");
+    // The healthy tenant shares the store but not the quota.
+    sys_healthy
+        .commit_pipeline("master", &keys(&sys_healthy, 0, 0), "fine", &clock)
+        .unwrap();
+    assert_eq!(ws.graph().branches(), vec!["healthy/master"]);
+}
+
+#[test]
+fn batched_commits_equal_sequential_commits() {
+    let updates = |sys: &MlCask| -> Vec<(Vec<ComponentKey>, String)> {
+        vec![
+            (keys(sys, 0, 0), "initial".into()),
+            (keys(sys, 0, 1), "bump model".into()),
+            (keys(sys, 1, 1), "bump scaler".into()),
+            (keys(sys, 1, 2), "bump model again".into()),
+        ]
+    };
+    // Sequential reference.
+    let ws_seq = Workspace::in_memory_small();
+    let t_seq = ws_seq.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_seq = toy_system(&t_seq);
+    let clock_seq = ClockLedger::new();
+    for (k, m) in updates(&sys_seq) {
+        let res = sys_seq
+            .commit_pipeline("master", &k, &m, &clock_seq)
+            .unwrap();
+        assert!(res.commit.is_some());
+    }
+    // Batched.
+    let ws_b = Workspace::in_memory_small();
+    let t_b = ws_b.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_b = toy_system(&t_b);
+    let clock_b = ClockLedger::new();
+    let results = ws_b
+        .commit_batch(&sys_b, "master", &updates(&sys_b), &clock_b)
+        .unwrap();
+    assert!(results.iter().all(|r| r.commit.is_some()));
+
+    // Same heads, same history: commit ids (which cover parents, seq,
+    // payloads, messages, and ticks) match one for one.
+    let head_seq = sys_seq.graph().head("team/master").unwrap();
+    let head_b = sys_b.graph().head("team/master").unwrap();
+    assert_eq!(head_seq.id, head_b.id);
+    assert_eq!(head_seq.seq, 3);
+    let anc_seq = sys_seq.graph().ancestors(head_seq.id).unwrap();
+    let anc_b = sys_b.graph().ancestors(head_b.id).unwrap();
+    assert_eq!(anc_seq, anc_b);
+    // Same labels and metafiles at every commit.
+    for r in &results {
+        let c = r.commit.as_ref().unwrap();
+        let meta_b = sys_b.metafile_of(c).unwrap();
+        let meta_seq = sys_seq
+            .metafile_of(&sys_seq.graph().get(c.id).unwrap())
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&meta_b).unwrap(),
+            serde_json::to_string(&meta_seq).unwrap()
+        );
+    }
+    // Same store statistics and history side-state; fewer graph appends.
+    assert_eq!(
+        serde_json::to_string(&ws_seq.store().stats()).unwrap(),
+        serde_json::to_string(&ws_b.store().stats()).unwrap()
+    );
+    assert_eq!(
+        ws_seq.store().physical_bytes(),
+        ws_b.store().physical_bytes()
+    );
+    assert_eq!(sys_seq.history().len(), sys_b.history().len());
+    assert_eq!(sys_seq.graph().append_ops(), 4);
+    assert_eq!(sys_b.graph().append_ops(), 1, "one append for the batch");
+}
+
+#[test]
+fn batch_with_rejected_update_commits_the_rest() {
+    let ws = Workspace::in_memory_small();
+    let t = ws.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+    // Add a schema-changing scaler without a matching model: statically
+    // doomed, so the precheck rejects that update inside the batch.
+    let registry = Arc::new(ComponentRegistry::with_exe_size(
+        Arc::clone(t.store()),
+        4096,
+    ));
+    for c in [
+        toy_source(SemVer::master(0, 0), 4, 16),
+        toy_scaler(SemVer::master(0, 0), 4, 4, 1.0),
+        toy_scaler(SemVer::master(1, 0), 4, 6, 3.0),
+        toy_model(SemVer::master(0, 0), 4, 0.5),
+        toy_model(SemVer::master(0, 1), 4, 0.6),
+    ] {
+        registry.register(c).unwrap();
+    }
+    let dag = PipelineDag::chain(&toy_slots()).unwrap();
+    let sys = t.open_pipeline("toy", dag, registry);
+    let reg = sys.registry();
+    let src = reg.versions_of("test_source")[0].clone();
+    let s00 = reg.versions_of("test_scaler")[0].clone();
+    let s10 = reg.versions_of("test_scaler")[1].clone();
+    let m00 = reg.versions_of("test_model")[0].clone();
+    let m01 = reg.versions_of("test_model")[1].clone();
+    let clock = ClockLedger::new();
+    let updates = vec![
+        (
+            vec![src.clone(), s00.clone(), m00.clone()],
+            "ok 1".to_string(),
+        ),
+        (
+            vec![src.clone(), s10.clone(), m00.clone()],
+            "doomed".to_string(),
+        ),
+        (
+            vec![src.clone(), s00.clone(), m01.clone()],
+            "ok 2".to_string(),
+        ),
+    ];
+    let results = ws.commit_batch(&sys, "master", &updates, &clock).unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].commit.is_some());
+    assert!(
+        results[1].commit.is_none(),
+        "rejected update commits nothing"
+    );
+    assert!(results[2].commit.is_some());
+    // The rejected update consumed no label: the survivors are seq 0 and 1.
+    assert_eq!(results[2].commit.as_ref().unwrap().seq, 1);
+    assert_eq!(sys.graph().head("team/master").unwrap().seq, 1);
+    assert_eq!(sys.graph().append_ops(), 1);
+}
+
+#[test]
+fn batch_hard_error_commits_completed_prefix() {
+    // A hard error mid-batch (unregistered component) must mirror the
+    // sequential driver: the updates that already completed land, then the
+    // error surfaces — the graph ends where N sequential calls would.
+    let ws = Workspace::in_memory_small();
+    let t = ws.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+    let sys = toy_system(&t);
+    let clock = ClockLedger::new();
+    let ghost = ComponentKey::new("test_model", SemVer::master(9, 9));
+    let mut ghost_keys = keys(&sys, 0, 0);
+    ghost_keys[2] = ghost;
+    let updates = vec![
+        (keys(&sys, 0, 0), "ok 1".to_string()),
+        (keys(&sys, 0, 1), "ok 2".to_string()),
+        (ghost_keys, "unresolvable".to_string()),
+        (keys(&sys, 0, 2), "never reached".to_string()),
+    ];
+    let err = ws
+        .commit_batch(&sys, "master", &updates, &clock)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::UnknownComponent(_)), "{err}");
+    let head = sys.graph().head("team/master").unwrap();
+    assert_eq!(head.seq, 1, "the completed prefix committed");
+    assert_eq!(head.message, "ok 2");
+    assert_eq!(sys.graph().append_ops(), 1);
+}
+
+/// Orphan GC: a schema-dishonest node failing mid-DAG under parallel
+/// execution lets racing siblings persist blobs a sequential run never
+/// writes; `Workspace::sweep_orphans` restores byte-level parity.
+mod orphan_gc {
+    use super::*;
+    use mlcask_ml::metrics::{MetricKind, Score};
+    use mlcask_ml::tensor::Matrix;
+    use mlcask_pipeline::artifact::{Artifact, ArtifactData, Features, ModelArtifact};
+    use mlcask_pipeline::component::{Component, ComponentHandle, StageKind};
+    use mlcask_pipeline::errors::{IncompatibleSchemaDetail, Result as PipelineResult};
+    use mlcask_pipeline::schema::{Schema, SchemaId};
+
+    const DIM: usize = 5;
+
+    fn feature_schema() -> SchemaId {
+        Schema::FeatureMatrix {
+            dim: DIM,
+            n_classes: 2,
+        }
+        .id()
+    }
+
+    struct Src;
+
+    impl Component for Src {
+        fn name(&self) -> &str {
+            "src"
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::Ingest
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            None
+        }
+        fn output_schema(&self) -> SchemaId {
+            feature_schema()
+        }
+        fn run(&self, _inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            let x = Matrix::from_fn(32, DIM, |r, c| ((r * 7 + c * 3) % 13) as f32 / 13.0);
+            let y = (0..32).map(|r| r % 2).collect();
+            Ok(Artifact::new(
+                ArtifactData::Features(Features { x, y, n_classes: 2 }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, _inputs: &[Artifact]) -> u64 {
+            32 * DIM as u64
+        }
+    }
+
+    /// Declares compatible schemas but fails at run time — invisible to the
+    /// static failure frontier, so it exercises the dynamic-failure path.
+    struct Liar;
+
+    impl Component for Liar {
+        fn name(&self) -> &str {
+            "liar"
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::PreProcess
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(feature_schema())
+        }
+        fn output_schema(&self) -> SchemaId {
+            feature_schema()
+        }
+        fn run(&self, _inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            Err(mlcask_pipeline::errors::PipelineError::IncompatibleSchema(
+                Box::new(IncompatibleSchemaDetail {
+                    component: self.key(),
+                    input_index: 0,
+                    expected: feature_schema(),
+                    actual: Schema::Model {
+                        family: "surprise".into(),
+                    }
+                    .id(),
+                }),
+            ))
+        }
+        fn work_units(&self, _inputs: &[Artifact]) -> u64 {
+            1
+        }
+    }
+
+    struct Good {
+        name: &'static str,
+        factor: f32,
+    }
+
+    impl Component for Good {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::PreProcess
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(feature_schema())
+        }
+        fn output_schema(&self) -> SchemaId {
+            feature_schema()
+        }
+        fn run(&self, inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            self.check_compatibility(inputs)?;
+            let ArtifactData::Features(f) = &inputs[0].data else {
+                unreachable!("schema-checked input");
+            };
+            let x = Matrix::from_fn(f.x.rows(), DIM, |r, c| f.x.get(r, c) * self.factor);
+            Ok(Artifact::new(
+                ArtifactData::Features(Features {
+                    x,
+                    y: f.y.clone(),
+                    n_classes: f.n_classes,
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.first().map(|a| a.byte_len()).unwrap_or(1)
+        }
+    }
+
+    struct Join;
+
+    impl Component for Join {
+        fn name(&self) -> &str {
+            "join"
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::PreProcess
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(feature_schema())
+        }
+        fn output_schema(&self) -> SchemaId {
+            feature_schema()
+        }
+        fn run(&self, inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            self.check_compatibility(inputs)?;
+            let feats: Vec<&Features> = inputs
+                .iter()
+                .map(|a| match &a.data {
+                    ArtifactData::Features(f) => f,
+                    _ => unreachable!("schema-checked input"),
+                })
+                .collect();
+            let first = feats[0];
+            let x = Matrix::from_fn(first.x.rows(), DIM, |r, c| {
+                feats.iter().map(|f| f.x.get(r, c)).sum::<f32>()
+            });
+            Ok(Artifact::new(
+                ArtifactData::Features(Features {
+                    x,
+                    y: first.y.clone(),
+                    n_classes: first.n_classes,
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.iter().map(|a| a.byte_len()).sum::<u64>().max(1)
+        }
+    }
+
+    struct Model;
+
+    impl Component for Model {
+        fn name(&self) -> &str {
+            "model"
+        }
+        fn version(&self) -> SemVer {
+            SemVer::master(0, 0)
+        }
+        fn stage(&self) -> StageKind {
+            StageKind::ModelTraining
+        }
+        fn input_schema(&self) -> Option<SchemaId> {
+            Some(feature_schema())
+        }
+        fn output_schema(&self) -> SchemaId {
+            Schema::Model {
+                family: "gc-test".into(),
+            }
+            .id()
+        }
+        fn run(&self, inputs: &[Artifact]) -> PipelineResult<Artifact> {
+            self.check_compatibility(inputs)?;
+            Ok(Artifact::new(
+                ArtifactData::Model(ModelArtifact {
+                    family: "gc-test".into(),
+                    blob: vec![3u8; 24],
+                    score: Score::new(MetricKind::Accuracy, 0.5),
+                }),
+                self.output_schema(),
+            ))
+        }
+        fn work_units(&self, inputs: &[Artifact]) -> u64 {
+            inputs.first().map(|a| a.byte_len()).unwrap_or(1)
+        }
+    }
+
+    /// `src → {liar, good_a, good_b} → join → model`, the liar listed
+    /// *before* its siblings in topological order: a sequential run stops at
+    /// the liar before touching the siblings, a parallel run races them.
+    fn open_system(t: &Tenant, policy: ParallelismPolicy) -> MlCask {
+        let mut dag = PipelineDag::new();
+        for n in ["src", "liar", "good_a", "good_b", "join", "model"] {
+            dag.add_node(n).unwrap();
+        }
+        for b in ["liar", "good_a", "good_b"] {
+            dag.add_edge("src", b).unwrap();
+            dag.add_edge(b, "join").unwrap();
+        }
+        dag.add_edge("join", "model").unwrap();
+        let registry = Arc::new(ComponentRegistry::with_exe_size(
+            Arc::clone(t.store()),
+            2048,
+        ));
+        let comps: Vec<ComponentHandle> = vec![
+            Arc::new(Src),
+            Arc::new(Liar),
+            Arc::new(Good {
+                name: "good_a",
+                factor: 2.0,
+            }),
+            Arc::new(Good {
+                name: "good_b",
+                factor: 3.0,
+            }),
+            Arc::new(Join),
+            Arc::new(Model),
+        ];
+        for c in &comps {
+            registry.register(Arc::clone(c)).unwrap();
+        }
+        t.open_pipeline("gc", dag, registry)
+            .with_parallelism(policy)
+    }
+
+    fn run_failing_commit(policy: ParallelismPolicy) -> (Arc<Workspace>, u64) {
+        let ws = Workspace::in_memory_small();
+        let t = ws.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+        let sys = open_system(&t, policy);
+        let keys: Vec<ComponentKey> = ["src", "liar", "good_a", "good_b", "join", "model"]
+            .iter()
+            .map(|n| sys.registry().versions_of(n)[0].clone())
+            .collect();
+        let clock = ClockLedger::new();
+        let res = sys
+            .commit_pipeline("master", &keys, "doomed", &clock)
+            .unwrap();
+        assert!(res.commit.is_none(), "dynamic failure must not commit");
+        let physical = ws.store().physical_bytes();
+        (ws, physical)
+    }
+
+    #[test]
+    fn sweep_restores_parity_after_dynamic_failure() {
+        let (_ws_seq, seq_bytes) = run_failing_commit(ParallelismPolicy::Sequential);
+        let (ws_par, par_bytes) = run_failing_commit(ParallelismPolicy::Parallel(8));
+        assert!(
+            par_bytes > seq_bytes,
+            "racing siblings should have persisted orphans ({par_bytes} vs {seq_bytes})"
+        );
+        let report = ws_par.sweep_orphans().unwrap();
+        assert!(report.removed_objects > 0);
+        assert_eq!(
+            ws_par.store().physical_bytes(),
+            seq_bytes,
+            "sweep restores byte-level parity with the sequential run"
+        );
+        // Sweeping again finds nothing; live data still reads back.
+        let again = ws_par.sweep_orphans().unwrap();
+        assert_eq!(again.removed_objects, 0);
+    }
+
+    #[test]
+    fn sweep_keeps_committed_state_intact() {
+        let ws = Workspace::in_memory_small();
+        let t = ws.add_tenant("team", QuotaPolicy::UNLIMITED).unwrap();
+        let sys = toy_system(&t);
+        let clock = ClockLedger::new();
+        sys.commit_pipeline("master", &keys(&sys, 0, 0), "initial", &clock)
+            .unwrap();
+        sys.commit_pipeline("master", &keys(&sys, 0, 1), "bump", &clock)
+            .unwrap();
+        let before = ws.store().physical_bytes();
+        let report = ws.sweep_orphans().unwrap();
+        assert_eq!(report.removed_objects, 0, "nothing live may be swept");
+        assert_eq!(ws.store().physical_bytes(), before);
+        // Every committed metafile still resolves (from the store).
+        let head = sys.graph().head("team/master").unwrap();
+        assert!(sys.metafile_of(&head).is_ok());
+    }
+}
+
+#[test]
+fn multi_tenant_workload_deterministic_across_worker_counts() {
+    let run = |policy: ParallelismPolicy| -> String {
+        let w = fusion::build();
+        let (ws, teams) = build_multi_tenant(&w, &["alpha", "beta"]).unwrap();
+        let teams: Vec<mlcask_workloads::scenario::TenantSystem> = teams
+            .into_iter()
+            .map(|t| mlcask_workloads::scenario::TenantSystem {
+                tenant: t.tenant,
+                registry: t.registry,
+                sys: t.sys.with_parallelism(policy),
+            })
+            .collect();
+        for t in &teams {
+            setup_nonlinear(&t.sys, &w).unwrap();
+            let clock = ClockLedger::new();
+            let merged = t
+                .sys
+                .merge(
+                    "master",
+                    "dev",
+                    mlcask_core::merge::MergeStrategy::Full,
+                    &clock,
+                )
+                .unwrap();
+            assert!(merged.commit.is_some());
+        }
+        let heads: Vec<String> = ws
+            .graph()
+            .branches()
+            .iter()
+            .map(|b| {
+                let h = ws.graph().head(b).unwrap();
+                format!("{b}={} seq={}", h.payload.short(), h.seq)
+            })
+            .collect();
+        format!(
+            "usages={} shared={} stats={} physical={} history={} heads={heads:?} metas={:?}",
+            serde_json::to_string(&ws.usages()).unwrap(),
+            serde_json::to_string(&ws.shared_view()).unwrap(),
+            serde_json::to_string(&ws.store().stats()).unwrap(),
+            ws.store().physical_bytes(),
+            ws.history().len(),
+            teams
+                .iter()
+                .map(|t| serde_json::to_string(&t.sys.head_metafile("master").unwrap()).unwrap())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let sequential = run(ParallelismPolicy::Sequential);
+    for workers in [1, 2, 8] {
+        let parallel = run(ParallelismPolicy::Parallel(workers));
+        assert_eq!(
+            sequential, parallel,
+            "multi-tenant workload with {workers} workers diverged"
+        );
+    }
+}
