@@ -1,0 +1,171 @@
+//! Cross-tenant collaboration economics: permissioned fork/merge over one
+//! shared workspace vs. an export/re-import-into-isolated-store baseline.
+//!
+//! The scenario is the paper's upstream/downstream-team workflow
+//! (`mlcask_workloads::scenario::run_upstream_downstream`): the upstream
+//! team evolves `master`, grants the downstream team `MergeInto`, the
+//! downstream team forks `upstream/master` into its own namespace, applies
+//! its dev updates, and merges the result back into `upstream/master` with
+//! the full metric-driven search.
+//!
+//! Two deployments run the identical workflow:
+//!
+//! 1. **Shared workspace** — one deduplicating store; the fork hands over
+//!    references (no bytes), the merge search reuses the peer's cached
+//!    component outputs through the shared history, and downstream is
+//!    charged only for newly materialized blobs.
+//! 2. **Export/re-import baseline** — the downstream team owns an isolated
+//!    store, so collaboration means re-materializing the upstream history
+//!    there (re-running upstream's commits), then diverging and merging
+//!    locally. Every byte upstream already stored is paid again.
+//!
+//! The bench reports the bytes the *downstream team* materializes under
+//! each deployment, plus a determinism check of the cross-tenant merge
+//! across worker counts.
+//!
+//! Run with `--release`:
+//!
+//! ```text
+//! cargo run --release -p mlcask_bench --bin cross_tenant
+//! ```
+//!
+//! Set `MLCASK_BENCH_SMOKE=1` for a reduced CI configuration (determinism
+//! assertions stay on, economics thresholds are skipped).
+
+use mlcask_bench::{mib, print_header, print_row, ratio};
+use mlcask_core::merge::MergeStrategy;
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_workloads::readmission;
+use mlcask_workloads::scenario::{build_system, run_upstream_downstream};
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::var("MLCASK_BENCH_SMOKE").is_ok();
+    let w = readmission::build();
+
+    println!("# Cross-tenant collaboration — shared workspace vs export/re-import");
+
+    // ---- 1. Shared workspace: permissioned fork + cross-tenant merge. ----
+    let start = Instant::now();
+    let c = run_upstream_downstream(&w, ParallelismPolicy::Sequential).expect("collaboration runs");
+    let shared_wall = start.elapsed().as_secs_f64();
+    let usages = c.ws.usages();
+    let shares = c.ws.shared_view();
+    let shared_down_bytes = usages["downstream"].physical_bytes;
+    assert_eq!(
+        usages.values().map(|u| u.physical_bytes).sum::<u64>(),
+        c.ws.store().physical_bytes(),
+        "first-writer-pays attribution must sum to the store total"
+    );
+    assert_eq!(
+        c.ws.store().tenant_accounts().open_reservations(),
+        0,
+        "no reservation may outlive the evaluation"
+    );
+    let report = c.merge.report.as_ref().expect("diverged merge searched");
+
+    print_header(
+        "shared workspace: per-team attribution",
+        &[
+            "team",
+            "logical MiB",
+            "paid MiB (first-writer)",
+            "fair-share MiB",
+        ],
+    );
+    for team in ["upstream", "downstream"] {
+        print_row(&[
+            team.into(),
+            mib(usages[team].logical_bytes),
+            mib(usages[team].physical_bytes),
+            mib(shares[team].amortized_bytes as u64),
+        ]);
+    }
+    println!(
+        "\nmerge: {} candidates searched, {} pruned, {} component runs reused from the peer's \
+         history, winner committed on upstream/master",
+        report.candidates_evaluated, report.candidates_pruned, report.reused_components,
+    );
+
+    // ---- 2. Baseline: export upstream's history, re-import it into the
+    // downstream team's isolated store, then merge locally. ----
+    let start = Instant::now();
+    let (_reg, iso) = build_system(&w).expect("isolated system builds");
+    let clock = ClockLedger::new();
+    iso.commit_pipeline("master", &w.initial, "re-import initial", &clock)
+        .expect("re-import initial");
+    iso.branch("master", "feature").expect("local fork");
+    for (i, keys) in w.head_updates.iter().enumerate() {
+        iso.commit_pipeline("master", keys, &format!("re-import head {i}"), &clock)
+            .expect("re-import head update");
+    }
+    for (i, keys) in w.dev_updates.iter().enumerate() {
+        iso.commit_pipeline("feature", keys, &format!("feature {i}"), &clock)
+            .expect("feature update");
+    }
+    iso.merge("master", "feature", MergeStrategy::Full, &clock)
+        .expect("local merge");
+    let iso_wall = start.elapsed().as_secs_f64();
+    // Everything in the isolated store was materialized by (and billed to)
+    // the downstream team — that is the point of the baseline.
+    let iso_down_bytes = iso.store().physical_bytes();
+
+    print_header(
+        "bytes the downstream team materializes",
+        &["deployment", "physical MiB", "vs shared", "wall s"],
+    );
+    print_row(&[
+        "shared workspace (fork + merge_into)".into(),
+        mib(shared_down_bytes),
+        "1.0x".into(),
+        format!("{shared_wall:.2}"),
+    ]);
+    print_row(&[
+        "export/re-import into isolated store".into(),
+        mib(iso_down_bytes),
+        ratio(iso_down_bytes as f64, shared_down_bytes as f64),
+        format!("{iso_wall:.2}"),
+    ]);
+    let saved = iso_down_bytes.saturating_sub(shared_down_bytes);
+    println!(
+        "\nsharing the workspace saves the downstream team {} MiB ({:.1}x fewer bytes \
+         materialized)",
+        mib(saved),
+        iso_down_bytes as f64 / shared_down_bytes.max(1) as f64,
+    );
+
+    // ---- 3. Determinism: the cross-tenant merge is byte-identical for
+    // every worker count. ----
+    let fingerprint = |policy: ParallelismPolicy| -> String {
+        let c = run_upstream_downstream(&w, policy).expect("collaboration runs");
+        format!(
+            "report={} usages={} physical={}",
+            serde_json::to_string(c.merge.report.as_ref().unwrap()).unwrap(),
+            serde_json::to_string(&c.ws.usages()).unwrap(),
+            c.ws.store().physical_bytes(),
+        )
+    };
+    let sequential = fingerprint(ParallelismPolicy::Sequential);
+    let worker_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 8] };
+    for &workers in worker_counts {
+        assert_eq!(
+            sequential,
+            fingerprint(ParallelismPolicy::Parallel(workers)),
+            "cross-tenant merge with {workers} workers diverged"
+        );
+    }
+    println!(
+        "\ndeterminism: merge report, per-tenant usage, and store bytes identical at workers \
+         {worker_counts:?}"
+    );
+
+    if !smoke {
+        assert!(
+            iso_down_bytes as f64 > shared_down_bytes as f64 * 1.5,
+            "expected the export/re-import baseline to materialize >1.5x the bytes, got {} vs {}",
+            iso_down_bytes,
+            shared_down_bytes
+        );
+    }
+}

@@ -3,6 +3,7 @@
 use mlcask_pipeline::component::ComponentKey;
 use mlcask_pipeline::errors::PipelineError;
 use mlcask_storage::errors::StorageError;
+use mlcask_storage::tenant::ShareRight;
 use std::fmt;
 
 /// Errors surfaced by versioning operations.
@@ -26,6 +27,26 @@ pub enum CoreError {
     SelfMerge(String),
     /// A tenant with this name is already registered in the workspace.
     TenantExists(String),
+    /// A tenant name is unusable as a branch namespace (empty, or contains
+    /// `/` — the namespace separator).
+    InvalidTenantName(String),
+    /// No tenant with this name is registered in the workspace.
+    UnknownTenant(String),
+    /// A cross-tenant operation was attempted without a sufficient
+    /// [`ShareRight`] grant from the owning tenant. Raised *before* any
+    /// execution or graph access, so a denial leaves the commit graph and
+    /// every tenant's accounts untouched.
+    ShareDenied {
+        /// The tenant whose namespace the operation targeted.
+        owner: String,
+        /// The tenant attempting the operation.
+        peer: String,
+        /// The right the operation required.
+        needed: ShareRight,
+    },
+    /// A cross-tenant operation was attempted on a solo (un-namespaced)
+    /// pipeline system.
+    NotATenant(String),
     /// The pipeline system belongs to a different workspace.
     ForeignSystem(String),
     /// Underlying pipeline failure.
@@ -47,6 +68,25 @@ impl fmt::Display for CoreError {
             }
             CoreError::SelfMerge(b) => write!(f, "cannot merge branch '{b}' into itself"),
             CoreError::TenantExists(t) => write!(f, "tenant '{t}' already exists"),
+            CoreError::InvalidTenantName(t) => write!(
+                f,
+                "tenant name '{t}' is not a valid branch namespace (must be non-empty and \
+                 contain no '/')"
+            ),
+            CoreError::UnknownTenant(t) => write!(f, "no tenant named '{t}' in this workspace"),
+            CoreError::ShareDenied {
+                owner,
+                peer,
+                needed,
+            } => write!(
+                f,
+                "tenant '{owner}' has not granted '{peer}' the {needed} right"
+            ),
+            CoreError::NotATenant(s) => write!(
+                f,
+                "pipeline system '{s}' is not tenant-scoped (cross-tenant operations need a \
+                 namespace)"
+            ),
             CoreError::ForeignSystem(s) => {
                 write!(f, "pipeline system '{s}' belongs to a different workspace")
             }
@@ -101,6 +141,19 @@ mod tests {
             merging: "dev".into(),
         };
         assert!(e.to_string().contains("master") && e.to_string().contains("dev"));
+        let d = CoreError::ShareDenied {
+            owner: "up".into(),
+            peer: "down".into(),
+            needed: ShareRight::Fork,
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("up") && msg.contains("down") && msg.contains("fork"));
+        assert!(CoreError::UnknownTenant("ghost".into())
+            .to_string()
+            .contains("ghost"));
+        assert!(CoreError::NotATenant("solo".into())
+            .to_string()
+            .contains("not tenant-scoped"));
     }
 
     #[test]

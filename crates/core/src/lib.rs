@@ -68,4 +68,5 @@ pub mod prelude {
     pub use crate::system::{CommitResult, MergeOutcome, MlCask};
     pub use crate::tree::{NodeState, SearchTree, StateCounts, TreeNode};
     pub use crate::workspace::{Tenant, Workspace};
+    pub use mlcask_storage::tenant::{SharePolicy, ShareRight};
 }

@@ -148,12 +148,32 @@ impl<'a> MergeEngine<'a> {
     /// replay in candidate-index order (see [`mlcask_pipeline::replay`]) —
     /// so the returned report (records, scores, virtual end-times, storage
     /// accounting) is identical whatever the worker count.
+    ///
+    /// Tenant-attributed stores take quota *reservations* during phase 1 and
+    /// settle them in the phase-2 replay; if the search aborts — a
+    /// mid-evaluation quota breach, an unresolvable component, a storage
+    /// fault — every unsettled reservation is released before the error
+    /// surfaces, so the tenant's accounts end exactly where they started.
     pub fn search(
         &self,
         spaces: &SearchSpaces,
         history: &HistoryIndex,
         strategy: MergeStrategy,
         ledger: &ClockLedger,
+    ) -> Result<MergeSearchReport> {
+        let book = ProfileBook::new();
+        book.reservation_scope(self.store, || {
+            self.search_with_book(spaces, history, strategy, ledger, &book)
+        })
+    }
+
+    fn search_with_book(
+        &self,
+        spaces: &SearchSpaces,
+        history: &HistoryIndex,
+        strategy: MergeStrategy,
+        ledger: &ClockLedger,
+        book: &ProfileBook,
     ) -> Result<MergeSearchReport> {
         let stats_before = self.store.stats().total();
         let mut tree = SearchTree::build(spaces);
@@ -224,7 +244,6 @@ impl<'a> MergeEngine<'a> {
         // first, and any leftover workers fan the independent DAG nodes
         // *inside* each candidate out (wavefront execution) — one budget,
         // never oversubscribed.
-        let book = ProfileBook::new();
         let scratch = MemoryCache::new();
         let (pre, phase_cache): (CacheSnapshot, &dyn OutputCache) = if use_history {
             (history.snapshot(), history)
@@ -234,7 +253,7 @@ impl<'a> MergeEngine<'a> {
         let executor = Executor::new(self.store);
         let (outer, inner) = options.parallelism.split(bound.len());
         let traced = map_indexed(outer, &bound, |_, pipeline| {
-            executor.run_traced_with(pipeline, phase_cache, &book, options.precheck, inner)
+            executor.run_traced_with(pipeline, phase_cache, book, options.precheck, inner)
         });
         for t in traced {
             t?;
@@ -254,7 +273,7 @@ impl<'a> MergeEngine<'a> {
             let report = replay_run(
                 self.store,
                 pipeline,
-                &book,
+                book,
                 &pre,
                 &mut sim,
                 &mut cursor,

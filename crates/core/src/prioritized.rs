@@ -295,20 +295,23 @@ impl<'a> PrioritizedSearcher<'a> {
         seed: u64,
     ) -> Result<TrialResult> {
         let book = ProfileBook::new();
-        let pre = base_history.snapshot();
-        // One trial: the whole pool is available to each candidate's DAG.
-        let (_, inner) = self.parallelism.split(1);
-        let trial = self.run_trial_traced(
-            spaces,
-            base_history,
-            initial_scores,
-            method,
-            seed,
-            &book,
-            inner,
-        )?;
-        let mut cursor = book.replay_cursor();
-        self.replay_trial(&trial, &book, &pre, &mut cursor)
+        // An aborted trial hands back its unsettled reservations.
+        book.reservation_scope(self.registry.store(), || {
+            let pre = base_history.snapshot();
+            // One trial: the whole pool is available to each candidate's DAG.
+            let (_, inner) = self.parallelism.split(1);
+            let trial = self.run_trial_traced(
+                spaces,
+                base_history,
+                initial_scores,
+                method,
+                seed,
+                &book,
+                inner,
+            )?;
+            let mut cursor = book.replay_cursor();
+            self.replay_trial(&trial, &book, &pre, &mut cursor)
+        })
     }
 
     /// Runs `trials` independent trials and aggregates Fig. 10 / Table I
@@ -317,7 +320,9 @@ impl<'a> PrioritizedSearcher<'a> {
     /// Trials fan out over the searcher's [`ParallelismPolicy`]; a shared
     /// [`ProfileBook`] deduplicates observations, and the accounting replay
     /// walks trials in index order, so the aggregated statistics are
-    /// identical to a fully sequential run.
+    /// identical to a fully sequential run. An aborted run (quota breach,
+    /// storage fault) releases every unsettled reservation before the error
+    /// surfaces.
     pub fn run_trials(
         &self,
         spaces: &SearchSpaces,
@@ -328,29 +333,33 @@ impl<'a> PrioritizedSearcher<'a> {
         seed: u64,
     ) -> Result<TrialStats> {
         let book = ProfileBook::new();
-        let pre = base_history.snapshot();
-        let seeds: Vec<u64> = (0..trials)
-            .map(|t| seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
-            .collect();
-        // Split the pool: trials fan out first; leftover workers execute
-        // each candidate's independent DAG nodes.
-        let (outer, inner) = self.parallelism.split(trials);
-        let traced = map_indexed(outer, &seeds, |_, s| {
-            self.run_trial_traced(
-                spaces,
-                base_history,
-                initial_scores,
-                method,
-                *s,
-                &book,
-                inner,
-            )
-        });
-        let mut results = Vec::with_capacity(trials);
-        let mut cursor = book.replay_cursor();
-        for t in traced {
-            results.push(self.replay_trial(&t?, &book, &pre, &mut cursor)?);
-        }
+        let results =
+            book.reservation_scope(self.registry.store(), || -> Result<Vec<TrialResult>> {
+                let pre = base_history.snapshot();
+                let seeds: Vec<u64> = (0..trials)
+                    .map(|t| seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
+                    .collect();
+                // Split the pool: trials fan out first; leftover workers execute
+                // each candidate's independent DAG nodes.
+                let (outer, inner) = self.parallelism.split(trials);
+                let traced = map_indexed(outer, &seeds, |_, s| {
+                    self.run_trial_traced(
+                        spaces,
+                        base_history,
+                        initial_scores,
+                        method,
+                        *s,
+                        &book,
+                        inner,
+                    )
+                });
+                let mut results = Vec::with_capacity(trials);
+                let mut cursor = book.replay_cursor();
+                for t in traced {
+                    results.push(self.replay_trial(&t?, &book, &pre, &mut cursor)?);
+                }
+                Ok(results)
+            })?;
         let n = results.first().map(|r| r.searched.len()).unwrap_or(0);
         let mut per_rank = Vec::with_capacity(n);
         for k in 0..n {

@@ -20,6 +20,7 @@ use mlcask_storage::commit::{Commit, CommitGraph};
 use mlcask_storage::hash::Hash256;
 use mlcask_storage::object::{ObjectKind, ObjectRef};
 use mlcask_storage::store::ChunkStore;
+use mlcask_storage::tenant::ShareRight;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -67,6 +68,10 @@ pub struct MlCask {
     workspace: Arc<Workspace>,
     /// Branch namespace (the tenant name); `None` for solo systems.
     namespace: Option<String>,
+    /// Actor-scoped view of the workspace's commit graph: writes act as
+    /// this system's namespace and are permission-checked against the
+    /// shared [`ShareTable`](mlcask_storage::tenant::ShareTable).
+    graph: CommitGraph,
     /// Pipeline metafiles by commit payload hash (in-memory cache over the
     /// store's persisted copies).
     metafiles: RwLock<HashMap<Hash256, PipelineMetafile>>,
@@ -94,12 +99,17 @@ impl MlCask {
         dag: PipelineDag,
         registry: Arc<ComponentRegistry>,
     ) -> MlCask {
+        let graph = match &namespace {
+            Some(ns) => workspace.graph().for_namespace(ns),
+            None => workspace.graph().root_view(),
+        };
         MlCask {
             name: name.to_string(),
             dag: Arc::new(dag),
             registry,
             workspace,
             namespace,
+            graph,
             metafiles: RwLock::new(HashMap::new()),
             parallelism: ParallelismPolicy::Sequential,
         }
@@ -150,9 +160,13 @@ impl MlCask {
 
     /// The commit graph (pipeline repository) — shared across every tenant
     /// of the workspace; this system's branches appear under their
-    /// namespaced names.
+    /// namespaced names. The returned view *acts as* this system's
+    /// namespace: reads see the whole graph, writes are permission-checked
+    /// (a tenant cannot touch a peer's `team/…` branches without a
+    /// [`ShareRight`] grant, even
+    /// through these raw string APIs).
     pub fn graph(&self) -> &CommitGraph {
-        self.workspace.graph().as_ref()
+        &self.graph
     }
 
     /// The reusable-output history — shared across every tenant of the
@@ -260,7 +274,20 @@ impl MlCask {
         message: &str,
         merge_parent: Option<Hash256>,
     ) -> Result<Commit> {
-        let branch = self.ns(branch);
+        self.record_commit_qualified(self.ns(branch), keys, report, message, merge_parent)
+    }
+
+    /// [`MlCask::record_commit`] over an already-qualified (shared-graph)
+    /// branch name — the cross-tenant merge path commits onto a *peer's*
+    /// branch, which has no caller-facing name in this system's namespace.
+    fn record_commit_qualified(
+        &self,
+        branch: String,
+        keys: &[ComponentKey],
+        report: &RunReport,
+        message: &str,
+        merge_parent: Option<Hash256>,
+    ) -> Result<Commit> {
         // Next label: branch.seq (root = 0 when the branch does not exist).
         let head = self.graph().head(&branch).ok();
         let next_seq = head.as_ref().map(|h| h.seq + 1).unwrap_or(0);
@@ -413,8 +440,21 @@ impl MlCask {
     /// Builds the merge search spaces for merging `merging` into `base`
     /// (§V): versions developed since the common ancestor on either branch.
     pub fn merge_search_spaces(&self, base: &str, merging: &str) -> Result<SearchSpaces> {
-        let base_head = self.graph().head(&self.ns(base))?;
-        let merge_head = self.graph().head(&self.ns(merging))?;
+        self.merge_search_spaces_qualified(&self.ns(base), &self.ns(merging))
+    }
+
+    /// [`MlCask::merge_search_spaces`] over already-qualified (shared-graph)
+    /// branch names, so the two histories may belong to *different* tenants:
+    /// a cross-tenant merge assembles its space from the commits both teams
+    /// made since the fork point, exactly like the single-tenant case —
+    /// cross-namespace parentage makes the common ancestor well defined.
+    ///
+    /// Every component version referenced along either path must be
+    /// registered in *this* system's registry (collaborating teams share
+    /// component libraries the way they share the workload definition).
+    pub fn merge_search_spaces_qualified(&self, base: &str, merging: &str) -> Result<SearchSpaces> {
+        let base_head = self.graph().head(base)?;
+        let merge_head = self.graph().head(merging)?;
         let ancestor = self
             .graph()
             .common_ancestor(base_head.id, merge_head.id)?
@@ -471,8 +511,101 @@ impl MlCask {
         if base == merging {
             return Err(CoreError::SelfMerge(base.into()));
         }
-        let base_head = self.graph().head(&self.ns(base))?;
-        let merge_head = self.graph().head(&self.ns(merging))?;
+        self.merge_qualified(self.ns(base), &self.ns(merging), merging, strategy, ledger)
+    }
+
+    /// Checks that this system is a tenant of its workspace and that `peer`
+    /// is a registered tenant granting this tenant at least `needed`.
+    /// Performed *before* any execution or graph access, so a denial leaves
+    /// the commit graph and every tenant's accounts untouched.
+    fn require_grant(&self, peer: &str, needed: ShareRight) -> Result<&str> {
+        let me = self
+            .namespace
+            .as_deref()
+            .ok_or_else(|| CoreError::NotATenant(self.name.clone()))?;
+        if !self.workspace.has_tenant(peer) {
+            return Err(CoreError::UnknownTenant(peer.to_string()));
+        }
+        if !self.graph.shares().allows(peer, me, needed) {
+            return Err(CoreError::ShareDenied {
+                owner: peer.to_string(),
+                peer: me.to_string(),
+                needed,
+            });
+        }
+        Ok(me)
+    }
+
+    /// Merges this tenant's branch `merging` **into a peer tenant's** branch
+    /// `peer_branch` — the downstream team contributing its fork back
+    /// upstream. Requires a [`ShareRight::MergeInto`] grant from `peer`.
+    ///
+    /// The merge search runs over both tenants' histories since the fork
+    /// point, reusing the peer's cached component outputs through the shared
+    /// history (dedup makes re-deriving them nearly free); any **newly**
+    /// materialized candidate outputs are charged to *this* (merging)
+    /// tenant, byte-deterministically across worker counts, because writes
+    /// go through this system's tenant-scoped store view and ride the
+    /// traced-execute/replay protocol. The merge commit lands on the peer's
+    /// branch with both heads as parents.
+    pub fn merge_into(
+        &self,
+        peer: &str,
+        peer_branch: &str,
+        merging: &str,
+        strategy: MergeStrategy,
+        ledger: &ClockLedger,
+    ) -> Result<MergeOutcome> {
+        self.require_grant(peer, ShareRight::MergeInto)?;
+        let merging_q = self.ns(merging);
+        self.merge_qualified(
+            format!("{peer}/{peer_branch}"),
+            &merging_q,
+            &merging_q,
+            strategy,
+            ledger,
+        )
+    }
+
+    /// Merges a peer tenant's branch `peer_branch` **into this tenant's**
+    /// branch `base` — the downstream team pulling upstream work. Requires a
+    /// [`ShareRight::Read`] grant from `peer`; the merge commit lands on
+    /// this tenant's branch and every newly materialized byte is charged to
+    /// this tenant.
+    pub fn merge_from(
+        &self,
+        base: &str,
+        peer: &str,
+        peer_branch: &str,
+        strategy: MergeStrategy,
+        ledger: &ClockLedger,
+    ) -> Result<MergeOutcome> {
+        self.require_grant(peer, ShareRight::Read)?;
+        self.merge_qualified(
+            self.ns(base),
+            &format!("{peer}/{peer_branch}"),
+            &format!("{peer}/{peer_branch}"),
+            strategy,
+            ledger,
+        )
+    }
+
+    /// The merge driver over already-qualified (shared-graph) branch names;
+    /// `merging_label` is the name used in commit messages (caller-facing
+    /// for same-tenant merges, qualified for cross-tenant ones).
+    fn merge_qualified(
+        &self,
+        base: String,
+        merging: &str,
+        merging_label: &str,
+        strategy: MergeStrategy,
+        ledger: &ClockLedger,
+    ) -> Result<MergeOutcome> {
+        if base == merging {
+            return Err(CoreError::SelfMerge(base));
+        }
+        let base_head = self.graph().head(&base)?;
+        let merge_head = self.graph().head(merging)?;
 
         if self.graph().is_fast_forward(base_head.id, merge_head.id)? {
             // "MLCask duplicates the latest version in MERGE_HEAD, changes
@@ -484,11 +617,11 @@ impl MlCask {
             let executor = Executor::new(self.store());
             // Fully checkpointed: zero-cost replay to assemble the metafile.
             let report = executor.run(&bound, ledger, Some(self.history()), self.exec_options())?;
-            let commit = self.record_commit(
+            let commit = self.record_commit_qualified(
                 base,
                 &keys,
                 &report,
-                &format!("fast-forward merge of {merging}"),
+                &format!("fast-forward merge of {merging_label}"),
                 Some(merge_head.id),
             )?;
             return Ok(MergeOutcome {
@@ -498,7 +631,7 @@ impl MlCask {
             });
         }
 
-        let spaces = self.merge_search_spaces(base, merging)?;
+        let spaces = self.merge_search_spaces_qualified(&base, merging)?;
         let engine = MergeEngine::new(&self.registry, self.store(), Arc::clone(&self.dag))
             .with_parallelism(self.parallelism);
         let report = engine.search(&spaces, self.history(), strategy, ledger)?;
@@ -511,11 +644,14 @@ impl MlCask {
         let executor = Executor::new(self.store());
         let replay = executor.run(&bound, ledger, Some(self.history()), self.exec_options())?;
         debug_assert!(matches!(replay.outcome, RunOutcome::Completed { .. }));
-        let commit = self.record_commit(
+        let commit = self.record_commit_qualified(
             base,
             &best_keys,
             &replay,
-            &format!("metric-driven merge of {merging} ({})", strategy.label()),
+            &format!(
+                "metric-driven merge of {merging_label} ({})",
+                strategy.label()
+            ),
             Some(merge_head.id),
         )?;
         Ok(MergeOutcome {

@@ -13,7 +13,17 @@
 //!   shared-refcount fair-share view (see [`mlcask_storage::tenant`]).
 //! * **Tenant-namespaced branches** — tenant `team_a`'s branch `master`
 //!   lives in the shared commit graph as `team_a/master`, so the graph is
-//!   one auditable history while tenants stay isolated.
+//!   one auditable history while tenants stay isolated: a namespace is
+//!   writable only by its owner or by peers holding a [`ShareRight`] grant,
+//!   enforced by the graph itself on every entry point.
+//! * **Cross-tenant collaboration** — an owner grants peers `Read`/`Fork`/
+//!   `MergeInto` rights ([`Workspace::grant_share`], [`Tenant::grant_to`]);
+//!   a granted peer forks the owner's branch into its own namespace
+//!   ([`Tenant::fork_from`] — references handed over, no bytes copied) and
+//!   later merges its work back with
+//!   [`MlCask::merge_into`](crate::system::MlCask::merge_into), paying only
+//!   for newly materialized outputs. A denial aborts before any graph or
+//!   accounting access.
 //! * **Quotas** — each tenant's [`QuotaPolicy`] is enforced by the store on
 //!   every (traced or live) write; a breach surfaces as
 //!   [`StorageError::QuotaExceeded`](mlcask_storage::errors::StorageError)
@@ -39,11 +49,13 @@ use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::ComponentKey;
 use mlcask_pipeline::dag::PipelineDag;
 use mlcask_pipeline::metafile::PipelineMetafile;
-use mlcask_storage::commit::CommitGraph;
+use mlcask_storage::commit::{Commit, CommitGraph};
 use mlcask_storage::hash::Hash256;
 use mlcask_storage::object::{ObjectKind, ObjectRef};
 use mlcask_storage::store::{ChunkStore, SweepReport};
-use mlcask_storage::tenant::{QuotaPolicy, SharedUsage, TenantId, TenantUsage};
+use mlcask_storage::tenant::{
+    QuotaPolicy, SharePolicy, ShareRight, SharedUsage, TenantId, TenantUsage,
+};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -110,8 +122,17 @@ impl Workspace {
     }
 
     /// Registers a tenant under `name` with the given quota and returns its
-    /// handle. Fails if the name is taken.
+    /// handle. Fails if the name is taken. The name becomes an *owned*
+    /// branch namespace in the shared commit graph: `name/…` branches are
+    /// henceforth writable only through this tenant's own views or by peers
+    /// it grants a [`ShareRight`].
     pub fn add_tenant(self: &Arc<Self>, name: &str, quota: QuotaPolicy) -> Result<Tenant> {
+        // Branch ownership resolves on the prefix before the first `/`, so
+        // a name containing one would leave its own branches unprotected
+        // (or claimable by whoever registers the prefix).
+        if name.is_empty() || name.contains('/') {
+            return Err(CoreError::InvalidTenantName(name.to_string()));
+        }
         let id = {
             let mut state = self.state.write();
             if state.tenants.contains_key(name) {
@@ -123,17 +144,51 @@ impl Workspace {
             id
         };
         self.store.tenant_accounts().register(id, quota);
+        self.graph.shares().register_namespace(name);
         Ok(Tenant {
             workspace: Arc::clone(self),
             name: name.to_string(),
             id,
             store: Arc::new(self.store.for_tenant(id)),
+            graph: self.graph.for_namespace(name),
         })
     }
 
     /// Registered tenant names, sorted.
     pub fn tenant_names(&self) -> Vec<String> {
         self.state.read().tenants.keys().cloned().collect()
+    }
+
+    /// True if a tenant named `name` is registered.
+    pub fn has_tenant(&self, name: &str) -> bool {
+        self.state.read().tenants.contains_key(name)
+    }
+
+    /// Grants `peer` the given [`ShareRight`] over `owner`'s namespace
+    /// (replacing any earlier grant; rights imply the weaker ones). Both
+    /// must be registered tenants.
+    pub fn grant_share(&self, owner: &str, peer: &str, right: ShareRight) -> Result<()> {
+        for t in [owner, peer] {
+            if !self.has_tenant(t) {
+                return Err(CoreError::UnknownTenant(t.to_string()));
+            }
+        }
+        self.graph.shares().grant(owner, peer, right);
+        Ok(())
+    }
+
+    /// Revokes whatever right `peer` held over `owner`'s namespace.
+    pub fn revoke_share(&self, owner: &str, peer: &str) -> Result<()> {
+        if !self.has_tenant(owner) {
+            return Err(CoreError::UnknownTenant(owner.to_string()));
+        }
+        self.graph.shares().revoke(owner, peer);
+        Ok(())
+    }
+
+    /// Point-in-time copy of the grants `owner` has extended.
+    pub fn share_policy(&self, owner: &str) -> SharePolicy {
+        self.graph.shares().policy_of(owner)
     }
 
     /// First-writer-pays usage per tenant name.
@@ -260,6 +315,8 @@ pub struct Tenant {
     name: String,
     id: TenantId,
     store: Arc<ChunkStore>,
+    /// Actor-scoped graph view: writes act as this tenant's namespace.
+    graph: CommitGraph,
 }
 
 impl Tenant {
@@ -289,6 +346,83 @@ impl Tenant {
     /// This tenant's first-writer-pays usage.
     pub fn usage(&self) -> TenantUsage {
         self.workspace.store.tenant_accounts().usage(self.id)
+    }
+
+    /// This tenant's branches — the shared graph's `"{name}/…"` entries,
+    /// listed under their caller-facing (prefix-stripped) names, sorted.
+    /// Peers' branches never appear here, whatever grants exist.
+    pub fn branches(&self) -> Vec<String> {
+        let prefix = format!("{}/", self.name);
+        self.workspace
+            .graph
+            .branches()
+            .into_iter()
+            .filter_map(|b| b.strip_prefix(&prefix).map(str::to_string))
+            .collect()
+    }
+
+    /// Grants `peer` the given [`ShareRight`] over this tenant's namespace.
+    pub fn grant_to(&self, peer: &str, right: ShareRight) -> Result<()> {
+        self.workspace.grant_share(&self.name, peer, right)
+    }
+
+    /// Revokes whatever right `peer` held over this tenant's namespace.
+    pub fn revoke_from(&self, peer: &str) -> Result<()> {
+        self.workspace.revoke_share(&self.name, peer)
+    }
+
+    /// Forks a peer tenant's branch into this tenant's namespace: creates
+    /// `new_branch` (caller-facing; `"{self}/{new_branch}"` in the shared
+    /// graph) pointing at the head of the peer's `branch` — a branch whose
+    /// parent commits live in the *peer's* namespace, the upstream/
+    /// downstream-team workflow's starting point. Requires a
+    /// [`ShareRight::Fork`] grant from `peer`; a denial is raised before
+    /// any graph or accounting access.
+    ///
+    /// Forking hands over references, not bytes: the head's metafile and
+    /// the component outputs it lists are recorded as referenced by this
+    /// tenant in the shared-refcount ledger (the fair-share view a capacity
+    /// planner bills), while first-writer-pays attribution stays with the
+    /// peer. Nothing is copied — dedup makes the fork physically free.
+    pub fn fork_from(&self, peer: &str, branch: &str, new_branch: &str) -> Result<Commit> {
+        if !self.workspace.has_tenant(peer) {
+            return Err(CoreError::UnknownTenant(peer.to_string()));
+        }
+        if !self
+            .graph
+            .shares()
+            .allows(peer, &self.name, ShareRight::Fork)
+        {
+            return Err(CoreError::ShareDenied {
+                owner: peer.to_string(),
+                peer: self.name.clone(),
+                needed: ShareRight::Fork,
+            });
+        }
+        let from = format!("{peer}/{branch}");
+        let to = format!("{}/{new_branch}", self.name);
+        // Resolve the peer head's metafile *before* creating the branch —
+        // every fallible read happens while the graph is still untouched —
+        // then fork exactly the snapshot that was validated, immune to the
+        // peer committing concurrently.
+        let seen = self.graph.head(&from)?;
+        let meta: PipelineMetafile = self.workspace.store.get_meta(&ObjectRef {
+            id: seen.payload,
+            kind: ObjectKind::Pipeline,
+            len: 0,
+        })?;
+        let head = self.graph.branch_at(&from, &to, seen.id)?;
+        // Refcount handoff: this tenant now depends on the forked head's
+        // metafile and every output it references. Committed metafiles and
+        // their outputs are GC roots, so these adoptions cannot hit swept
+        // blobs; only a storage-backend fault can interrupt them.
+        self.store.adopt_blob(head.payload)?;
+        for slot in &meta.slots {
+            if !slot.output.is_null() {
+                self.store.adopt_blob(slot.output.id)?;
+            }
+        }
+        Ok(head)
     }
 
     /// Opens a pipeline system for this tenant over the shared workspace.
@@ -359,6 +493,23 @@ mod tests {
     }
 
     #[test]
+    fn tenant_names_must_be_valid_namespaces() {
+        // A '/' in a tenant name would make namespace ownership resolve on
+        // the wrong prefix, leaving the tenant's branches unprotected.
+        let ws = Workspace::in_memory_small();
+        for bad in ["team/a", "/", ""] {
+            assert!(
+                matches!(
+                    ws.add_tenant(bad, QuotaPolicy::UNLIMITED),
+                    Err(CoreError::InvalidTenantName(_))
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+        assert!(ws.tenant_names().is_empty());
+    }
+
+    #[test]
     fn tenants_share_one_store_and_namespace_branches() {
         let ws = Workspace::in_memory_small();
         let a = ws.add_tenant("team_a", QuotaPolicy::UNLIMITED).unwrap();
@@ -396,6 +547,46 @@ mod tests {
         );
         let shared = ws.shared_view();
         assert!(shared["team_b"].referenced_bytes > 0);
+    }
+
+    #[test]
+    fn fork_requires_grant_and_hands_over_refs() {
+        let ws = Workspace::in_memory_small();
+        let up = ws.add_tenant("up", QuotaPolicy::UNLIMITED).unwrap();
+        let down = ws.add_tenant("down", QuotaPolicy::UNLIMITED).unwrap();
+        let sys_up = tenant_system(&up);
+        let clock = ClockLedger::new();
+        sys_up
+            .commit_pipeline("master", &toy_keys(&sys_up, 0), "upstream initial", &clock)
+            .unwrap();
+        // No grant: denied, nothing created, nothing attributed.
+        let branches_before = ws.graph().branches();
+        assert!(matches!(
+            down.fork_from("up", "master", "feature"),
+            Err(CoreError::ShareDenied {
+                needed: ShareRight::Fork,
+                ..
+            })
+        ));
+        assert!(matches!(
+            down.fork_from("ghost", "master", "feature"),
+            Err(CoreError::UnknownTenant(_))
+        ));
+        assert_eq!(ws.graph().branches(), branches_before);
+        assert_eq!(ws.shared_view()["down"].referenced_bytes, 0);
+        // Granted: the fork points at the peer's head and the forker now
+        // references (but did not pay for) the head's bytes.
+        up.grant_to("down", ShareRight::Fork).unwrap();
+        assert!(ws.share_policy("up").allows("down", ShareRight::Read));
+        let head = down.fork_from("up", "master", "feature").unwrap();
+        assert_eq!(head.branch, "up/master");
+        assert_eq!(down.branches(), vec!["feature"]);
+        assert_eq!(up.branches(), vec!["master"]);
+        assert!(ws.shared_view()["down"].referenced_bytes > 0);
+        assert_eq!(down.usage().physical_bytes, 0, "references, not bytes");
+        // Revocation stops further forks.
+        up.revoke_from("down").unwrap();
+        assert!(down.fork_from("up", "master", "feature2").is_err());
     }
 
     #[test]

@@ -623,43 +623,48 @@ impl<'s> Executor<'s> {
             }
         }
         let book = ProfileBook::new();
-        // Lookups respect the reuse policy; checkpoint *inserts* are
-        // deferred to after the replay so the caller's cache receives
-        // exactly the entries a sequential run would have recorded, even on
-        // failure paths.
-        let lookup = if options.reuse { cache } else { None };
-        let phase1 =
-            self.wavefront_phase1(pipeline, lookup, None, &book, options.parallelism, true)?;
+        // A hard error aborts the run before (or during) its replay: traced
+        // writes whose reservations were never settled hand the quota
+        // headroom back.
+        book.reservation_scope(self.store, || {
+            // Lookups respect the reuse policy; checkpoint *inserts* are
+            // deferred to after the replay so the caller's cache receives
+            // exactly the entries a sequential run would have recorded, even
+            // on failure paths.
+            let lookup = if options.reuse { cache } else { None };
+            let phase1 =
+                self.wavefront_phase1(pipeline, lookup, None, &book, options.parallelism, true)?;
 
-        let mut sim = CacheSnapshot::new();
-        let mut cursor = book.replay_cursor();
-        let report = replay_run(
-            self.store,
-            pipeline,
-            &book,
-            &phase1.pre,
-            &mut sim,
-            &mut cursor,
-            ledger,
-            options,
-            options.reuse,
-        )?;
+            let mut sim = CacheSnapshot::new();
+            let mut cursor = book.replay_cursor();
+            let report = replay_run(
+                self.store,
+                pipeline,
+                &book,
+                &phase1.pre,
+                &mut sim,
+                &mut cursor,
+                ledger,
+                options,
+                options.reuse,
+            )?;
 
-        // Canonical cache side-state: the sequential executor records a
-        // checkpoint for every stage it executed (whatever the reuse
-        // policy), and nothing beyond the stage it failed at.
-        if let Some(c) = cache {
-            let order = pipeline.dag.topo_order()?;
-            for (stage, node) in report.stages.iter().zip(&order) {
-                if stage.reused {
-                    continue;
-                }
-                if let Some(slot) = phase1.slots[*node].lock().take() {
-                    c.insert(slot.key, slot.cached);
+            // Canonical cache side-state: the sequential executor records a
+            // checkpoint for every stage it executed (whatever the reuse
+            // policy), and nothing beyond the stage it failed at.
+            if let Some(c) = cache {
+                let order = pipeline.dag.topo_order()?;
+                for (stage, node) in report.stages.iter().zip(&order) {
+                    if stage.reused {
+                        continue;
+                    }
+                    if let Some(slot) = phase1.slots[*node].lock().take() {
+                        c.insert(slot.key, slot.cached);
+                    }
                 }
             }
-        }
-        Ok(report)
+            Ok(report)
+        })
     }
 
     /// Phase 1 of wavefront execution: runs the pipeline's nodes on
@@ -801,7 +806,11 @@ impl<'s> Executor<'s> {
                         if let Some(c) = live_insert {
                             c.insert(key.clone(), cached.clone());
                         }
-                        book.record_profile(
+                        // A sibling racing this exact key may have recorded
+                        // first; the displaced duplicate's reservation must
+                        // be released here or it would outlive the search
+                        // (only book-kept traces are settled by the replay).
+                        if let Some(lost) = book.record_profile(
                             key.clone(),
                             StageProfile {
                                 cached: cached.clone(),
@@ -809,7 +818,11 @@ impl<'s> Executor<'s> {
                                 exec_ns,
                                 write: Some(trace),
                             },
-                        );
+                        ) {
+                            if let Some(t) = &lost.write {
+                                self.store.release_trace(t);
+                            }
+                        }
                         *slots[node].lock() = Some(WaveSlot {
                             key,
                             cached,

@@ -346,12 +346,17 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         self.shards[self.shard_of(&key)].write().insert(key, value);
     }
 
-    /// Inserts only if absent (first writer wins).
-    pub fn insert_if_absent(&self, key: K, value: V) {
-        self.shards[self.shard_of(&key)]
-            .write()
-            .entry(key)
-            .or_insert(value);
+    /// Inserts only if absent (first writer wins). Returns the rejected
+    /// `value` when an entry already existed, so callers can dispose of a
+    /// racing duplicate's side-state (e.g. release its quota reservation).
+    pub fn insert_if_absent(&self, key: K, value: V) -> Option<V> {
+        match self.shards[self.shard_of(&key)].write().entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => Some(value),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+                None
+            }
+        }
     }
 
     /// Number of entries across all shards.
@@ -369,6 +374,27 @@ impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
     /// Cloned value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<V> {
         self.shards[self.shard_of(key)].read().get(key).cloned()
+    }
+
+    /// Point-in-time copy of every value (unspecified order).
+    pub fn values(&self) -> Vec<V> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            out.extend(s.read().values().cloned());
+        }
+        out
+    }
+}
+
+impl<K: Eq + Hash, V> ShardedMap<K, V> {
+    /// Visits every value by reference (unspecified order, one shard read
+    /// lock at a time) — no clones, for cheap sweeps over large values.
+    pub fn for_each_value(&self, mut f: impl FnMut(&V)) {
+        for s in &self.shards {
+            for v in s.read().values() {
+                f(v);
+            }
+        }
     }
 }
 

@@ -82,12 +82,16 @@ impl ProfileBook {
         ProfileBook::default()
     }
 
-    /// Records an execution profile (first writer wins).
-    pub fn record_profile(&self, key: CacheKey, profile: StageProfile) {
+    /// Records an execution profile (first writer wins). When a racing
+    /// execution of the same key already recorded one, the rejected profile
+    /// is returned so the caller can release its write trace's quota
+    /// reservation — the book will never settle a trace it did not keep.
+    #[must_use = "a rejected duplicate's reservation must be released"]
+    pub fn record_profile(&self, key: CacheKey, profile: StageProfile) -> Option<StageProfile> {
         if let Some(w) = &profile.write {
             self.observe_write(w);
         }
-        self.profiles.insert_if_absent(key, profile);
+        self.profiles.insert_if_absent(key, profile)
     }
 
     /// Records that executing `key` fails with a schema incompatibility.
@@ -126,6 +130,43 @@ impl ProfileBook {
         ReplayCursor {
             unseen: self.new_chunks.lock().clone(),
         }
+    }
+
+    /// Releases the quota reservations of every traced write recorded in
+    /// this book that has not been settled by a replay.
+    ///
+    /// Engines call this when an evaluation aborts before (or during) its
+    /// accounting replay — a quota breach, an unresolvable component, a
+    /// storage fault — so in-flight reservations never outlive the
+    /// evaluation that took them: tenant accounts end exactly where they
+    /// started. Safe to call unconditionally; settled traces are no-ops.
+    pub fn release_reservations(&self, store: &ChunkStore) {
+        self.profiles.for_each_value(|profile| {
+            if let Some(trace) = &profile.write {
+                store.release_trace(trace);
+            }
+        });
+    }
+
+    /// Runs one evaluation (phase 1 and its accounting replay) against this
+    /// book, then releases whatever reservations remain unsettled —
+    /// unconditionally, success and failure alike.
+    ///
+    /// Traces the replay charged are already settled, so releasing them is
+    /// a no-op; what this scope actually reclaims are the traces the
+    /// canonical order never replays: nodes past a dynamic failure
+    /// frontier (a run that *completes* with `RunOutcome::Failed`),
+    /// racing duplicates, and everything recorded before a hard error.
+    /// The invariant engines get for free by wrapping their evaluation
+    /// here: **no reservation outlives the evaluation that took it.**
+    pub fn reservation_scope<T, E>(
+        &self,
+        store: &ChunkStore,
+        f: impl FnOnce() -> std::result::Result<T, E>,
+    ) -> std::result::Result<T, E> {
+        let result = f();
+        self.release_reservations(store);
+        result
     }
 }
 
@@ -317,5 +358,118 @@ pub fn replay_run(
             outcome: RunOutcome::Completed { score },
         }),
         None => Err(PipelineError::NoScore),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentKey;
+    use crate::schema::Schema;
+    use crate::semver::SemVer;
+    use mlcask_storage::object::ObjectKind;
+    use mlcask_storage::tenant::{QuotaPolicy, TenantId};
+
+    /// Two phase-1 workers racing one cache key both take a reservation;
+    /// the book keeps one profile and returns the duplicate, whose
+    /// reservation the caller releases — nothing may leak.
+    #[test]
+    fn duplicate_profile_reservation_can_be_released() {
+        let root = ChunkStore::in_memory_small();
+        let t = root.for_tenant(TenantId(1));
+        root.tenant_accounts()
+            .register(TenantId(1), QuotaPolicy::logical(1_000_000));
+        let book = ProfileBook::new();
+        let key = CacheKey {
+            component: ComponentKey::new("c", SemVer::master(0, 0)),
+            inputs: vec![],
+        };
+        let profile = |data: &[u8]| {
+            let (put, trace) = t.put_blob_traced(ObjectKind::Output, data).unwrap();
+            StageProfile {
+                cached: CachedOutput {
+                    object: put.object,
+                    artifact_id: put.object.id,
+                    schema: Schema::FeatureMatrix {
+                        dim: 2,
+                        n_classes: 2,
+                    }
+                    .id(),
+                    score: None,
+                },
+                artifact_bytes: data.len() as u64,
+                exec_ns: 1,
+                write: Some(trace),
+            }
+        };
+        let accounts = root.tenant_accounts();
+        assert!(book
+            .record_profile(key.clone(), profile(b"racing twin"))
+            .is_none());
+        let lost = book
+            .record_profile(key.clone(), profile(b"racing twin"))
+            .expect("second writer is rejected");
+        assert_eq!(accounts.open_reservations(), 2);
+        t.release_trace(lost.write.as_ref().unwrap());
+        assert_eq!(accounts.open_reservations(), 1, "duplicate released");
+        // The kept profile's reservation is the abort path's business.
+        book.release_reservations(&t);
+        assert_eq!(accounts.open_reservations(), 0);
+        assert_eq!(accounts.usage(TenantId(1)).logical_bytes, 0);
+    }
+
+    /// `reservation_scope` releases unsettled traces on every exit path —
+    /// a run that *completes* with a failure outcome (`Ok`) leaves
+    /// unreplayed sibling traces behind just like a hard error does.
+    #[test]
+    fn reservation_scope_releases_on_success_and_error() {
+        let root = ChunkStore::in_memory_small();
+        let t = root.for_tenant(TenantId(2));
+        root.tenant_accounts()
+            .register(TenantId(2), QuotaPolicy::logical(1_000_000));
+        let accounts = root.tenant_accounts();
+        let record = |book: &ProfileBook, tag: &[u8]| {
+            let (_, trace) = t.put_blob_traced(ObjectKind::Output, tag).unwrap();
+            let rejected = book.record_profile(
+                CacheKey {
+                    component: ComponentKey::new("c", SemVer::master(0, 0)),
+                    inputs: vec![],
+                },
+                StageProfile {
+                    cached: CachedOutput {
+                        object: ObjectRef::null(ObjectKind::Output),
+                        artifact_id: Hash256::ZERO,
+                        schema: Schema::FeatureMatrix {
+                            dim: 2,
+                            n_classes: 2,
+                        }
+                        .id(),
+                        score: None,
+                    },
+                    artifact_bytes: tag.len() as u64,
+                    exec_ns: 1,
+                    write: Some(trace),
+                },
+            );
+            assert!(rejected.is_none());
+        };
+        // Success path: an unreplayed trace (e.g. a sibling past a dynamic
+        // failure frontier in a run reported as Ok(Failed)) is released.
+        let book = ProfileBook::new();
+        let ok: Result<u32> = book.reservation_scope(&t, || {
+            record(&book, b"ok-path");
+            Ok(7)
+        });
+        assert_eq!(ok.unwrap(), 7);
+        assert_eq!(accounts.open_reservations(), 0, "success releases too");
+        // Error path likewise.
+        let book = ProfileBook::new();
+        let err: Result<u32> = book.reservation_scope(&t, || {
+            record(&book, b"err-path");
+            Err(PipelineError::NoScore)
+        });
+        assert!(err.is_err());
+        assert_eq!(accounts.open_reservations(), 0, "error path releases");
+        assert_eq!(accounts.usage(TenantId(2)).logical_bytes, 0);
     }
 }

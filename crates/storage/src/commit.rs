@@ -1,16 +1,34 @@
-//! Git-like commit graph with branches and common-ancestor queries.
+//! Git-like commit graph with branches, common-ancestor queries, and
+//! permission-checked namespaced writes.
 //!
 //! Commits are immutable, content-addressed records forming a Merkle DAG
 //! (each commit id covers its payload and parent ids). Branches are mutable
 //! names pointing at head commits. The merge machinery in `mlcask-core`
 //! relies on [`CommitGraph::common_ancestor`] to delimit component search
 //! spaces (§V of the paper).
+//!
+//! # Namespaced writes
+//!
+//! In a multi-tenant workspace many tenants share one graph, with each
+//! tenant's branches living under a `"{tenant}/"` prefix. A `CommitGraph`
+//! value is a *view* over shared state: [`CommitGraph::for_namespace`]
+//! produces a view acting as one tenant, and every write entry point
+//! (commit, branch creation, merge) checks the acting namespace against the
+//! shared [`ShareTable`] — a branch in a registered namespace is writable
+//! only by its owner or by a peer holding a sufficient [`ShareRight`]
+//! grant, whichever view (including raw string APIs) the write arrives
+//! through. Reads are unrestricted: the graph is one auditable history.
+//! Graphs with no registered namespaces (the single-tenant case) behave
+//! exactly as before.
 
 use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
+use crate::tenant::{ShareRight, ShareTable};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An immutable commit record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,27 +80,103 @@ impl Commit {
     }
 }
 
-/// Mutable branch table + immutable commit set.
+/// The state every view of one graph shares.
 #[derive(Default)]
-pub struct CommitGraph {
+struct GraphState {
     commits: RwLock<HashMap<Hash256, Commit>>,
     branches: RwLock<HashMap<String, Hash256>>,
     tick: RwLock<u64>,
     /// Number of graph-append *operations* (lock transactions), not commits:
     /// a [`CommitGraph::commit_batch`] of N commits counts as one append.
     appends: AtomicU64,
+    /// Namespace ownership + share grants consulted on every write.
+    shares: ShareTable,
 }
 
-use std::sync::atomic::{AtomicU64, Ordering};
+/// Mutable branch table + immutable commit set, acted on through
+/// (possibly namespace-scoped) views — see the module docs.
+pub struct CommitGraph {
+    state: Arc<GraphState>,
+    /// The namespace this view writes as; `None` is the un-namespaced root
+    /// view (sufficient for graphs without registered namespaces).
+    actor: Option<String>,
+}
+
+impl Default for CommitGraph {
+    fn default() -> Self {
+        CommitGraph {
+            state: Arc::new(GraphState::default()),
+            actor: None,
+        }
+    }
+}
 
 impl CommitGraph {
-    /// Empty graph.
+    /// Empty graph (root view).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A view over the same graph whose writes act as namespace `ns`:
+    /// allowed on `ns`'s own branches, on unowned branches, and on peer
+    /// namespaces that granted `ns` a sufficient [`ShareRight`].
+    pub fn for_namespace(&self, ns: &str) -> CommitGraph {
+        CommitGraph {
+            state: Arc::clone(&self.state),
+            actor: Some(ns.to_string()),
+        }
+    }
+
+    /// A view over the same graph with no acting namespace. Sufficient for
+    /// graphs without registered namespaces; on a multi-tenant graph its
+    /// writes into owned namespaces are rejected (reads are unrestricted).
+    pub fn root_view(&self) -> CommitGraph {
+        CommitGraph {
+            state: Arc::clone(&self.state),
+            actor: None,
+        }
+    }
+
+    /// The namespace this view acts as, if any.
+    pub fn actor(&self) -> Option<&str> {
+        self.actor.as_deref()
+    }
+
+    /// The shared namespace-ownership and grant table. Register a namespace
+    /// here to make its branches permission-checked; grants are managed by
+    /// the workspace layer.
+    pub fn shares(&self) -> &ShareTable {
+        &self.state.shares
+    }
+
+    /// Checks that this view may append to / create `branch`. Writing into
+    /// an owned namespace requires being the owner or holding a
+    /// [`ShareRight::MergeInto`] grant from it.
+    fn authorize_write(&self, branch: &str) -> Result<()> {
+        self.authorize(branch, ShareRight::MergeInto)
+    }
+
+    fn authorize(&self, branch: &str, needed: ShareRight) -> Result<()> {
+        let Some(owner) = self.state.shares.owner_of(branch) else {
+            return Ok(());
+        };
+        let allowed = match &self.actor {
+            Some(actor) => self.state.shares.allows(&owner, actor, needed),
+            None => false,
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(StorageError::PermissionDenied {
+                actor: self.actor.clone(),
+                branch: branch.to_string(),
+                needed,
+            })
+        }
+    }
+
     fn next_tick(&self) -> u64 {
-        let mut t = self.tick.write();
+        let mut t = self.state.tick.write();
         *t += 1;
         *t
     }
@@ -91,12 +185,14 @@ impl CommitGraph {
     /// once however many commits they append — the quantity the batched
     /// commit path amortizes.
     pub fn append_ops(&self) -> u64 {
-        self.appends.load(Ordering::Relaxed)
+        self.state.appends.load(Ordering::Relaxed)
     }
 
-    /// Creates a root commit on a new branch.
+    /// Creates a root commit on a new branch. Permission-checked against
+    /// the branch's namespace.
     pub fn commit_root(&self, branch: &str, payload: Hash256, message: &str) -> Result<Commit> {
-        if self.branches.read().contains_key(branch) {
+        self.authorize_write(branch)?;
+        if self.state.branches.read().contains_key(branch) {
             return Err(StorageError::BranchExists(branch.to_string()));
         }
         let tick = self.next_tick();
@@ -110,14 +206,16 @@ impl CommitGraph {
             message: message.to_string(),
             tick,
         };
-        self.commits.write().insert(id, c.clone());
-        self.branches.write().insert(branch.to_string(), id);
-        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.commits.write().insert(id, c.clone());
+        self.state.branches.write().insert(branch.to_string(), id);
+        self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
 
-    /// Appends a commit to `branch`'s head.
+    /// Appends a commit to `branch`'s head. Permission-checked against the
+    /// branch's namespace.
     pub fn commit(&self, branch: &str, payload: Hash256, message: &str) -> Result<Commit> {
+        self.authorize_write(branch)?;
         let head = self.head(branch)?;
         let tick = self.next_tick();
         let seq = head.seq + 1;
@@ -131,9 +229,9 @@ impl CommitGraph {
             message: message.to_string(),
             tick,
         };
-        self.commits.write().insert(id, c.clone());
-        self.branches.write().insert(branch.to_string(), id);
-        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.commits.write().insert(id, c.clone());
+        self.state.branches.write().insert(branch.to_string(), id);
+        self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
 
@@ -144,12 +242,16 @@ impl CommitGraph {
     /// at a time with [`CommitGraph::commit`] (creating the branch's root
     /// commit first if the branch does not exist yet).
     pub fn commit_batch(&self, branch: &str, entries: &[(Hash256, String)]) -> Result<Vec<Commit>> {
+        // Authorization precedes the empty-batch shortcut so the permission
+        // surface is uniform: probing with zero entries denies like any
+        // other write.
+        self.authorize_write(branch)?;
         if entries.is_empty() {
             return Ok(Vec::new());
         }
-        let mut commits = self.commits.write();
-        let mut branches = self.branches.write();
-        let mut tick = self.tick.write();
+        let mut commits = self.state.commits.write();
+        let mut branches = self.state.branches.write();
+        let mut tick = self.state.tick.write();
         let mut head: Option<Commit> = match branches.get(branch) {
             Some(id) => Some(
                 commits
@@ -181,11 +283,17 @@ impl CommitGraph {
             out.push(c);
         }
         branches.insert(branch.to_string(), out.last().expect("non-empty batch").id);
-        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(out)
     }
 
     /// Records a merge commit on `base_branch` with two parents.
+    ///
+    /// Permission-checked twice: writing `base_branch` needs
+    /// [`ShareRight::MergeInto`] from its owner, and taking `merge_head` as
+    /// a parent needs [`ShareRight::Read`] from the owner of the branch it
+    /// was committed on (one's own history, and unowned branches, always
+    /// pass).
     pub fn commit_merge(
         &self,
         base_branch: &str,
@@ -193,9 +301,32 @@ impl CommitGraph {
         payload: Hash256,
         message: &str,
     ) -> Result<Commit> {
+        self.authorize_write(base_branch)?;
         let head = self.head(base_branch)?;
-        if !self.commits.read().contains_key(&merge_head) {
-            return Err(StorageError::MissingParent(merge_head));
+        let merge_parent_branch = {
+            let commits = self.state.commits.read();
+            commits
+                .get(&merge_head)
+                .ok_or(StorageError::MissingParent(merge_head))?
+                .branch
+                .clone()
+        };
+        // A commit that currently tips a branch the actor owns (or an open
+        // branch) is the actor's own history — e.g. the head of a fork
+        // taken under a since-revoked grant — and needs no Read grant from
+        // the namespace it was originally committed on.
+        let tips_own_branch = {
+            let branches = self.state.branches.read();
+            branches.iter().any(|(name, id)| {
+                *id == merge_head
+                    && match self.state.shares.owner_of(name) {
+                        None => true,
+                        Some(owner) => self.actor.as_deref() == Some(owner.as_str()),
+                    }
+            })
+        };
+        if !tips_own_branch {
+            self.authorize(&merge_parent_branch, ShareRight::Read)?;
         }
         let tick = self.next_tick();
         let seq = head.seq + 1;
@@ -210,26 +341,54 @@ impl CommitGraph {
             message: message.to_string(),
             tick,
         };
-        self.commits.write().insert(id, c.clone());
-        self.branches.write().insert(base_branch.to_string(), id);
-        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.commits.write().insert(id, c.clone());
+        self.state
+            .branches
+            .write()
+            .insert(base_branch.to_string(), id);
+        self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
 
     /// Creates `new_branch` pointing at `from`'s current head.
+    ///
+    /// Permission-checked twice: creating `new_branch` needs write access
+    /// to its namespace, and branching *from* an owned namespace needs a
+    /// [`ShareRight::Fork`] grant from its owner — the cross-tenant fork
+    /// that makes `from`'s head a parent in the forker's history.
     pub fn branch(&self, from: &str, new_branch: &str) -> Result<Commit> {
         let head = self.head(from)?;
-        let mut branches = self.branches.write();
+        self.branch_at(from, new_branch, head.id)
+    }
+
+    /// [`CommitGraph::branch`] pinned to a snapshot: creates `new_branch`
+    /// pointing at `at`, which must be `from`'s current head or one of its
+    /// ancestors. Same permission checks as `branch`. Callers that
+    /// pre-validate state against a head they read earlier (e.g. the
+    /// workspace's fork handoff) use this to fork exactly that snapshot,
+    /// immune to the source branch advancing concurrently.
+    pub fn branch_at(&self, from: &str, new_branch: &str, at: Hash256) -> Result<Commit> {
+        self.authorize(from, ShareRight::Fork)?;
+        self.authorize_write(new_branch)?;
+        let head = self.head(from)?;
+        // `at == head` is the common (plain `branch`) case — skip the
+        // ancestor walk so branch creation stays O(1) on long histories.
+        if at != head.id && !self.is_ancestor(at, head.id)? {
+            return Err(StorageError::MissingParent(at));
+        }
+        let commit = self.get(at)?;
+        let mut branches = self.state.branches.write();
         if branches.contains_key(new_branch) {
             return Err(StorageError::BranchExists(new_branch.to_string()));
         }
-        branches.insert(new_branch.to_string(), head.id);
-        Ok(head)
+        branches.insert(new_branch.to_string(), at);
+        Ok(commit)
     }
 
     /// Current head commit of `branch`.
     pub fn head(&self, branch: &str) -> Result<Commit> {
         let id = *self
+            .state
             .branches
             .read()
             .get(branch)
@@ -239,7 +398,8 @@ impl CommitGraph {
 
     /// Fetches a commit by id.
     pub fn get(&self, id: Hash256) -> Result<Commit> {
-        self.commits
+        self.state
+            .commits
             .read()
             .get(&id)
             .cloned()
@@ -248,14 +408,14 @@ impl CommitGraph {
 
     /// All branch names (sorted for determinism).
     pub fn branches(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.branches.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.state.branches.read().keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of commits in the graph.
     pub fn len(&self) -> usize {
-        self.commits.read().len()
+        self.state.commits.read().len()
     }
 
     /// True if the graph has no commits.
@@ -265,7 +425,7 @@ impl CommitGraph {
 
     /// Set of all ancestors of `id` (including `id` itself).
     pub fn ancestors(&self, id: Hash256) -> Result<HashSet<Hash256>> {
-        let commits = self.commits.read();
+        let commits = self.state.commits.read();
         if !commits.contains_key(&id) {
             return Err(StorageError::NotFound(id));
         }
@@ -293,7 +453,7 @@ impl CommitGraph {
     pub fn common_ancestor(&self, a: Hash256, b: Hash256) -> Result<Option<Commit>> {
         let aa = self.ancestors(a)?;
         let bb = self.ancestors(b)?;
-        let commits = self.commits.read();
+        let commits = self.state.commits.read();
         let best = aa
             .intersection(&bb)
             .filter_map(|id| commits.get(id))
@@ -521,6 +681,143 @@ mod tests {
         // Empty batches are free.
         assert!(batched.commit_batch("master", &[]).unwrap().is_empty());
         assert_eq!(batched.append_ops(), 2);
+    }
+
+    #[test]
+    fn namespaced_writes_require_grants() {
+        let g = CommitGraph::new();
+        g.shares().register_namespace("up");
+        g.shares().register_namespace("down");
+        let up = g.for_namespace("up");
+        let down = g.for_namespace("down");
+        up.commit_root("up/master", payload(0), "init").unwrap();
+        // Raw root-view writes into an owned namespace are rejected.
+        assert!(matches!(
+            g.commit_root("up/evil", payload(1), "raw bypass"),
+            Err(StorageError::PermissionDenied { actor: None, .. })
+        ));
+        // A peer without a grant can neither append nor fork.
+        assert!(matches!(
+            down.commit("up/master", payload(1), "hijack"),
+            Err(StorageError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            down.commit_batch("up/master", &[(payload(1), "hijack".into())]),
+            Err(StorageError::PermissionDenied { .. })
+        ));
+        assert!(
+            matches!(
+                down.commit_batch("up/master", &[]),
+                Err(StorageError::PermissionDenied { .. })
+            ),
+            "even an empty batch reveals no write access"
+        );
+        assert!(matches!(
+            down.branch("up/master", "down/fork"),
+            Err(StorageError::PermissionDenied {
+                needed: ShareRight::Fork,
+                ..
+            })
+        ));
+        // Unowned branches stay open to everyone (solo compatibility).
+        g.commit_root("master", payload(2), "solo").unwrap();
+        down.commit("master", payload(3), "solo too").unwrap();
+        // A Fork grant unlocks branching but not merging into the owner.
+        g.shares().grant("up", "down", ShareRight::Fork);
+        let head = down.branch("up/master", "down/fork").unwrap();
+        assert_eq!(head.seq, 0);
+        let d1 = down.commit("down/fork", payload(4), "diverge").unwrap();
+        let u1 = up.commit("up/master", payload(5), "advance").unwrap();
+        assert!(matches!(
+            down.commit_merge("up/master", d1.id, payload(6), "contribute"),
+            Err(StorageError::PermissionDenied {
+                needed: ShareRight::MergeInto,
+                ..
+            })
+        ));
+        // MergeInto unlocks the contribution; the owner can also read the
+        // peer's fork head as a merge parent only with a Read grant back.
+        g.shares().grant("up", "down", ShareRight::MergeInto);
+        let merged = down
+            .commit_merge("up/master", d1.id, payload(6), "contribute")
+            .unwrap();
+        assert_eq!(merged.parents, vec![u1.id, d1.id]);
+        assert!(matches!(
+            up.commit_merge("up/master", d1.id, payload(7), "pull"),
+            Err(StorageError::PermissionDenied {
+                needed: ShareRight::Read,
+                ..
+            })
+        ));
+        g.shares().grant("down", "up", ShareRight::Read);
+        up.commit_merge("up/master", d1.id, payload(7), "pull")
+            .unwrap();
+        // Reads stay open to every view.
+        assert_eq!(g.head("up/master").unwrap().seq, 3);
+        assert!(down.ancestors(merged.id).is_ok());
+    }
+
+    #[test]
+    fn own_fork_tip_usable_after_grant_revocation() {
+        let g = CommitGraph::new();
+        g.shares().register_namespace("up");
+        g.shares().register_namespace("down");
+        let up = g.for_namespace("up");
+        let down = g.for_namespace("down");
+        up.commit_root("up/master", payload(0), "init").unwrap();
+        g.shares().grant("up", "down", ShareRight::Fork);
+        let fork_head = down.branch("up/master", "down/fork").unwrap();
+        down.commit_root("down/main", payload(1), "own root")
+            .unwrap();
+        g.shares().revoke("up", "down");
+        // The fork tip is the head of down's own branch: merging it into
+        // another of down's branches needs no Read grant from up, even
+        // though the commit was originally created on up/master.
+        let merged = down
+            .commit_merge("down/main", fork_head.id, payload(2), "pull own fork")
+            .unwrap();
+        assert_eq!(merged.parents[1], fork_head.id);
+        // A commit that only lives interior to up's history still does.
+        let u1 = up.commit("up/master", payload(3), "advance").unwrap();
+        let u2 = up.commit("up/master", payload(4), "advance again").unwrap();
+        for foreign in [u1.id, u2.id] {
+            assert!(matches!(
+                down.commit_merge("down/main", foreign, payload(5), "steal"),
+                Err(StorageError::PermissionDenied {
+                    needed: ShareRight::Read,
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn branch_at_pins_a_snapshot() {
+        let (g, cs) = linear_graph();
+        // Pin the branch to an ancestor of the current head.
+        let pinned = g.branch_at("master", "old", cs[1].id).unwrap();
+        assert_eq!(pinned.id, cs[1].id);
+        assert_eq!(g.head("old").unwrap().id, cs[1].id);
+        // Non-ancestors are rejected.
+        g.branch("master", "side").unwrap();
+        let s = g.commit("side", payload(9), "diverge").unwrap();
+        assert!(matches!(
+            g.branch_at("master", "bad", s.id),
+            Err(StorageError::MissingParent(_))
+        ));
+    }
+
+    #[test]
+    fn views_share_one_graph() {
+        let g = CommitGraph::new();
+        let v = g.for_namespace("team");
+        assert_eq!(v.actor(), Some("team"));
+        assert_eq!(g.actor(), None);
+        g.commit_root("master", payload(0), "init").unwrap();
+        assert_eq!(v.len(), 1, "views see the same commits");
+        v.commit("master", payload(1), "via view").unwrap();
+        assert_eq!(g.head("master").unwrap().seq, 1);
+        assert_eq!(g.append_ops(), 2);
     }
 
     #[test]

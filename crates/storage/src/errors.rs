@@ -1,7 +1,7 @@
 //! Error type for the storage engine.
 
 use crate::hash::Hash256;
-use crate::tenant::TenantId;
+use crate::tenant::{ShareRight, TenantId};
 use std::fmt;
 
 /// Errors surfaced by storage operations.
@@ -33,6 +33,16 @@ pub enum StorageError {
         /// Which axis was breached ("logical bytes" / "physical bytes").
         resource: &'static str,
     },
+    /// A branch operation targeted an owned namespace without a sufficient
+    /// [`ShareRight`] grant (see [`crate::tenant::ShareTable`]).
+    PermissionDenied {
+        /// The acting namespace (`None` for the un-namespaced root view).
+        actor: Option<String>,
+        /// The branch the operation targeted.
+        branch: String,
+        /// The right the operation required.
+        needed: ShareRight,
+    },
     /// Underlying I/O failure (file backend).
     Io(std::io::Error),
     /// (De)serialisation failure for manifests/commits.
@@ -60,6 +70,15 @@ impl fmt::Display for StorageError {
             } => write!(
                 f,
                 "{tenant} quota exceeded: write needs {needed} {resource} (limit {limit})"
+            ),
+            StorageError::PermissionDenied {
+                actor,
+                branch,
+                needed,
+            } => write!(
+                f,
+                "'{}' lacks the {needed} right on branch '{branch}'",
+                actor.as_deref().unwrap_or("<root>")
             ),
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
             StorageError::Codec(m) => write!(f, "codec error: {m}"),
@@ -118,6 +137,13 @@ mod tests {
         };
         let msg = q.to_string();
         assert!(msg.contains("tenant#3") && msg.contains("120") && msg.contains("100"));
+        let p = StorageError::PermissionDenied {
+            actor: Some("down".into()),
+            branch: "up/master".into(),
+            needed: ShareRight::MergeInto,
+        };
+        let msg = p.to_string();
+        assert!(msg.contains("down") && msg.contains("up/master") && msg.contains("merge-into"));
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //! * **Deduplicating store** — [`store::ChunkStore`] persists unseen chunks
 //!   only, with per-[`object::ObjectKind`] accounting in [`stats`].
 //! * **Branches + merges** — [`commit::CommitGraph`] is a Merkle commit DAG
-//!   with branch heads, fast-forward detection, LCA, and first-parent paths.
+//!   with branch heads, fast-forward detection, LCA, and first-parent paths;
+//!   namespaced branches are permission-checked against the shared
+//!   [`tenant::ShareTable`] so cross-tenant forks and merges require
+//!   explicit [`tenant::ShareRight`] grants.
+//! * **Multi-tenant accounting** — [`tenant::TenantAccounts`] attributes
+//!   dedup'd writes (first-writer-pays + fair-share views) and enforces
+//!   [`tenant::QuotaPolicy`] caps through an atomic reserve/settle/release
+//!   protocol, so even parallel in-flight evaluations cannot overshoot.
 //! * **Deterministic storage-time model** — [`costmodel::StorageCostModel`]
 //!   converts byte counts into modeled storage time so experiments are
 //!   machine-independent.
@@ -55,5 +62,8 @@ pub mod prelude {
     pub use crate::object::{Manifest, ObjectKind, ObjectRef};
     pub use crate::stats::{AtomicStats, KindStats, StorageStats};
     pub use crate::store::{ChunkStore, PutOutcome, PutTrace, SweepReport, WriteObs};
-    pub use crate::tenant::{QuotaPolicy, SharedUsage, TenantAccounts, TenantId, TenantUsage};
+    pub use crate::tenant::{
+        QuotaPolicy, ReservationId, ReservedBytes, SharePolicy, ShareRight, ShareTable,
+        SharedUsage, TenantAccounts, TenantId, TenantUsage,
+    };
 }

@@ -19,7 +19,7 @@ use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
 use crate::object::{Manifest, ObjectKind, ObjectRef};
 use crate::stats::{AtomicStats, KindStats, StorageStats};
-use crate::tenant::{TenantAccounts, TenantId, TenantUsage};
+use crate::tenant::{ReservationId, TenantAccounts, TenantId, TenantUsage};
 use bytes::Bytes;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -66,6 +66,9 @@ pub struct PutTrace {
     pub chunks: Vec<WriteObs>,
     /// The manifest object.
     pub manifest: WriteObs,
+    /// The quota reservation this (tenant-attributed) write holds until it
+    /// is settled at replay time or released on abort.
+    pub reservation: Option<ReservationId>,
 }
 
 impl PutTrace {
@@ -222,8 +225,9 @@ impl ChunkStore {
         self.attribute_tenant(trace, physical);
     }
 
-    /// Charges this view's tenant (if any) for one blob write and records
-    /// its chunk references in the shared ledger.
+    /// Charges this view's tenant (if any) for one blob write — settling
+    /// the reservation the write took out — and records its chunk
+    /// references in the shared ledger.
     ///
     /// Tenant attribution deliberately mirrors the statistics protocol:
     /// live writes charge immediately, traced writes charge during the
@@ -232,21 +236,35 @@ impl ChunkStore {
     /// across worker counts.
     fn attribute_tenant(&self, trace: &PutTrace, physical: u64) {
         let Some(tenant) = self.tenant else {
+            // An untenanted view replaying a tenant-reserved trace must
+            // still return the headroom.
+            self.release_trace(trace);
             return;
         };
-        self.tenants.charge(
-            tenant,
-            TenantUsage {
-                blobs_written: 1,
-                logical_bytes: trace.logical,
-                physical_bytes: physical,
-            },
-        );
+        let usage = TenantUsage {
+            blobs_written: 1,
+            logical_bytes: trace.logical,
+            physical_bytes: physical,
+        };
+        match trace.reservation {
+            Some(id) => self.tenants.settle(id, tenant, usage),
+            None => self.tenants.charge(tenant, usage),
+        }
         for c in &trace.chunks {
             self.tenants.add_chunk_ref(c.hash, c.len, tenant);
         }
         self.tenants
             .add_chunk_ref(trace.manifest.hash, trace.manifest.len, tenant);
+    }
+
+    /// Releases the quota reservation a traced write holds, without charging
+    /// anything (the write's evaluation aborted). Idempotent, and a no-op
+    /// for settled or untenanted traces — abort paths may release a whole
+    /// profile book of traces wholesale.
+    pub fn release_trace(&self, trace: &PutTrace) {
+        if let Some(id) = trace.reservation {
+            self.tenants.release(id);
+        }
     }
 
     /// Writes a blob like [`ChunkStore::put_blob`] but records **no**
@@ -278,16 +296,17 @@ impl ChunkStore {
         let manifest = Manifest::from_chunks(&chunks);
         let enc = manifest.encode();
         let id = Hash256::of(&enc);
-        // Quota gate: tenant-attributed writes (live *and* traced) are
-        // checked before any chunk is persisted, so a breaching write
-        // leaves no partial state. The physical estimate is an upper bound
-        // (repeated chunks within one blob count once per occurrence).
-        // Usage advances when writes are *attributed* — immediately for
-        // live writes, at replay time for traced ones — so one in-flight
-        // parallel evaluation can overshoot by its own writes; the next
-        // write after attribution catches the breach (see
-        // `TenantAccounts::check` for the concurrency contract).
-        if let Some(tenant) = self.tenant {
+        // Quota gate: tenant-attributed writes (live *and* traced)
+        // atomically check-and-*reserve* their bytes before any chunk is
+        // persisted, so a breaching write leaves no partial state and
+        // concurrent writers of one evaluation cannot jointly overshoot the
+        // cap. The physical estimate is an upper bound (repeated chunks
+        // within one blob — or raced by a sibling writer — count once per
+        // occurrence). The reservation is settled when the write is
+        // *attributed* — immediately for live writes, at canonical replay
+        // time for traced ones — and released if the evaluation aborts (see
+        // `TenantAccounts::reserve`).
+        let reservation = if let Some(tenant) = self.tenant {
             let quota = self.tenants.quota(tenant);
             let physical_estimate = if quota.max_physical_bytes.is_some() {
                 let mut est: u64 = chunks
@@ -302,25 +321,42 @@ impl ChunkStore {
             } else {
                 0
             };
-            self.tenants
-                .check(tenant, data.len() as u64, physical_estimate)?;
-        }
-        let mut new_bytes = 0u64;
-        let mut obs = Vec::with_capacity(chunks.len());
-        for c in &chunks {
-            let s = c.offset as usize;
-            let e = s + c.len as usize;
-            let was_new = self.backend.put(c.hash, &data[s..e])?;
-            if was_new {
-                new_bytes += c.len as u64;
+            Some(
+                self.tenants
+                    .reserve(tenant, data.len() as u64, physical_estimate)?,
+            )
+        } else {
+            None
+        };
+        let persist = || -> Result<(u64, Vec<WriteObs>, bool)> {
+            let mut new_bytes = 0u64;
+            let mut obs = Vec::with_capacity(chunks.len());
+            for c in &chunks {
+                let s = c.offset as usize;
+                let e = s + c.len as usize;
+                let was_new = self.backend.put(c.hash, &data[s..e])?;
+                if was_new {
+                    new_bytes += c.len as u64;
+                }
+                obs.push(WriteObs {
+                    hash: c.hash,
+                    len: c.len as u64,
+                    was_new,
+                });
             }
-            obs.push(WriteObs {
-                hash: c.hash,
-                len: c.len as u64,
-                was_new,
-            });
-        }
-        let manifest_new = self.backend.put(id, &enc)?;
+            let manifest_new = self.backend.put(id, &enc)?;
+            Ok((new_bytes, obs, manifest_new))
+        };
+        let (new_bytes, obs, manifest_new) = match persist() {
+            Ok(v) => v,
+            Err(e) => {
+                // A backend fault mid-write must not strand the headroom.
+                if let Some(r) = reservation {
+                    self.tenants.release(r);
+                }
+                return Err(e);
+            }
+        };
         let manifest_bytes = if manifest_new { enc.len() as u64 } else { 0 };
         let physical = new_bytes + manifest_bytes;
         let trace = PutTrace {
@@ -332,6 +368,7 @@ impl ChunkStore {
                 len: enc.len() as u64,
                 was_new: manifest_new,
             },
+            reservation,
         };
         Ok((
             PutOutcome {
@@ -384,6 +421,34 @@ impl ChunkStore {
     /// Physical bytes held by the backend.
     pub fn physical_bytes(&self) -> u64 {
         self.backend.physical_bytes()
+    }
+
+    /// Records that this view's tenant now references the stored blob at
+    /// `id` — its manifest and every chunk the manifest lists — in the
+    /// shared-refcount ledger, without writing or charging anything.
+    ///
+    /// This is the accounting half of forking another tenant's committed
+    /// state: the forker starts *depending on* the peer's bytes (they now
+    /// appear in the forker's [`SharedUsage`](crate::tenant::SharedUsage)
+    /// fair-share view) while first-writer-pays attribution stays with
+    /// whoever materialized them. Returns the referenced bytes; a no-op on
+    /// untenanted views.
+    pub fn adopt_blob(&self, id: Hash256) -> Result<u64> {
+        let Some(tenant) = self.tenant else {
+            return Ok(0);
+        };
+        let manifest_bytes = self.backend.get(id)?;
+        let manifest = Manifest::decode(&manifest_bytes)
+            .ok_or_else(|| StorageError::Codec("invalid manifest encoding".into()))?;
+        self.tenants
+            .add_chunk_ref(id, manifest_bytes.len() as u64, tenant);
+        let mut referenced = manifest_bytes.len() as u64;
+        for entry in &manifest.chunks {
+            self.tenants
+                .add_chunk_ref(entry.hash, entry.len as u64, tenant);
+            referenced += entry.len as u64;
+        }
+        Ok(referenced)
     }
 
     /// Stores a small metadata record (serialised JSON) without chunking
@@ -703,6 +768,62 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn adopt_blob_adds_refs_without_charging() {
+        use crate::tenant::{QuotaPolicy, TenantId};
+        let root = ChunkStore::in_memory_small();
+        let a = root.for_tenant(TenantId(1));
+        let b = root.for_tenant(TenantId(2));
+        root.tenant_accounts()
+            .register(TenantId(1), QuotaPolicy::UNLIMITED);
+        root.tenant_accounts()
+            .register(TenantId(2), QuotaPolicy::UNLIMITED);
+        let data = random_bytes(60, 50_000);
+        let put = a.put_blob(ObjectKind::Output, &data).unwrap();
+        let referenced = b.adopt_blob(put.object.id).unwrap();
+        assert!(referenced >= data.len() as u64);
+        // B now depends on the blob (fair-share view) but paid nothing.
+        let view = root.tenant_accounts().shared_view();
+        assert_eq!(
+            view[&TenantId(1)].referenced_bytes,
+            view[&TenantId(2)].referenced_bytes
+        );
+        assert_eq!(
+            root.tenant_accounts().usage(TenantId(2)),
+            Default::default()
+        );
+        // Unknown blobs error; untenanted adoption is a no-op.
+        assert!(b.adopt_blob(Hash256::of(b"ghost")).is_err());
+        assert_eq!(root.adopt_blob(put.object.id).unwrap(), 0);
+    }
+
+    #[test]
+    fn traced_write_reservation_settles_or_releases() {
+        use crate::tenant::{QuotaPolicy, TenantId};
+        let root = ChunkStore::in_memory_small();
+        let t = root.for_tenant(TenantId(3));
+        root.tenant_accounts()
+            .register(TenantId(3), QuotaPolicy::logical(100_000));
+        let data = random_bytes(61, 30_000);
+        let (_, trace) = t.put_blob_traced(ObjectKind::Output, &data).unwrap();
+        assert!(trace.reservation.is_some());
+        let accounts = root.tenant_accounts();
+        assert_eq!(accounts.reserved(TenantId(3)).logical, 30_000);
+        assert_eq!(accounts.usage(TenantId(3)).logical_bytes, 0);
+        // Aborting the evaluation releases the headroom untouched.
+        t.release_trace(&trace);
+        assert_eq!(accounts.reserved(TenantId(3)).logical, 0);
+        assert_eq!(accounts.usage(TenantId(3)), Default::default());
+        assert_eq!(accounts.open_reservations(), 0);
+        // A replayed trace settles: reservation gone, usage charged.
+        let (_, trace2) = t.put_blob_traced(ObjectKind::Output, &data).unwrap();
+        let mut unseen = std::collections::HashSet::new();
+        let (_, stats) = trace2.replay(&root.cost_model(), &mut unseen);
+        t.record_replayed_write(&trace2, stats);
+        assert_eq!(accounts.reserved(TenantId(3)).logical, 0);
+        assert_eq!(accounts.usage(TenantId(3)).logical_bytes, 30_000);
     }
 
     #[test]

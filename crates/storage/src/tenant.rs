@@ -18,7 +18,20 @@
 //!    caps a tenant's logical and/or first-writer-pays physical bytes;
 //!    breaching writes fail with
 //!    [`StorageError::QuotaExceeded`](crate::errors::StorageError) *before*
-//!    any chunk is persisted.
+//!    any chunk is persisted. Enforcement is a **reservation protocol**: a
+//!    write first atomically reserves its logical size plus a conservative
+//!    upper bound of its physical size ([`TenantAccounts::reserve`]), and
+//!    reserved bytes count against the cap for every concurrent check — so
+//!    one in-flight parallel evaluation cannot overshoot its quota by racing
+//!    many writes past a stale usage snapshot. A reservation is *settled*
+//!    (converted into usage) when the write is attributed — immediately for
+//!    live writes, at canonical replay time for traced ones — and *released*
+//!    when its evaluation aborts, leaving the accounts exactly as before.
+//! 4. **May a tenant read, fork, or merge into a peer's namespace?** A
+//!    [`SharePolicy`] records the [`ShareRight`]s an owner has granted each
+//!    peer; the shared [`ShareTable`] is consulted by the commit graph's
+//!    permission-checked entry points (see [`crate::commit`]) and by the
+//!    workspace layer's cross-tenant fork/merge operations.
 //!
 //! All bookkeeping lives in [`TenantAccounts`], shared (via `Arc`) by every
 //! tenant-scoped view of one store (see
@@ -28,7 +41,7 @@ use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Identifies one tenant of a shared store. Handed out by the workspace
@@ -96,9 +109,45 @@ pub struct SharedUsage {
     pub amortized_bytes: f64,
 }
 
+/// Bytes a tenant has reserved for in-flight writes but not yet settled.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservedBytes {
+    /// Reserved logical bytes.
+    pub logical: u64,
+    /// Reserved physical bytes (a conservative upper bound — concurrent
+    /// writers of one new chunk may each reserve its size).
+    pub physical: u64,
+}
+
+/// Handle to one open reservation made by [`TenantAccounts::reserve`].
+///
+/// Settling or releasing a reservation is idempotent: the first
+/// [`TenantAccounts::settle`]/[`TenantAccounts::release`] returns the
+/// reserved bytes to the tenant's headroom, later calls are no-ops. Traced
+/// writes carry their id in
+/// [`PutTrace::reservation`](crate::store::PutTrace) so the deterministic
+/// replay can settle (and abort paths can release) exactly once however
+/// many times a trace is replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReservationId(u64);
+
+struct OpenReservation {
+    tenant: TenantId,
+    logical: u64,
+    physical: u64,
+}
+
 struct TenantState {
     quota: QuotaPolicy,
     usage: TenantUsage,
+    reserved: ReservedBytes,
+}
+
+struct AccountsState {
+    /// Per-tenant quota + settled usage + in-flight reservations.
+    tenants: BTreeMap<TenantId, TenantState>,
+    next_reservation: u64,
+    open: HashMap<u64, OpenReservation>,
 }
 
 /// Per-chunk reference record: size plus the distinct tenants that wrote it.
@@ -112,18 +161,22 @@ const CHUNK_SHARDS: usize = 16;
 
 /// Shared accounting table for all tenants of one store.
 ///
-/// Tenant state (quota + usage) sits behind one small lock — it is touched
-/// once per blob. The chunk-owner ledger is sharded like the pipeline
-/// crate's `ShardedMap` because it is touched once per *chunk*.
+/// Tenant state (quota + usage + reservations) sits behind one small lock —
+/// it is touched once per blob. The chunk-owner ledger is sharded like the
+/// pipeline crate's `ShardedMap` because it is touched once per *chunk*.
 pub struct TenantAccounts {
-    tenants: RwLock<BTreeMap<TenantId, TenantState>>,
+    state: RwLock<AccountsState>,
     chunks: Vec<RwLock<HashMap<Hash256, ChunkOwners>>>,
 }
 
 impl Default for TenantAccounts {
     fn default() -> Self {
         TenantAccounts {
-            tenants: RwLock::new(BTreeMap::new()),
+            state: RwLock::new(AccountsState {
+                tenants: BTreeMap::new(),
+                next_reservation: 0,
+                open: HashMap::new(),
+            }),
             chunks: (0..CHUNK_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
@@ -146,56 +199,74 @@ impl TenantAccounts {
     /// Registers (or re-quotas) a tenant. Usage is preserved across quota
     /// changes.
     pub fn register(&self, tenant: TenantId, quota: QuotaPolicy) {
-        let mut t = self.tenants.write();
-        t.entry(tenant)
+        let mut st = self.state.write();
+        st.tenants
+            .entry(tenant)
             .and_modify(|s| s.quota = quota)
             .or_insert(TenantState {
                 quota,
                 usage: TenantUsage::default(),
+                reserved: ReservedBytes::default(),
             });
     }
 
     /// The quota in effect for a tenant (unlimited if never registered).
     pub fn quota(&self, tenant: TenantId) -> QuotaPolicy {
-        self.tenants
+        self.state
             .read()
+            .tenants
             .get(&tenant)
             .map(|s| s.quota)
             .unwrap_or(QuotaPolicy::UNLIMITED)
     }
 
-    /// Cumulative first-writer-pays usage of a tenant.
+    /// Cumulative first-writer-pays usage of a tenant (settled writes only;
+    /// see [`TenantAccounts::reserved`] for in-flight bytes).
     pub fn usage(&self, tenant: TenantId) -> TenantUsage {
-        self.tenants
+        self.state
             .read()
+            .tenants
             .get(&tenant)
             .map(|s| s.usage)
             .unwrap_or_default()
     }
 
+    /// Bytes currently reserved by a tenant's in-flight writes. Zero
+    /// whenever no evaluation is running — every reservation is settled at
+    /// replay time or released on abort.
+    pub fn reserved(&self, tenant: TenantId) -> ReservedBytes {
+        self.state
+            .read()
+            .tenants
+            .get(&tenant)
+            .map(|s| s.reserved)
+            .unwrap_or_default()
+    }
+
+    /// Number of reservations not yet settled or released (across all
+    /// tenants).
+    pub fn open_reservations(&self) -> usize {
+        self.state.read().open.len()
+    }
+
     /// Usage of every registered tenant.
     pub fn usages(&self) -> BTreeMap<TenantId, TenantUsage> {
-        self.tenants
+        self.state
             .read()
+            .tenants
             .iter()
             .map(|(k, v)| (*k, v.usage))
             .collect()
     }
 
-    /// Checks whether a write of `logical_delta` logical and (an upper bound
-    /// of) `physical_delta` physical bytes would breach the tenant's quota.
-    ///
-    /// Enforcement is check-then-write: concurrent writers of one tenant can
-    /// race past the check by at most their in-flight writes, which is the
-    /// standard quota semantics of shared stores (quotas bound growth, they
-    /// are not transactional reservations).
-    pub fn check(&self, tenant: TenantId, logical_delta: u64, physical_delta: u64) -> Result<()> {
-        let t = self.tenants.read();
-        let Some(state) = t.get(&tenant) else {
-            return Ok(());
-        };
+    fn quota_check(
+        state: &TenantState,
+        tenant: TenantId,
+        logical_delta: u64,
+        physical_delta: u64,
+    ) -> Result<()> {
         if let Some(max) = state.quota.max_logical_bytes {
-            let needed = state.usage.logical_bytes + logical_delta;
+            let needed = state.usage.logical_bytes + state.reserved.logical + logical_delta;
             if needed > max {
                 return Err(StorageError::QuotaExceeded {
                     tenant,
@@ -206,7 +277,7 @@ impl TenantAccounts {
             }
         }
         if let Some(max) = state.quota.max_physical_bytes {
-            let needed = state.usage.physical_bytes + physical_delta;
+            let needed = state.usage.physical_bytes + state.reserved.physical + physical_delta;
             if needed > max {
                 return Err(StorageError::QuotaExceeded {
                     tenant,
@@ -219,16 +290,93 @@ impl TenantAccounts {
         Ok(())
     }
 
-    /// Records a completed write against a tenant.
-    pub fn charge(&self, tenant: TenantId, delta: TenantUsage) {
-        let mut t = self.tenants.write();
-        let state = t.entry(tenant).or_insert(TenantState {
+    /// Checks whether a write of `logical_delta` logical and (an upper bound
+    /// of) `physical_delta` physical bytes would breach the tenant's quota,
+    /// counting both settled usage and open reservations.
+    pub fn check(&self, tenant: TenantId, logical_delta: u64, physical_delta: u64) -> Result<()> {
+        let st = self.state.read();
+        match st.tenants.get(&tenant) {
+            Some(state) => Self::quota_check(state, tenant, logical_delta, physical_delta),
+            None => Ok(()),
+        }
+    }
+
+    /// Atomically checks the quota and reserves `logical`/`physical` bytes
+    /// for an in-flight write. The physical amount is a conservative upper
+    /// bound computed before the write; because every concurrent writer
+    /// reserves before persisting, a tenant's evaluations can never
+    /// overshoot the cap — at worst a near-cap parallel evaluation aborts
+    /// *earlier* than a sequential one would (racing writers of one new
+    /// chunk may each reserve its size).
+    ///
+    /// The returned id must eventually be [`settled`](TenantAccounts::settle)
+    /// (write attributed) or [`released`](TenantAccounts::release) (write
+    /// aborted); both are idempotent.
+    pub fn reserve(&self, tenant: TenantId, logical: u64, physical: u64) -> Result<ReservationId> {
+        let mut st = self.state.write();
+        if let Some(state) = st.tenants.get(&tenant) {
+            Self::quota_check(state, tenant, logical, physical)?;
+        }
+        let id = st.next_reservation;
+        st.next_reservation += 1;
+        st.open.insert(
+            id,
+            OpenReservation {
+                tenant,
+                logical,
+                physical,
+            },
+        );
+        let state = st.tenants.entry(tenant).or_insert(TenantState {
             quota: QuotaPolicy::UNLIMITED,
             usage: TenantUsage::default(),
+            reserved: ReservedBytes::default(),
+        });
+        state.reserved.logical += logical;
+        state.reserved.physical += physical;
+        Ok(ReservationId(id))
+    }
+
+    fn release_locked(st: &mut AccountsState, id: ReservationId) {
+        if let Some(r) = st.open.remove(&id.0) {
+            if let Some(state) = st.tenants.get_mut(&r.tenant) {
+                state.reserved.logical -= r.logical;
+                state.reserved.physical -= r.physical;
+            }
+        }
+    }
+
+    /// Releases a reservation without charging anything (the write's
+    /// evaluation aborted). Idempotent.
+    pub fn release(&self, id: ReservationId) {
+        Self::release_locked(&mut self.state.write(), id);
+    }
+
+    /// Settles a reservation: returns the reserved headroom (first call
+    /// only) and charges `delta` against `tenant`. Replaying one traced
+    /// write several times — the no-reuse ablations replay a deduplicated
+    /// execution once per candidate containing it — releases once and
+    /// charges every time, exactly like the sequential engine would.
+    pub fn settle(&self, id: ReservationId, tenant: TenantId, delta: TenantUsage) {
+        let mut st = self.state.write();
+        Self::release_locked(&mut st, id);
+        Self::charge_locked(&mut st, tenant, delta);
+    }
+
+    fn charge_locked(st: &mut AccountsState, tenant: TenantId, delta: TenantUsage) {
+        let state = st.tenants.entry(tenant).or_insert(TenantState {
+            quota: QuotaPolicy::UNLIMITED,
+            usage: TenantUsage::default(),
+            reserved: ReservedBytes::default(),
         });
         state.usage.blobs_written += delta.blobs_written;
         state.usage.logical_bytes += delta.logical_bytes;
         state.usage.physical_bytes += delta.physical_bytes;
+    }
+
+    /// Records a completed write against a tenant (no reservation involved).
+    pub fn charge(&self, tenant: TenantId, delta: TenantUsage) {
+        Self::charge_locked(&mut self.state.write(), tenant, delta);
     }
 
     /// Records that `tenant` references the chunk at `hash` (`len` bytes).
@@ -258,8 +406,9 @@ impl TenantAccounts {
     /// tenants referencing it.
     pub fn shared_view(&self) -> BTreeMap<TenantId, SharedUsage> {
         let mut out: BTreeMap<TenantId, SharedUsage> = self
-            .tenants
+            .state
             .read()
+            .tenants
             .keys()
             .map(|k| (*k, SharedUsage::default()))
             .collect();
@@ -274,6 +423,156 @@ impl TenantAccounts {
             }
         }
         out
+    }
+}
+
+/// A right one tenant (the *owner*) can grant a peer over the owner's
+/// branch namespace. Rights are ordered — each implies the ones below it:
+///
+/// * [`ShareRight::Read`] — walk the owner's history and reuse its cached
+///   component outputs (e.g. pull the owner's branch into one's own via a
+///   cross-tenant merge).
+/// * [`ShareRight::Fork`] — additionally branch off the owner's commits
+///   into one's own namespace.
+/// * [`ShareRight::MergeInto`] — additionally commit merges *onto* the
+///   owner's branches (the upstream accepting a downstream contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ShareRight {
+    /// Read the owner's history and reuse its cached outputs.
+    Read,
+    /// Fork (branch from) the owner's commits. Implies `Read`.
+    Fork,
+    /// Merge into the owner's branches. Implies `Fork` and `Read`.
+    MergeInto,
+}
+
+impl fmt::Display for ShareRight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShareRight::Read => "read",
+            ShareRight::Fork => "fork",
+            ShareRight::MergeInto => "merge-into",
+        })
+    }
+}
+
+/// The grants one owner namespace has extended: peer tenant name → the
+/// strongest right granted. A point-in-time copy produced by
+/// [`ShareTable::policy_of`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharePolicy {
+    /// Peer name → granted right (each right implies the weaker ones).
+    pub grants: BTreeMap<String, ShareRight>,
+}
+
+impl SharePolicy {
+    /// True if `peer` holds at least `needed` under this policy.
+    pub fn allows(&self, peer: &str, needed: ShareRight) -> bool {
+        self.grants.get(peer).is_some_and(|r| *r >= needed)
+    }
+}
+
+#[derive(Default)]
+struct ShareState {
+    /// Registered branch namespaces (tenant names). A branch `ns/rest`
+    /// whose `ns` is registered is *owned*; all other branches are open.
+    namespaces: BTreeSet<String>,
+    /// Owner namespace → peer → strongest granted right.
+    grants: BTreeMap<String, BTreeMap<String, ShareRight>>,
+}
+
+/// Shared access-control table for namespaced branches: who owns which
+/// namespace, and which [`ShareRight`]s each owner has granted.
+///
+/// One table is shared by the commit graph (whose permission-checked entry
+/// points consult it on every write — see [`crate::commit`]) and the
+/// workspace layer (which registers namespaces and mutates grants). A graph
+/// with no registered namespaces — the single-tenant case — is entirely
+/// unrestricted.
+#[derive(Default)]
+pub struct ShareTable {
+    state: RwLock<ShareState>,
+}
+
+impl ShareTable {
+    /// Empty table (no namespaces, no grants).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `ns` as an owned branch namespace: branches named
+    /// `"{ns}/…"` are henceforth writable only by `ns` itself or by peers
+    /// holding a sufficient grant.
+    pub fn register_namespace(&self, ns: &str) {
+        self.state.write().namespaces.insert(ns.to_string());
+    }
+
+    /// True if `ns` is a registered namespace.
+    pub fn is_namespace(&self, ns: &str) -> bool {
+        self.state.read().namespaces.contains(ns)
+    }
+
+    /// The owning namespace of a branch name: the prefix before the first
+    /// `/` when that prefix is a registered namespace, else `None` (the
+    /// branch is unowned/open). A slash-less branch is never owned, even
+    /// if its whole name coincides with a namespace.
+    pub fn owner_of(&self, branch: &str) -> Option<String> {
+        let (ns, _) = branch.split_once('/')?;
+        let st = self.state.read();
+        st.namespaces.contains(ns).then(|| ns.to_string())
+    }
+
+    /// Grants `peer` the given right over `owner`'s namespace (replacing any
+    /// earlier grant — grants don't accumulate, the latest wins).
+    pub fn grant(&self, owner: &str, peer: &str, right: ShareRight) {
+        self.state
+            .write()
+            .grants
+            .entry(owner.to_string())
+            .or_default()
+            .insert(peer.to_string(), right);
+    }
+
+    /// Revokes whatever right `peer` held over `owner`'s namespace. Returns
+    /// true if a grant existed.
+    pub fn revoke(&self, owner: &str, peer: &str) -> bool {
+        self.state
+            .write()
+            .grants
+            .get_mut(owner)
+            .is_some_and(|g| g.remove(peer).is_some())
+    }
+
+    /// The strongest right `peer` holds over `owner`'s namespace, if any.
+    pub fn right_of(&self, owner: &str, peer: &str) -> Option<ShareRight> {
+        self.state
+            .read()
+            .grants
+            .get(owner)
+            .and_then(|g| g.get(peer))
+            .copied()
+    }
+
+    /// True if `actor` may act on `owner`'s namespace at level `needed`:
+    /// owners always may; peers need a grant of at least `needed`.
+    pub fn allows(&self, owner: &str, actor: &str, needed: ShareRight) -> bool {
+        if owner == actor {
+            return true;
+        }
+        self.right_of(owner, actor).is_some_and(|r| r >= needed)
+    }
+
+    /// Point-in-time copy of the grants extended by `owner`.
+    pub fn policy_of(&self, owner: &str) -> SharePolicy {
+        SharePolicy {
+            grants: self
+                .state
+                .read()
+                .grants
+                .get(owner)
+                .cloned()
+                .unwrap_or_default(),
+        }
     }
 }
 
@@ -363,6 +662,120 @@ mod tests {
         assert_eq!(acc.tracked_chunks(), 2);
         acc.drop_chunk(&solo);
         assert_eq!(acc.tracked_chunks(), 1);
+    }
+
+    #[test]
+    fn reservations_gate_concurrent_writers() {
+        let acc = TenantAccounts::new();
+        acc.register(A, QuotaPolicy::logical(100));
+        let r1 = acc.reserve(A, 60, 0).unwrap();
+        // A second in-flight write sees the first one's reservation.
+        assert!(matches!(
+            acc.reserve(A, 50, 0),
+            Err(StorageError::QuotaExceeded {
+                resource: "logical bytes",
+                ..
+            })
+        ));
+        assert_eq!(acc.reserved(A).logical, 60);
+        // Settling converts the reservation into usage…
+        acc.settle(
+            r1,
+            A,
+            TenantUsage {
+                blobs_written: 1,
+                logical_bytes: 60,
+                physical_bytes: 10,
+            },
+        );
+        assert_eq!(acc.reserved(A), ReservedBytes::default());
+        assert_eq!(acc.usage(A).logical_bytes, 60);
+        assert_eq!(acc.open_reservations(), 0);
+        // …and the cap still counts it.
+        assert!(acc.reserve(A, 50, 0).is_err());
+        let r2 = acc.reserve(A, 40, 0).unwrap();
+        // Releasing an aborted write restores the headroom exactly.
+        acc.release(r2);
+        assert_eq!(acc.reserved(A), ReservedBytes::default());
+        assert_eq!(acc.usage(A).logical_bytes, 60, "release charges nothing");
+        // Settle/release are idempotent.
+        acc.release(r2);
+        acc.settle(
+            r2,
+            A,
+            TenantUsage {
+                blobs_written: 1,
+                logical_bytes: 5,
+                physical_bytes: 0,
+            },
+        );
+        assert_eq!(acc.usage(A).logical_bytes, 65, "late settle still charges");
+        assert_eq!(acc.reserved(A), ReservedBytes::default());
+    }
+
+    #[test]
+    fn parallel_reservations_never_overshoot_the_cap() {
+        let acc = TenantAccounts::new();
+        acc.register(A, QuotaPolicy::physical(1_000));
+        let granted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if let Ok(id) = acc.reserve(A, 0, 30) {
+                            granted.fetch_add(30, std::sync::atomic::Ordering::Relaxed);
+                            acc.settle(
+                                id,
+                                A,
+                                TenantUsage {
+                                    blobs_written: 1,
+                                    logical_bytes: 0,
+                                    physical_bytes: 30,
+                                },
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let total = granted.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(total <= 1_000, "overshoot: {total}");
+        assert_eq!(acc.usage(A).physical_bytes, total);
+        assert_eq!(acc.open_reservations(), 0);
+    }
+
+    #[test]
+    fn share_rights_are_ordered_and_imply_weaker() {
+        assert!(ShareRight::MergeInto > ShareRight::Fork);
+        assert!(ShareRight::Fork > ShareRight::Read);
+        let t = ShareTable::new();
+        t.register_namespace("up");
+        t.register_namespace("down");
+        assert!(t.is_namespace("up"));
+        assert_eq!(t.owner_of("up/master").as_deref(), Some("up"));
+        assert_eq!(t.owner_of("master"), None, "unowned branches are open");
+        assert_eq!(t.owner_of("ghost/master"), None);
+        assert_eq!(
+            t.owner_of("up"),
+            None,
+            "a slash-less branch is open even when it collides with a namespace name"
+        );
+        // Owners always pass; strangers never do.
+        assert!(t.allows("up", "up", ShareRight::MergeInto));
+        assert!(!t.allows("up", "down", ShareRight::Read));
+        // A Fork grant implies Read but not MergeInto.
+        t.grant("up", "down", ShareRight::Fork);
+        assert!(t.allows("up", "down", ShareRight::Read));
+        assert!(t.allows("up", "down", ShareRight::Fork));
+        assert!(!t.allows("up", "down", ShareRight::MergeInto));
+        assert!(t.policy_of("up").allows("down", ShareRight::Read));
+        // Latest grant wins; revocation removes everything.
+        t.grant("up", "down", ShareRight::MergeInto);
+        assert_eq!(t.right_of("up", "down"), Some(ShareRight::MergeInto));
+        assert!(t.revoke("up", "down"));
+        assert!(!t.revoke("up", "down"));
+        assert!(!t.allows("up", "down", ShareRight::Read));
+        assert_eq!(t.policy_of("up"), SharePolicy::default());
     }
 
     #[test]

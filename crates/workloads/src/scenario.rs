@@ -13,15 +13,17 @@
 
 use crate::common::Workload;
 use crate::errors::Result;
+use mlcask_core::merge::MergeStrategy;
 use mlcask_core::registry::ComponentRegistry;
-use mlcask_core::system::MlCask;
+use mlcask_core::system::{MergeOutcome, MlCask};
 use mlcask_core::workspace::{Tenant, Workspace};
 use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::parallel::ParallelismPolicy;
 use mlcask_storage::chunk::ChunkParams;
 use mlcask_storage::costmodel::StorageCostModel;
 use mlcask_storage::store::ChunkStore;
-use mlcask_storage::tenant::QuotaPolicy;
+use mlcask_storage::tenant::{QuotaPolicy, ShareRight};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -187,6 +189,100 @@ pub fn build_multi_tenant(
     Ok((ws, systems))
 }
 
+/// Outcome of the upstream/downstream collaboration scenario
+/// ([`run_upstream_downstream`]).
+pub struct Collaboration {
+    /// The shared workspace.
+    pub ws: Arc<Workspace>,
+    /// The upstream team (owns `master`, grants the downstream team).
+    pub upstream: TenantSystem,
+    /// The downstream team (forks, evolves, contributes back).
+    pub downstream: TenantSystem,
+    /// The downstream team's cross-tenant merge back into
+    /// `upstream/master`.
+    pub merge: MergeOutcome,
+    /// Virtual time consumed by the whole scenario.
+    pub clock: ClockLedger,
+}
+
+/// Drives the paper's collaborative workflow across *two tenants* of one
+/// workspace — the situation PAPER.md's merge semantics are about, which a
+/// single tenant's `master`/`dev` branches only approximate:
+///
+/// 1. the upstream team commits the workload's initial pipeline and its
+///    head-update sequence on `master`;
+/// 2. upstream grants downstream [`ShareRight::MergeInto`] (which implies
+///    `Fork` and `Read`);
+/// 3. downstream forks `upstream/master` into its own `feature` branch
+///    right after the initial commit — cross-namespace parentage, no bytes
+///    copied — and applies the workload's dev-update sequence there;
+/// 4. downstream merges `feature` back **into `upstream/master`** with the
+///    full metric-driven search; the peer's cached outputs are reused
+///    through the shared history, and every newly materialized candidate
+///    output is charged to downstream.
+///
+/// The same `policy` is applied to both systems; all observables (merge
+/// report, usages, commit ids) are byte-identical across worker counts.
+pub fn run_upstream_downstream(w: &Workload, policy: ParallelismPolicy) -> Result<Collaboration> {
+    let ws = Workspace::over(Arc::new(ChunkStore::new(
+        Arc::new(mlcask_storage::backend::MemBackend::new()),
+        ChunkParams::DEFAULT,
+        StorageCostModel::FORKBASE,
+    )));
+    let with_policy = |t: TenantSystem| TenantSystem {
+        tenant: t.tenant,
+        registry: t.registry,
+        sys: t.sys.with_parallelism(policy),
+    };
+    let upstream = with_policy(join_workspace(&ws, w, "upstream", QuotaPolicy::UNLIMITED)?);
+    let downstream = with_policy(join_workspace(
+        &ws,
+        w,
+        "downstream",
+        QuotaPolicy::UNLIMITED,
+    )?);
+    let clock = ClockLedger::new();
+    upstream
+        .sys
+        .commit_pipeline("master", &w.initial, "initial pipeline", &clock)?;
+    upstream
+        .tenant
+        .grant_to("downstream", ShareRight::MergeInto)?;
+    downstream
+        .tenant
+        .fork_from("upstream", "master", "feature")?;
+    for (i, keys) in w.head_updates.iter().enumerate() {
+        let res =
+            upstream
+                .sys
+                .commit_pipeline("master", keys, &format!("head update {i}"), &clock)?;
+        assert!(res.commit.is_some(), "head update {i} must be committable");
+    }
+    for (i, keys) in w.dev_updates.iter().enumerate() {
+        let res = downstream.sys.commit_pipeline(
+            "feature",
+            keys,
+            &format!("feature update {i}"),
+            &clock,
+        )?;
+        assert!(
+            res.commit.is_some(),
+            "feature update {i} must be committable"
+        );
+    }
+    let merge =
+        downstream
+            .sys
+            .merge_into("upstream", "master", "feature", MergeStrategy::Full, &clock)?;
+    Ok(Collaboration {
+        ws,
+        upstream,
+        downstream,
+        merge,
+        clock,
+    })
+}
+
 /// Sets up the Fig. 3 non-linear history on a fresh system: the initial
 /// commit on `master`, a `dev` branch, then the workload's head/dev update
 /// sequences. Returns the clock used (development time, excluded from merge
@@ -297,6 +393,34 @@ mod tests {
             "dedup ratio {:.2} too low",
             logical as f64 / physical as f64
         );
+    }
+
+    #[test]
+    fn upstream_downstream_collaboration_end_to_end() {
+        let w = readmission::build();
+        let c = run_upstream_downstream(&w, ParallelismPolicy::Sequential).unwrap();
+        // The merge landed on the *upstream* branch with both heads as
+        // parents, searched over both teams' histories.
+        assert!(!c.merge.fast_forward);
+        let commit = c.merge.commit.as_ref().unwrap();
+        assert_eq!(commit.branch, "upstream/master");
+        assert_eq!(commit.parents.len(), 2);
+        let report = c.merge.report.as_ref().unwrap();
+        assert_eq!(
+            report.candidates_total, 20,
+            "same Fig. 4 space as the single-tenant nonlinear setup"
+        );
+        assert!(report.reused_components > 0, "peer checkpoints reused");
+        // Downstream paid for what it materialized; attribution still sums
+        // to the store total and no reservations are left open.
+        let usage = c.ws.usages();
+        assert!(usage["downstream"].physical_bytes < usage["upstream"].physical_bytes);
+        assert_eq!(
+            usage.values().map(|u| u.physical_bytes).sum::<u64>(),
+            c.ws.store().physical_bytes()
+        );
+        assert_eq!(c.ws.store().tenant_accounts().open_reservations(), 0);
+        assert_eq!(c.downstream.tenant.branches(), vec!["feature"]);
     }
 
     #[test]

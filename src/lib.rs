@@ -37,6 +37,32 @@
 //! assert!(merged.commit.is_some());
 //! ```
 //!
+//! ## Collaboration across teams
+//!
+//! Tenants of one [`core::workspace::Workspace`] share a deduplicating
+//! store and one commit graph; with a
+//! [`ShareRight`](mlcask_storage::tenant::ShareRight) grant a team can
+//! fork a peer's branch into its own namespace and merge its work back
+//! into the peer's branch, paying only for newly materialized bytes:
+//!
+//! ```
+//! use mlcask::prelude::*;
+//! use mlcask_pipeline::parallel::ParallelismPolicy;
+//!
+//! let workload = mlcask::workloads::readmission::build();
+//! // Upstream evolves master and grants downstream MergeInto; downstream
+//! // forks `upstream/master`, evolves its `feature` branch, and merges it
+//! // back into `upstream/master` with the full metric-driven search.
+//! let c = mlcask::workloads::scenario::run_upstream_downstream(
+//!     &workload,
+//!     ParallelismPolicy::Sequential,
+//! )
+//! .unwrap();
+//! assert_eq!(c.merge.commit.unwrap().branch, "upstream/master");
+//! let usage = c.ws.usages();
+//! assert!(usage["downstream"].physical_bytes < usage["upstream"].physical_bytes);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Crate | Contents |
@@ -52,8 +78,8 @@
 //! figure harness; `ARCHITECTURE.md` explains the parallel execution
 //! engine (the traced-execute + deterministic-replay protocol and the DAG
 //! wavefront scheduler) and the multi-tenant workspace layer (shared-store
-//! ownership, tenant quotas and dedup attribution, batched commits,
-//! orphan GC).
+//! ownership, reservation-based tenant quotas and dedup attribution,
+//! permissioned cross-tenant fork/merge, batched commits, orphan GC).
 
 #![warn(missing_docs)]
 

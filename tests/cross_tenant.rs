@@ -1,0 +1,330 @@
+//! Cross-tenant collaboration semantics: permissioned fork/merge across
+//! tenant namespaces, reservation-based quota enforcement, dedup
+//! attribution of cross-tenant merges, and worker-count determinism of the
+//! whole upstream/downstream workflow.
+
+use mlcask_core::errors::CoreError;
+use mlcask_core::merge::MergeStrategy;
+use mlcask_core::registry::ComponentRegistry;
+use mlcask_core::system::MlCask;
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
+use mlcask_core::workspace::{Tenant, Workspace};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::dag::PipelineDag;
+use mlcask_pipeline::errors::PipelineError;
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_pipeline::semver::SemVer;
+use mlcask_storage::errors::StorageError;
+use mlcask_storage::tenant::{QuotaPolicy, ShareRight};
+use mlcask_workloads::readmission;
+use mlcask_workloads::scenario::run_upstream_downstream;
+use std::sync::Arc;
+
+/// Opens the toy chain pipeline for a tenant (registry over its store view).
+fn toy_system(t: &Tenant) -> MlCask {
+    let registry = Arc::new(ComponentRegistry::with_exe_size(
+        Arc::clone(t.store()),
+        4096,
+    ));
+    for c in [
+        toy_source(SemVer::master(0, 0), 4, 16),
+        toy_scaler(SemVer::master(0, 0), 4, 4, 1.0),
+        toy_scaler(SemVer::master(0, 1), 4, 4, 2.0),
+        toy_model(SemVer::master(0, 0), 4, 0.5),
+        toy_model(SemVer::master(0, 1), 4, 0.6),
+        toy_model(SemVer::master(0, 2), 4, 0.7),
+    ] {
+        registry.register(c).unwrap();
+    }
+    let dag = PipelineDag::chain(&toy_slots()).unwrap();
+    t.open_pipeline("toy", dag, registry)
+}
+
+fn keys(sys: &MlCask, scaler_inc: usize, model_inc: usize) -> Vec<ComponentKey> {
+    let reg = sys.registry();
+    vec![
+        reg.versions_of("test_source")[0].clone(),
+        reg.versions_of("test_scaler")[scaler_inc].clone(),
+        reg.versions_of("test_model")[model_inc].clone(),
+    ]
+}
+
+/// Serialized snapshot of everything a denied operation must not touch:
+/// branch heads, commit count, per-tenant usages, fair-share view, and
+/// open reservations.
+fn accounting_fingerprint(ws: &Arc<Workspace>) -> String {
+    let heads: Vec<String> = ws
+        .graph()
+        .branches()
+        .iter()
+        .map(|b| format!("{b}={}", ws.graph().head(b).unwrap().id.short()))
+        .collect();
+    format!(
+        "commits={} heads={heads:?} usages={} shared={} reserved={}",
+        ws.graph().len(),
+        serde_json::to_string(&ws.usages()).unwrap(),
+        serde_json::to_string(&ws.shared_view()).unwrap(),
+        ws.store().tenant_accounts().open_reservations(),
+    )
+}
+
+#[test]
+fn denied_fork_and_merge_leave_graph_and_accounts_bit_unchanged() {
+    let ws = Workspace::in_memory_small();
+    let up = ws.add_tenant("up", QuotaPolicy::UNLIMITED).unwrap();
+    let down = ws.add_tenant("down", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_up = toy_system(&up);
+    let sys_down = toy_system(&down);
+    let clock = ClockLedger::new();
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 0, 0), "up initial", &clock)
+        .unwrap();
+    sys_down
+        .commit_pipeline("master", &keys(&sys_down, 0, 1), "down initial", &clock)
+        .unwrap();
+
+    let before = accounting_fingerprint(&ws);
+    // No grant at all: fork denied.
+    assert!(matches!(
+        down.fork_from("up", "master", "feature"),
+        Err(CoreError::ShareDenied {
+            needed: ShareRight::Fork,
+            ..
+        })
+    ));
+    // Fork grant is not enough to merge into the owner.
+    up.grant_to("down", ShareRight::Fork).unwrap();
+    assert!(matches!(
+        sys_down.merge_into("up", "master", "master", MergeStrategy::Full, &clock),
+        Err(CoreError::ShareDenied {
+            needed: ShareRight::MergeInto,
+            ..
+        })
+    ));
+    up.revoke_from("down").unwrap();
+    // Read is required even to pull a peer's branch into one's own.
+    assert!(matches!(
+        sys_down.merge_from("master", "up", "master", MergeStrategy::Full, &clock),
+        Err(CoreError::ShareDenied {
+            needed: ShareRight::Read,
+            ..
+        })
+    ));
+    // Unknown peers and solo systems are rejected up front.
+    assert!(matches!(
+        sys_down.merge_into("ghost", "master", "master", MergeStrategy::Full, &clock),
+        Err(CoreError::UnknownTenant(_))
+    ));
+    assert_eq!(
+        accounting_fingerprint(&ws),
+        before,
+        "denied operations must not move graph or accounts by a single byte"
+    );
+}
+
+#[test]
+fn raw_string_apis_cannot_touch_foreign_namespaces() {
+    let ws = Workspace::in_memory_small();
+    let up = ws.add_tenant("up", QuotaPolicy::UNLIMITED).unwrap();
+    let down = ws.add_tenant("down", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_up = toy_system(&up);
+    let sys_down = toy_system(&down);
+    let clock = ClockLedger::new();
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 0, 0), "up initial", &clock)
+        .unwrap();
+    let head = ws.graph().head("up/master").unwrap();
+    let before = accounting_fingerprint(&ws);
+    // Tenant views hitting a peer's namespace through the raw graph APIs.
+    assert!(matches!(
+        sys_down.graph().commit("up/master", head.payload, "hijack"),
+        Err(StorageError::PermissionDenied { .. })
+    ));
+    assert!(matches!(
+        sys_down
+            .graph()
+            .commit_root("up/evil", head.payload, "squat"),
+        Err(StorageError::PermissionDenied { .. })
+    ));
+    assert!(matches!(
+        sys_down.graph().branch("up/master", "down/steal"),
+        Err(StorageError::PermissionDenied { .. })
+    ));
+    // The un-namespaced root view is equally powerless.
+    assert!(matches!(
+        ws.graph()
+            .commit_root("up/evil", head.payload, "root bypass"),
+        Err(StorageError::PermissionDenied { actor: None, .. })
+    ));
+    assert_eq!(accounting_fingerprint(&ws), before);
+    // A matching grant opens exactly the granted operation.
+    up.grant_to("down", ShareRight::Fork).unwrap();
+    sys_down.graph().branch("up/master", "down/fork").unwrap();
+    assert_eq!(down.branches(), vec!["fork"]);
+}
+
+#[test]
+fn cross_tenant_merge_attribution_sums_to_store_totals() {
+    let w = readmission::build();
+    let c = run_upstream_downstream(&w, ParallelismPolicy::Sequential).unwrap();
+    let usage = c.ws.usages();
+    // First-writer-pays attribution stays exact through fork + cross merge.
+    assert_eq!(
+        usage.values().map(|u| u.physical_bytes).sum::<u64>(),
+        c.ws.store().physical_bytes(),
+        "attribution must sum to the store total after a cross-tenant merge"
+    );
+    // Downstream reused upstream's bytes rather than re-materializing them.
+    assert!(usage["downstream"].physical_bytes < usage["upstream"].physical_bytes);
+    // Both teams reference the shared chunks in the fair-share view.
+    let shared = c.ws.shared_view();
+    assert!(shared["downstream"].referenced_bytes > 0);
+    // No reservation outlives the evaluation.
+    assert_eq!(c.ws.store().tenant_accounts().open_reservations(), 0);
+    // The merge commit carries the upstream label sequence.
+    let commit = c.merge.commit.as_ref().unwrap();
+    assert!(commit.label().starts_with("upstream/master."));
+}
+
+#[test]
+fn cross_tenant_merge_deterministic_across_worker_counts() {
+    let run = |policy: ParallelismPolicy| -> String {
+        let w = readmission::build();
+        let c = run_upstream_downstream(&w, policy).unwrap();
+        let heads: Vec<String> =
+            c.ws.graph()
+                .branches()
+                .iter()
+                .map(|b| {
+                    let h = c.ws.graph().head(b).unwrap();
+                    format!("{b}={} seq={}", h.id.short(), h.seq)
+                })
+                .collect();
+        format!(
+            "report={} usages={} shared={} stats={} physical={} heads={heads:?} clock={}",
+            serde_json::to_string(c.merge.report.as_ref().unwrap()).unwrap(),
+            serde_json::to_string(&c.ws.usages()).unwrap(),
+            serde_json::to_string(&c.ws.shared_view()).unwrap(),
+            serde_json::to_string(&c.ws.store().stats()).unwrap(),
+            c.ws.store().physical_bytes(),
+            serde_json::to_string(&c.clock.snapshot()).unwrap(),
+        )
+    };
+    let sequential = run(ParallelismPolicy::Sequential);
+    for workers in [1, 2, 8] {
+        let parallel = run(ParallelismPolicy::Parallel(workers));
+        assert_eq!(
+            sequential, parallel,
+            "cross-tenant merge with {workers} workers diverged"
+        );
+    }
+}
+
+#[test]
+fn quota_breach_mid_cross_merge_releases_reservations_and_leaves_accounts() {
+    let ws = Workspace::in_memory_small();
+    let up = ws.add_tenant("up", QuotaPolicy::UNLIMITED).unwrap();
+    let down = ws.add_tenant("down", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_up = toy_system(&up);
+    let sys_down = toy_system(&down);
+    let clock = ClockLedger::new();
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 0, 0), "up initial", &clock)
+        .unwrap();
+    up.grant_to("down", ShareRight::MergeInto).unwrap();
+    down.fork_from("up", "master", "feature").unwrap();
+    // Diverge both sides so the merge needs a real search.
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 1, 0), "up scaler", &clock)
+        .unwrap();
+    sys_down
+        .commit_pipeline("feature", &keys(&sys_down, 0, 1), "down model", &clock)
+        .unwrap();
+    sys_down
+        .commit_pipeline("feature", &keys(&sys_down, 0, 2), "down model 2", &clock)
+        .unwrap();
+
+    // Clamp downstream's quota to its current usage: the merge search's
+    // first attributed write must breach.
+    ws.store()
+        .tenant_accounts()
+        .register(down.id(), QuotaPolicy::logical(down.usage().logical_bytes));
+    let before = accounting_fingerprint(&ws);
+    for policy in [
+        ParallelismPolicy::Sequential,
+        ParallelismPolicy::Parallel(8),
+    ] {
+        // Re-open over the same registry: opening writes nothing, so the
+        // clamped quota stays exactly at current usage.
+        let dag = PipelineDag::chain(&toy_slots()).unwrap();
+        let sys = down
+            .open_pipeline("toy", dag, Arc::clone(sys_down.registry()))
+            .with_parallelism(policy);
+        let err = sys
+            .merge_into("up", "master", "feature", MergeStrategy::Full, &clock)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::Pipeline(PipelineError::Storage(StorageError::QuotaExceeded { .. }))
+            ),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            accounting_fingerprint(&ws),
+            before,
+            "aborted merge must release every reservation and charge nothing"
+        );
+    }
+    // Raising the quota unblocks the identical merge.
+    ws.store()
+        .tenant_accounts()
+        .register(down.id(), QuotaPolicy::UNLIMITED);
+    let merged = sys_down
+        .merge_into("up", "master", "feature", MergeStrategy::Full, &clock)
+        .unwrap();
+    assert!(merged.commit.is_some());
+    assert_eq!(ws.store().tenant_accounts().open_reservations(), 0);
+}
+
+#[test]
+fn merge_from_pulls_peer_work_into_own_namespace() {
+    let ws = Workspace::in_memory_small();
+    let up = ws.add_tenant("up", QuotaPolicy::UNLIMITED).unwrap();
+    let down = ws.add_tenant("down", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_up = toy_system(&up);
+    let sys_down = toy_system(&down);
+    let clock = ClockLedger::new();
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 0, 0), "up initial", &clock)
+        .unwrap();
+    up.grant_to("down", ShareRight::Fork).unwrap();
+    down.fork_from("up", "master", "main").unwrap();
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 1, 0), "up scaler", &clock)
+        .unwrap();
+    sys_down
+        .commit_pipeline("main", &keys(&sys_down, 0, 1), "down model", &clock)
+        .unwrap();
+    // Fork implies Read, so downstream can pull upstream's advance into its
+    // own branch; the commit lands in *downstream's* namespace.
+    let out = sys_down
+        .merge_from("main", "up", "master", MergeStrategy::Full, &clock)
+        .unwrap();
+    let commit = out.commit.unwrap();
+    assert_eq!(commit.branch, "down/main");
+    assert_eq!(commit.parents.len(), 2);
+    // The merged pipeline combines both teams' best components.
+    let meta = sys_down.head_metafile("main").unwrap();
+    assert_eq!(
+        meta.component_version("test_scaler").unwrap(),
+        &keys(&sys_down, 1, 0)[1]
+    );
+    assert_eq!(
+        meta.component_version("test_model").unwrap(),
+        &keys(&sys_down, 0, 1)[2]
+    );
+    // Upstream's branch is untouched by the pull.
+    assert_eq!(ws.graph().head("up/master").unwrap().seq, 1);
+}
