@@ -10,7 +10,7 @@
 //! cargo run --release --bin parallel_speedup
 //! ```
 
-use mlcask_bench::{f2, print_header, print_row};
+use mlcask_bench::{f2, print_header, print_row, write_bench_json};
 use mlcask_core::history::HistoryIndex;
 use mlcask_core::merge::{MergeEngine, MergeStrategy};
 use mlcask_core::registry::ComponentRegistry;
@@ -25,8 +25,18 @@ use mlcask_pipeline::parallel::ParallelismPolicy;
 use mlcask_pipeline::schema::{Schema, SchemaId};
 use mlcask_pipeline::semver::SemVer;
 use mlcask_storage::store::ChunkStore;
+use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchPayload {
+    candidates: usize,
+    cores: usize,
+    wall_sequential_s: f64,
+    best_speedup: f64,
+    best_workers: usize,
+}
 
 const ROWS: usize = 1500;
 const DIM: usize = 16;
@@ -266,6 +276,7 @@ fn main() {
         "-".into(),
     ]);
     let mut best_speedup = 1.0f64;
+    let mut best_workers = 1usize;
     let sweep = if smoke {
         vec![2]
     } else {
@@ -274,7 +285,10 @@ fn main() {
     for workers in sweep {
         let (wall, report) = timed_search(ParallelismPolicy::Parallel(workers));
         let speedup = seq_wall / wall.max(1e-9);
-        best_speedup = best_speedup.max(speedup);
+        if speedup > best_speedup {
+            best_speedup = speedup;
+            best_workers = workers;
+        }
         print_row(&[
             workers.to_string(),
             f2(wall),
@@ -289,6 +303,16 @@ fn main() {
     println!(
         "\nbest speedup {best_speedup:.1}x over sequential ({} candidates, identical reports)",
         32
+    );
+    write_bench_json(
+        "parallel_speedup",
+        &BenchPayload {
+            candidates: 32,
+            cores,
+            wall_sequential_s: seq_wall,
+            best_speedup,
+            best_workers,
+        },
     );
     if smoke {
         return;

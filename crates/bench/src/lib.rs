@@ -69,6 +69,23 @@ pub fn print_series<T: Display>(label: &str, values: &[T]) {
     println!("{label}: {joined}");
 }
 
+/// Persists one bench run's headline numbers as machine-readable JSON so
+/// the perf trajectory across PRs is diffable. Writes `BENCH_<name>.json`
+/// into `MLCASK_BENCH_DIR` (default: the current directory) and prints the
+/// path. Failures are reported but never fail the bench — the trajectory is
+/// advisory, the in-process assertions are the gate.
+pub fn write_bench_json<T: serde::Serialize>(name: &str, payload: &T) {
+    let dir = std::env::var("MLCASK_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    match serde_json::to_string(payload) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => println!("\nwarning: could not write {}: {e}", path.display()),
+        },
+        Err(e) => println!("\nwarning: could not serialize bench payload: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

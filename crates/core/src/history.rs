@@ -13,6 +13,7 @@
 
 use mlcask_pipeline::executor::{CacheKey, CachedOutput, OutputCache};
 use mlcask_pipeline::parallel::ShardedMap;
+use mlcask_pipeline::provenance::ProvenanceIndex;
 use mlcask_pipeline::replay::CacheSnapshot;
 use std::sync::Arc;
 
@@ -21,9 +22,16 @@ use std::sync::Arc;
 /// Cloning is shallow (`Arc`); use [`HistoryIndex::deep_clone`] to fork an
 /// independent copy (the prioritized-search trial harness forks the
 /// pre-merge history for every trial).
+///
+/// Alongside the `CacheKey`-keyed checkpoints, the history carries a
+/// [`ProvenanceIndex`] keyed by static sub-DAG fingerprints. The pairing
+/// invariant: a fingerprint is recorded only after the same output is
+/// inserted under its `CacheKey` here, so a provenance hit always implies a
+/// history hit for the deterministic replay.
 #[derive(Clone, Default)]
 pub struct HistoryIndex {
     map: Arc<ShardedMap<CacheKey, CachedOutput>>,
+    provenance: Arc<ProvenanceIndex>,
 }
 
 impl HistoryIndex {
@@ -42,11 +50,18 @@ impl HistoryIndex {
         self.len() == 0
     }
 
-    /// Forks an independent copy with the same contents.
+    /// Forks an independent copy with the same contents (checkpoints and
+    /// provenance fingerprints both).
     pub fn deep_clone(&self) -> HistoryIndex {
         HistoryIndex {
             map: Arc::new(self.map.fork()),
+            provenance: Arc::new(self.provenance.fork()),
         }
+    }
+
+    /// The paired provenance index (static fingerprint → cached output).
+    pub fn provenance(&self) -> &ProvenanceIndex {
+        &self.provenance
     }
 
     /// Point-in-time copy of every checkpoint, keyed for the deterministic

@@ -25,6 +25,7 @@ use mlcask_pipeline::component::{ComponentHandle, ComponentKey};
 use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
 use mlcask_pipeline::executor::{ExecOptions, Executor, MemoryCache, OutputCache};
 use mlcask_pipeline::parallel::{map_indexed, ParallelismPolicy};
+use mlcask_pipeline::provenance::{Incremental, PrefixGate, ProvenanceSnapshot};
 use mlcask_pipeline::replay::{replay_run, CacheSnapshot, ProfileBook};
 use mlcask_storage::store::ChunkStore;
 use serde::{Deserialize, Serialize};
@@ -85,6 +86,9 @@ pub struct MergeSearchReport {
     pub executed_components: usize,
     /// Component executions avoided via checkpoint reuse.
     pub reused_components: usize,
+    /// Nodes never scheduled at all: cut out of the plan statically by the
+    /// provenance frontier (a subset of `reused_components`).
+    pub skipped_by_frontier: usize,
     /// Candidates that failed mid-run.
     pub failed_candidates: usize,
     /// Best candidate found.
@@ -105,6 +109,7 @@ pub struct MergeEngine<'a> {
     store: &'a ChunkStore,
     dag: Arc<PipelineDag>,
     parallelism: ParallelismPolicy,
+    incremental: bool,
 }
 
 impl<'a> MergeEngine<'a> {
@@ -119,7 +124,16 @@ impl<'a> MergeEngine<'a> {
             store,
             dag,
             parallelism: ParallelismPolicy::Sequential,
+            incremental: true,
         }
+    }
+
+    /// Enables or disables the provenance fast path (frontier cuts plus the
+    /// shared-prefix gate) for history-backed strategies. On by default;
+    /// reports are byte-identical either way — only wall-clock changes.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
     }
 
     /// Sets the candidate-evaluation worker pool. Reports are identical for
@@ -245,18 +259,47 @@ impl<'a> MergeEngine<'a> {
         // *inside* each candidate out (wavefront execution) — one budget,
         // never oversubscribed.
         let scratch = MemoryCache::new();
+        // Provenance snapshot strictly *before* the key snapshot: the
+        // pairing invariant (a fingerprint is recorded only after its
+        // `CacheKey` insert) then guarantees every frontier hit is also a
+        // `pre` hit, so the replay below marks skipped nodes as reused and
+        // the report stays byte-identical to a non-incremental run.
+        let prov_snapshot: Option<Arc<ProvenanceSnapshot>> = if use_history && self.incremental {
+            Some(Arc::new(history.provenance().snapshot()))
+        } else {
+            None
+        };
         let (pre, phase_cache): (CacheSnapshot, &dyn OutputCache) = if use_history {
             (history.snapshot(), history)
         } else {
             (CacheSnapshot::new(), &scratch)
         };
         let executor = Executor::new(self.store);
+        // One gate per search: candidates sharing a prefix fingerprint
+        // execute it once, whichever worker claims it first.
+        let gate = PrefixGate::new();
         let (outer, inner) = options.parallelism.split(bound.len());
         let traced = map_indexed(outer, &bound, |_, pipeline| {
-            executor.run_traced_with(pipeline, phase_cache, book, options.precheck, inner)
+            let inc = prov_snapshot.as_ref().map(|snap| Incremental {
+                snapshot: Arc::clone(snap),
+                live: history.provenance(),
+                gate: Some(&gate),
+            });
+            executor.run_traced_incremental(
+                pipeline,
+                phase_cache,
+                book,
+                options.precheck,
+                inner,
+                inc.as_ref(),
+            )
         });
+        // Frontier cuts are computed against the snapshot, so the per-
+        // candidate skip counts are deterministic; `map_indexed` preserves
+        // candidate order, so the sum is too.
+        let mut skipped_by_frontier = 0usize;
         for t in traced {
-            t?;
+            skipped_by_frontier += t?.skipped_by_frontier;
         }
 
         // Phase 2 — deterministic accounting replay in candidate order.
@@ -317,6 +360,7 @@ impl<'a> MergeEngine<'a> {
             state_counts: tree.state_counts(),
             executed_components: executed,
             reused_components: reused,
+            skipped_by_frontier,
             failed_candidates: failed,
             best,
             candidates: records,

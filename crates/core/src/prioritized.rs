@@ -18,8 +18,9 @@ use mlcask_ml::metrics::Score;
 use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::ComponentKey;
 use mlcask_pipeline::dag::{BoundPipeline, PipelineDag};
-use mlcask_pipeline::executor::{ExecOptions, Executor};
+use mlcask_pipeline::executor::{ExecOptions, Executor, TracedOutcome};
 use mlcask_pipeline::parallel::{map_indexed, ParallelismPolicy};
+use mlcask_pipeline::provenance::{Incremental, PrefixGate, ProvenanceSnapshot};
 use mlcask_pipeline::replay::{replay_run, CacheSnapshot, ProfileBook, ReplayCursor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -81,6 +82,9 @@ pub struct TrialStats {
     /// Fraction of trials in which the optimum was found within the first
     /// `k+1` searches (index k).
     pub optimal_found_cdf: Vec<f64>,
+    /// Nodes cut out of the plan statically by the provenance frontier,
+    /// summed across all trials.
+    pub skipped_by_frontier: usize,
 }
 
 /// Aggregates for the k-th searched candidate across trials.
@@ -119,6 +123,66 @@ pub struct PrioritizedSearcher<'a> {
 struct TracedTrial {
     searched: Vec<(Vec<ComponentKey>, Option<Score>)>,
     bound: Vec<BoundPipeline>,
+    skipped_by_frontier: usize,
+}
+
+/// Mutable state of one in-flight trial, advanced one candidate at a time
+/// so the trial scheduler can interleave candidates from many trials on a
+/// single worker pool (divergent trial lengths then stop idling workers).
+struct TrialState {
+    tree: SearchTree,
+    remaining: HashMap<usize, usize>,
+    rng: StdRng,
+    /// Pre-drawn search order (`Random`); `None` means adaptive descent.
+    order: Option<Vec<usize>>,
+    /// Trial-local history fork (checkpoints within a trial reuse normally).
+    history: HistoryIndex,
+    searched: Vec<(Vec<ComponentKey>, Option<Score>)>,
+    bound: Vec<BoundPipeline>,
+    skipped_by_frontier: usize,
+    picked: usize,
+    total: usize,
+}
+
+impl TrialState {
+    fn into_traced(self) -> TracedTrial {
+        TracedTrial {
+            searched: self.searched,
+            bound: self.bound,
+            skipped_by_frontier: self.skipped_by_frontier,
+        }
+    }
+}
+
+/// Folds one executed candidate back into its trial: scores drive the next
+/// descent, `remaining` shrinks along the leaf's path, and the leaf is
+/// marked run. Must be called in pick order for the trial (the descent is
+/// adaptive), which the round-based scheduler guarantees — at most one
+/// candidate per trial is in flight.
+fn record_pick(
+    state: &mut TrialState,
+    leaf: usize,
+    keys: Vec<ComponentKey>,
+    pipeline: BoundPipeline,
+    outcome: TracedOutcome,
+) {
+    if let Some(s) = outcome.score {
+        state.tree.node_mut(leaf).score = Some(s.value);
+        propagate_up(&mut state.tree, leaf);
+    }
+    // Decrement remaining along the path.
+    for id in state.tree.path(leaf) {
+        *state.remaining.get_mut(&id).expect("counted") -= 1;
+    }
+    *state
+        .remaining
+        .get_mut(&state.tree.root())
+        .expect("counted") -= 1;
+    // Mark run so the prioritized descent skips it.
+    state.tree.node_mut(leaf).executed = true;
+    state.skipped_by_frontier += outcome.skipped_by_frontier;
+    state.searched.push((keys, outcome.score));
+    state.bound.push(pipeline);
 }
 
 impl<'a> PrioritizedSearcher<'a> {
@@ -147,25 +211,16 @@ impl<'a> PrioritizedSearcher<'a> {
         Ok(BoundPipeline::new(Arc::clone(&self.dag), components)?)
     }
 
-    /// Phase 1 of one trial: search *all* live candidates in the order
-    /// chosen by `method`, executing them (traced) against a trial-local
-    /// history fork. The descent is driven by phase-1 scores, which are
-    /// deterministic; accounting happens later in [`Self::replay_trial`].
-    /// `inner` is the DAG-internal worker budget each candidate's
-    /// wavefront may use (candidates within one trial are searched
-    /// strictly in order — the descent is adaptive — so node-level fan-out
-    /// is the only intra-trial parallelism available).
-    #[allow(clippy::too_many_arguments)]
-    fn run_trial_traced(
+    /// Builds the initial state of one trial: prune, fork the history,
+    /// seed initial scores, and draw the search order for `Random`.
+    fn trial_state(
         &self,
         spaces: &SearchSpaces,
         base_history: &HistoryIndex,
         initial_scores: &[(Vec<ComponentKey>, f64)],
         method: SearchMethod,
         seed: u64,
-        book: &ProfileBook,
-        inner: ParallelismPolicy,
-    ) -> Result<TracedTrial> {
+    ) -> Result<TrialState> {
         let mut tree = SearchTree::build(spaces);
         let preds = self.dag.predecessors();
         let lut = CompatLut::build(self.registry, spaces, &preds)?;
@@ -204,33 +259,80 @@ impl<'a> PrioritizedSearcher<'a> {
             }
             SearchMethod::Prioritized => None, // chosen adaptively
         };
+        let total = leaves.len();
+        Ok(TrialState {
+            tree,
+            remaining,
+            rng,
+            order,
+            history,
+            searched: Vec::with_capacity(total),
+            bound: Vec::with_capacity(total),
+            skipped_by_frontier: 0,
+            picked: 0,
+            total,
+        })
+    }
 
-        let executor = Executor::new(self.registry.store());
-        let mut searched = Vec::with_capacity(leaves.len());
-        let mut bound = Vec::with_capacity(leaves.len());
-        for rank in 1..=leaves.len() {
-            let leaf = match &order {
-                Some(o) => o[rank - 1],
-                None => descend_best(&tree, &remaining, &mut rng),
-            };
-            let keys = tree.candidate(leaf);
-            let pipeline = self.bind(&keys)?;
-            let score = executor.run_traced_with(&pipeline, &history, book, false, inner)?;
-            if let Some(s) = score {
-                tree.node_mut(leaf).score = Some(s.value);
-                propagate_up(&mut tree, leaf);
-            }
-            // Decrement remaining along the path.
-            for id in tree.path(leaf) {
-                *remaining.get_mut(&id).expect("counted") -= 1;
-            }
-            *remaining.get_mut(&tree.root()).expect("counted") -= 1;
-            // Mark run so the prioritized descent skips it.
-            tree.node_mut(leaf).executed = true;
-            searched.push((keys, score));
-            bound.push(pipeline);
+    /// Picks and binds the trial's next candidate, or `None` when the trial
+    /// has searched every live leaf. Deterministic: the descent depends only
+    /// on the trial's own rng and the scores recorded so far.
+    fn pick_next(
+        &self,
+        state: &mut TrialState,
+    ) -> Result<Option<(usize, Vec<ComponentKey>, BoundPipeline)>> {
+        if state.picked == state.total {
+            return Ok(None);
         }
-        Ok(TracedTrial { searched, bound })
+        let leaf = match &state.order {
+            Some(o) => o[state.picked],
+            None => descend_best(&state.tree, &state.remaining, &mut state.rng),
+        };
+        state.picked += 1;
+        let keys = state.tree.candidate(leaf);
+        let pipeline = self.bind(&keys)?;
+        Ok(Some((leaf, keys, pipeline)))
+    }
+
+    /// Phase 1 of one trial: search *all* live candidates in the order
+    /// chosen by `method`, executing them (traced) against a trial-local
+    /// history fork. The descent is driven by phase-1 scores, which are
+    /// deterministic; accounting happens later in [`Self::replay_trial`].
+    /// `inner` is the DAG-internal worker budget each candidate's
+    /// wavefront may use. `prov` enables the provenance fast path: a
+    /// snapshot to cut frontiers against plus a gate deduplicating shared
+    /// prefixes.
+    #[allow(clippy::too_many_arguments)]
+    fn run_trial_traced(
+        &self,
+        spaces: &SearchSpaces,
+        base_history: &HistoryIndex,
+        initial_scores: &[(Vec<ComponentKey>, f64)],
+        method: SearchMethod,
+        seed: u64,
+        book: &ProfileBook,
+        inner: ParallelismPolicy,
+        prov: Option<(&Arc<ProvenanceSnapshot>, &PrefixGate)>,
+    ) -> Result<TracedTrial> {
+        let mut state = self.trial_state(spaces, base_history, initial_scores, method, seed)?;
+        let executor = Executor::new(self.registry.store());
+        while let Some((leaf, keys, pipeline)) = self.pick_next(&mut state)? {
+            let inc = prov.map(|(snap, gate)| Incremental {
+                snapshot: Arc::clone(snap),
+                live: state.history.provenance(),
+                gate: Some(gate),
+            });
+            let outcome = executor.run_traced_incremental(
+                &pipeline,
+                &state.history,
+                book,
+                false,
+                inner,
+                inc.as_ref(),
+            )?;
+            record_pick(&mut state, leaf, keys, pipeline, outcome);
+        }
+        Ok(state.into_traced())
     }
 
     /// Phase 2 of one trial: the deterministic accounting replay in search
@@ -297,7 +399,11 @@ impl<'a> PrioritizedSearcher<'a> {
         let book = ProfileBook::new();
         // An aborted trial hands back its unsettled reservations.
         book.reservation_scope(self.registry.store(), || {
+            // Provenance snapshot strictly before the key snapshot (pairing
+            // invariant — see `MergeEngine::search_with_book`).
+            let prov = Arc::new(base_history.provenance().snapshot());
             let pre = base_history.snapshot();
+            let gate = PrefixGate::new();
             // One trial: the whole pool is available to each candidate's DAG.
             let (_, inner) = self.parallelism.split(1);
             let trial = self.run_trial_traced(
@@ -308,6 +414,7 @@ impl<'a> PrioritizedSearcher<'a> {
                 seed,
                 &book,
                 inner,
+                Some((&prov, &gate)),
             )?;
             let mut cursor = book.replay_cursor();
             self.replay_trial(&trial, &book, &pre, &mut cursor)
@@ -317,12 +424,17 @@ impl<'a> PrioritizedSearcher<'a> {
     /// Runs `trials` independent trials and aggregates Fig. 10 / Table I
     /// statistics.
     ///
-    /// Trials fan out over the searcher's [`ParallelismPolicy`]; a shared
-    /// [`ProfileBook`] deduplicates observations, and the accounting replay
-    /// walks trials in index order, so the aggregated statistics are
-    /// identical to a fully sequential run. An aborted run (quota breach,
-    /// storage fault) releases every unsettled reservation before the error
-    /// surfaces.
+    /// Trials advance in work-stealing rounds: each round takes the *next*
+    /// candidate from every still-active trial (a deterministic, sequential
+    /// pick — the descent is adaptive) and fans the whole batch across the
+    /// searcher's [`ParallelismPolicy`], so a long trial cannot idle the
+    /// workers a short trial has released. Trials share one [`PrefixGate`],
+    /// so a prefix common to several trials executes once per batch rather
+    /// than once per trial. A shared [`ProfileBook`] deduplicates
+    /// observations, and the accounting replay walks trials in index order,
+    /// so the aggregated statistics are identical to a fully sequential
+    /// run. An aborted run (quota breach, storage fault) releases every
+    /// unsettled reservation before the error surfaces.
     pub fn run_trials(
         &self,
         spaces: &SearchSpaces,
@@ -333,33 +445,72 @@ impl<'a> PrioritizedSearcher<'a> {
         seed: u64,
     ) -> Result<TrialStats> {
         let book = ProfileBook::new();
-        let results =
-            book.reservation_scope(self.registry.store(), || -> Result<Vec<TrialResult>> {
+        let (results, skipped_by_frontier) = book.reservation_scope(
+            self.registry.store(),
+            || -> Result<(Vec<TrialResult>, usize)> {
+                // Provenance snapshot strictly before the key snapshot
+                // (pairing invariant — see `MergeEngine::search_with_book`).
+                let prov = Arc::new(base_history.provenance().snapshot());
                 let pre = base_history.snapshot();
-                let seeds: Vec<u64> = (0..trials)
-                    .map(|t| seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15))
-                    .collect();
-                // Split the pool: trials fan out first; leftover workers execute
-                // each candidate's independent DAG nodes.
-                let (outer, inner) = self.parallelism.split(trials);
-                let traced = map_indexed(outer, &seeds, |_, s| {
-                    self.run_trial_traced(
-                        spaces,
-                        base_history,
-                        initial_scores,
-                        method,
-                        *s,
-                        &book,
-                        inner,
-                    )
-                });
-                let mut results = Vec::with_capacity(trials);
-                let mut cursor = book.replay_cursor();
-                for t in traced {
-                    results.push(self.replay_trial(&t?, &book, &pre, &mut cursor)?);
+                let gate = PrefixGate::new();
+                let executor = Executor::new(self.registry.store());
+                let mut states: Vec<TrialState> = (0..trials)
+                    .map(|t| {
+                        self.trial_state(
+                            spaces,
+                            base_history,
+                            initial_scores,
+                            method,
+                            seed ^ (t as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                        )
+                    })
+                    .collect::<Result<_>>()?;
+                loop {
+                    // Pick phase: sequential and trial-local, so each
+                    // trial's search order matches a sequential run.
+                    let mut picks = Vec::new();
+                    for (t, state) in states.iter_mut().enumerate() {
+                        if let Some((leaf, keys, pipeline)) = self.pick_next(state)? {
+                            picks.push((t, leaf, keys, pipeline, state.history.clone()));
+                        }
+                    }
+                    if picks.is_empty() {
+                        break;
+                    }
+                    // Execute phase: the round's batch fans across the pool;
+                    // leftover workers run each candidate's DAG wavefront.
+                    let (outer, inner) = self.parallelism.split(picks.len());
+                    let outcomes = map_indexed(outer, &picks, |_, (_, _, _, pipeline, history)| {
+                        let inc = Incremental {
+                            snapshot: Arc::clone(&prov),
+                            live: history.provenance(),
+                            gate: Some(&gate),
+                        };
+                        executor.run_traced_incremental(
+                            pipeline,
+                            history,
+                            &book,
+                            false,
+                            inner,
+                            Some(&inc),
+                        )
+                    });
+                    // Record phase: fold results back in trial order.
+                    for ((t, leaf, keys, pipeline, _), outcome) in picks.into_iter().zip(outcomes) {
+                        record_pick(&mut states[t], leaf, keys, pipeline, outcome?);
+                    }
                 }
-                Ok(results)
-            })?;
+                let mut results = Vec::with_capacity(trials);
+                let mut skipped = 0usize;
+                let mut cursor = book.replay_cursor();
+                for state in states {
+                    let trial = state.into_traced();
+                    skipped += trial.skipped_by_frontier;
+                    results.push(self.replay_trial(&trial, &book, &pre, &mut cursor)?);
+                }
+                Ok((results, skipped))
+            },
+        )?;
         let n = results.first().map(|r| r.searched.len()).unwrap_or(0);
         let mut per_rank = Vec::with_capacity(n);
         for k in 0..n {
@@ -397,6 +548,7 @@ impl<'a> PrioritizedSearcher<'a> {
             trials,
             per_rank,
             optimal_found_cdf: cdf,
+            skipped_by_frontier,
         })
     }
 }

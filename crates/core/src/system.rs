@@ -77,6 +77,10 @@ pub struct MlCask {
     metafiles: RwLock<HashMap<Hash256, PipelineMetafile>>,
     /// Worker pool for merge-search candidate evaluation.
     parallelism: ParallelismPolicy,
+    /// Provenance-keyed incremental re-evaluation for merge searches
+    /// (frontier cuts + shared-prefix hoisting). On by default; reports
+    /// and accounting are identical either way, only wall-clock changes.
+    incremental: bool,
 }
 
 impl MlCask {
@@ -112,6 +116,7 @@ impl MlCask {
             graph,
             metafiles: RwLock::new(HashMap::new()),
             parallelism: ParallelismPolicy::Sequential,
+            incremental: true,
         }
     }
 
@@ -130,6 +135,15 @@ impl MlCask {
     /// wall-clock changes.
     pub fn with_parallelism(mut self, parallelism: ParallelismPolicy) -> MlCask {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Toggles provenance-keyed incremental re-evaluation for this system's
+    /// merge searches (see [`mlcask_pipeline::provenance`]). On by default;
+    /// turning it off is an accounting-identity escape hatch — every report,
+    /// ledger charge, and tenant account is byte-identical either way.
+    pub fn with_incremental(mut self, incremental: bool) -> MlCask {
+        self.incremental = incremental;
         self
     }
 
@@ -196,6 +210,15 @@ impl MlCask {
         &self.dag
     }
 
+    /// Lifts a completed run's checkpoints into the provenance index so
+    /// later merge searches and trials can cut their frontier above them.
+    /// Only keys already checkpointed in the history are recorded (the
+    /// provenance pairing invariant).
+    fn absorb_provenance(&self, bound: &BoundPipeline) -> Result<()> {
+        self.history().provenance().absorb(bound, self.history())?;
+        Ok(())
+    }
+
     /// Resolves slot-ordered component keys to a bound pipeline.
     pub fn bind(&self, keys: &[ComponentKey]) -> Result<BoundPipeline> {
         let mut components: Vec<ComponentHandle> = Vec::with_capacity(keys.len());
@@ -224,6 +247,7 @@ impl MlCask {
                 report,
             });
         }
+        self.absorb_provenance(&bound)?;
         let commit = self.record_commit(branch, keys, &report, message, None)?;
         Ok(CommitResult {
             commit: Some(commit),
@@ -340,12 +364,14 @@ impl MlCask {
             let run = match self.bind(keys) {
                 Ok(bound) => executor
                     .run(&bound, ledger, Some(self.history()), self.exec_options())
-                    .map_err(CoreError::from),
+                    .map_err(CoreError::from)
+                    .map(|report| (bound, report)),
                 Err(e) => Err(e),
             };
             match run {
-                Ok(report) => {
+                Ok((bound, report)) => {
                     if report.outcome.is_completed() {
+                        self.absorb_provenance(&bound)?;
                         committable.push(reports.len());
                     }
                     reports.push(report);
@@ -617,6 +643,7 @@ impl MlCask {
             let executor = Executor::new(self.store());
             // Fully checkpointed: zero-cost replay to assemble the metafile.
             let report = executor.run(&bound, ledger, Some(self.history()), self.exec_options())?;
+            self.absorb_provenance(&bound)?;
             let commit = self.record_commit_qualified(
                 base,
                 &keys,
@@ -633,7 +660,8 @@ impl MlCask {
 
         let spaces = self.merge_search_spaces_qualified(&base, merging)?;
         let engine = MergeEngine::new(&self.registry, self.store(), Arc::clone(&self.dag))
-            .with_parallelism(self.parallelism);
+            .with_parallelism(self.parallelism)
+            .with_incremental(self.incremental);
         let report = engine.search(&spaces, self.history(), strategy, ledger)?;
         let Some((best_keys, _)) = report.best.clone() else {
             return Err(CoreError::NoViableCandidate);
@@ -644,6 +672,7 @@ impl MlCask {
         let executor = Executor::new(self.store());
         let replay = executor.run(&bound, ledger, Some(self.history()), self.exec_options())?;
         debug_assert!(matches!(replay.outcome, RunOutcome::Completed { .. }));
+        self.absorb_provenance(&bound)?;
         let commit = self.record_commit_qualified(
             base,
             &best_keys,

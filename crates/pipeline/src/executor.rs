@@ -24,6 +24,7 @@ use crate::component::{ComponentKey, StageKind};
 use crate::dag::BoundPipeline;
 use crate::errors::{PipelineError, Result};
 use crate::parallel::{run_dag, NodeVerdict, ParallelismPolicy, ShardedMap};
+use crate::provenance::{Claim, ClaimGuard, FrontierCut, GateOutcome, Incremental};
 use crate::replay::{replay_run, CacheSnapshot, ProfileBook, StageProfile};
 use crate::schema::SchemaId;
 use mlcask_ml::metrics::Score;
@@ -267,6 +268,21 @@ struct WavefrontRun {
     pre: CacheSnapshot,
     /// True if any node failed (statically predicted or observed live).
     failed: bool,
+    /// Nodes the incremental frontier cut never scheduled (0 without an
+    /// [`Incremental`] context).
+    skipped_by_frontier: usize,
+}
+
+/// Outcome of one traced (phase-1) evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct TracedOutcome {
+    /// Final model score in canonical topological order; `None` when the
+    /// pipeline failed or was rejected by precheck.
+    pub score: Option<Score>,
+    /// Nodes the incremental fast path statically cut at the cached
+    /// provenance frontier — never scheduled, yet still charged as reused
+    /// by the accounting replay. Always 0 for non-incremental runs.
+    pub skipped_by_frontier: usize,
 }
 
 /// First node in canonical topological order whose declared input schema is
@@ -565,6 +581,33 @@ impl<'s> Executor<'s> {
         precheck: bool,
         policy: ParallelismPolicy,
     ) -> Result<Option<Score>> {
+        self.run_traced_incremental(pipeline, cache, book, precheck, policy, None)
+            .map(|outcome| outcome.score)
+    }
+
+    /// [`Executor::run_traced_with`] with an optional incremental context
+    /// (see [`crate::provenance`]): the pipeline is fingerprinted, cut at
+    /// the deepest frontier cached in `inc.snapshot`, and only the dirty
+    /// region is scheduled; `inc.gate` additionally hoists prefixes shared
+    /// with concurrent evaluations so each executes once per search.
+    ///
+    /// The accounting replay still charges frontier-skipped nodes as
+    /// *reused* in canonical topological order — their `CacheKey`s resolve
+    /// against the paired history snapshot (the provenance pairing
+    /// invariant) — so reports, ledgers, and tenant accounting stay
+    /// byte-identical to a full re-evaluation at any worker count. `cache`
+    /// doubles as phase-1 lookup and live insert target, and every
+    /// checkpoint recorded through it is mirrored into `inc.live` under its
+    /// fingerprint.
+    pub fn run_traced_incremental(
+        &self,
+        pipeline: &BoundPipeline,
+        cache: &dyn OutputCache,
+        book: &ProfileBook,
+        precheck: bool,
+        policy: ParallelismPolicy,
+        inc: Option<&Incremental>,
+    ) -> Result<TracedOutcome> {
         // Mirror the live executor: a prechecking policy rejects doomed
         // pipelines before executing (or recording) anything, so replay's
         // `RejectedByPrecheck` branch sees the same side-state a sequential
@@ -575,12 +618,18 @@ impl<'s> Executor<'s> {
                 Err(PipelineError::IncompatibleSchema(_))
             )
         {
-            return Ok(None);
+            return Ok(TracedOutcome {
+                score: None,
+                skipped_by_frontier: 0,
+            });
         }
         let phase1 =
-            self.wavefront_phase1(pipeline, Some(cache), Some(cache), book, policy, false)?;
+            self.wavefront_phase1(pipeline, Some(cache), Some(cache), book, policy, false, inc)?;
         if phase1.failed {
-            return Ok(None);
+            return Ok(TracedOutcome {
+                score: None,
+                skipped_by_frontier: phase1.skipped_by_frontier,
+            });
         }
         // The final score is the last score in canonical topological order,
         // exactly as the sequential traced walk would have observed it.
@@ -592,7 +641,10 @@ impl<'s> Executor<'s> {
                 }
             }
         }
-        Ok(final_score)
+        Ok(TracedOutcome {
+            score: final_score,
+            skipped_by_frontier: phase1.skipped_by_frontier,
+        })
     }
 
     /// DAG-parallel [`Executor::run`]: phase 1 executes independent nodes
@@ -632,8 +684,15 @@ impl<'s> Executor<'s> {
             // exactly the entries a sequential run would have recorded, even
             // on failure paths.
             let lookup = if options.reuse { cache } else { None };
-            let phase1 =
-                self.wavefront_phase1(pipeline, lookup, None, &book, options.parallelism, true)?;
+            let phase1 = self.wavefront_phase1(
+                pipeline,
+                lookup,
+                None,
+                &book,
+                options.parallelism,
+                true,
+                None,
+            )?;
 
             let mut sim = CacheSnapshot::new();
             let mut cursor = book.replay_cursor();
@@ -683,6 +742,14 @@ impl<'s> Executor<'s> {
     /// after the first statically-incompatible node (in topological order)
     /// are never dispatched, and the frontier node's failure is recorded in
     /// `book` so the replay stops exactly where a sequential run would.
+    ///
+    /// With an [`Incremental`] context, the pipeline is additionally cut at
+    /// the deepest cached provenance frontier *before* scheduling: cut
+    /// nodes' slots are pre-filled from the snapshot and only the dirty
+    /// region is dispatched (an induced sub-DAG schedule). The cut is
+    /// computed against `inc.snapshot` — never the live index — so the
+    /// skipped set is identical for every worker count.
+    #[allow(clippy::too_many_arguments)]
     fn wavefront_phase1(
         &self,
         pipeline: &BoundPipeline,
@@ -691,6 +758,7 @@ impl<'s> Executor<'s> {
         book: &ProfileBook,
         policy: ParallelismPolicy,
         track_pre: bool,
+        inc: Option<&Incremental>,
     ) -> Result<WavefrontRun> {
         let order = pipeline.dag.topo_order()?;
         let fail_at = static_failure_node(pipeline, &order);
@@ -704,15 +772,73 @@ impl<'s> Executor<'s> {
                 }
             }
         }
+        let cut = match inc {
+            Some(inc) => Some(FrontierCut::compute(pipeline, &inc.snapshot, &allowed)?),
+            None => None,
+        };
         let slots: Vec<Mutex<Option<WaveSlot>>> =
             (0..order.len()).map(|_| Mutex::new(None)).collect();
+        // Pre-fill frontier-skipped nodes' results. Their `CacheKey`s are
+        // reconstructible because the cut is downward-closed: every
+        // predecessor of a cut node is itself cut, so its artifact id is at
+        // hand without touching the store.
+        if let Some(cut) = &cut {
+            for &node in &order {
+                let Some(cached) = &cut.cached[node] else {
+                    continue;
+                };
+                let inputs: Vec<Hash256> = pipeline
+                    .dag
+                    .pre(node)
+                    .iter()
+                    .map(|&p| {
+                        cut.cached[p]
+                            .as_ref()
+                            .expect("frontier cut is downward-closed")
+                            .artifact_id
+                    })
+                    .collect();
+                *slots[node].lock() = Some(WaveSlot {
+                    key: CacheKey {
+                        component: pipeline.components[node].key(),
+                        inputs,
+                    },
+                    cached: cached.clone(),
+                    artifact: None,
+                });
+            }
+        }
+        // Induced dirty-region schedule: cut nodes are never dispatched
+        // (sentinel indegree) and dirty nodes wait only on dirty
+        // predecessors; edges touching cut nodes drop out entirely.
+        let (indeg, adjacency) = match &cut {
+            Some(cut) if cut.skipped > 0 => {
+                let mut indeg = vec![0usize; order.len()];
+                let mut adj: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+                for (node, deg) in indeg.iter_mut().enumerate() {
+                    if cut.cached[node].is_some() {
+                        *deg = 1;
+                        continue;
+                    }
+                    for &p in &pipeline.dag.pre(node) {
+                        if cut.cached[p].is_none() {
+                            *deg += 1;
+                            adj[p].push(node);
+                        }
+                    }
+                }
+                (indeg, adj)
+            }
+            _ => (pipeline.dag.indegrees(), pipeline.dag.adjacency()),
+        };
+        let fingerprints = cut.as_ref().map(|c| c.fingerprints.as_slice());
         let pre: Mutex<CacheSnapshot> = Mutex::new(CacheSnapshot::new());
         let dynamic_failure = AtomicBool::new(false);
 
         run_dag(
             policy,
-            pipeline.dag.indegrees(),
-            &pipeline.dag.adjacency(),
+            indeg,
+            &adjacency,
             &pipeline.dag.critical_path_lengths(),
             |node| -> Result<NodeVerdict> {
                 if !allowed[node] {
@@ -744,12 +870,49 @@ impl<'s> Executor<'s> {
                         if track_pre {
                             pre.lock().insert(key.clone(), hit.clone());
                         }
+                        // The hit is already in the paired cache, so the
+                        // provenance pairing invariant lets it be recorded
+                        // directly.
+                        if let (Some(inc), Some(fps)) = (inc, fingerprints) {
+                            inc.live.record(fps[node], hit.clone());
+                        }
                         *slots[node].lock() = Some(WaveSlot {
                             key,
                             cached: hit,
                             artifact: None,
                         });
                         return Ok(NodeVerdict::Continue);
+                    }
+                }
+
+                // Shared-prefix hoisting: claim this node's fingerprint so
+                // concurrent evaluations reaching the same sub-DAG execute
+                // it exactly once — waiters adopt the owner's checkpoint
+                // (components are deterministic, so whose execution wins is
+                // unobservable in the replayed accounting).
+                let mut claim_guard: Option<ClaimGuard> = None;
+                if let (Some(inc), Some(fps)) = (inc, fingerprints) {
+                    if let Some(gate) = inc.gate {
+                        match gate.claim(fps[node]) {
+                            Claim::Ready(GateOutcome::Completed(cached)) => {
+                                if let Some(c) = live_insert {
+                                    c.insert(key.clone(), cached.clone());
+                                }
+                                inc.live.record(fps[node], cached.clone());
+                                *slots[node].lock() = Some(WaveSlot {
+                                    key,
+                                    cached,
+                                    artifact: None,
+                                });
+                                return Ok(NodeVerdict::Continue);
+                            }
+                            Claim::Ready(GateOutcome::Failed) => {
+                                book.record_failure(key);
+                                dynamic_failure.store(true, Ordering::Relaxed);
+                                return Ok(NodeVerdict::SkipSuccessors);
+                            }
+                            Claim::Owner(guard) => claim_guard = Some(guard),
+                        }
                     }
                 }
 
@@ -806,6 +969,11 @@ impl<'s> Executor<'s> {
                         if let Some(c) = live_insert {
                             c.insert(key.clone(), cached.clone());
                         }
+                        // Pairing invariant: the live-cache insert above
+                        // precedes the provenance record.
+                        if let (Some(inc), Some(fps)) = (inc, fingerprints) {
+                            inc.live.record(fps[node], cached.clone());
+                        }
                         // A sibling racing this exact key may have recorded
                         // first; the displaced duplicate's reservation must
                         // be released here or it would outlive the search
@@ -825,9 +993,12 @@ impl<'s> Executor<'s> {
                         }
                         *slots[node].lock() = Some(WaveSlot {
                             key,
-                            cached,
+                            cached: cached.clone(),
                             artifact: Some(std::sync::Arc::new(artifact)),
                         });
+                        if let Some(guard) = claim_guard.take() {
+                            guard.complete(GateOutcome::Completed(cached));
+                        }
                         Ok(NodeVerdict::Continue)
                     }
                     Err(PipelineError::IncompatibleSchema(_)) => {
@@ -838,8 +1009,14 @@ impl<'s> Executor<'s> {
                         // stays deterministic.
                         book.record_failure(key);
                         dynamic_failure.store(true, Ordering::Relaxed);
+                        if let Some(guard) = claim_guard.take() {
+                            guard.complete(GateOutcome::Failed);
+                        }
                         Ok(NodeVerdict::SkipSuccessors)
                     }
+                    // A hard error drops `claim_guard` un-completed, which
+                    // un-claims the fingerprint so a waiter re-claims and
+                    // executes the node itself.
                     Err(e) => Err(e),
                 }
             },
@@ -869,6 +1046,7 @@ impl<'s> Executor<'s> {
             slots,
             pre: pre.into_inner(),
             failed,
+            skipped_by_frontier: cut.map(|c| c.skipped).unwrap_or(0),
         })
     }
 }

@@ -19,9 +19,11 @@
 //!
 //! Beyond the paper, this crate supplies the parallel-execution substrate:
 //! [`parallel`] (worker pools, the DAG wavefront scheduler, and the
-//! [`parallel::ParallelismPolicy`] knob) and [`replay`] (the
+//! [`parallel::ParallelismPolicy`] knob), [`replay`] (the
 //! traced-execute/deterministic-replay protocol that keeps parallel
-//! reports byte-identical to sequential ones).
+//! reports byte-identical to sequential ones), and [`provenance`]
+//! (static per-node fingerprints, frontier cuts, and the shared-prefix
+//! gate behind incremental re-evaluation).
 //!
 //! The versioning semantics themselves (branching, merging, search-tree
 //! pruning) live in `mlcask-core`, which builds on this crate.
@@ -36,6 +38,7 @@ pub mod errors;
 pub mod executor;
 pub mod metafile;
 pub mod parallel;
+pub mod provenance;
 pub mod replay;
 pub mod schema;
 pub mod semver;
@@ -57,6 +60,10 @@ pub mod prelude {
     };
     pub use crate::metafile::{DatasetMetafile, LibraryMetafile, PipelineMetafile, PipelineSlot};
     pub use crate::parallel::{map_indexed, run_dag, NodeVerdict, ParallelismPolicy, ShardedMap};
+    pub use crate::provenance::{
+        pipeline_fingerprints, FrontierCut, Incremental, PrefixGate, ProvenanceIndex,
+        ProvenanceSnapshot,
+    };
     pub use crate::replay::{replay_run, CacheSnapshot, ProfileBook, ReplayCursor, StageProfile};
     pub use crate::schema::{Schema, SchemaId};
     pub use crate::semver::SemVer;

@@ -1,0 +1,495 @@
+//! Provenance-keyed incremental re-evaluation.
+//!
+//! The executor's checkpoint reuse (see [`crate::executor`]) is *dynamic*:
+//! a node's [`CacheKey`] contains its input artifact ids, so reuse is
+//! discovered node-by-node at runtime — every candidate pipeline is still
+//! fully scheduled, and every node pays a key construction plus a sharded
+//! lookup even when the whole prefix is a hit. This module adds the
+//! *static* complement:
+//!
+//! * [`pipeline_fingerprints`] lifts a [`BoundPipeline`] to per-node
+//!   **provenance fingerprints** `hash(component key, input fingerprints)`
+//!   — computable from the DAG alone, no artifact bytes and no execution.
+//!   Because components are deterministic (a documented [`crate::component::Component`]
+//!   contract), a node's fingerprint fully determines its output.
+//! * [`ProvenanceIndex`] maps fingerprints of already-evaluated sub-DAGs to
+//!   their [`CachedOutput`]s, alongside the existing `CacheKey` history.
+//!   Entries are recorded only *after* the same output is inserted under
+//!   its `CacheKey` into the paired output cache — the **pairing
+//!   invariant** — so a fingerprint hit implies a history hit, and the
+//!   accounting replay charges the node as `reused` exactly as a full
+//!   re-evaluation would.
+//! * [`FrontierCut`] cuts a pipeline at the deepest cached frontier: the
+//!   downward-closed set of nodes whose fingerprints hit a point-in-time
+//!   [`ProvenanceSnapshot`]. The executor pre-fills those nodes' results
+//!   and schedules only the dirty region.
+//! * [`PrefixGate`] hoists shared candidate prefixes: concurrent
+//!   evaluations that reach the same fingerprint execute it once — one
+//!   owner runs the component, waiters adopt its output.
+//!
+//! Cuts are always computed against a snapshot taken once per search (never
+//! the concurrently-growing live index), so the number of frontier-skipped
+//! nodes is deterministic for every worker count.
+
+use crate::component::ComponentKey;
+use crate::dag::BoundPipeline;
+use crate::errors::Result;
+use crate::executor::{CacheKey, CachedOutput, OutputCache};
+use crate::parallel::ShardedMap;
+use mlcask_storage::hash::Hash256;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Computes the provenance fingerprint of one node from its component key
+/// and its predecessors' fingerprints (in edge order).
+pub fn node_fingerprint(component: &ComponentKey, input_fps: &[Hash256]) -> Hash256 {
+    let key_repr = component.to_string();
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(2 + input_fps.len());
+    parts.push(b"mlcask-provenance-v1");
+    parts.push(key_repr.as_bytes());
+    for fp in input_fps {
+        parts.push(&fp.0);
+    }
+    Hash256::of_parts(&parts)
+}
+
+/// Per-node provenance fingerprints of a bound pipeline, indexed by node
+/// id. Purely static: derived from component keys and DAG edges, so two
+/// pipelines that share a prefix share the prefix's fingerprints.
+pub fn pipeline_fingerprints(pipeline: &BoundPipeline) -> Result<Vec<Hash256>> {
+    let order = pipeline.dag.topo_order()?;
+    let mut fps = vec![Hash256::ZERO; order.len()];
+    for node in order {
+        let input_fps: Vec<Hash256> = pipeline.dag.pre(node).iter().map(|&p| fps[p]).collect();
+        fps[node] = node_fingerprint(&pipeline.components[node].key(), &input_fps);
+    }
+    Ok(fps)
+}
+
+/// Point-in-time copy of a [`ProvenanceIndex`], used to compute
+/// deterministic [`FrontierCut`]s for one whole search.
+pub type ProvenanceSnapshot = HashMap<Hash256, CachedOutput>;
+
+/// Concurrent map from sub-DAG provenance fingerprints to checkpointed
+/// outputs. Sharded like the `CacheKey` history so parallel evaluators do
+/// not serialize on one lock.
+///
+/// **Pairing invariant**: callers must record an entry only after inserting
+/// the same output under its `CacheKey` into the paired [`OutputCache`].
+/// Every consumer of a [`ProvenanceSnapshot`] relies on "fingerprint hit ⟹
+/// history hit" to keep incremental reports byte-identical to full
+/// re-evaluation.
+#[derive(Default)]
+pub struct ProvenanceIndex {
+    map: ShardedMap<Hash256, CachedOutput>,
+}
+
+impl ProvenanceIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of fingerprinted checkpoints.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no fingerprints are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Records a fingerprinted checkpoint (see the pairing invariant above).
+    pub fn record(&self, fp: Hash256, output: CachedOutput) {
+        self.map.insert(fp, output);
+    }
+
+    /// Looks up the live index (snapshot-free; prefer [`ProvenanceIndex::snapshot`]
+    /// plus [`FrontierCut`] when determinism across workers matters).
+    pub fn get(&self, fp: &Hash256) -> Option<CachedOutput> {
+        self.map.get(fp)
+    }
+
+    /// Forks an independent copy with the same contents (pairs with the
+    /// history index's `deep_clone`).
+    pub fn fork(&self) -> ProvenanceIndex {
+        ProvenanceIndex {
+            map: self.map.fork(),
+        }
+    }
+
+    /// Point-in-time copy used to compute cuts for one whole search.
+    pub fn snapshot(&self) -> ProvenanceSnapshot {
+        self.map.to_hashmap()
+    }
+
+    /// Lifts an already-evaluated pipeline into the index post-hoc: walks
+    /// the DAG in topological order, reconstructing each node's `CacheKey`
+    /// from its predecessors' cached artifact ids, and records a
+    /// fingerprint entry for every node whose key hits `cache`. Stops
+    /// fingerprinting any node with an unresolvable (missing) predecessor.
+    /// Returns the number of nodes recorded.
+    ///
+    /// This is how commit paths prime provenance from runs executed by the
+    /// plain (non-incremental) executor: the cache hits guarantee the
+    /// pairing invariant by construction.
+    pub fn absorb(&self, pipeline: &BoundPipeline, cache: &dyn OutputCache) -> Result<usize> {
+        let fps = pipeline_fingerprints(pipeline)?;
+        let order = pipeline.dag.topo_order()?;
+        let mut artifact_ids: Vec<Option<Hash256>> = vec![None; order.len()];
+        let mut recorded = 0usize;
+        for node in order {
+            let inputs: Option<Vec<Hash256>> = pipeline
+                .dag
+                .pre(node)
+                .iter()
+                .map(|&p| artifact_ids[p])
+                .collect();
+            let Some(inputs) = inputs else { continue };
+            let key = CacheKey {
+                component: pipeline.components[node].key(),
+                inputs,
+            };
+            if let Some(hit) = cache.lookup(&key) {
+                artifact_ids[node] = Some(hit.artifact_id);
+                self.record(fps[node], hit);
+                recorded += 1;
+            }
+        }
+        Ok(recorded)
+    }
+}
+
+/// A pipeline cut at its deepest cached frontier: the downward-closed set
+/// of nodes whose fingerprints hit a [`ProvenanceSnapshot`] (a node counts
+/// as cached only if all its predecessors are), restricted to nodes the
+/// scheduler would dispatch at all. Everything else is the *dirty region*
+/// the executor actually schedules.
+pub struct FrontierCut {
+    /// Per-node fingerprints (index = node id).
+    pub fingerprints: Vec<Hash256>,
+    /// Cached output for every frontier-skipped node; `None` for dirty
+    /// nodes.
+    pub cached: Vec<Option<CachedOutput>>,
+    /// Number of nodes skipped by the cut.
+    pub skipped: usize,
+}
+
+impl FrontierCut {
+    /// Computes the cut of `pipeline` against a provenance snapshot.
+    /// `schedulable[node]` masks nodes the caller would dispatch (nodes at
+    /// or beyond a static failure frontier are never cached — a sequential
+    /// run never reaches them, so skipping them would change observables).
+    pub fn compute(
+        pipeline: &BoundPipeline,
+        snapshot: &ProvenanceSnapshot,
+        schedulable: &[bool],
+    ) -> Result<FrontierCut> {
+        let fingerprints = pipeline_fingerprints(pipeline)?;
+        let order = pipeline.dag.topo_order()?;
+        let mut cached: Vec<Option<CachedOutput>> = vec![None; order.len()];
+        let mut skipped = 0usize;
+        for node in order {
+            if !schedulable[node] {
+                continue;
+            }
+            let closed = pipeline.dag.pre(node).iter().all(|&p| cached[p].is_some());
+            if !closed {
+                continue;
+            }
+            if let Some(hit) = snapshot.get(&fingerprints[node]) {
+                cached[node] = Some(hit.clone());
+                skipped += 1;
+            }
+        }
+        Ok(FrontierCut {
+            fingerprints,
+            cached,
+            skipped,
+        })
+    }
+}
+
+/// Everything the executor needs to run one evaluation incrementally:
+/// the search-wide snapshot that cuts are computed against, the live index
+/// new checkpoints are recorded into, and (optionally) the search-wide
+/// prefix gate.
+pub struct Incremental<'a> {
+    /// Point-in-time provenance the whole search cuts against. Taken once,
+    /// **before** the history snapshot the accounting replay uses, so the
+    /// pairing invariant carries over to the snapshots.
+    pub snapshot: Arc<ProvenanceSnapshot>,
+    /// Live index receiving `(fingerprint, output)` pairs as nodes complete.
+    pub live: &'a ProvenanceIndex,
+    /// Shared-prefix hoisting gate, if the search wants common prefixes
+    /// executed once across concurrent evaluations.
+    pub gate: Option<&'a PrefixGate>,
+}
+
+/// Result of a gated execution, adopted by waiters.
+#[derive(Clone)]
+pub enum GateOutcome {
+    /// The owner executed the node and checkpointed this output.
+    Completed(CachedOutput),
+    /// The owner observed a dynamic schema failure at this node.
+    Failed,
+}
+
+enum GateState {
+    Pending,
+    Done(GateOutcome),
+}
+
+/// What [`PrefixGate::claim`] resolved to.
+pub enum Claim<'g> {
+    /// This caller owns the fingerprint: execute the node, then call
+    /// [`ClaimGuard::complete`]. Dropping the guard without completing
+    /// (panic, hard error) un-claims the fingerprint so a waiter can
+    /// execute it instead — the gate never deadlocks on a dead owner.
+    Owner(ClaimGuard<'g>),
+    /// Another evaluation already produced this fingerprint's outcome.
+    Ready(GateOutcome),
+}
+
+/// Concurrent once-per-fingerprint execution gate: the first evaluation to
+/// claim a fingerprint executes it, every concurrent evaluation that
+/// reaches the same fingerprint blocks until the owner completes and then
+/// adopts the result. Correct because components are deterministic: any
+/// owner produces the identical output, so *who* executes is unobservable
+/// in the replayed accounting.
+#[derive(Default)]
+pub struct PrefixGate {
+    inner: Mutex<HashMap<Hash256, GateState>>,
+    ready: Condvar,
+}
+
+impl PrefixGate {
+    /// Empty gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims `fp`: returns [`Claim::Owner`] if this caller should execute
+    /// the node, or blocks until the owner finishes and returns
+    /// [`Claim::Ready`] with the adopted outcome.
+    pub fn claim(&self, fp: Hash256) -> Claim<'_> {
+        let mut map = self.inner.lock().expect("gate lock");
+        loop {
+            match map.get(&fp) {
+                None => {
+                    map.insert(fp, GateState::Pending);
+                    return Claim::Owner(ClaimGuard {
+                        gate: self,
+                        fp,
+                        completed: false,
+                    });
+                }
+                Some(GateState::Done(outcome)) => return Claim::Ready(outcome.clone()),
+                Some(GateState::Pending) => {
+                    map = self.ready.wait(map).expect("gate lock");
+                }
+            }
+        }
+    }
+}
+
+/// Owner-side token of a pending [`PrefixGate`] claim.
+pub struct ClaimGuard<'g> {
+    gate: &'g PrefixGate,
+    fp: Hash256,
+    completed: bool,
+}
+
+impl ClaimGuard<'_> {
+    /// Publishes the owner's outcome and wakes every waiter.
+    pub fn complete(mut self, outcome: GateOutcome) {
+        let mut map = self.gate.inner.lock().expect("gate lock");
+        map.insert(self.fp, GateState::Done(outcome));
+        self.completed = true;
+        drop(map);
+        self.gate.ready.notify_all();
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        // Owner died without publishing (panic or hard error): un-claim so
+        // a waiter re-claims and executes the node itself. A poisoned lock
+        // means another owner panicked while publishing; un-claiming is
+        // still the right recovery.
+        let mut map = match self.gate.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        map.remove(&self.fp);
+        drop(map);
+        self.gate.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::test_support::{TestModel, TestScaler, TestSource};
+    use crate::component::ComponentHandle;
+    use crate::dag::PipelineDag;
+    use crate::executor::MemoryCache;
+    use crate::schema::SchemaId;
+    use crate::semver::SemVer;
+    use mlcask_storage::object::{ObjectKind, ObjectRef};
+    use std::sync::Arc;
+
+    fn chain(model_version: SemVer) -> BoundPipeline {
+        let dag =
+            Arc::new(PipelineDag::chain(&["test_source", "test_scaler", "test_model"]).unwrap());
+        let comps: Vec<ComponentHandle> = vec![
+            Arc::new(TestSource {
+                version: SemVer::initial(),
+                dim: 3,
+                rows: 8,
+            }),
+            Arc::new(TestScaler {
+                version: SemVer::initial(),
+                dim_in: 3,
+                dim_out: 3,
+                factor: 2.0,
+            }),
+            Arc::new(TestModel {
+                version: model_version,
+                dim_in: 3,
+                quality: 0.3,
+            }),
+        ];
+        BoundPipeline::new(dag, comps).unwrap()
+    }
+
+    fn output(n: u8) -> CachedOutput {
+        CachedOutput {
+            object: ObjectRef {
+                id: Hash256::of(&[n]),
+                kind: ObjectKind::Output,
+                len: 1,
+            },
+            artifact_id: Hash256::of(&[n, n]),
+            schema: SchemaId(Hash256::of(&[9])),
+            score: None,
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_static_and_prefix_stable() {
+        let a = pipeline_fingerprints(&chain(SemVer::master(0, 0))).unwrap();
+        let b = pipeline_fingerprints(&chain(SemVer::master(0, 1))).unwrap();
+        // Shared prefix (source, scaler) → identical fingerprints.
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[1], b[1]);
+        // Different model version → different sink fingerprint.
+        assert_ne!(a[2], b[2]);
+        // Deterministic.
+        assert_eq!(
+            a,
+            pipeline_fingerprints(&chain(SemVer::master(0, 0))).unwrap()
+        );
+    }
+
+    #[test]
+    fn frontier_cut_is_downward_closed() {
+        let p = chain(SemVer::master(0, 0));
+        let fps = pipeline_fingerprints(&p).unwrap();
+        let mut snap = ProvenanceSnapshot::new();
+        // Only the *middle* node cached: without its source it must stay
+        // dirty (no way to reconstruct its CacheKey or inputs).
+        snap.insert(fps[1], output(1));
+        let cut = FrontierCut::compute(&p, &snap, &[true; 3]).unwrap();
+        assert_eq!(cut.skipped, 0);
+        // Source + scaler cached → both skipped, model dirty.
+        snap.insert(fps[0], output(0));
+        let cut = FrontierCut::compute(&p, &snap, &[true; 3]).unwrap();
+        assert_eq!(cut.skipped, 2);
+        assert!(cut.cached[0].is_some() && cut.cached[1].is_some());
+        assert!(cut.cached[2].is_none());
+    }
+
+    #[test]
+    fn frontier_cut_respects_schedulable_mask() {
+        let p = chain(SemVer::master(0, 0));
+        let fps = pipeline_fingerprints(&p).unwrap();
+        let mut snap = ProvenanceSnapshot::new();
+        for (i, fp) in fps.iter().enumerate() {
+            snap.insert(*fp, output(i as u8));
+        }
+        let cut = FrontierCut::compute(&p, &snap, &[true, false, false]).unwrap();
+        assert_eq!(cut.skipped, 1, "unschedulable nodes never count as cached");
+    }
+
+    #[test]
+    fn absorb_lifts_completed_runs() {
+        let p = chain(SemVer::master(0, 0));
+        let cache = MemoryCache::new();
+        let index = ProvenanceIndex::new();
+        // Nothing checkpointed → nothing absorbed.
+        assert_eq!(index.absorb(&p, &cache).unwrap(), 0);
+        // Simulate a completed run: walk the chain inserting checkpoints
+        // whose inputs link through artifact ids.
+        let mut prev_id: Option<Hash256> = None;
+        for (i, comp) in p.components.iter().enumerate() {
+            let out = output(i as u8);
+            let key = CacheKey {
+                component: comp.key(),
+                inputs: prev_id.into_iter().collect(),
+            };
+            prev_id = Some(out.artifact_id);
+            cache.insert(key, out);
+        }
+        assert_eq!(index.absorb(&p, &cache).unwrap(), 3);
+        let fps = pipeline_fingerprints(&p).unwrap();
+        let snap = index.snapshot();
+        let cut = FrontierCut::compute(&p, &snap, &[true; 3]).unwrap();
+        assert_eq!(cut.skipped, 3, "fully absorbed pipeline cuts completely");
+        assert!(fps.iter().all(|fp| snap.contains_key(fp)));
+    }
+
+    #[test]
+    fn gate_owner_publishes_and_waiters_adopt() {
+        let gate = Arc::new(PrefixGate::new());
+        let fp = Hash256::of(b"shared-prefix");
+        let Claim::Owner(guard) = gate.claim(fp) else {
+            panic!("first claim owns");
+        };
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || match gate.claim(fp) {
+                Claim::Ready(GateOutcome::Completed(out)) => out.artifact_id,
+                _ => panic!("waiter must adopt the completed outcome"),
+            })
+        };
+        // Give the waiter time to block, then publish.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        guard.complete(GateOutcome::Completed(output(7)));
+        assert_eq!(waiter.join().unwrap(), Hash256::of(&[7, 7]));
+    }
+
+    #[test]
+    fn gate_unclaims_on_dropped_owner() {
+        let gate = PrefixGate::new();
+        let fp = Hash256::of(b"poisoned");
+        {
+            let Claim::Owner(_guard) = gate.claim(fp) else {
+                panic!("first claim owns");
+            };
+            // Guard dropped without completing (owner hit a hard error).
+        }
+        match gate.claim(fp) {
+            Claim::Owner(guard) => guard.complete(GateOutcome::Failed),
+            Claim::Ready(_) => panic!("dropped owner must un-claim"),
+        }
+        match gate.claim(fp) {
+            Claim::Ready(GateOutcome::Failed) => {}
+            _ => panic!("published outcome sticks"),
+        };
+    }
+}

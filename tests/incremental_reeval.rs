@@ -1,0 +1,243 @@
+//! Provenance-keyed incremental re-evaluation: the frontier-cut fast path
+//! must be an *invisible* optimisation. Reports stay byte-identical to full
+//! re-evaluation at every worker count, data changes invalidate the cut,
+//! and cross-tenant accounting cannot move by a byte when a peer's cached
+//! prefix is reused.
+
+use mlcask_core::history::HistoryIndex;
+use mlcask_core::merge::{MergeEngine, MergeSearchReport, MergeStrategy};
+use mlcask_core::registry::ComponentRegistry;
+use mlcask_core::system::MlCask;
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
+use mlcask_core::workspace::{Tenant, Workspace};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::dag::PipelineDag;
+use mlcask_pipeline::executor::{ExecOptions, Executor};
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_pipeline::provenance::Incremental;
+use mlcask_pipeline::replay::ProfileBook;
+use mlcask_pipeline::semver::SemVer;
+use mlcask_storage::store::ChunkStore;
+use mlcask_storage::tenant::{QuotaPolicy, ShareRight};
+use mlcask_workloads::whatif::{self, WhatIf};
+use std::sync::Arc;
+
+/// A primed what-if system: the base pipeline committed to history and
+/// lifted into the provenance index, exactly as `MlCask::commit_pipeline`
+/// leaves it.
+struct Primed {
+    w: WhatIf,
+    reg: ComponentRegistry,
+    history: HistoryIndex,
+}
+
+fn primed() -> Primed {
+    let w = whatif::build();
+    let store = Arc::new(ChunkStore::in_memory());
+    let reg = ComponentRegistry::new(store);
+    w.register_all(&reg).unwrap();
+    let history = HistoryIndex::new();
+    let engine = MergeEngine::new(&reg, reg.store(), Arc::new(w.dag()));
+    let bound = engine.bind(&w.base).unwrap();
+    Executor::new(reg.store())
+        .run(
+            &bound,
+            &ClockLedger::new(),
+            Some(&history),
+            ExecOptions::MLCASK,
+        )
+        .unwrap();
+    history.provenance().absorb(&bound, &history).unwrap();
+    Primed { w, reg, history }
+}
+
+/// One what-if search on a *fresh* primed system — a search warms the
+/// history it runs over, so comparable runs each get their own.
+fn search(policy: ParallelismPolicy, incremental: bool) -> MergeSearchReport {
+    let p = primed();
+    let engine = MergeEngine::new(&p.reg, p.reg.store(), Arc::new(p.w.dag()))
+        .with_parallelism(policy)
+        .with_incremental(incremental);
+    engine
+        .search(
+            &p.w.spaces(),
+            &p.history,
+            MergeStrategy::Full,
+            &ClockLedger::new(),
+        )
+        .unwrap()
+}
+
+/// Serialized report with the frontier telemetry zeroed — the only field
+/// allowed to differ between incremental and full re-evaluation.
+fn normalized(report: &MergeSearchReport) -> String {
+    let mut r = report.clone();
+    r.skipped_by_frontier = 0;
+    serde_json::to_string(&r).unwrap()
+}
+
+#[test]
+fn incremental_report_byte_identical_to_full_reevaluation() {
+    let full = search(ParallelismPolicy::Sequential, false);
+    let inc = search(ParallelismPolicy::Sequential, true);
+    assert_eq!(full.skipped_by_frontier, 0, "full re-evaluation never cuts");
+    assert!(
+        inc.skipped_by_frontier > 0,
+        "the shared prefix must be cut out of the what-if candidates"
+    );
+    assert_eq!(
+        normalized(&full),
+        normalized(&inc),
+        "frontier cuts must not move the report by a byte"
+    );
+}
+
+#[test]
+fn incremental_search_deterministic_across_worker_counts() {
+    let reference = search(ParallelismPolicy::Sequential, true);
+    let reference_obs = normalized(&reference);
+    for workers in [1usize, 2, 8] {
+        let policy = if workers == 1 {
+            ParallelismPolicy::Sequential
+        } else {
+            ParallelismPolicy::Parallel(workers)
+        };
+        let report = search(policy, true);
+        assert_eq!(
+            normalized(&report),
+            reference_obs,
+            "incremental search diverged at {workers} workers"
+        );
+        assert_eq!(
+            report.skipped_by_frontier, reference.skipped_by_frontier,
+            "frontier telemetry must be worker-count independent"
+        );
+    }
+}
+
+#[test]
+fn data_artifact_change_invalidates_the_frontier() {
+    let p = primed();
+    let engine = MergeEngine::new(&p.reg, p.reg.store(), Arc::new(p.w.dag()));
+    let executor = Executor::new(p.reg.store());
+    let snapshot = Arc::new(p.history.provenance().snapshot());
+    let run = |keys: &[ComponentKey]| {
+        let bound = engine.bind(keys).unwrap();
+        let inc = Incremental {
+            snapshot: Arc::clone(&snapshot),
+            live: p.history.provenance(),
+            gate: None,
+        };
+        executor
+            .run_traced_incremental(
+                &bound,
+                &p.history,
+                &ProfileBook::new(),
+                false,
+                ParallelismPolicy::Sequential,
+                Some(&inc),
+            )
+            .unwrap()
+    };
+    // Re-evaluating the committed pipeline verbatim: everything is cut.
+    let cached = run(&p.w.base);
+    assert_eq!(cached.skipped_by_frontier, p.w.base.len());
+    // Swapping the ingest version produces *different data*, so every
+    // downstream fingerprint changes and nothing may be reused statically.
+    let invalidated = run(&p.w.swap_ingest());
+    assert_eq!(
+        invalidated.skipped_by_frontier, 0,
+        "a data-artifact change must invalidate the whole frontier"
+    );
+}
+
+/// Opens the toy chain pipeline for a tenant (registry over its store view).
+fn toy_system(t: &Tenant, incremental: bool) -> MlCask {
+    let registry = Arc::new(ComponentRegistry::with_exe_size(
+        Arc::clone(t.store()),
+        4096,
+    ));
+    for c in [
+        toy_source(SemVer::master(0, 0), 4, 16),
+        toy_scaler(SemVer::master(0, 0), 4, 4, 1.0),
+        toy_scaler(SemVer::master(0, 1), 4, 4, 2.0),
+        toy_model(SemVer::master(0, 0), 4, 0.5),
+        toy_model(SemVer::master(0, 1), 4, 0.6),
+    ] {
+        registry.register(c).unwrap();
+    }
+    let dag = PipelineDag::chain(&toy_slots()).unwrap();
+    t.open_pipeline("toy", dag, registry)
+        .with_incremental(incremental)
+}
+
+fn keys(sys: &MlCask, scaler_inc: usize, model_inc: usize) -> Vec<ComponentKey> {
+    let reg = sys.registry();
+    vec![
+        reg.versions_of("test_source")[0].clone(),
+        reg.versions_of("test_scaler")[scaler_inc].clone(),
+        reg.versions_of("test_model")[model_inc].clone(),
+    ]
+}
+
+/// Everything tenant accounting observes, plus the merge report with the
+/// frontier telemetry zeroed.
+fn cross_tenant_fingerprint(incremental: bool) -> (String, usize) {
+    let ws = Workspace::in_memory_small();
+    let up = ws.add_tenant("up", QuotaPolicy::UNLIMITED).unwrap();
+    let down = ws.add_tenant("down", QuotaPolicy::UNLIMITED).unwrap();
+    let sys_up = toy_system(&up, incremental);
+    let sys_down = toy_system(&down, incremental);
+    let clock = ClockLedger::new();
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 0, 0), "up initial", &clock)
+        .unwrap();
+    up.grant_to("down", ShareRight::MergeInto).unwrap();
+    down.fork_from("up", "master", "feature").unwrap();
+    // Diverge both sides so the merge needs a real search; the shared
+    // prefix (source + scaler 0) stays cached from upstream's commits.
+    sys_up
+        .commit_pipeline("master", &keys(&sys_up, 1, 0), "up scaler", &clock)
+        .unwrap();
+    sys_down
+        .commit_pipeline("feature", &keys(&sys_down, 0, 1), "down model", &clock)
+        .unwrap();
+    let merged = sys_down
+        .merge_into("up", "master", "feature", MergeStrategy::Full, &clock)
+        .unwrap();
+    let mut report = merged.report.unwrap();
+    let skipped = report.skipped_by_frontier;
+    report.skipped_by_frontier = 0;
+    let heads: Vec<String> = ws
+        .graph()
+        .branches()
+        .iter()
+        .map(|b| format!("{b}={}", ws.graph().head(b).unwrap().id.short()))
+        .collect();
+    let fp = format!(
+        "report={} usages={} shared={} physical={} reserved={} heads={heads:?} clock={}",
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&ws.usages()).unwrap(),
+        serde_json::to_string(&ws.shared_view()).unwrap(),
+        ws.store().physical_bytes(),
+        ws.store().tenant_accounts().open_reservations(),
+        serde_json::to_string(&clock.snapshot()).unwrap(),
+    );
+    (fp, skipped)
+}
+
+#[test]
+fn cross_tenant_accounting_unchanged_when_peer_prefix_is_reused() {
+    let (without, skipped_off) = cross_tenant_fingerprint(false);
+    let (with, skipped_on) = cross_tenant_fingerprint(true);
+    assert_eq!(skipped_off, 0, "disabled systems must never cut");
+    assert!(
+        skipped_on > 0,
+        "the cross-tenant merge must reuse the peer's cached prefix via the frontier"
+    );
+    assert_eq!(
+        with, without,
+        "frontier reuse must not move tenant accounting by a byte"
+    );
+}
