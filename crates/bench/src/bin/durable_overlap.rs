@@ -1,0 +1,221 @@
+//! Write-overlap win of the cask backend's asynchronous writer pool.
+//!
+//! Runs the same durable workload — an autolearn pipeline execution plus a
+//! library-archive burst — against two cask configurations:
+//!
+//! * **synchronous** — `CaskOptions::synchronous()`: every segment append
+//!   fsyncs on the caller's thread before the write returns, the classic
+//!   write-through baseline;
+//! * **asynchronous** — the default writer pool: appends are acknowledged
+//!   once indexed, per-shard writers drain them in the background, and only
+//!   `CaskBackend::flush` (the commit point) fsyncs on the caller.
+//!
+//! The deterministic win metric is `blocking_syncs` — fsyncs the workload
+//! thread had to wait for. Synchronous mode pays one per append; the pool
+//! pays a handful at flush. The binary exits nonzero if the pool shows no
+//! win, so CI's bench-smoke leg gates on the overlap actually existing.
+//! Wall-clock is reported too (informational — tmpfs fsyncs are nearly
+//! free, so the blocking count is the portable signal). Both modes must
+//! recover byte-identical contents after a real close-and-reopen.
+//!
+//! ```text
+//! cargo run --release -p mlcask_bench --bin durable_overlap
+//! ```
+
+use mlcask_bench::{f2, print_header, print_row, write_bench_json};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::dag::BoundPipeline;
+use mlcask_pipeline::executor::{ExecOptions, Executor};
+use mlcask_storage::cask::{CaskBackend, CaskOptions};
+use mlcask_storage::chunk::ChunkParams;
+use mlcask_storage::costmodel::StorageCostModel;
+use mlcask_storage::object::ObjectKind;
+use mlcask_storage::store::ChunkStore;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchPayload {
+    scenario: &'static str,
+    appends: u64,
+    sync_blocking_syncs: u64,
+    async_blocking_syncs: u64,
+    sync_wall_s: f64,
+    async_wall_s: f64,
+    wall_speedup: f64,
+}
+
+struct Run {
+    wall: f64,
+    appends: u64,
+    blocking_syncs: u64,
+    /// Sorted (key, len) pairs recovered after close-and-reopen.
+    recovered: Vec<(String, u64)>,
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mlcask-durable-overlap-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The timed workload: one autolearn pipeline run plus `libs` archived
+/// library versions, every write flushed durable at the end.
+fn drive(store: &ChunkStore, libs: usize) {
+    let w = mlcask_workloads::by_name("autolearn").expect("autolearn workload");
+    let comps = w
+        .initial
+        .iter()
+        .map(|key| {
+            w.handles
+                .iter()
+                .find(|h| &h.key() == key)
+                .expect("initial key registered")
+                .clone()
+        })
+        .collect();
+    let bound = BoundPipeline::new(Arc::new(w.dag()), comps).expect("pipeline binds");
+    let clock = ClockLedger::new();
+    let report = Executor::new(store)
+        .run(&bound, &clock, None, ExecOptions::RERUN_ALL)
+        .expect("pipeline runs");
+    assert!(report.outcome.is_completed());
+    for v in 0..libs {
+        let payload = mlcask_core::registry::simulated_executable(
+            "overlap-lib",
+            &format!("0.{v}"),
+            48 * 1024,
+        );
+        store
+            .put_blob(ObjectKind::Library, &payload)
+            .expect("library archives");
+    }
+    store.flush().expect("flush drains and syncs");
+}
+
+fn run_mode(tag: &str, opts: CaskOptions, libs: usize) -> Run {
+    let root = temp_root(tag);
+    let be = Arc::new(CaskBackend::open_with(&root, opts).expect("cask opens"));
+    let store = ChunkStore::new(be.clone(), ChunkParams::DEFAULT, StorageCostModel::FORKBASE);
+    let start = Instant::now();
+    drive(&store, libs);
+    let wall = start.elapsed().as_secs_f64();
+    let appends = be.append_count();
+    let blocking_syncs = be.blocking_syncs();
+    drop(store);
+    drop(be);
+
+    // Reopen cold and enumerate what recovery sees.
+    let be = CaskBackend::open(&root).expect("cask reopens");
+    let mut recovered: Vec<(String, u64)> = {
+        use mlcask_storage::backend::StorageBackend;
+        be.keys()
+            .into_iter()
+            .map(|k| {
+                let len = be.get(k).expect("recovered key reads").len() as u64;
+                (k.to_hex(), len)
+            })
+            .collect()
+    };
+    recovered.sort();
+    let _ = std::fs::remove_dir_all(&root);
+    Run {
+        wall,
+        appends,
+        blocking_syncs,
+        recovered,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("MLCASK_BENCH_SMOKE").is_ok();
+    let libs = if smoke { 12 } else { 64 };
+    println!("# Durable write overlap — synchronous vs writer-pool cask");
+    println!(
+        "\nworkload: autolearn pipeline run + {libs} archived library versions, \
+         flushed durable; same bytes in both modes"
+    );
+
+    let reps = if smoke { 1 } else { 3 };
+    let mut sync_best: Option<Run> = None;
+    let mut async_best: Option<Run> = None;
+    for _ in 0..reps {
+        let s = run_mode("sync", CaskOptions::synchronous(), libs);
+        if sync_best.as_ref().is_none_or(|b| s.wall < b.wall) {
+            sync_best = Some(s);
+        }
+        let a = run_mode("async", CaskOptions::default(), libs);
+        if async_best.as_ref().is_none_or(|b| a.wall < b.wall) {
+            async_best = Some(a);
+        }
+    }
+    let sync = sync_best.expect("at least one rep");
+    let async_ = async_best.expect("at least one rep");
+
+    print_header(
+        "durable write overlap",
+        &["mode", "wall s", "appends", "blocking fsyncs"],
+    );
+    print_row(&[
+        "synchronous".into(),
+        f2(sync.wall),
+        sync.appends.to_string(),
+        sync.blocking_syncs.to_string(),
+    ]);
+    print_row(&[
+        "writer pool".into(),
+        f2(async_.wall),
+        async_.appends.to_string(),
+        async_.blocking_syncs.to_string(),
+    ]);
+    let speedup = sync.wall / async_.wall.max(1e-9);
+    println!(
+        "\nblocking fsyncs: {} -> {}; wall-clock speedup: {speedup:.1}x",
+        sync.blocking_syncs, async_.blocking_syncs
+    );
+
+    // Both modes persist exactly the same objects and recover them after a
+    // cold reopen.
+    assert_eq!(sync.appends, async_.appends, "same workload, same appends");
+    assert_eq!(
+        sync.recovered, async_.recovered,
+        "recovered contents must be identical between modes"
+    );
+    println!(
+        "recovered after reopen: {} objects, identical in both modes",
+        sync.recovered.len()
+    );
+
+    write_bench_json(
+        "durable_overlap",
+        &BenchPayload {
+            scenario: "autolearn_plus_library_burst",
+            appends: sync.appends,
+            sync_blocking_syncs: sync.blocking_syncs,
+            async_blocking_syncs: async_.blocking_syncs,
+            sync_wall_s: sync.wall,
+            async_wall_s: async_.wall,
+            wall_speedup: speedup,
+        },
+    );
+
+    // The gate: the pool must actually take fsyncs off the workload thread.
+    if async_.blocking_syncs >= sync.blocking_syncs {
+        println!(
+            "error: writer pool shows no overlap win ({} blocking fsyncs vs {} synchronous)",
+            async_.blocking_syncs, sync.blocking_syncs
+        );
+        std::process::exit(1);
+    }
+    if !smoke && async_.blocking_syncs * 4 > sync.blocking_syncs {
+        println!("error: expected >=4x fewer blocking fsyncs from the writer pool");
+        std::process::exit(1);
+    }
+}

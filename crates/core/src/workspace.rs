@@ -103,6 +103,26 @@ impl Workspace {
         Self::over(Arc::new(ChunkStore::in_memory_small()))
     }
 
+    /// Durable workspace over a cask (append-only log-segment) store rooted
+    /// at `root`. Reopening the same directory recovers every previously
+    /// synced blob; a torn final record from a crashed writer is truncated
+    /// away. Call [`Workspace::flush`] at commit points to drain the
+    /// asynchronous writer pool and fsync all segments.
+    pub fn durable(root: impl AsRef<std::path::Path>) -> Result<Arc<Workspace>> {
+        let backend = mlcask_storage::cask::CaskBackend::open(root)?;
+        Ok(Self::over(Arc::new(ChunkStore::new(
+            Arc::new(backend),
+            mlcask_storage::chunk::ChunkParams::DEFAULT,
+            mlcask_storage::costmodel::StorageCostModel::FORKBASE,
+        ))))
+    }
+
+    /// Drains any pending asynchronous writes and fsyncs the backing store.
+    /// A no-op for in-memory backends.
+    pub fn flush(&self) -> Result<()> {
+        Ok(self.store.flush()?)
+    }
+
     /// The shared root store (untenanted view).
     pub fn store(&self) -> &Arc<ChunkStore> {
         &self.store

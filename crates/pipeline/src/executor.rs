@@ -26,6 +26,7 @@ use crate::errors::{PipelineError, Result};
 use crate::parallel::{run_dag, NodeVerdict, ParallelismPolicy, ShardedMap};
 use crate::provenance::{Claim, ClaimGuard, FrontierCut, GateOutcome, Incremental};
 use crate::replay::{replay_run, CacheSnapshot, ProfileBook, StageProfile};
+use crate::resume::ResumeCtx;
 use crate::schema::SchemaId;
 use mlcask_ml::metrics::Score;
 use mlcask_storage::hash::Hash256;
@@ -355,9 +356,45 @@ impl<'s> Executor<'s> {
             && options.persist_outputs
             && pipeline.dag.max_width() > 1
         {
-            return self.run_wavefront(pipeline, ledger, cache, options);
+            return self.run_wavefront(pipeline, ledger, cache, options, None);
         }
         self.run_sequential(pipeline, ledger, cache, options)
+    }
+
+    /// [`Executor::run`] with crash recovery: completed component
+    /// executions adopted from `resume.snapshot` skip re-execution (their
+    /// journaled profiles feed the accounting replay verbatim), and newly
+    /// completed executions are appended to `resume.journal`, so a later
+    /// attempt resumes from the last completed operation instead of
+    /// re-running the whole DAG.
+    ///
+    /// Always takes the two-phase traced-execute + canonical-replay path
+    /// (any worker count, chains included): the replay charges adopted and
+    /// re-executed nodes identically in canonical topological order, which
+    /// is what makes a resumed run's report, ledger, store statistics, and
+    /// tenant accounting byte-identical to an uninterrupted run — see
+    /// [`crate::resume`] for the recovery protocol and
+    /// `tests/crash_recovery.rs` for the kill-at-every-write matrix.
+    ///
+    /// Requires `options.persist_outputs`: recovery validates journal
+    /// entries against persisted blobs, so there is nothing to resume from
+    /// without them.
+    pub fn run_resumable(
+        &self,
+        pipeline: &BoundPipeline,
+        ledger: &ClockLedger,
+        cache: Option<&dyn OutputCache>,
+        options: ExecOptions,
+        resume: &ResumeCtx<'_>,
+    ) -> Result<RunReport> {
+        if !options.persist_outputs {
+            return Err(PipelineError::InvalidDag(
+                "run_resumable requires persist_outputs (recovery validates journaled \
+                 operations against persisted blobs)"
+                    .into(),
+            ));
+        }
+        self.run_wavefront(pipeline, ledger, cache, options, Some(resume))
     }
 
     /// The classic strictly-sequential execution path: one node at a time in
@@ -623,8 +660,16 @@ impl<'s> Executor<'s> {
                 skipped_by_frontier: 0,
             });
         }
-        let phase1 =
-            self.wavefront_phase1(pipeline, Some(cache), Some(cache), book, policy, false, inc)?;
+        let phase1 = self.wavefront_phase1(
+            pipeline,
+            Some(cache),
+            Some(cache),
+            book,
+            policy,
+            false,
+            inc,
+            None,
+        )?;
         if phase1.failed {
             return Ok(TracedOutcome {
                 score: None,
@@ -660,6 +705,7 @@ impl<'s> Executor<'s> {
         ledger: &ClockLedger,
         cache: Option<&dyn OutputCache>,
         options: ExecOptions,
+        resume: Option<&ResumeCtx<'_>>,
     ) -> Result<RunReport> {
         if options.precheck {
             if let Err(PipelineError::IncompatibleSchema(detail)) =
@@ -692,6 +738,7 @@ impl<'s> Executor<'s> {
                 options.parallelism,
                 true,
                 None,
+                resume,
             )?;
 
             let mut sim = CacheSnapshot::new();
@@ -759,6 +806,7 @@ impl<'s> Executor<'s> {
         policy: ParallelismPolicy,
         track_pre: bool,
         inc: Option<&Incremental>,
+        resume: Option<&ResumeCtx<'_>>,
     ) -> Result<WavefrontRun> {
         let order = pipeline.dag.topo_order()?;
         let fail_at = static_failure_node(pipeline, &order);
@@ -885,6 +933,27 @@ impl<'s> Executor<'s> {
                     }
                 }
 
+                // Crash recovery: a journaled completed execution is adopted
+                // verbatim — its recorded profile (write trace included)
+                // feeds the accounting replay exactly as the pre-crash
+                // attempt recorded it, so the replay charges this node as
+                // *executed*, byte-identically to an uninterrupted run.
+                if let Some(res) = resume {
+                    if let Some(prof) = res.snapshot.get(&key) {
+                        if let Some(lost) = book.record_profile(key.clone(), prof.clone()) {
+                            if let Some(t) = &lost.write {
+                                self.store.release_trace(t);
+                            }
+                        }
+                        *slots[node].lock() = Some(WaveSlot {
+                            key,
+                            cached: prof.cached.clone(),
+                            artifact: None,
+                        });
+                        return Ok(NodeVerdict::Continue);
+                    }
+                }
+
                 // Shared-prefix hoisting: claim this node's fingerprint so
                 // concurrent evaluations reaching the same sub-DAG execute
                 // it exactly once — waiters adopt the owner's checkpoint
@@ -978,17 +1047,28 @@ impl<'s> Executor<'s> {
                         // first; the displaced duplicate's reservation must
                         // be released here or it would outlive the search
                         // (only book-kept traces are settled by the replay).
-                        if let Some(lost) = book.record_profile(
-                            key.clone(),
-                            StageProfile {
-                                cached: cached.clone(),
-                                artifact_bytes: artifact.byte_len(),
-                                exec_ns,
-                                write: Some(trace),
-                            },
-                        ) {
-                            if let Some(t) = &lost.write {
-                                self.store.release_trace(t);
+                        let profile = StageProfile {
+                            cached: cached.clone(),
+                            artifact_bytes: artifact.byte_len(),
+                            exec_ns,
+                            write: Some(trace),
+                        };
+                        match book.record_profile(key.clone(), profile.clone()) {
+                            Some(lost) => {
+                                if let Some(t) = &lost.write {
+                                    self.store.release_trace(t);
+                                }
+                            }
+                            // The kept execution is this run's completed
+                            // operation: journal it so a crashed attempt
+                            // resumes from here. (Durability of the blob may
+                            // still be in flight on an async backend;
+                            // recovery validates the entry against what
+                            // actually survived.)
+                            None => {
+                                if let Some(journal) = resume.and_then(|r| r.journal) {
+                                    journal.record(&key, &profile)?;
+                                }
                             }
                         }
                         *slots[node].lock() = Some(WaveSlot {

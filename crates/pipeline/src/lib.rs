@@ -21,9 +21,11 @@
 //! [`parallel`] (worker pools, the DAG wavefront scheduler, and the
 //! [`parallel::ParallelismPolicy`] knob), [`replay`] (the
 //! traced-execute/deterministic-replay protocol that keeps parallel
-//! reports byte-identical to sequential ones), and [`provenance`]
+//! reports byte-identical to sequential ones), [`provenance`]
 //! (static per-node fingerprints, frontier cuts, and the shared-prefix
-//! gate behind incremental re-evaluation).
+//! gate behind incremental re-evaluation), and [`resume`] (the durable
+//! journal + recovery protocol that resumes a crashed execution from its
+//! last completed operation).
 //!
 //! The versioning semantics themselves (branching, merging, search-tree
 //! pruning) live in `mlcask-core`, which builds on this crate.
@@ -40,6 +42,7 @@ pub mod metafile;
 pub mod parallel;
 pub mod provenance;
 pub mod replay;
+pub mod resume;
 pub mod schema;
 pub mod semver;
 
@@ -65,6 +68,7 @@ pub mod prelude {
         ProvenanceSnapshot,
     };
     pub use crate::replay::{replay_run, CacheSnapshot, ProfileBook, ReplayCursor, StageProfile};
+    pub use crate::resume::{RecoveryReport, ResumeCtx, ResumeEntry, ResumeLog, ResumeSnapshot};
     pub use crate::schema::{Schema, SchemaId};
     pub use crate::semver::SemVer;
 }

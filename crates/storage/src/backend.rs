@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Key-value storage for content-addressed bytes.
 ///
@@ -36,6 +37,41 @@ pub trait StorageBackend: Send + Sync {
     fn keys(&self) -> Vec<Hash256>;
     /// Removes `key`, returning the freed byte count (`None` if absent).
     fn remove(&self, key: Hash256) -> Result<Option<u64>>;
+    /// Makes every acknowledged write durable: drains any in-flight write
+    /// queue and fsyncs. A no-op for backends that are always consistent
+    /// (memory) or write-through (file).
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+    /// Reclaims physical space held by removed objects, returning the file
+    /// bytes freed. A no-op for backends without dead space.
+    fn compact(&self) -> Result<u64> {
+        Ok(0)
+    }
+}
+
+/// Builds the backend named by the `MLCASK_BACKEND` environment variable:
+/// `mem` (default), `cask`, or `file`. On-disk backends live under a fresh
+/// uniquely-named directory in the system temp dir, tagged with `tag` for
+/// debuggability — CI's backend-matrix leg uses this to drive the whole
+/// integration suite over the durable backend.
+pub fn backend_from_env(tag: &str) -> Arc<dyn StorageBackend> {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let choice = std::env::var("MLCASK_BACKEND").unwrap_or_default();
+    let root = || {
+        std::env::temp_dir().join(format!(
+            "mlcask-env-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    };
+    match choice.as_str() {
+        "cask" => Arc::new(
+            crate::cask::CaskBackend::open(root()).expect("cask backend opens in temp dir"),
+        ),
+        "file" => Arc::new(FileBackend::open(root()).expect("file backend opens in temp dir")),
+        _ => Arc::new(MemBackend::new()),
+    }
 }
 
 /// The map and its byte total live under one lock: `put` must update both

@@ -41,10 +41,12 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cask;
 pub mod chunk;
 pub mod commit;
 pub mod costmodel;
 pub mod errors;
+pub mod fault;
 pub mod hash;
 pub mod object;
 pub mod stats;
@@ -53,11 +55,13 @@ pub mod tenant;
 
 /// Common imports for downstream crates.
 pub mod prelude {
-    pub use crate::backend::{FileBackend, MemBackend, StorageBackend};
+    pub use crate::backend::{backend_from_env, FileBackend, MemBackend, StorageBackend};
+    pub use crate::cask::{CaskBackend, CaskOptions, DurableLog};
     pub use crate::chunk::ChunkParams;
     pub use crate::commit::{Commit, CommitGraph};
     pub use crate::costmodel::StorageCostModel;
     pub use crate::errors::{Result as StorageResult, StorageError};
+    pub use crate::fault::{FaultBackend, FaultKind, FaultPlan};
     pub use crate::hash::{Hash256, Sha256};
     pub use crate::object::{Manifest, ObjectKind, ObjectRef};
     pub use crate::stats::{AtomicStats, KindStats, StorageStats};

@@ -37,7 +37,7 @@ pub struct PutOutcome {
 }
 
 /// One chunk-level observation from a traced write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WriteObs {
     /// Chunk content address.
     pub hash: Hash256,
@@ -69,6 +69,35 @@ pub struct PutTrace {
     /// The quota reservation this (tenant-attributed) write holds until it
     /// is settled at replay time or released on abort.
     pub reservation: Option<ReservationId>,
+}
+
+// Serialization is hand-written to *omit* the reservation: a reservation is
+// a live in-process quota hold, meaningless in another process. A journaled
+// trace deserializes with `reservation: None`, so replaying it charges the
+// tenant directly (`TenantAccounts::charge`) — the same usage a settle
+// would have produced.
+impl serde::Serialize for PutTrace {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("kind".into(), self.kind.to_value()),
+            ("logical".into(), self.logical.to_value()),
+            ("chunks".into(), self.chunks.to_value()),
+            ("manifest".into(), self.manifest.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for PutTrace {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let m = serde::expect_map(v, "PutTrace")?;
+        Ok(PutTrace {
+            kind: serde::field(m, "kind", "PutTrace")?,
+            logical: serde::field(m, "logical", "PutTrace")?,
+            chunks: serde::field(m, "chunks", "PutTrace")?,
+            manifest: serde::field(m, "manifest", "PutTrace")?,
+            reservation: None,
+        })
+    }
 }
 
 impl PutTrace {
@@ -113,6 +142,9 @@ pub struct SweepReport {
     pub removed_objects: usize,
     /// Physical bytes reclaimed.
     pub removed_bytes: u64,
+    /// Segment file bytes reclaimed by backend compaction after the sweep
+    /// (0 for backends without log compaction).
+    pub compacted_file_bytes: u64,
 }
 
 /// Content-addressed, deduplicating blob store.
@@ -531,7 +563,28 @@ impl ChunkStore {
                 self.tenants.drop_chunk(&key);
             }
         }
+        // Removal only tombstones on log-structured backends; compaction
+        // rewrites the segments so the file bytes actually come back.
+        report.compacted_file_bytes = self.backend.compact()?;
         Ok(report)
+    }
+
+    /// Makes every acknowledged write durable (drains the backend's write
+    /// queue and fsyncs). A no-op on in-memory stores.
+    pub fn flush(&self) -> Result<()> {
+        self.backend.flush()
+    }
+
+    /// Compacts the backend's storage without sweeping, returning the file
+    /// bytes reclaimed.
+    pub fn compact(&self) -> Result<u64> {
+        self.backend.compact()
+    }
+
+    /// Direct access to the physical backend (recovery tooling needs to ask
+    /// it about chunk presence and durability counters).
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
     }
 }
 

@@ -120,11 +120,12 @@ fn advance_one(
     true
 }
 
-/// Creates a fresh registry + MLCask system for a workload, backed by an
-/// in-memory ForkBase-like store.
+/// Creates a fresh registry + MLCask system for a workload. The store
+/// backend honours `MLCASK_BACKEND` (`mem` default, `cask`, `file`) so the
+/// same scenarios drive CI's durable-backend matrix leg.
 pub fn build_system(w: &Workload) -> Result<(Arc<ComponentRegistry>, MlCask)> {
     let store = Arc::new(ChunkStore::new(
-        Arc::new(mlcask_storage::backend::MemBackend::new()),
+        mlcask_storage::backend::backend_from_env(&w.name),
         ChunkParams::DEFAULT,
         StorageCostModel::FORKBASE,
     ));
@@ -178,7 +179,7 @@ pub fn build_multi_tenant(
     teams: &[&str],
 ) -> Result<(Arc<Workspace>, Vec<TenantSystem>)> {
     let ws = Workspace::over(Arc::new(ChunkStore::new(
-        Arc::new(mlcask_storage::backend::MemBackend::new()),
+        mlcask_storage::backend::backend_from_env(&w.name),
         ChunkParams::DEFAULT,
         StorageCostModel::FORKBASE,
     )));
@@ -225,7 +226,7 @@ pub struct Collaboration {
 /// report, usages, commit ids) are byte-identical across worker counts.
 pub fn run_upstream_downstream(w: &Workload, policy: ParallelismPolicy) -> Result<Collaboration> {
     let ws = Workspace::over(Arc::new(ChunkStore::new(
-        Arc::new(mlcask_storage::backend::MemBackend::new()),
+        mlcask_storage::backend::backend_from_env(&w.name),
         ChunkParams::DEFAULT,
         StorageCostModel::FORKBASE,
     )));

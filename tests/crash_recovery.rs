@@ -1,0 +1,370 @@
+//! Crash-recovery matrix: kill the storage backend at every k-th write,
+//! reopen, recover, and assert the **resumed** run is byte-identical to an
+//! uninterrupted sequential run — report, ledger, store statistics, and
+//! physical bytes — at worker counts {1, 2, 8}, on both the durable
+//! [`CaskBackend`] (fault-injected torn/dropped writes, real reopen) and
+//! an in-memory store behind the trait-level [`FaultBackend`].
+//!
+//! Protocol under test (see `mlcask_pipeline::resume`): completed
+//! operations are journaled to a [`ResumeLog`]; recovery validates each
+//! journaled operation against the blobs that actually survived, sweeps
+//! unjournaled leftovers, and [`Executor::run_resumable`] adopts the
+//! validated operations without re-executing them. Crashed attempts run
+//! sequentially, so the journal always holds a canonical prefix of the
+//! run; the *resumed* attempt is exercised at every worker count.
+
+use mlcask::core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
+use mlcask::prelude::*;
+use mlcask::storage::backend::MemBackend;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-call-unique temp dir: pid alone is not enough because one process
+/// runs many matrix cells (and the test harness runs tests concurrently).
+fn temp_base(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mlcask-crash-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The toy source → scaler → model chain: small artifacts, so with
+/// [`ChunkParams::SMALL`] the whole run issues a few dozen backend writes
+/// — a crash matrix over *every* write stays fast.
+fn bound_toy() -> BoundPipeline {
+    let dag = Arc::new(PipelineDag::chain(&toy_slots()).unwrap());
+    let comps = vec![
+        toy_source(SemVer::master(0, 0), 4, 32),
+        toy_scaler(SemVer::master(0, 0), 4, 4, 2.0),
+        toy_model(SemVer::master(0, 0), 4, 0.8),
+    ];
+    BoundPipeline::new(dag, comps).unwrap()
+}
+
+/// The diamond fusion workload — real DAG width, so the resumed attempt's
+/// parallel wavefront genuinely fans out.
+fn bound_fusion() -> BoundPipeline {
+    let w = mlcask::workloads::fusion::build();
+    let comps = w
+        .initial
+        .iter()
+        .map(|key| {
+            w.handles
+                .iter()
+                .find(|h| &h.key() == key)
+                .expect("initial key registered")
+                .clone()
+        })
+        .collect();
+    BoundPipeline::new(Arc::new(w.dag()), comps).unwrap()
+}
+
+fn run_once(
+    pipeline: &BoundPipeline,
+    store: &ChunkStore,
+    policy: ParallelismPolicy,
+    resume: &ResumeCtx<'_>,
+) -> PipelineResult<(RunReport, ClockLedger)> {
+    let ledger = ClockLedger::new();
+    let report = Executor::new(store).run_resumable(
+        pipeline,
+        &ledger,
+        None,
+        ExecOptions::RERUN_ALL.with_parallelism(policy),
+        resume,
+    )?;
+    Ok((report, ledger))
+}
+
+/// Every observable the determinism contract covers.
+fn observe(report: &RunReport, ledger: &ClockLedger, store: &ChunkStore) -> String {
+    format!(
+        "report={} ledger={} stats={} physical={}",
+        serde_json::to_string(report).unwrap(),
+        serde_json::to_string(&ledger.snapshot()).unwrap(),
+        serde_json::to_string(&store.stats()).unwrap(),
+        store.physical_bytes(),
+    )
+}
+
+/// Uninterrupted sequential run on a fresh in-memory store — the reference
+/// every crashed-and-resumed run must reproduce byte-for-byte.
+fn reference(pipeline: &BoundPipeline, params: ChunkParams) -> String {
+    let store = ChunkStore::new(
+        Arc::new(MemBackend::new()),
+        params,
+        StorageCostModel::FORKBASE,
+    );
+    let empty = ResumeSnapshot::empty();
+    let ctx = ResumeCtx {
+        snapshot: &empty,
+        journal: None,
+    };
+    let (report, ledger) = run_once(pipeline, &store, ParallelismPolicy::Sequential, &ctx).unwrap();
+    assert!(report.outcome.is_completed());
+    observe(&report, &ledger, &store)
+}
+
+/// Runs the pipeline once against a clean synchronous cask to learn the
+/// total number of segment appends the workload issues.
+fn cask_total_appends(pipeline: &BoundPipeline, params: ChunkParams) -> u64 {
+    let base = temp_base("count");
+    let be = Arc::new(
+        CaskBackend::open_with(
+            base.join("store"),
+            CaskOptions {
+                shards: 8,
+                writer_threads: 0,
+                sync_every_append: false,
+                fault: None,
+            },
+        )
+        .unwrap(),
+    );
+    let store = ChunkStore::new(be.clone(), params, StorageCostModel::FORKBASE);
+    let empty = ResumeSnapshot::empty();
+    let ctx = ResumeCtx {
+        snapshot: &empty,
+        journal: None,
+    };
+    run_once(pipeline, &store, ParallelismPolicy::Sequential, &ctx).unwrap();
+    store.flush().unwrap();
+    let n = be.append_count();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&base);
+    n
+}
+
+fn fault_plan(k: u64, kind_sel: u64) -> FaultPlan {
+    match kind_sel % 3 {
+        0 => FaultPlan::torn(k, 0xC0FFEE ^ k),
+        1 => FaultPlan::after_write(k),
+        _ => FaultPlan::drop_unsynced(k),
+    }
+}
+
+/// One cask matrix cell: crash the k-th segment append during a sequential
+/// attempt, reopen the directory (torn-tail truncation), recover from the
+/// journal, and finish the run under `policy`. Returns the resumed run's
+/// observables plus the recovery report and the journal size it validated.
+fn crash_then_resume_cask(
+    pipeline: &BoundPipeline,
+    params: ChunkParams,
+    k: u64,
+    kind_sel: u64,
+    policy: ParallelismPolicy,
+) -> (String, RecoveryReport, usize) {
+    let base = temp_base("cask");
+    let root = base.join("store");
+    let journal = base.join("resume.log");
+
+    // Attempt 1: journaled sequential run against the faulted backend.
+    {
+        let be = Arc::new(
+            CaskBackend::open_with(
+                &root,
+                CaskOptions::default().with_fault(fault_plan(k, kind_sel)),
+            )
+            .unwrap(),
+        );
+        let store = ChunkStore::new(be, params, StorageCostModel::FORKBASE);
+        let (log, entries) = ResumeLog::open(&journal).unwrap();
+        assert!(entries.is_empty(), "fresh journal");
+        let empty = ResumeSnapshot::empty();
+        let ctx = ResumeCtx {
+            snapshot: &empty,
+            journal: Some(&log),
+        };
+        // Crashes mid-run for every fault kind except `AfterWrite` on the
+        // run's final append (the crash point then fires with nothing left
+        // to write) — in that case the "resume" below adopts every node.
+        let _ = run_once(pipeline, &store, ParallelismPolicy::Sequential, &ctx);
+    }
+
+    // Recovery: reopen both logs, validate, sweep, resume.
+    let be = Arc::new(CaskBackend::open(&root).unwrap());
+    let store = ChunkStore::new(be, params, StorageCostModel::FORKBASE);
+    let (log, entries) = ResumeLog::open(&journal).unwrap();
+    let journaled = entries.len();
+    let (snap, rec) = ResumeSnapshot::recover(&store, entries, []).unwrap();
+    let ctx = ResumeCtx {
+        snapshot: &snap,
+        journal: Some(&log),
+    };
+    let (report, ledger) = run_once(pipeline, &store, policy, &ctx).unwrap();
+    assert!(report.outcome.is_completed());
+    let obs = observe(&report, &ledger, &store);
+    let _ = std::fs::remove_dir_all(&base);
+    (obs, rec, journaled)
+}
+
+const POLICIES: [ParallelismPolicy; 3] = [
+    ParallelismPolicy::Sequential,
+    ParallelismPolicy::Parallel(2),
+    ParallelismPolicy::Parallel(8),
+];
+
+#[test]
+fn cask_crash_at_every_append_resumes_byte_identical() {
+    let pipeline = bound_toy();
+    let expected = reference(&pipeline, ChunkParams::SMALL);
+    let total = cask_total_appends(&pipeline, ChunkParams::SMALL);
+    assert!(total > 8, "toy chain must issue enough writes to matter");
+
+    let mut adopted_any = false;
+    for k in 1..=total {
+        // Rotate fault kind and resumed worker count so every append gets
+        // killed under some combination while the matrix stays affordable.
+        let policy = POLICIES[(k % 3) as usize];
+        let (obs, rec, journaled) =
+            crash_then_resume_cask(&pipeline, ChunkParams::SMALL, k, k / 3, policy);
+        assert_eq!(
+            rec.recovered_operations + rec.discarded_operations,
+            journaled,
+            "every journaled operation is either adopted or discarded (k={k})"
+        );
+        adopted_any |= rec.recovered_operations > 0;
+        assert_eq!(
+            obs, expected,
+            "resumed run diverged after crash at append {k} ({policy:?})"
+        );
+    }
+    assert!(
+        adopted_any,
+        "matrix never exercised adoption — journal validation is vacuous"
+    );
+}
+
+#[test]
+fn fusion_diamond_crash_resume_all_worker_counts() {
+    let pipeline = bound_fusion();
+    let expected = reference(&pipeline, ChunkParams::DEFAULT);
+    let total = cask_total_appends(&pipeline, ChunkParams::DEFAULT);
+    assert!(total > 4);
+
+    for (i, k) in [1, total / 3, 2 * total / 3, total].into_iter().enumerate() {
+        let k = k.max(1);
+        for policy in POLICIES {
+            let (obs, _, _) =
+                crash_then_resume_cask(&pipeline, ChunkParams::DEFAULT, k, i as u64, policy);
+            assert_eq!(
+                obs, expected,
+                "fusion resume diverged after crash at append {k} ({policy:?})"
+            );
+        }
+    }
+}
+
+/// One in-memory matrix cell: the trait-level [`FaultBackend`] fails the
+/// p-th put, the "process" survives (journal in memory), the backend heals
+/// (simulated reopen — `MemBackend` keeps every acknowledged put), and a
+/// fresh store view over the healed backend recovers and resumes.
+fn crash_then_resume_mem(
+    pipeline: &BoundPipeline,
+    p: u64,
+    policy: ParallelismPolicy,
+) -> (String, RecoveryReport) {
+    let fb = Arc::new(FaultBackend::new(Arc::new(MemBackend::new()), p));
+    let store = ChunkStore::new(fb.clone(), ChunkParams::SMALL, StorageCostModel::FORKBASE);
+    let log = ResumeLog::in_memory();
+    let empty = ResumeSnapshot::empty();
+    let ctx = ResumeCtx {
+        snapshot: &empty,
+        journal: Some(&log),
+    };
+    let first = run_once(pipeline, &store, ParallelismPolicy::Sequential, &ctx);
+    assert!(first.is_err(), "armed backend must fail the run (p={p})");
+    assert!(fb.crashed());
+    fb.heal();
+
+    // Fresh store view: recovery accounting starts from zero, exactly as a
+    // reopened process's would.
+    let store = ChunkStore::new(fb.clone(), ChunkParams::SMALL, StorageCostModel::FORKBASE);
+    let entries = log.entries().unwrap();
+    let journaled = entries.len();
+    let (snap, rec) = ResumeSnapshot::recover(&store, entries, []).unwrap();
+    assert_eq!(
+        rec.recovered_operations + rec.discarded_operations,
+        journaled
+    );
+    let ctx = ResumeCtx {
+        snapshot: &snap,
+        journal: Some(&log),
+    };
+    let (report, ledger) = run_once(pipeline, &store, policy, &ctx).unwrap();
+    assert!(report.outcome.is_completed());
+    (observe(&report, &ledger, &store), rec)
+}
+
+#[test]
+fn mem_fault_crash_at_every_put_resumes_byte_identical() {
+    let pipeline = bound_toy();
+    let expected = reference(&pipeline, ChunkParams::SMALL);
+
+    // Learn the workload's put count with a far-away crash point.
+    let fb = Arc::new(FaultBackend::new(Arc::new(MemBackend::new()), u64::MAX));
+    let store = ChunkStore::new(fb.clone(), ChunkParams::SMALL, StorageCostModel::FORKBASE);
+    let empty = ResumeSnapshot::empty();
+    let ctx = ResumeCtx {
+        snapshot: &empty,
+        journal: None,
+    };
+    run_once(&pipeline, &store, ParallelismPolicy::Sequential, &ctx).unwrap();
+    let total = fb.puts();
+    assert!(total > 8);
+
+    let mut adopted_any = false;
+    for p in 1..=total {
+        let policy = POLICIES[(p % 3) as usize];
+        let (obs, rec) = crash_then_resume_mem(&pipeline, p, policy);
+        adopted_any |= rec.recovered_operations > 0;
+        assert_eq!(
+            obs, expected,
+            "mem resume diverged after crash at put {p} ({policy:?})"
+        );
+    }
+    assert!(adopted_any, "mem matrix never exercised adoption");
+}
+
+/// The durable backend is observationally identical to the in-memory one:
+/// the same run on a cask store (async writer pool *and* synchronous mode)
+/// produces byte-identical observables, and every artifact survives a real
+/// close-and-reopen of the directory.
+#[test]
+fn cask_uninterrupted_matches_mem_and_survives_reopen() {
+    let pipeline = bound_toy();
+    let expected = reference(&pipeline, ChunkParams::SMALL);
+
+    for opts in [CaskOptions::default(), CaskOptions::synchronous()] {
+        let base = temp_base("parity");
+        let root = base.join("store");
+        let be = Arc::new(CaskBackend::open_with(&root, opts).unwrap());
+        let store = ChunkStore::new(be, ChunkParams::SMALL, StorageCostModel::FORKBASE);
+        let empty = ResumeSnapshot::empty();
+        let ctx = ResumeCtx {
+            snapshot: &empty,
+            journal: None,
+        };
+        let (report, ledger) =
+            run_once(&pipeline, &store, ParallelismPolicy::Sequential, &ctx).unwrap();
+        assert_eq!(observe(&report, &ledger, &store), expected);
+        store.flush().unwrap();
+        let outputs: Vec<_> = report.stages.iter().map(|s| s.output).collect();
+        drop(store);
+
+        // Reopen and recover every artifact bit-exact.
+        let be = Arc::new(CaskBackend::open(&root).unwrap());
+        let store = ChunkStore::new(be, ChunkParams::SMALL, StorageCostModel::FORKBASE);
+        for (r, s) in outputs.iter().zip(&report.stages) {
+            let bytes = store.get_blob(r).unwrap();
+            let artifact = mlcask::pipeline::artifact::Artifact::from_bytes(&bytes).unwrap();
+            assert_eq!(artifact.content_id(), s.artifact_id);
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -112,6 +112,209 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Durable (cask) backend properties: the segment codec, torn-tail recovery,
+// and compaction — the invariants `tests/crash_recovery.rs` leans on.
+// ---------------------------------------------------------------------------
+
+mod cask_props {
+    use super::*;
+    use mlcask::storage::backend::StorageBackend;
+    use mlcask::storage::cask::{frame, scan_frames, FRAME_HEADER};
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const SHARDS: usize = 4;
+
+    /// Per-call-unique temp dir (pid alone collides across matrix cells).
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mlcask-prop-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn inline_opts() -> CaskOptions {
+        CaskOptions {
+            shards: SHARDS,
+            writer_threads: 0,
+            sync_every_append: false,
+            fault: None,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Framing any payload sequence scans back to exactly those
+        /// payloads with no torn tail.
+        #[test]
+        fn prop_frame_codec_round_trips(payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512), 0..12
+        )) {
+            let mut buf = Vec::new();
+            let mut expect = Vec::new();
+            for p in &payloads {
+                expect.push((buf.len() + FRAME_HEADER, p.len()));
+                buf.extend_from_slice(&frame(p));
+            }
+            let (frames, valid) = scan_frames(&buf);
+            prop_assert_eq!(valid, buf.len());
+            prop_assert_eq!(&frames, &expect);
+            for (&(off, len), p) in frames.iter().zip(&payloads) {
+                prop_assert_eq!(&buf[off..off + len], &p[..]);
+            }
+        }
+
+        /// Cutting a frame sequence anywhere (plus arbitrary trailing junk)
+        /// preserves every fully-written frame before the cut, and
+        /// truncating to the reported valid prefix is idempotent.
+        #[test]
+        fn prop_torn_tail_truncation_idempotent(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..256), 1..8
+            ),
+            cut_frac in 0.0f64..1.0,
+            junk in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut buf = Vec::new();
+            let mut ends = Vec::new();
+            for p in &payloads {
+                buf.extend_from_slice(&frame(p));
+                ends.push(buf.len());
+            }
+            let cut = (buf.len() as f64 * cut_frac) as usize;
+            let mut torn = buf[..cut].to_vec();
+            torn.extend_from_slice(&junk);
+
+            let (frames, valid) = scan_frames(&torn);
+            // Every frame fully written before the cut survives the tear.
+            let intact = ends.iter().filter(|e| **e <= cut).count();
+            prop_assert!(frames.len() >= intact);
+            for (i, &(off, len)) in frames.iter().take(intact).enumerate() {
+                prop_assert_eq!(&torn[off..off + len], &payloads[i][..]);
+            }
+            // Truncation is idempotent: rescanning the valid prefix keeps
+            // everything.
+            let (again, valid2) = scan_frames(&torn[..valid]);
+            prop_assert_eq!(valid2, valid);
+            prop_assert_eq!(again, frames);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Tearing the tail of one shard file loses at most that shard's
+        /// trailing records: every surviving key round-trips bit-exact,
+        /// keys hashed to other shards all survive, and a second reopen
+        /// changes nothing (truncation is idempotent on real files).
+        #[test]
+        fn prop_torn_shard_tail_recovery(
+            blobs in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..256), 1..8
+            ),
+            shard_sel in any::<u8>(),
+            cut in 1usize..96,
+        ) {
+            let dir = temp_dir("torn");
+            {
+                let be = CaskBackend::open_with(&dir, inline_opts()).unwrap();
+                for b in &blobs {
+                    be.put(Hash256::of(b), b).unwrap();
+                }
+                be.flush().unwrap();
+            }
+            let shard = (shard_sel as usize) % SHARDS;
+            let path = dir.join(format!("shard-{shard:03}.log"));
+            let len = std::fs::metadata(&path).unwrap().len();
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(len.saturating_sub(cut as u64)).unwrap();
+            f.sync_all().unwrap();
+            drop(f);
+
+            let be = CaskBackend::open(&dir).unwrap();
+            let unique: HashMap<Hash256, &Vec<u8>> =
+                blobs.iter().map(|b| (Hash256::of(b), b)).collect();
+            let mut lost = 0usize;
+            for (k, v) in &unique {
+                if be.contains(*k) {
+                    prop_assert_eq!(be.get(*k).unwrap().as_ref(), &v[..]);
+                } else {
+                    prop_assert_eq!(
+                        (k.0[0] as usize) % SHARDS,
+                        shard,
+                        "a key outside the torn shard vanished"
+                    );
+                    lost += 1;
+                }
+            }
+            let survivors = unique.len() - lost;
+            prop_assert_eq!(be.len(), survivors);
+            drop(be);
+
+            let be = CaskBackend::open(&dir).unwrap();
+            prop_assert_eq!(be.len(), survivors);
+            for (k, v) in &unique {
+                if be.contains(*k) {
+                    prop_assert_eq!(be.get(*k).unwrap().as_ref(), &v[..]);
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        /// Compaction after arbitrary removals keeps exactly the live set:
+        /// every survivor round-trips (also after a reopen), dead space
+        /// drops to zero, and live bytes are unchanged.
+        #[test]
+        fn prop_compaction_preserves_liveness(
+            blobs in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..512), 1..10
+            ),
+            kill_mask in proptest::collection::vec(any::<bool>(), 10),
+        ) {
+            let dir = temp_dir("compact");
+            let be = CaskBackend::open_with(&dir, inline_opts()).unwrap();
+            let mut live: HashMap<Hash256, Vec<u8>> = HashMap::new();
+            for b in &blobs {
+                be.put(Hash256::of(b), b).unwrap();
+                live.insert(Hash256::of(b), b.clone());
+            }
+            let mut removed = HashSet::new();
+            for (i, b) in blobs.iter().enumerate() {
+                if kill_mask[i % kill_mask.len()] {
+                    let k = Hash256::of(b);
+                    if removed.insert(k) {
+                        be.remove(k).unwrap();
+                        live.remove(&k);
+                    }
+                }
+            }
+            let live_bytes = be.physical_bytes();
+            be.compact().unwrap();
+            prop_assert_eq!(be.dead_bytes(), 0);
+            prop_assert_eq!(be.physical_bytes(), live_bytes);
+            prop_assert_eq!(be.len(), live.len());
+            for (k, v) in &live {
+                prop_assert_eq!(be.get(*k).unwrap().as_ref(), &v[..]);
+            }
+            drop(be);
+
+            let be = CaskBackend::open(&dir).unwrap();
+            prop_assert_eq!(be.len(), live.len());
+            prop_assert_eq!(be.physical_bytes(), live_bytes);
+            for (k, v) in &live {
+                prop_assert_eq!(be.get(*k).unwrap().as_ref(), &v[..]);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// Artifacts written through the executor can always be recovered from the
 /// store and decode to the identical artifact.
 #[test]
