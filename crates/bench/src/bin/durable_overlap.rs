@@ -45,12 +45,17 @@ struct BenchPayload {
     sync_wall_s: f64,
     async_wall_s: f64,
     wall_speedup: f64,
+    /// Blob-cache hit rate over the workload (0 when the cache is off —
+    /// the `MLCASK_CACHE_BYTES` env knob governs it here).
+    cache_hit_rate: f64,
 }
 
 struct Run {
     wall: f64,
     appends: u64,
     blocking_syncs: u64,
+    /// Blob-cache hit rate, when the store had a cache.
+    cache_hit_rate: Option<f64>,
     /// Sorted (key, len) pairs recovered after close-and-reopen.
     recovered: Vec<(String, u64)>,
 }
@@ -109,6 +114,7 @@ fn run_mode(tag: &str, opts: CaskOptions, libs: usize) -> Run {
     let wall = start.elapsed().as_secs_f64();
     let appends = be.append_count();
     let blocking_syncs = be.blocking_syncs();
+    let cache_hit_rate = store.cache_stats().map(|c| c.hit_rate());
     drop(store);
     drop(be);
 
@@ -130,7 +136,16 @@ fn run_mode(tag: &str, opts: CaskOptions, libs: usize) -> Run {
         wall,
         appends,
         blocking_syncs,
+        cache_hit_rate,
         recovered,
+    }
+}
+
+/// `hit_rate` formatted for the table ("off" when the cache is disabled).
+fn hit_rate_cell(run: &Run) -> String {
+    match run.cache_hit_rate {
+        Some(rate) => format!("{rate:.3}"),
+        None => "off".into(),
     }
 }
 
@@ -161,19 +176,21 @@ fn main() {
 
     print_header(
         "durable write overlap",
-        &["mode", "wall s", "appends", "blocking fsyncs"],
+        &["mode", "wall s", "appends", "blocking fsyncs", "cache hits"],
     );
     print_row(&[
         "synchronous".into(),
         f2(sync.wall),
         sync.appends.to_string(),
         sync.blocking_syncs.to_string(),
+        hit_rate_cell(&sync),
     ]);
     print_row(&[
         "writer pool".into(),
         f2(async_.wall),
         async_.appends.to_string(),
         async_.blocking_syncs.to_string(),
+        hit_rate_cell(&async_),
     ]);
     let speedup = sync.wall / async_.wall.max(1e-9);
     println!(
@@ -203,6 +220,7 @@ fn main() {
             sync_wall_s: sync.wall,
             async_wall_s: async_.wall,
             wall_speedup: speedup,
+            cache_hit_rate: async_.cache_hit_rate.unwrap_or(0.0),
         },
     );
 

@@ -109,11 +109,30 @@ impl Workspace {
     /// away. Call [`Workspace::flush`] at commit points to drain the
     /// asynchronous writer pool and fsync all segments.
     pub fn durable(root: impl AsRef<std::path::Path>) -> Result<Arc<Workspace>> {
-        let backend = mlcask_storage::cask::CaskBackend::open(root)?;
-        Ok(Self::over(Arc::new(ChunkStore::new(
+        Self::durable_with(
+            root,
+            mlcask_storage::cask::CaskOptions::default(),
+            mlcask_storage::cache::CacheOptions::from_env(),
+        )
+    }
+
+    /// [`Workspace::durable`] with explicit cask options and blob-cache
+    /// configuration (`None` disables the read cache), instead of the
+    /// defaults plus the `MLCASK_CACHE_BYTES` environment knob. The cache
+    /// is a read-through tier keyed by content hash — switching it on or
+    /// off can never change any observable except wall-clock and the
+    /// [`Workspace::cache_stats`] telemetry.
+    pub fn durable_with(
+        root: impl AsRef<std::path::Path>,
+        opts: mlcask_storage::cask::CaskOptions,
+        cache: Option<mlcask_storage::cache::CacheOptions>,
+    ) -> Result<Arc<Workspace>> {
+        let backend = mlcask_storage::cask::CaskBackend::open_with(root, opts)?;
+        Ok(Self::over(Arc::new(ChunkStore::with_cache(
             Arc::new(backend),
             mlcask_storage::chunk::ChunkParams::DEFAULT,
             mlcask_storage::costmodel::StorageCostModel::FORKBASE,
+            cache,
         ))))
     }
 
@@ -121,6 +140,13 @@ impl Workspace {
     /// A no-op for in-memory backends.
     pub fn flush(&self) -> Result<()> {
         Ok(self.store.flush()?)
+    }
+
+    /// Blob-cache telemetry for the shared store (`None` when caching is
+    /// disabled) — a read-only side channel next to the backend's
+    /// durability counters, never part of determinism observables.
+    pub fn cache_stats(&self) -> Option<mlcask_storage::stats::CacheStats> {
+        self.store.cache_stats()
     }
 
     /// The shared root store (untenanted view).

@@ -1,0 +1,385 @@
+//! Sharded, byte-budgeted blob cache for the hot read path.
+//!
+//! Every durable backend pays a disk read (plus a content-hash
+//! verification) on [`get`](crate::backend::StorageBackend::get). The
+//! workloads the paper optimizes — merge search and incremental
+//! re-evaluation — *re-read* the same component outputs over and over, so
+//! [`ChunkStore`](crate::store::ChunkStore) layers a [`BlobCache`] in front
+//! of whatever backend it wraps.
+//!
+//! Correctness comes for free from content addressing: an entry is keyed by
+//! the [`Hash256`] of its bytes, so a hit can never return different bytes
+//! than the backend would — the cache can only change *where* the bytes
+//! come from, never *what* they are. The one observable hazard is presence:
+//! after [`ChunkStore::sweep_orphans`](crate::store::ChunkStore::sweep_orphans)
+//! removes a key, a stale entry would serve a blob the backend no longer
+//! holds, so the sweep invalidates each removed key ([`BlobCache::invalidate`]).
+//!
+//! # Replacement policy
+//!
+//! CLOCK (second-chance): each shard keeps its entries on a circular list
+//! with a referenced bit set on every hit. Eviction sweeps the clock hand,
+//! clearing bits until it finds an unreferenced victim — LRU-approximating,
+//! O(1) amortized, and with none of LRU's list-splice work on the hit path
+//! (a hit is one hash-map probe and one store to a `bool`).
+//!
+//! # Sharding
+//!
+//! The byte budget is split evenly over `shards` independent CLOCK rings,
+//! selected by the first key byte — the same prefix used for cask segment
+//! sharding — so concurrent readers on different shards never contend on
+//! one lock.
+//!
+//! # Telemetry
+//!
+//! Hit/miss/insert/evict counters are surfaced as a [`CacheStats`]
+//! snapshot. They are a read-only side channel: nothing in the replay
+//! accounting protocol observes them, so reports, ledgers, and
+//! [`StorageStats`](crate::stats::StorageStats) stay byte-identical with
+//! the cache on or off, at any worker count.
+
+use crate::hash::Hash256;
+use crate::stats::CacheStats;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Construction options for [`BlobCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheOptions {
+    /// Total byte budget across all shards. Entries larger than one shard's
+    /// share (`capacity_bytes / shards`) are never cached.
+    pub capacity_bytes: u64,
+    /// Number of independently locked CLOCK shards.
+    pub shards: usize,
+}
+
+/// Default cache budget when `MLCASK_CACHE_BYTES` is unset: 128 MiB.
+pub const DEFAULT_CACHE_BYTES: u64 = 128 * 1024 * 1024;
+
+impl Default for CacheOptions {
+    fn default() -> Self {
+        CacheOptions {
+            capacity_bytes: DEFAULT_CACHE_BYTES,
+            shards: 8,
+        }
+    }
+}
+
+impl CacheOptions {
+    /// Reads the `MLCASK_CACHE_BYTES` environment knob: unset (or
+    /// unparseable) means the default budget, `0` disables the cache
+    /// entirely (`None`), any other value becomes the byte budget. CI's
+    /// backend-matrix sweeps this to run the whole integration suite
+    /// cache-off and cache-on.
+    pub fn from_env() -> Option<CacheOptions> {
+        match std::env::var("MLCASK_CACHE_BYTES") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(0) => None,
+                Ok(n) => Some(CacheOptions {
+                    capacity_bytes: n,
+                    ..CacheOptions::default()
+                }),
+                Err(_) => Some(CacheOptions::default()),
+            },
+            Err(_) => Some(CacheOptions::default()),
+        }
+    }
+
+    /// Replaces the byte budget.
+    pub fn with_capacity(mut self, capacity_bytes: u64) -> Self {
+        self.capacity_bytes = capacity_bytes;
+        self
+    }
+}
+
+/// One cached blob on a shard's clock ring.
+struct Entry {
+    key: Hash256,
+    data: Bytes,
+    /// CLOCK reference bit: set on hit, cleared by a passing hand.
+    referenced: bool,
+}
+
+/// One CLOCK ring: entries in insertion order, a hand, and a byte total.
+#[derive(Default)]
+struct Ring {
+    /// key → index into `entries`.
+    map: std::collections::HashMap<Hash256, usize>,
+    entries: Vec<Entry>,
+    hand: usize,
+    bytes: u64,
+}
+
+impl Ring {
+    /// Removes the entry at `idx` (swap-remove, fixing the displaced
+    /// entry's map slot and the hand).
+    fn remove_at(&mut self, idx: usize) -> Entry {
+        let entry = self.entries.swap_remove(idx);
+        self.map.remove(&entry.key);
+        self.bytes -= entry.data.len() as u64;
+        if idx < self.entries.len() {
+            self.map.insert(self.entries[idx].key, idx);
+        }
+        if self.hand >= self.entries.len() {
+            self.hand = 0;
+        }
+        entry
+    }
+}
+
+/// Sharded CLOCK blob cache. See the [module docs](self) for the policy and
+/// the determinism argument.
+pub struct BlobCache {
+    shards: Vec<Mutex<Ring>>,
+    /// Per-shard byte budget.
+    shard_capacity: u64,
+    capacity_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    resident_bytes: AtomicU64,
+}
+
+impl BlobCache {
+    /// Builds a cache with the given budget and shard count (shards are
+    /// clamped to at least 1).
+    pub fn new(opts: CacheOptions) -> Self {
+        let n = opts.shards.max(1);
+        BlobCache {
+            shards: (0..n).map(|_| Mutex::new(Ring::default())).collect(),
+            shard_capacity: opts.capacity_bytes / n as u64,
+            capacity_bytes: opts.capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn ring(&self, key: &Hash256) -> &Mutex<Ring> {
+        &self.shards[key.0[0] as usize % self.shards.len()]
+    }
+
+    /// Looks `key` up, setting its reference bit on a hit.
+    pub fn get(&self, key: &Hash256) -> Option<Bytes> {
+        let mut ring = self.ring(key).lock();
+        match ring.map.get(key).copied() {
+            Some(idx) => {
+                ring.entries[idx].referenced = true;
+                let data = ring.entries[idx].data.clone();
+                drop(ring);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(data)
+            }
+            None => {
+                drop(ring);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → data`, evicting via the clock hand until it fits.
+    /// Oversized blobs (bigger than one shard's budget) and duplicate keys
+    /// are no-ops.
+    pub fn insert(&self, key: Hash256, data: Bytes) {
+        let len = data.len() as u64;
+        if len > self.shard_capacity {
+            return;
+        }
+        let mut evicted = 0u64;
+        let mut evictions = 0u64;
+        {
+            let mut ring = self.ring(&key).lock();
+            if ring.map.contains_key(&key) {
+                return;
+            }
+            // Second-chance sweep: clear reference bits until an
+            // unreferenced victim frees enough budget.
+            while ring.bytes + len > self.shard_capacity && !ring.entries.is_empty() {
+                let hand = ring.hand;
+                if ring.entries[hand].referenced {
+                    ring.entries[hand].referenced = false;
+                    ring.hand = (hand + 1) % ring.entries.len();
+                } else {
+                    let victim = ring.remove_at(hand);
+                    evicted += victim.data.len() as u64;
+                    evictions += 1;
+                }
+            }
+            let idx = ring.entries.len();
+            ring.entries.push(Entry {
+                key,
+                data,
+                referenced: false,
+            });
+            ring.map.insert(key, idx);
+            ring.bytes += len;
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evictions, Ordering::Relaxed);
+        self.resident_bytes.fetch_add(len, Ordering::Relaxed);
+        self.resident_bytes.fetch_sub(evicted, Ordering::Relaxed);
+    }
+
+    /// Drops `key` if cached — called after a backend `remove` so a stale
+    /// entry can never resurrect a deleted blob.
+    pub fn invalidate(&self, key: &Hash256) {
+        let mut ring = self.ring(key).lock();
+        if let Some(idx) = ring.map.get(key).copied() {
+            let victim = ring.remove_at(idx);
+            drop(ring);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.resident_bytes
+                .fetch_sub(victim.data.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Total byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Point-in-time telemetry snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u8) -> Hash256 {
+        Hash256::of(&[i])
+    }
+
+    fn blob(i: u8, len: usize) -> Bytes {
+        Bytes::from(vec![i; len])
+    }
+
+    #[test]
+    fn hit_miss_and_insert() {
+        let cache = BlobCache::new(CacheOptions {
+            capacity_bytes: 1024,
+            shards: 1,
+        });
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), blob(1, 100));
+        assert_eq!(cache.get(&key(1)).unwrap().as_ref(), &[1u8; 100][..]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.resident_bytes, 100);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_second_chance() {
+        let cache = BlobCache::new(CacheOptions {
+            capacity_bytes: 250,
+            shards: 1,
+        });
+        cache.insert(key(1), blob(1, 100));
+        cache.insert(key(2), blob(2, 100));
+        // Touch key 1 so its reference bit protects it from the first sweep.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), blob(3, 100));
+        let s = cache.stats();
+        assert!(s.evictions >= 1, "budget forced an eviction");
+        assert!(s.resident_bytes <= 250);
+        assert!(
+            cache.get(&key(1)).is_some(),
+            "referenced entry got its second chance"
+        );
+        assert!(cache.get(&key(3)).is_some(), "new entry resident");
+    }
+
+    #[test]
+    fn oversized_blobs_are_never_cached() {
+        let cache = BlobCache::new(CacheOptions {
+            capacity_bytes: 64,
+            shards: 2,
+        });
+        cache.insert(key(1), blob(1, 100));
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn invalidate_drops_entry() {
+        let cache = BlobCache::new(CacheOptions::default());
+        cache.insert(key(7), blob(7, 64));
+        assert!(cache.get(&key(7)).is_some());
+        cache.invalidate(&key(7));
+        assert!(cache.get(&key(7)).is_none());
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.resident_bytes, 0);
+        // Idempotent.
+        cache.invalidate(&key(7));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn env_knob_parses() {
+        // Serialize access to the process-global env var.
+        std::env::set_var("MLCASK_CACHE_BYTES", "0");
+        assert!(CacheOptions::from_env().is_none(), "0 disables");
+        std::env::set_var("MLCASK_CACHE_BYTES", "4096");
+        assert_eq!(CacheOptions::from_env().unwrap().capacity_bytes, 4096);
+        std::env::set_var("MLCASK_CACHE_BYTES", "not a number");
+        assert_eq!(
+            CacheOptions::from_env().unwrap().capacity_bytes,
+            DEFAULT_CACHE_BYTES
+        );
+        std::env::remove_var("MLCASK_CACHE_BYTES");
+        assert_eq!(
+            CacheOptions::from_env().unwrap().capacity_bytes,
+            DEFAULT_CACHE_BYTES
+        );
+    }
+
+    #[test]
+    fn concurrent_mixed_use_stays_consistent() {
+        use std::sync::Arc;
+        let cache = Arc::new(BlobCache::new(CacheOptions {
+            capacity_bytes: 8 * 1024,
+            shards: 4,
+        }));
+        std::thread::scope(|s| {
+            for t in 0..8u8 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..200u8 {
+                        // Data must be a function of the key — the cache's
+                        // contract is content addressing.
+                        let kb = t.wrapping_mul(31).wrapping_add(i);
+                        let k = key(kb);
+                        cache.insert(k, blob(kb, 64));
+                        if let Some(b) = cache.get(&k) {
+                            assert_eq!(b.as_ref(), &[kb; 64][..]);
+                        }
+                        if i % 5 == 0 {
+                            cache.invalidate(&k);
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert!(s.resident_bytes <= s.capacity_bytes);
+    }
+}

@@ -14,18 +14,26 @@
 //! ```
 //!
 //! The in-memory index (key → shard/offset/length) is rebuilt on
-//! [`CaskBackend::open`] by scanning every shard; a torn tail — an
-//! incomplete or CRC-corrupt final record left by a crash — is truncated
-//! away, which is idempotent (re-scanning a truncated file truncates
-//! nothing further). Tombstones keep removals durable across reopen.
+//! [`CaskBackend::open`] by scanning every shard **concurrently** on a
+//! scoped thread pool (shards are independent files, so the scans share
+//! nothing); a torn tail — an incomplete or CRC-corrupt final record left
+//! by a crash — is truncated away per shard, which is idempotent
+//! (re-scanning a truncated file truncates nothing further). Tombstones
+//! keep removals durable across reopen.
 //!
-//! # Write offloading
+//! # Write offloading and group commit
 //!
 //! With `writer_threads > 0`, `put` resolves dedup synchronously (the index
 //! gains a `Pending` entry holding the bytes, so reads and `contains` see
 //! the key immediately) and hands the framed record to a small writer pool;
 //! durability overlaps component execution and [`CaskBackend::flush`]
-//! drains the queue and fsyncs every shard. The traced-execute/replay
+//! drains the queue and fsyncs every shard. A pool worker drains its
+//! shard's queue in **batches** (bounded by `max_batch_bytes`): one
+//! contiguous write lands the whole batch, and with `group_commit` set
+//! (the default) one `sync_data` makes it durable — so fsyncs-per-append
+//! drops below 1 under any concurrency, while `blocking_syncs` (fsyncs a
+//! *caller* waited on) keeps its meaning unchanged: group commits happen on
+//! pool threads and never block execution. The traced-execute/replay
 //! protocol already decouples accounting from write timing, so the engines
 //! need no changes. With `writer_threads == 0` every append happens on the
 //! caller's thread (and fsyncs inline when `sync_every_append` is set) —
@@ -35,9 +43,14 @@
 //!
 //! Removals and superseded records leave dead bytes in the segments;
 //! [`CaskBackend::compact`] rewrites every shard that has any, via a
-//! temp-file + rename, dropping tombstones and dead records. The
-//! `Workspace::sweep_orphans` liveness walk drives it: sweep first (which
-//! tombstones orphans), then compact to reclaim the file bytes.
+//! temp-file + rename, dropping tombstones and dead records. Shards compact
+//! **in parallel** on the same scoped pool the recovery scan uses, and each
+//! shard's rewrite holds only that shard's I/O lock — reads of every other
+//! shard (and index lookups, which are only briefly locked to snapshot and
+//! to swing offsets) proceed while it runs, so compaction overlaps the read
+//! path instead of stopping the world. The `Workspace::sweep_orphans`
+//! liveness walk drives it: sweep first (which tombstones orphans), then
+//! compact to reclaim the file bytes.
 //!
 //! # Fault injection
 //!
@@ -172,6 +185,16 @@ pub struct CaskOptions {
     pub writer_threads: usize,
     /// Fsync after every append instead of only at [`CaskBackend::flush`].
     pub sync_every_append: bool,
+    /// Group commit: each batch a pool worker drains is made durable with
+    /// one `sync_data` as soon as it lands, instead of staying in the page
+    /// cache until the next `flush`. Narrows the crash-loss window to the
+    /// in-flight batch while *reducing* total fsyncs (one per batch, not
+    /// one per append). Ignored when `writer_threads == 0`.
+    pub group_commit: bool,
+    /// Upper bound on the bytes a pool worker drains into one group-commit
+    /// batch — bounds both commit latency and the memory the concatenated
+    /// write buffer can take.
+    pub max_batch_bytes: usize,
     /// Deterministic crash injection (tests only).
     pub fault: Option<FaultPlan>,
 }
@@ -182,6 +205,8 @@ impl Default for CaskOptions {
             shards: 8,
             writer_threads: 2,
             sync_every_append: false,
+            group_commit: true,
+            max_batch_bytes: 1 << 20,
             fault: None,
         }
     }
@@ -196,6 +221,8 @@ impl CaskOptions {
             shards: 8,
             writer_threads: 0,
             sync_every_append: true,
+            group_commit: false,
+            max_batch_bytes: 1 << 20,
             fault: None,
         }
     }
@@ -203,6 +230,12 @@ impl CaskOptions {
     /// Replaces the shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Enables or disables group commit (see the field docs).
+    pub fn with_group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
         self
     }
 
@@ -306,11 +339,23 @@ struct Inner {
     /// First background write error; surfaces from `flush`/`put`.
     poison: PlMutex<Option<String>>,
     sync_every_append: bool,
+    group_commit: bool,
+    max_batch_bytes: usize,
     appends: AtomicU64,
     /// Fsyncs performed on a caller's thread (inline appends + `flush`) —
     /// the durability work that *blocks* execution. The writer pool's whole
     /// point is driving this down; `durable_overlap` gates on it.
     blocking_syncs: AtomicU64,
+    /// Every segment fsync done for append durability — inline, group
+    /// commit, or flush. `syncs_total / appends` is the fsyncs-per-append
+    /// metric the `read_path` bench gates below 1.
+    syncs_total: AtomicU64,
+    /// Batches the writer pool made durable with a single group commit.
+    group_commits: AtomicU64,
+    /// Segment reads served by `get` (Pending hits don't count). The blob
+    /// cache sits above this backend, so the read-path bench compares this
+    /// counter cache-on vs cache-off.
+    read_ops: AtomicU64,
 }
 
 /// Append-only log-segment storage backend with hash-prefix sharding,
@@ -324,6 +369,127 @@ pub struct CaskBackend {
 
 fn injected_crash() -> StorageError {
     StorageError::Io(std::io::Error::other("injected crash: backend is down"))
+}
+
+/// Runs `f(0)..f(count-1)` on a scoped thread pool (work-stealing by atomic
+/// index; at most one OS thread per hardware thread) and returns the
+/// results in task order. Used for the recovery scan and for parallel
+/// compaction, where each task owns one shard and shares nothing.
+fn scoped_sharded<T, F>(count: usize, f: F) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let slots: Vec<PlMutex<Option<Result<T>>>> = (0..count).map(|_| PlMutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                *slots[i].lock() = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every shard task ran"))
+        .collect()
+}
+
+/// One shard's recovery-scan result: the shard state plus its slice of the
+/// index (hash-prefix sharding keeps shards' key sets disjoint).
+struct ShardScan {
+    shard: Shard,
+    map: HashMap<Hash256, Slot>,
+    live_bytes: u64,
+}
+
+/// Opens and scans one shard segment, truncating its torn tail (idempotent:
+/// re-scanning a truncated file truncates nothing further).
+fn scan_shard(root: &Path, s: usize) -> Result<ShardScan> {
+    let path = root.join(format!("shard-{s:03}.log"));
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(&path)?;
+    let mut buf = Vec::new();
+    (&file).read_to_end(&mut buf)?;
+    let mut map: HashMap<Hash256, Slot> = HashMap::new();
+    let mut live_bytes = 0u64;
+    let mut dead = 0u64;
+    let (frames, mut valid) = scan_frames(&buf);
+    for (off, len) in frames {
+        if len < RECORD_OVERHEAD {
+            // Malformed record body: treat like a torn tail.
+            valid = off - FRAME_HEADER;
+            break;
+        }
+        let flag = buf[off];
+        let key = Hash256(
+            buf[off + 1..off + RECORD_OVERHEAD]
+                .try_into()
+                .expect("32 key bytes"),
+        );
+        let data_len = (len - RECORD_OVERHEAD) as u64;
+        match flag {
+            FLAG_PUT => {
+                let slot = Slot::Durable {
+                    shard: s as u32,
+                    off: (off + RECORD_OVERHEAD) as u64,
+                    len: data_len as u32,
+                };
+                if let Some(prev) = map.insert(key, slot) {
+                    // A duplicate append (same content address): the
+                    // earlier record is dead.
+                    live_bytes -= prev.len();
+                    dead += record_file_len(prev.len());
+                }
+                live_bytes += data_len;
+            }
+            FLAG_TOMBSTONE => {
+                dead += record_file_len(data_len);
+                if let Some(prev) = map.remove(&key) {
+                    live_bytes -= prev.len();
+                    dead += record_file_len(prev.len());
+                }
+            }
+            _ => {
+                valid = off - FRAME_HEADER;
+                break;
+            }
+        }
+    }
+    if (valid as u64) < buf.len() as u64 || file.metadata()?.len() > buf.len() as u64 {
+        file.set_len(valid as u64)?;
+        file.sync_data()?;
+    }
+    Ok(ShardScan {
+        shard: Shard {
+            path,
+            io: RwLock::new(ShardIo {
+                file,
+                tail: valid as u64,
+                synced: valid as u64,
+            }),
+            queue: PlMutex::new(VecDeque::new()),
+            busy: AtomicBool::new(false),
+            dead_bytes: AtomicU64::new(dead),
+        },
+        map,
+        live_bytes,
+    })
 }
 
 impl CaskBackend {
@@ -358,76 +524,19 @@ impl CaskBackend {
             n
         };
 
+        // Shards are independent files and hash-prefix sharding keeps their
+        // key sets disjoint, so recovery scans them concurrently; each task
+        // truncates its own torn tail (idempotent per shard) and builds a
+        // local index to merge below.
         let mut index = CaskIndex::default();
         let mut shard_states = Vec::with_capacity(shards);
-        for s in 0..shards {
-            let path = root.join(format!("shard-{s:03}.log"));
-            let file = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .create(true)
-                .truncate(false)
-                .open(&path)?;
-            let mut buf = Vec::new();
-            (&file).read_to_end(&mut buf)?;
-            let mut dead = 0u64;
-            let (frames, mut valid) = scan_frames(&buf);
-            for (off, len) in frames {
-                if len < RECORD_OVERHEAD {
-                    // Malformed record body: treat like a torn tail.
-                    valid = off - FRAME_HEADER;
-                    break;
-                }
-                let flag = buf[off];
-                let key = Hash256(
-                    buf[off + 1..off + RECORD_OVERHEAD]
-                        .try_into()
-                        .expect("32 key bytes"),
-                );
-                let data_len = (len - RECORD_OVERHEAD) as u64;
-                match flag {
-                    FLAG_PUT => {
-                        let slot = Slot::Durable {
-                            shard: s as u32,
-                            off: (off + RECORD_OVERHEAD) as u64,
-                            len: data_len as u32,
-                        };
-                        if let Some(prev) = index.map.insert(key, slot) {
-                            // A duplicate append (same content address):
-                            // the earlier record is dead.
-                            index.live_bytes -= prev.len();
-                            dead += record_file_len(prev.len());
-                        }
-                        index.live_bytes += data_len;
-                    }
-                    FLAG_TOMBSTONE => {
-                        dead += record_file_len(data_len);
-                        if let Some(prev) = index.map.remove(&key) {
-                            index.live_bytes -= prev.len();
-                            dead += record_file_len(prev.len());
-                        }
-                    }
-                    _ => {
-                        valid = off - FRAME_HEADER;
-                        break;
-                    }
-                }
-            }
-            if (valid as u64) < buf.len() as u64 || file.metadata()?.len() > buf.len() as u64 {
-                file.set_len(valid as u64)?;
-                file.sync_data()?;
-            }
-            shard_states.push(Shard {
-                path,
-                io: RwLock::new(ShardIo {
-                    file,
-                    tail: valid as u64,
-                    synced: valid as u64,
-                }),
-                queue: PlMutex::new(VecDeque::new()),
-                busy: AtomicBool::new(false),
-                dead_bytes: AtomicU64::new(dead),
-            });
+        for scan in scoped_sharded(shards, |s| scan_shard(&root, s)) {
+            let scan = scan?;
+            shard_states.push(scan.shard);
+            // The manifest pins the shard count, so a key can never appear
+            // in two shards' local maps — the merge is a plain union.
+            index.map.extend(scan.map);
+            index.live_bytes += scan.live_bytes;
         }
 
         let pool = (opts.writer_threads > 0).then(|| Pool {
@@ -449,8 +558,13 @@ impl CaskBackend {
             crashed: AtomicBool::new(false),
             poison: PlMutex::new(None),
             sync_every_append: opts.sync_every_append,
+            group_commit: opts.group_commit,
+            max_batch_bytes: opts.max_batch_bytes.max(1),
             appends: AtomicU64::new(0),
             blocking_syncs: AtomicU64::new(0),
+            syncs_total: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            read_ops: AtomicU64::new(0),
         });
         let workers = (0..opts.writer_threads)
             .map(|_| {
@@ -477,6 +591,26 @@ impl CaskBackend {
     /// near the shard count; synchronous mode pays one per append.
     pub fn blocking_syncs(&self) -> u64 {
         self.inner.blocking_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Every segment fsync performed for append durability — inline
+    /// appends, background group commits, and flushes. Divide by
+    /// [`CaskBackend::append_count`] for fsyncs-per-append: 1.0 in
+    /// synchronous mode, below 1 once group commit coalesces batches.
+    pub fn sync_count(&self) -> u64 {
+        self.inner.syncs_total.load(Ordering::Relaxed)
+    }
+
+    /// Batches the writer pool made durable with one group commit each.
+    pub fn group_commit_batches(&self) -> u64 {
+        self.inner.group_commits.load(Ordering::Relaxed)
+    }
+
+    /// Segment disk reads served by `get` (in-memory `Pending` hits don't
+    /// count). The blob cache above this backend absorbs repeat reads, so
+    /// the `read_path` bench compares this counter cache-on vs cache-off.
+    pub fn read_ops(&self) -> u64 {
+        self.inner.read_ops.load(Ordering::Relaxed)
     }
 
     /// Total segment file bytes (live + dead), the quantity compaction
@@ -590,6 +724,7 @@ impl Inner {
         if self.sync_every_append {
             io.file.sync_data()?;
             io.synced = io.tail;
+            self.syncs_total.fetch_add(1, Ordering::Relaxed);
             if blocking {
                 self.blocking_syncs.fetch_add(1, Ordering::Relaxed);
             }
@@ -606,43 +741,74 @@ impl Inner {
         pool.work.notify_one();
     }
 
-    fn process_job(&self, sid: usize, job: Job) {
+    /// Group commit: lands a whole drained batch with one contiguous write
+    /// and — when `group_commit` is on — one `sync_data`, then swings every
+    /// job's index entry to its offset within the batch. Runs on a pool
+    /// thread, so its fsync never counts as a `blocking_sync`.
+    fn process_batch(&self, sid: usize, jobs: Vec<Job>) {
         if self.crashed.load(Ordering::SeqCst) || self.poison.lock().is_some() {
             return;
         }
-        match self.append_inline(sid, &job.frame, false) {
-            Ok(start) => match job.key {
-                Some(key) => {
-                    let mut idx = self.index.write();
-                    match idx.map.get_mut(&key) {
-                        Some(slot @ Slot::Pending(_)) => {
-                            *slot = Slot::Durable {
-                                shard: sid as u32,
-                                off: start + (FRAME_HEADER + RECORD_OVERHEAD) as u64,
-                                len: job.data_len,
-                            };
-                        }
-                        // Removed (or replaced) while queued: the record is
-                        // dead on arrival.
-                        _ => {
-                            self.shards[sid]
-                                .dead_bytes
-                                .fetch_add(job.frame.len() as u64, Ordering::Relaxed);
-                        }
-                    }
+        let poison_with = |e: String| {
+            let mut poison = self.poison.lock();
+            if poison.is_none() {
+                *poison = Some(e);
+            }
+        };
+        let total: usize = jobs.iter().map(|j| j.frame.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for job in &jobs {
+            buf.extend_from_slice(&job.frame);
+        }
+        let start = {
+            let shard = &self.shards[sid];
+            let mut io = shard.io.write();
+            let start = io.tail;
+            if let Err(e) = io.file.write_all_at(&buf, start) {
+                poison_with(e.to_string());
+                return;
+            }
+            io.tail += buf.len() as u64;
+            if self.group_commit || self.sync_every_append {
+                if let Err(e) = io.file.sync_data() {
+                    poison_with(e.to_string());
+                    return;
                 }
+                io.synced = io.tail;
+                self.syncs_total.fetch_add(1, Ordering::Relaxed);
+                self.group_commits.fetch_add(1, Ordering::Relaxed);
+            }
+            start
+        };
+        self.appends.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let mut off = start;
+        let mut idx = self.index.write();
+        for job in &jobs {
+            let frame_len = job.frame.len() as u64;
+            match job.key {
+                Some(key) => match idx.map.get_mut(&key) {
+                    Some(slot @ Slot::Pending(_)) => {
+                        *slot = Slot::Durable {
+                            shard: sid as u32,
+                            off: off + (FRAME_HEADER + RECORD_OVERHEAD) as u64,
+                            len: job.data_len,
+                        };
+                    }
+                    // Removed (or replaced) while queued: the record is
+                    // dead on arrival.
+                    _ => {
+                        self.shards[sid]
+                            .dead_bytes
+                            .fetch_add(frame_len, Ordering::Relaxed);
+                    }
+                },
                 None => {
                     self.shards[sid]
                         .dead_bytes
-                        .fetch_add(job.frame.len() as u64, Ordering::Relaxed);
-                }
-            },
-            Err(e) => {
-                let mut poison = self.poison.lock();
-                if poison.is_none() {
-                    *poison = Some(e.to_string());
+                        .fetch_add(frame_len, Ordering::Relaxed);
                 }
             }
+            off += frame_len;
         }
     }
 
@@ -658,12 +824,29 @@ impl Inner {
                     continue;
                 }
                 loop {
-                    let Some(job) = shard.queue.lock().pop_front() else {
-                        break;
+                    // Drain a bounded batch: everything queued, up to
+                    // `max_batch_bytes` (always at least one job).
+                    let batch = {
+                        let mut q = shard.queue.lock();
+                        let mut batch = Vec::new();
+                        let mut bytes = 0usize;
+                        while let Some(job) = q.front() {
+                            if !batch.is_empty() && bytes + job.frame.len() > inner.max_batch_bytes
+                            {
+                                break;
+                            }
+                            bytes += job.frame.len();
+                            batch.push(q.pop_front().expect("front exists"));
+                        }
+                        batch
                     };
-                    inner.process_job(sid, job);
+                    if batch.is_empty() {
+                        break;
+                    }
+                    let n = batch.len();
+                    inner.process_batch(sid, batch);
                     let mut ctl = pool.state.lock().unwrap_or_else(|e| e.into_inner());
-                    ctl.pending -= 1;
+                    ctl.pending -= n;
                     if ctl.pending == 0 {
                         pool.drained.notify_all();
                     }
@@ -715,9 +898,84 @@ impl Inner {
                 io.file.sync_data()?;
                 io.synced = io.tail;
                 self.blocking_syncs.fetch_add(1, Ordering::Relaxed);
+                self.syncs_total.fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(())
+    }
+
+    /// Rewrites one shard's segment, dropping dead records. Holds only this
+    /// shard's I/O lock for the duration (other shards keep serving reads
+    /// and writes) and touches the shared index just twice, briefly: a read
+    /// to snapshot the shard's live entries, and a write to swing offsets
+    /// after the rename. Entries that changed while the copy ran (the sweep
+    /// protocol is quiescent, but stay safe) are left untouched.
+    fn compact_shard(&self, sid: usize) -> Result<u64> {
+        let shard = &self.shards[sid];
+        if shard.dead_bytes.load(Ordering::Relaxed) == 0 {
+            return Ok(0);
+        }
+        let mut io = shard.io.write();
+        let mut entries: Vec<(Hash256, u64, u32)> = {
+            let idx = self.index.read();
+            idx.map
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Durable { shard, off, len } if *shard as usize == sid => {
+                        Some((*k, *off, *len))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        entries.sort_by_key(|(_, off, _)| *off);
+        // The copy loop runs with no index lock held — concurrent readers
+        // of other keys (and writers of other shards) proceed untouched.
+        let mut out: Vec<u8> = Vec::new();
+        let mut moved: Vec<(Hash256, u64, u64, u32)> = Vec::with_capacity(entries.len());
+        for (key, off, len) in entries {
+            let mut data = vec![0u8; len as usize];
+            io.file.read_exact_at(&mut data, off)?;
+            let new_off = (out.len() + FRAME_HEADER + RECORD_OVERHEAD) as u64;
+            out.extend_from_slice(&record_frame(FLAG_PUT, key, &data));
+            moved.push((key, off, new_off, len));
+        }
+        let tmp = shard.path.with_extension("log.compact");
+        {
+            let mut f = File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &out)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &shard.path)?;
+        let new_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&shard.path)?;
+        let reclaimed = io.tail.saturating_sub(out.len() as u64);
+        io.file = new_file;
+        io.tail = out.len() as u64;
+        io.synced = out.len() as u64;
+        {
+            let mut idx = self.index.write();
+            for (key, old_off, new_off, len) in moved {
+                if let Some(slot) = idx.map.get_mut(&key) {
+                    let unchanged = matches!(
+                        slot,
+                        Slot::Durable { shard, off, .. }
+                            if *shard as usize == sid && *off == old_off
+                    );
+                    if unchanged {
+                        *slot = Slot::Durable {
+                            shard: sid as u32,
+                            off: new_off,
+                            len,
+                        };
+                    }
+                }
+            }
+        }
+        shard.dead_bytes.store(0, Ordering::Relaxed);
+        Ok(reclaimed)
     }
 }
 
@@ -790,6 +1048,7 @@ impl StorageBackend for CaskBackend {
                     let io = inner.shards[shard as usize].io.read();
                     io.file.read_exact_at(&mut out, off)?;
                 }
+                inner.read_ops.fetch_add(1, Ordering::Relaxed);
                 let actual = Hash256::of(&out);
                 if actual != key {
                     return Err(StorageError::Corrupt {
@@ -876,59 +1135,12 @@ impl StorageBackend for CaskBackend {
     fn compact(&self) -> Result<u64> {
         let inner = &*self.inner;
         inner.flush_all()?;
+        // Shards compact independently and in parallel; each task holds
+        // only its own shard's I/O lock, so reads of other shards overlap
+        // the rewrites.
         let mut reclaimed = 0u64;
-        for (sid, shard) in inner.shards.iter().enumerate() {
-            if shard.dead_bytes.load(Ordering::Relaxed) == 0 {
-                continue;
-            }
-            // Lock order matches the writer pool: shard I/O, then index.
-            let mut io = shard.io.write();
-            let mut idx = inner.index.write();
-            let mut entries: Vec<(Hash256, u64, u32)> = idx
-                .map
-                .iter()
-                .filter_map(|(k, slot)| match slot {
-                    Slot::Durable { shard, off, len } if *shard as usize == sid => {
-                        Some((*k, *off, *len))
-                    }
-                    _ => None,
-                })
-                .collect();
-            entries.sort_by_key(|(_, off, _)| *off);
-            let mut out: Vec<u8> = Vec::new();
-            let mut moved: Vec<(Hash256, u64, u32)> = Vec::with_capacity(entries.len());
-            for (key, off, len) in entries {
-                let mut data = vec![0u8; len as usize];
-                io.file.read_exact_at(&mut data, off)?;
-                let new_off = (out.len() + FRAME_HEADER + RECORD_OVERHEAD) as u64;
-                out.extend_from_slice(&record_frame(FLAG_PUT, key, &data));
-                moved.push((key, new_off, len));
-            }
-            let tmp = shard.path.with_extension("log.compact");
-            {
-                let mut f = File::create(&tmp)?;
-                std::io::Write::write_all(&mut f, &out)?;
-                f.sync_data()?;
-            }
-            fs::rename(&tmp, &shard.path)?;
-            let new_file = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(&shard.path)?;
-            reclaimed += io.tail.saturating_sub(out.len() as u64);
-            io.file = new_file;
-            io.tail = out.len() as u64;
-            io.synced = out.len() as u64;
-            for (key, off, len) in moved {
-                if let Some(slot) = idx.map.get_mut(&key) {
-                    *slot = Slot::Durable {
-                        shard: sid as u32,
-                        off,
-                        len,
-                    };
-                }
-            }
-            shard.dead_bytes.store(0, Ordering::Relaxed);
+        for r in scoped_sharded(inner.shards.len(), |sid| inner.compact_shard(sid)) {
+            reclaimed += r?;
         }
         Ok(reclaimed)
     }
@@ -1247,10 +1459,13 @@ mod tests {
         let key_a = Hash256::of(b"synced");
         let key_b = Hash256::of(b"unsynced");
         {
+            // Group commit off: with it on, the pool may have synced key_b's
+            // batch before the crash, making the loss window racy.
             let be = CaskBackend::open_with(
                 &root,
                 CaskOptions {
                     writer_threads: 2,
+                    group_commit: false,
                     ..CaskOptions::default()
                 },
             )
@@ -1291,6 +1506,103 @@ mod tests {
         drop(pool);
         fs::remove_dir_all(&root_s).unwrap();
         fs::remove_dir_all(&root_p).unwrap();
+    }
+
+    #[test]
+    fn group_commit_coalesces_fsyncs_below_one_per_append() {
+        let root = temp_root("group-commit");
+        let be = CaskBackend::open_with(
+            &root,
+            CaskOptions {
+                writer_threads: 1,
+                shards: 1,
+                ..CaskOptions::default()
+            },
+        )
+        .unwrap();
+        // Enqueueing is a hashmap insert + memcpy; each group commit is a
+        // write plus an fsync syscall. The queue therefore builds up and
+        // batches must coalesce.
+        let payloads: Vec<Vec<u8>> = (0..=255u8).map(|i| vec![i; 256]).collect();
+        for p in &payloads {
+            be.put(Hash256::of(p), p).unwrap();
+        }
+        be.flush().unwrap();
+        assert_eq!(be.append_count(), 256);
+        assert!(be.group_commit_batches() >= 1);
+        assert!(
+            be.sync_count() < be.append_count(),
+            "batching coalesces fsyncs: {} syncs for {} appends",
+            be.sync_count(),
+            be.append_count()
+        );
+        for p in &payloads {
+            assert_eq!(be.get(Hash256::of(p)).unwrap().as_ref(), &p[..]);
+        }
+        drop(be);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn group_commit_crash_preserves_flushed_writes_and_serves_no_garbage() {
+        let root = temp_root("group-commit-crash");
+        let flushed: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 128]).collect();
+        let racing: Vec<Vec<u8>> = (100..140u8).map(|i| vec![i; 128]).collect();
+        {
+            let be = CaskBackend::open_with(
+                &root,
+                CaskOptions {
+                    writer_threads: 2,
+                    shards: 4,
+                    ..CaskOptions::default()
+                },
+            )
+            .unwrap();
+            for p in &flushed {
+                be.put(Hash256::of(p), p).unwrap();
+            }
+            be.flush().unwrap();
+            for p in &racing {
+                be.put(Hash256::of(p), p).unwrap();
+            }
+            // Crash mid-stream: whichever batches group-committed survive,
+            // the rest vanish — never a torn or corrupt record.
+            be.simulate_crash();
+        }
+        let be = CaskBackend::open(&root).unwrap();
+        for p in &flushed {
+            assert_eq!(
+                be.get(Hash256::of(p)).unwrap().as_ref(),
+                &p[..],
+                "flushed writes always survive"
+            );
+        }
+        let all: std::collections::HashSet<Hash256> = flushed
+            .iter()
+            .chain(&racing)
+            .map(|p| Hash256::of(p))
+            .collect();
+        for key in be.keys() {
+            assert!(all.contains(&key), "recovery only ever surfaces real puts");
+            // `get` verifies content hashes, so this proves byte integrity.
+            be.get(key).unwrap();
+        }
+        drop(be);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn read_ops_counts_segment_reads_only() {
+        let root = temp_root("read-ops");
+        let be = CaskBackend::open_with(&root, CaskOptions::synchronous()).unwrap();
+        let key = Hash256::of(b"counted");
+        be.put(key, b"counted").unwrap();
+        assert_eq!(be.read_ops(), 0);
+        be.get(key).unwrap();
+        be.get(key).unwrap();
+        assert_eq!(be.read_ops(), 2, "every durable get hits the segment");
+        drop(be);
+        fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod cask;
 pub mod chunk;
 pub mod commit;
@@ -56,6 +57,7 @@ pub mod tenant;
 /// Common imports for downstream crates.
 pub mod prelude {
     pub use crate::backend::{backend_from_env, FileBackend, MemBackend, StorageBackend};
+    pub use crate::cache::{BlobCache, CacheOptions};
     pub use crate::cask::{CaskBackend, CaskOptions, DurableLog};
     pub use crate::chunk::ChunkParams;
     pub use crate::commit::{Commit, CommitGraph};
@@ -64,7 +66,7 @@ pub mod prelude {
     pub use crate::fault::{FaultBackend, FaultKind, FaultPlan};
     pub use crate::hash::{Hash256, Sha256};
     pub use crate::object::{Manifest, ObjectKind, ObjectRef};
-    pub use crate::stats::{AtomicStats, KindStats, StorageStats};
+    pub use crate::stats::{AtomicStats, CacheStats, KindStats, StorageStats};
     pub use crate::store::{ChunkStore, PutOutcome, PutTrace, SweepReport, WriteObs};
     pub use crate::tenant::{
         QuotaPolicy, ReservationId, ReservedBytes, SharePolicy, ShareRight, ShareTable,

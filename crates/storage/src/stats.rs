@@ -84,6 +84,43 @@ impl StorageStats {
     }
 }
 
+/// Point-in-time snapshot of [`BlobCache`](crate::cache::BlobCache)
+/// telemetry.
+///
+/// Deliberately **not** part of [`StorageStats`]: that table is serialized
+/// into determinism observables (reports, ledgers), and cache counters vary
+/// with worker scheduling and cache configuration. `CacheStats` is a
+/// read-only side channel for benches and scenario prints only.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the backend.
+    pub misses: u64,
+    /// Entries admitted.
+    pub insertions: u64,
+    /// Entries evicted by the CLOCK hand to stay under budget.
+    pub evictions: u64,
+    /// Entries dropped because their key was removed from the backend.
+    pub invalidations: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Configured byte budget.
+    pub capacity_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hits / (hits + misses); 0.0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Lock-free accounting table: one set of atomic counters per
 /// [`ObjectKind`], so parallel writers never serialize on a shared mutex
 /// (the old design guarded a whole [`StorageStats`] with one `Mutex`).

@@ -13,12 +13,13 @@
 //! [`TenantAccounts`] (see [`crate::tenant`]).
 
 use crate::backend::{MemBackend, StorageBackend};
+use crate::cache::{BlobCache, CacheOptions};
 use crate::chunk::{chunk_blob, ChunkParams};
 use crate::costmodel::StorageCostModel;
 use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
 use crate::object::{Manifest, ObjectKind, ObjectRef};
-use crate::stats::{AtomicStats, KindStats, StorageStats};
+use crate::stats::{AtomicStats, CacheStats, KindStats, StorageStats};
 use crate::tenant::{ReservationId, TenantAccounts, TenantId, TenantUsage};
 use bytes::Bytes;
 use std::collections::HashSet;
@@ -157,17 +158,36 @@ pub struct ChunkStore {
     cost: StorageCostModel,
     stats: Arc<AtomicStats>,
     tenants: Arc<TenantAccounts>,
+    /// Hot read path: content-hash-keyed blob cache in front of the
+    /// backend. `None` disables caching (`MLCASK_CACHE_BYTES=0`). Because
+    /// entries are keyed by the hash of their bytes, a hit is always
+    /// byte-identical to the backend read it replaces.
+    cache: Option<Arc<BlobCache>>,
     /// When set, writes through this view are attributed (and quota-checked)
     /// against the tenant.
     tenant: Option<TenantId>,
 }
 
 impl ChunkStore {
-    /// Creates a store over an arbitrary backend.
+    /// Creates a store over an arbitrary backend, with the blob cache
+    /// configured from the `MLCASK_CACHE_BYTES` environment knob (on by
+    /// default; see [`CacheOptions::from_env`]).
     pub fn new(
         backend: Arc<dyn StorageBackend>,
         params: ChunkParams,
         cost: StorageCostModel,
+    ) -> Self {
+        Self::with_cache(backend, params, cost, CacheOptions::from_env())
+    }
+
+    /// Creates a store with an explicit cache configuration (`None`
+    /// disables caching), ignoring the environment knob. Benches use this
+    /// to compare cache-off vs cache-on deterministically.
+    pub fn with_cache(
+        backend: Arc<dyn StorageBackend>,
+        params: ChunkParams,
+        cost: StorageCostModel,
+        cache: Option<CacheOptions>,
     ) -> Self {
         ChunkStore {
             backend,
@@ -175,6 +195,7 @@ impl ChunkStore {
             cost,
             stats: Arc::new(AtomicStats::new()),
             tenants: Arc::new(TenantAccounts::new()),
+            cache: cache.map(|opts| Arc::new(BlobCache::new(opts))),
             tenant: None,
         }
     }
@@ -192,6 +213,7 @@ impl ChunkStore {
             cost: self.cost,
             stats: Arc::clone(&self.stats),
             tenants: Arc::clone(&self.tenants),
+            cache: self.cache.clone(),
             tenant: Some(tenant),
         }
     }
@@ -416,14 +438,32 @@ impl ChunkStore {
         ))
     }
 
+    /// Reads one backend object (manifest or chunk) through the blob cache.
+    ///
+    /// A hit skips both the backend read and — on the durable backend — its
+    /// per-read content-hash verification; that verification already proved
+    /// the bytes match `key` when they were first fetched, and content
+    /// addressing means the association can never go stale.
+    fn fetch_object(&self, key: Hash256) -> Result<Bytes> {
+        let Some(cache) = &self.cache else {
+            return self.backend.get(key);
+        };
+        if let Some(hit) = cache.get(&key) {
+            return Ok(hit);
+        }
+        let data = self.backend.get(key)?;
+        cache.insert(key, data.clone());
+        Ok(data)
+    }
+
     /// Reads a blob back by reference.
     pub fn get_blob(&self, object: &ObjectRef) -> Result<Bytes> {
-        let manifest_bytes = self.backend.get(object.id)?;
+        let manifest_bytes = self.fetch_object(object.id)?;
         let manifest = Manifest::decode(&manifest_bytes)
             .ok_or_else(|| StorageError::Codec("invalid manifest encoding".into()))?;
         let mut out = Vec::with_capacity(manifest.len as usize);
         for entry in &manifest.chunks {
-            let chunk = self.backend.get(entry.hash)?;
+            let chunk = self.fetch_object(entry.hash)?;
             if chunk.len() != entry.len as usize {
                 return Err(StorageError::Corrupt {
                     expected: entry.hash,
@@ -469,7 +509,7 @@ impl ChunkStore {
         let Some(tenant) = self.tenant else {
             return Ok(0);
         };
-        let manifest_bytes = self.backend.get(id)?;
+        let manifest_bytes = self.fetch_object(id)?;
         let manifest = Manifest::decode(&manifest_bytes)
             .ok_or_else(|| StorageError::Codec("invalid manifest encoding".into()))?;
         self.tenants
@@ -553,7 +593,14 @@ impl ChunkStore {
             live_objects: live.len(),
             ..SweepReport::default()
         };
-        for key in self.backend.keys() {
+        // One key snapshot per sweep: `keys` clones the index under its
+        // lock (on the cask backend, the whole keydir), so it must not be
+        // re-queried inside the loop. The snapshot is taken once, reused
+        // for the whole removal pass, and any key it misses was written
+        // after the sweep started — by definition reachable from roots the
+        // caller didn't pass, so not this sweep's business.
+        let snapshot = self.backend.keys();
+        for key in snapshot {
             if live.contains(&key) {
                 continue;
             }
@@ -561,6 +608,11 @@ impl ChunkStore {
                 report.removed_objects += 1;
                 report.removed_bytes += freed;
                 self.tenants.drop_chunk(&key);
+                // Presence is the cache's only staleness hazard: a removed
+                // key must never be served from memory again.
+                if let Some(cache) = &self.cache {
+                    cache.invalidate(&key);
+                }
             }
         }
         // Removal only tombstones on log-structured backends; compaction
@@ -585,6 +637,13 @@ impl ChunkStore {
     /// it about chunk presence and durability counters).
     pub fn backend(&self) -> &Arc<dyn StorageBackend> {
         &self.backend
+    }
+
+    /// Telemetry snapshot of the blob cache, or `None` when caching is
+    /// disabled. A read-only side channel — never part of
+    /// [`StorageStats`], so determinism observables cannot see it.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 }
 

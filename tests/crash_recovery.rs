@@ -121,7 +121,7 @@ fn cask_total_appends(pipeline: &BoundPipeline, params: ChunkParams) -> u64 {
                 shards: 8,
                 writer_threads: 0,
                 sync_every_append: false,
-                fault: None,
+                ..CaskOptions::default()
             },
         )
         .unwrap(),
@@ -329,6 +329,103 @@ fn mem_fault_crash_at_every_put_resumes_byte_identical() {
         );
     }
     assert!(adopted_any, "mem matrix never exercised adoption");
+}
+
+/// Group commit writes a whole batch as one contiguous segment write
+/// followed by a single `sync_data`. If the machine dies mid-batch, only a
+/// prefix of the concatenated frames reaches the disk; reopen must keep
+/// every fully-written frame of the batch and truncate the torn one — the
+/// per-append torn-tail protocol applied to a batched write.
+///
+/// Killing a live writer pool mid-batch is inherently racy, so the batch is
+/// hand-crafted: three records framed exactly as `process_batch` lays them
+/// out, appended to the shard file with the last frame cut short.
+#[test]
+fn group_commit_torn_mid_batch_truncates_to_last_full_frame() {
+    use mlcask::storage::backend::StorageBackend;
+    use mlcask::storage::cask::{frame, FRAME_HEADER};
+    use std::io::Write;
+
+    let base = temp_base("torn-batch");
+    let root = base.join("store");
+
+    // A durable base object, flushed through a single-shard cask so the
+    // crafted batch lands in a known file.
+    let base_blob = vec![7u8; 96];
+    let base_key = Hash256::of(&base_blob);
+    {
+        let be = CaskBackend::open_with(
+            &root,
+            CaskOptions {
+                shards: 1,
+                writer_threads: 0,
+                sync_every_append: false,
+                ..CaskOptions::default()
+            },
+        )
+        .unwrap();
+        be.put(base_key, &base_blob).unwrap();
+        be.flush().unwrap();
+    }
+    let path = root.join("shard-000.log");
+    let base_len = std::fs::metadata(&path).unwrap().len();
+
+    // One group-commit batch: record frames back to back, the third cut
+    // mid-payload (its fsync never completed).
+    let blobs: Vec<Vec<u8>> = (0u8..3)
+        .map(|i| vec![i + 1; 64 + i as usize * 17])
+        .collect();
+    let mut batch = Vec::new();
+    let mut full_ends = Vec::new();
+    for b in &blobs {
+        let mut payload = vec![0u8]; // FLAG_PUT
+        payload.extend_from_slice(&Hash256::of(b).0);
+        payload.extend_from_slice(b);
+        batch.extend_from_slice(&frame(&payload));
+        full_ends.push(batch.len());
+    }
+    let cut = full_ends[1] + FRAME_HEADER + 5;
+    assert!(cut < batch.len(), "cut must land inside the third frame");
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&batch[..cut]).unwrap();
+        f.sync_all().unwrap();
+    }
+
+    // Reopen: the two full frames survive, the torn third does not, the
+    // base object is untouched, and the file is truncated to the last full
+    // frame.
+    {
+        let be = CaskBackend::open(&root).unwrap();
+        assert_eq!(be.get(base_key).unwrap().as_ref(), &base_blob[..]);
+        for b in &blobs[..2] {
+            assert_eq!(be.get(Hash256::of(b)).unwrap().as_ref(), &b[..]);
+        }
+        assert!(
+            !be.contains(Hash256::of(&blobs[2])),
+            "torn frame must not resurrect"
+        );
+        assert_eq!(be.len(), 3);
+    }
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        base_len + full_ends[1] as u64,
+        "recovery truncates to the last full frame of the batch"
+    );
+
+    // Truncation is idempotent: a second reopen sees the same state and
+    // appends continue cleanly from the truncated tail.
+    let be = CaskBackend::open(&root).unwrap();
+    assert_eq!(be.len(), 3);
+    let extra = vec![9u8; 40];
+    be.put(Hash256::of(&extra), &extra).unwrap();
+    be.flush().unwrap();
+    assert_eq!(be.get(Hash256::of(&extra)).unwrap().as_ref(), &extra[..]);
+    drop(be);
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 /// The durable backend is observationally identical to the in-memory one:

@@ -143,7 +143,7 @@ mod cask_props {
             shards: SHARDS,
             writer_threads: 0,
             sync_every_append: false,
-            fault: None,
+            ..CaskOptions::default()
         }
     }
 
@@ -309,6 +309,269 @@ mod cask_props {
             prop_assert_eq!(be.physical_bytes(), live_bytes);
             for (k, v) in &live {
                 prop_assert_eq!(be.get(*k).unwrap().as_ref(), &v[..]);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blob-cache properties: the cache is a pure read-through tier keyed by
+// content hash — it may change *where* bytes come from, never *what* they
+// are. Presence-after-remove is its only staleness hazard, so these
+// properties hammer exactly that seam: randomized interleavings against an
+// uncached twin, removal after warming, and fault-injected crashes.
+// ---------------------------------------------------------------------------
+
+mod cache_props {
+    use super::*;
+    use mlcask::storage::cask::CaskBackend as Cask;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const SHARDS: usize = 4;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mlcask-cacheprop-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn inline_opts() -> CaskOptions {
+        CaskOptions {
+            shards: SHARDS,
+            writer_threads: 0,
+            sync_every_append: false,
+            ..CaskOptions::default()
+        }
+    }
+
+    /// Deliberately tiny cache so randomized workloads actually evict.
+    fn small_cache() -> CacheOptions {
+        CacheOptions {
+            capacity_bytes: 16 * 1024,
+            shards: 2,
+        }
+    }
+
+    fn cask_store(dir: &std::path::Path, cache: Option<CacheOptions>) -> ChunkStore {
+        let be = Arc::new(Cask::open_with(dir, inline_opts()).unwrap());
+        ChunkStore::with_cache(be, ChunkParams::SMALL, StorageCostModel::FORKBASE, cache)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The same randomized put/get/sweep/compact interleaving on a
+        /// cached and an uncached cask store yields byte-identical reads,
+        /// identical read failures, and identical storage statistics.
+        #[test]
+        fn prop_cache_on_off_interleaving_identity(
+            sels in proptest::collection::vec(any::<u8>(), 1..20),
+            datas in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..512), 20
+            ),
+        ) {
+            let d_off = temp_dir("ixl-off");
+            let d_on = temp_dir("ixl-on");
+            let off = cask_store(&d_off, None);
+            let on = cask_store(&d_on, Some(small_cache()));
+            let mut refs: Vec<ObjectRef> = Vec::new();
+            let mut live: Vec<ObjectRef> = Vec::new();
+            for (sel, data) in sels.iter().zip(&datas) {
+                match sel % 4 {
+                    0 | 1 => {
+                        let a = off.put_blob(ObjectKind::Output, data).unwrap();
+                        let b = on.put_blob(ObjectKind::Output, data).unwrap();
+                        prop_assert_eq!(a.object, b.object);
+                        refs.push(a.object);
+                        live.push(a.object);
+                    }
+                    2 => {
+                        // Read any ref ever seen — live or already swept.
+                        if refs.is_empty() {
+                            continue;
+                        }
+                        let r = &refs[*sel as usize % refs.len()];
+                        match (off.get_blob(r), on.get_blob(r)) {
+                            (Ok(x), Ok(y)) => prop_assert_eq!(x.as_ref(), y.as_ref()),
+                            (Err(_), Err(_)) => {}
+                            (a, b) => prop_assert!(
+                                false,
+                                "cache changed get outcome: off_ok={} on_ok={}",
+                                a.is_ok(),
+                                b.is_ok()
+                            ),
+                        }
+                    }
+                    _ => {
+                        // Sweep one blob out of the live set (removal +
+                        // compaction on both stores).
+                        if live.is_empty() {
+                            continue;
+                        }
+                        live.remove(*sel as usize % live.len());
+                        let roots: Vec<Hash256> = live.iter().map(|r| r.id).collect();
+                        let ra = off.sweep_orphans(roots.clone()).unwrap();
+                        let rb = on.sweep_orphans(roots).unwrap();
+                        prop_assert_eq!(ra.removed_objects, rb.removed_objects);
+                        prop_assert_eq!(ra.removed_bytes, rb.removed_bytes);
+                    }
+                }
+            }
+            // Final sweep of the read surface: every live blob byte-exact,
+            // and the determinism-visible statistics agree.
+            for r in &live {
+                let a = off.get_blob(r).unwrap();
+                let b = on.get_blob(r).unwrap();
+                prop_assert_eq!(a.as_ref(), b.as_ref());
+            }
+            prop_assert_eq!(
+                serde_json::to_string(&off.stats()).unwrap(),
+                serde_json::to_string(&on.stats()).unwrap()
+            );
+            drop(off);
+            drop(on);
+            let _ = std::fs::remove_dir_all(&d_off);
+            let _ = std::fs::remove_dir_all(&d_on);
+        }
+
+        /// Warm the cache, sweep a blob away, re-read: the removed bytes
+        /// must never be served from memory, survivors stay byte-exact,
+        /// and re-archiving the same content reads back correctly.
+        #[test]
+        fn prop_no_stale_bytes_after_remove(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..256), 2..8
+            ),
+            victim_sel in any::<u8>(),
+        ) {
+            // Distinct contents only: sweeping a duplicate would keep it
+            // live through its twin's root.
+            let mut seen = HashSet::new();
+            let blobs: Vec<&Vec<u8>> =
+                raw.iter().filter(|b| seen.insert(Hash256::of(b))).collect();
+            prop_assume!(blobs.len() >= 2);
+
+            let dir = temp_dir("stale");
+            let store = cask_store(&dir, Some(small_cache()));
+            let refs: Vec<ObjectRef> = blobs
+                .iter()
+                .map(|b| store.put_blob(ObjectKind::Output, b).unwrap().object)
+                .collect();
+            // Warm every manifest and chunk into the cache.
+            for (r, b) in refs.iter().zip(&blobs) {
+                prop_assert_eq!(store.get_blob(r).unwrap().as_ref(), &b[..]);
+            }
+            let victim = victim_sel as usize % refs.len();
+            let roots: Vec<Hash256> = refs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != victim)
+                .map(|(_, r)| r.id)
+                .collect();
+            store.sweep_orphans(roots).unwrap();
+
+            prop_assert!(
+                store.get_blob(&refs[victim]).is_err(),
+                "removed blob served from the warm cache"
+            );
+            for (i, (r, b)) in refs.iter().zip(&blobs).enumerate() {
+                if i != victim {
+                    prop_assert_eq!(store.get_blob(r).unwrap().as_ref(), &b[..]);
+                }
+            }
+            // Re-archiving the identical content must serve fresh, correct
+            // bytes — not a ghost of the invalidated entry.
+            let again = store
+                .put_blob(ObjectKind::Output, blobs[victim])
+                .unwrap()
+                .object;
+            prop_assert_eq!(
+                store.get_blob(&again).unwrap().as_ref(),
+                &blobs[victim][..]
+            );
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        /// A seeded mid-run crash under a warm cache, then a real reopen: a
+        /// freshly-cached store and an uncached store over the recovered
+        /// backend agree on every object's survival and bytes — including
+        /// the cache's hit path (second read).
+        #[test]
+        fn prop_crash_reopen_cache_coherent(
+            blobs in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..256), 2..8
+            ),
+            seed in any::<u64>(),
+        ) {
+            let dir = temp_dir("crash");
+            let mut written: Vec<(ObjectRef, Vec<u8>)> = Vec::new();
+            {
+                let be = Arc::new(
+                    Cask::open_with(
+                        &dir,
+                        inline_opts().with_fault(FaultPlan::seeded(seed, 24)),
+                    )
+                    .unwrap(),
+                );
+                let store = ChunkStore::with_cache(
+                    be,
+                    ChunkParams::SMALL,
+                    StorageCostModel::FORKBASE,
+                    Some(small_cache()),
+                );
+                for b in &blobs {
+                    let Ok(out) = store.put_blob(ObjectKind::Output, b) else {
+                        break; // the injected crash: backend is down
+                    };
+                    written.push((out.object, b.clone()));
+                    // Warm read — may also hit the crash; must not panic.
+                    let _ = store.get_blob(&out.object);
+                }
+            }
+
+            // Real reopen: torn-tail truncation runs. Two views over the
+            // same recovered backend, cache on and off.
+            let be = Arc::new(Cask::open(&dir).unwrap());
+            let cached = ChunkStore::with_cache(
+                be.clone(),
+                ChunkParams::SMALL,
+                StorageCostModel::FORKBASE,
+                Some(small_cache()),
+            );
+            let uncached = ChunkStore::with_cache(
+                be,
+                ChunkParams::SMALL,
+                StorageCostModel::FORKBASE,
+                None,
+            );
+            for (r, b) in &written {
+                let plain = uncached.get_blob(r);
+                let first = cached.get_blob(r);
+                let second = cached.get_blob(r); // hit path
+                match (plain, first, second) {
+                    (Ok(x), Ok(y), Ok(z)) => {
+                        prop_assert_eq!(x.as_ref(), &b[..]);
+                        prop_assert_eq!(y.as_ref(), &b[..]);
+                        prop_assert_eq!(z.as_ref(), &b[..]);
+                    }
+                    (Err(_), Err(_), Err(_)) => {}
+                    (p, f, s) => prop_assert!(
+                        false,
+                        "cache changed survival outcome: plain={} first={} second={}",
+                        p.is_ok(),
+                        f.is_ok(),
+                        s.is_ok()
+                    ),
+                }
             }
             let _ = std::fs::remove_dir_all(&dir);
         }
