@@ -1,0 +1,387 @@
+//! Serving under live merges: snapshot-isolated reads vs the coarse-lock
+//! baseline, driven end-to-end through the JSON-RPC daemon path.
+//!
+//! Three deterministic gates:
+//!
+//! 1. **Reader scaling** — 8 read-heavy sessions (log/head/branches/usage)
+//!    hammer the router while one writer session runs a full cross-tenant
+//!    merge. With snapshot publication every read resolves against a
+//!    frozen [`GraphView`](mlcask_storage::commit::GraphView) and never
+//!    waits; under `coarse_lock` (the pre-refactor discipline: one
+//!    workspace-wide RwLock, mutations in write mode end to end) the merge
+//!    starves every reader. The binary exits nonzero unless aggregate
+//!    reader throughput during the merge is at least 2x the baseline's.
+//!
+//! 2. **No blocked readers** — in snapshot mode, no single reader
+//!    operation may stall for the full merge duration (the coarse
+//!    baseline's failure shape). Exits nonzero otherwise.
+//!
+//! 3. **Identity sweep** — the complete serving script (sessions, commits,
+//!    grant/fork, merge, log, usages) on {mem, cask} x workers {1, 2, 8}:
+//!    the concatenated response lines must be byte-identical across all
+//!    six cells. The daemon is in the loop for every byte, so this extends
+//!    the repo's determinism invariant over the serving surface.
+//!
+//! ```text
+//! cargo run --release -p mlcask_bench --bin serving_load
+//! ```
+
+use mlcask_bench::{f2, print_header, print_row, write_bench_json};
+use mlcask_core::workspace::Workspace;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_server::limits::AdmissionControl;
+use mlcask_server::service::{Router, ServerOptions};
+use mlcask_storage::backend::MemBackend;
+use mlcask_storage::chunk::ChunkParams;
+use mlcask_storage::costmodel::StorageCostModel;
+use mlcask_storage::store::ChunkStore;
+use mlcask_workloads::common::Workload;
+use mlcask_workloads::readmission;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const READERS: usize = 8;
+
+#[derive(Serialize)]
+struct BenchPayload {
+    scenario: &'static str,
+    readers: usize,
+    snapshot_merge_s: f64,
+    snapshot_reader_ops: u64,
+    snapshot_reader_ops_per_s: f64,
+    snapshot_max_read_s: f64,
+    coarse_merge_s: f64,
+    coarse_reader_ops: u64,
+    coarse_reader_ops_per_s: f64,
+    coarse_max_read_s: f64,
+    throughput_ratio: f64,
+    identity_configs: usize,
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mlcask-serving-load-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Issues one request line and asserts it succeeded.
+fn rpc(router: &Router, id: u64, method: &str, params: &str) -> String {
+    let line = format!(r#"{{"id":{id},"method":"{method}","params":{params}}}"#);
+    let resp = router.handle_text(&line);
+    assert!(!resp.contains(r#""error""#), "rpc {method} failed: {resp}");
+    resp
+}
+
+/// Renders component keys as the protocol's `"name@version"` specs.
+fn spec(keys: &[ComponentKey]) -> String {
+    let items: Vec<String> = keys
+        .iter()
+        .map(|k| format!(r#""{}@{}""#, k.name, k.version))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Drives the collaboration setup through the daemon: upstream (session 1)
+/// commits its history on `master`, grants downstream (session 2), which
+/// forks `feature` and applies its dev updates. Every response line is
+/// appended to `out` (the identity sweep's observation).
+fn drive_setup(router: &Router, w: &Workload, out: &mut Vec<String>) {
+    let mut id = 0u64;
+    let mut next = || {
+        id += 1;
+        id
+    };
+    out.push(rpc(
+        router,
+        next(),
+        "session.open",
+        r#"{"tenant":"upstream"}"#,
+    ));
+    out.push(rpc(
+        router,
+        next(),
+        "session.open",
+        r#"{"tenant":"downstream"}"#,
+    ));
+    out.push(rpc(
+        router,
+        next(),
+        "commit",
+        &format!(
+            r#"{{"session":1,"branch":"master","components":{},"message":"initial pipeline"}}"#,
+            spec(&w.initial)
+        ),
+    ));
+    out.push(rpc(
+        router,
+        next(),
+        "grant",
+        r#"{"session":1,"peer":"downstream","right":"merge_into"}"#,
+    ));
+    out.push(rpc(
+        router,
+        next(),
+        "fork",
+        r#"{"session":2,"peer":"upstream","branch":"master","new_branch":"feature"}"#,
+    ));
+    for (i, keys) in w.head_updates.iter().enumerate() {
+        out.push(rpc(
+            router,
+            next(),
+            "commit",
+            &format!(
+                r#"{{"session":1,"branch":"master","components":{},"message":"head update {i}"}}"#,
+                spec(keys)
+            ),
+        ));
+    }
+    for (i, keys) in w.dev_updates.iter().enumerate() {
+        out.push(rpc(
+            router,
+            next(),
+            "commit",
+            &format!(
+                r#"{{"session":2,"branch":"feature","components":{},"message":"feature update {i}"}}"#,
+                spec(keys)
+            ),
+        ));
+    }
+}
+
+const MERGE_PARAMS: &str = r#"{"session":2,"peer":"upstream","peer_branch":"master","merging":"feature","strategy":"full"}"#;
+
+struct LiveStats {
+    merge_s: f64,
+    reader_ops: u64,
+    ops_per_s: f64,
+    max_read_s: f64,
+}
+
+/// Phase A: 8 reader sessions walk upstream's history while downstream's
+/// merge runs; returns merge duration and aggregate reader counters.
+fn run_live(coarse: bool) -> LiveStats {
+    let router = Arc::new(Router::in_memory(
+        readmission::build(),
+        ServerOptions {
+            parallelism: ParallelismPolicy::Sequential,
+            coarse_lock: coarse,
+            admission: AdmissionControl::unlimited(),
+        },
+    ));
+    let mut setup = Vec::new();
+    drive_setup(&router, &readmission::build(), &mut setup);
+    // Reader sessions 3..=2+READERS, all on the upstream tenant.
+    for i in 0..READERS {
+        rpc(
+            &router,
+            100 + i as u64,
+            "session.open",
+            r#"{"tenant":"upstream"}"#,
+        );
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let max_ns = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+    let mut handles = Vec::new();
+    for r in 0..READERS {
+        let router = Arc::clone(&router);
+        let stop = Arc::clone(&stop);
+        let ops = Arc::clone(&ops);
+        let max_ns = Arc::clone(&max_ns);
+        let barrier = Arc::clone(&barrier);
+        let session = 3 + r as u64;
+        handles.push(std::thread::spawn(move || {
+            let reads = [
+                format!(r#"{{"session":{session},"branch":"master","limit":10}}"#),
+                format!(r#"{{"session":{session},"branch":"master"}}"#),
+                format!(r#"{{"session":{session}}}"#),
+                format!(r#"{{"session":{session}}}"#),
+            ];
+            let methods = ["log", "head", "branches", "usage"];
+            barrier.wait();
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                rpc(&router, 1000 + i as u64, methods[i % 4], &reads[i % 4]);
+                let ns = t0.elapsed().as_nanos() as u64;
+                max_ns.fetch_max(ns, Ordering::Relaxed);
+                ops.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+    barrier.wait();
+    let before = ops.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let merged = rpc(&router, 999, "merge.into", MERGE_PARAMS);
+    let merge_s = t0.elapsed().as_secs_f64();
+    let during = ops.load(Ordering::Relaxed) - before;
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("reader thread");
+    }
+    assert!(
+        merged.contains(r#""committed":true"#),
+        "live merge must commit: {merged}"
+    );
+    LiveStats {
+        merge_s,
+        reader_ops: during,
+        ops_per_s: during as f64 / merge_s.max(1e-9),
+        max_read_s: max_ns.load(Ordering::Relaxed) as f64 / 1e9,
+    }
+}
+
+/// Phase B: one full serving script, single-threaded, returning the
+/// concatenated response lines as the cell's observation.
+fn sweep_obs(backend: &str, workers: usize) -> String {
+    let policy = if workers == 1 {
+        ParallelismPolicy::Sequential
+    } else {
+        ParallelismPolicy::Parallel(workers)
+    };
+    let opts = ServerOptions {
+        parallelism: policy,
+        coarse_lock: false,
+        admission: AdmissionControl::unlimited(),
+    };
+    let w = readmission::build();
+    let (router, tmp) = match backend {
+        "mem" => {
+            let store = Arc::new(ChunkStore::new(
+                Arc::new(MemBackend::new()),
+                ChunkParams::DEFAULT,
+                StorageCostModel::FORKBASE,
+            ));
+            (Router::over(Workspace::over(store), w, opts), None)
+        }
+        _ => {
+            let root = temp_root("sweep");
+            let ws = Workspace::durable(&root).expect("durable workspace opens");
+            (Router::over(ws, w, opts), Some(root))
+        }
+    };
+    let mut out = Vec::new();
+    drive_setup(&router, &readmission::build(), &mut out);
+    out.push(rpc(&router, 500, "merge.into", MERGE_PARAMS));
+    out.push(rpc(
+        &router,
+        501,
+        "log",
+        r#"{"session":1,"branch":"master","limit":50}"#,
+    ));
+    out.push(rpc(&router, 502, "usage", r#"{"session":1}"#));
+    out.push(rpc(&router, 503, "usage", r#"{"session":2}"#));
+    out.push(rpc(&router, 504, "workspace.usage", "{}"));
+    drop(router);
+    if let Some(tmp) = tmp {
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+    out.join("\n")
+}
+
+fn main() {
+    println!("# Serving under live merges — snapshot isolation vs coarse lock");
+    println!(
+        "\nworkload: readmission collaboration over the JSON-RPC daemon path; \
+         {READERS} reader sessions vs 1 merge writer"
+    );
+
+    // -- Phase A: reader scaling under a live merge --------------------------
+    let snap = run_live(false);
+    let coarse = run_live(true);
+    print_header(
+        "readers during the merge window",
+        &["mode", "merge s", "reader ops", "ops/s", "max read s"],
+    );
+    print_row(&[
+        "snapshot".into(),
+        f2(snap.merge_s),
+        snap.reader_ops.to_string(),
+        f2(snap.ops_per_s),
+        format!("{:.4}", snap.max_read_s),
+    ]);
+    print_row(&[
+        "coarse lock".into(),
+        f2(coarse.merge_s),
+        coarse.reader_ops.to_string(),
+        f2(coarse.ops_per_s),
+        format!("{:.4}", coarse.max_read_s),
+    ]);
+    let ratio = snap.ops_per_s / coarse.ops_per_s.max(1e-9);
+    println!(
+        "\nreader throughput under a live merge: {:.0} vs {:.0} ops/s ({ratio:.1}x)",
+        snap.ops_per_s, coarse.ops_per_s
+    );
+
+    // -- Phase B: identity sweep over the daemon path ------------------------
+    print_header(
+        "serving-script identity vs mem/sequential",
+        &["backend", "workers", "identical"],
+    );
+    let mut reference: Option<String> = None;
+    let mut configs = 0usize;
+    for backend in ["mem", "cask"] {
+        for workers in [1usize, 2, 8] {
+            let obs = sweep_obs(backend, workers);
+            let reference = reference.get_or_insert(obs.clone());
+            let same = &obs == reference;
+            print_row(&[
+                backend.into(),
+                workers.to_string(),
+                if same { "yes" } else { "NO" }.into(),
+            ]);
+            assert_eq!(
+                &obs, reference,
+                "serving responses diverged: backend={backend} workers={workers}"
+            );
+            configs += 1;
+        }
+    }
+
+    write_bench_json(
+        "serving_load",
+        &BenchPayload {
+            scenario: "readmission_collab_served",
+            readers: READERS,
+            snapshot_merge_s: snap.merge_s,
+            snapshot_reader_ops: snap.reader_ops,
+            snapshot_reader_ops_per_s: snap.ops_per_s,
+            snapshot_max_read_s: snap.max_read_s,
+            coarse_merge_s: coarse.merge_s,
+            coarse_reader_ops: coarse.reader_ops,
+            coarse_reader_ops_per_s: coarse.ops_per_s,
+            coarse_max_read_s: coarse.max_read_s,
+            throughput_ratio: ratio,
+            identity_configs: configs,
+        },
+    );
+
+    // -- Gates ---------------------------------------------------------------
+    if ratio < 2.0 {
+        println!("error: snapshot reads show no scaling win over the coarse lock ({ratio:.2}x)");
+        std::process::exit(1);
+    }
+    if snap.max_read_s >= snap.merge_s {
+        println!(
+            "error: a snapshot-mode reader op stalled for a full merge duration \
+             ({:.4} s vs merge {:.4} s)",
+            snap.max_read_s, snap.merge_s
+        );
+        std::process::exit(1);
+    }
+    if snap.reader_ops == 0 {
+        println!("error: no reader ops completed during the merge window");
+        std::process::exit(1);
+    }
+}

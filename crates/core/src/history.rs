@@ -12,7 +12,7 @@
 //! on one lock.
 
 use mlcask_pipeline::executor::{CacheKey, CachedOutput, OutputCache};
-use mlcask_pipeline::parallel::ShardedMap;
+use mlcask_pipeline::parallel::{ShardedMap, SnapshotCache};
 use mlcask_pipeline::provenance::ProvenanceIndex;
 use mlcask_pipeline::replay::CacheSnapshot;
 use std::sync::Arc;
@@ -32,6 +32,10 @@ use std::sync::Arc;
 pub struct HistoryIndex {
     map: Arc<ShardedMap<CacheKey, CachedOutput>>,
     provenance: Arc<ProvenanceIndex>,
+    /// Generation-validated memo behind [`HistoryIndex::snapshot_shared`];
+    /// shared by shallow clones (they see the same map, so they can share
+    /// the same snapshot), reset by [`HistoryIndex::deep_clone`].
+    snap: Arc<SnapshotCache<CacheKey, CachedOutput>>,
 }
 
 impl HistoryIndex {
@@ -56,6 +60,7 @@ impl HistoryIndex {
         HistoryIndex {
             map: Arc::new(self.map.fork()),
             provenance: Arc::new(self.provenance.fork()),
+            snap: Arc::new(SnapshotCache::new()),
         }
     }
 
@@ -68,6 +73,18 @@ impl HistoryIndex {
     /// accounting replay (`mlcask_pipeline::replay`).
     pub fn snapshot(&self) -> CacheSnapshot {
         self.map.to_hashmap()
+    }
+
+    /// Like [`HistoryIndex::snapshot`], but shared: while no checkpoint
+    /// lands, every caller gets the same `Arc` back instead of an O(n)
+    /// copy. This is what lets many concurrent sessions start merge
+    /// searches against one quiescent history without each paying a full
+    /// snapshot; the first insert invalidates the memo and the next caller
+    /// rebuilds. The contents are indistinguishable from
+    /// [`HistoryIndex::snapshot`] taken at the same point, so replay-based
+    /// determinism is unaffected.
+    pub fn snapshot_shared(&self) -> Arc<CacheSnapshot> {
+        self.snap.snapshot(&self.map)
     }
 
     /// Direct lookup (non-trait convenience).
@@ -180,6 +197,30 @@ mod tests {
         // Snapshot is a copy: later inserts don't appear.
         h.insert(key(51), output(51));
         assert_eq!(snap.len(), 50);
+    }
+
+    #[test]
+    fn snapshot_shared_memoizes_until_mutation() {
+        let h = HistoryIndex::new();
+        for n in 0..20u8 {
+            h.insert(key(n), output(n));
+        }
+        let a = h.snapshot_shared();
+        let b = h.snapshot_shared();
+        assert!(Arc::ptr_eq(&a, &b), "quiescent history shares one snapshot");
+        assert_eq!(*a, h.snapshot(), "shared contents match a fresh copy");
+        // Shallow clones see the same map, so they share the memo too.
+        assert!(Arc::ptr_eq(&h.clone().snapshot_shared(), &a));
+        // A mutation invalidates; the rebuilt snapshot has the new entry.
+        h.insert(key(42), output(42));
+        let c = h.snapshot_shared();
+        assert!(!Arc::ptr_eq(&a, &c), "insert invalidates the memo");
+        assert_eq!(c.len(), 21);
+        assert_eq!(a.len(), 20, "old snapshot is frozen");
+        // Deep clones get their own memo (their map is independent).
+        let fork = h.deep_clone();
+        assert!(!Arc::ptr_eq(&fork.snapshot_shared(), &c));
+        assert_eq!(*fork.snapshot_shared(), *c);
     }
 
     #[test]

@@ -265,14 +265,16 @@ impl<'a> MergeEngine<'a> {
         // `pre` hit, so the replay below marks skipped nodes as reused and
         // the report stays byte-identical to a non-incremental run.
         let prov_snapshot: Option<Arc<ProvenanceSnapshot>> = if use_history && self.incremental {
-            Some(Arc::new(history.provenance().snapshot()))
+            Some(history.provenance().snapshot_shared())
         } else {
             None
         };
-        let (pre, phase_cache): (CacheSnapshot, &dyn OutputCache) = if use_history {
-            (history.snapshot(), history)
+        // Shared snapshots: concurrent searches over a quiescent history
+        // reuse one copy instead of each paying O(history).
+        let (pre, phase_cache): (Arc<CacheSnapshot>, &dyn OutputCache) = if use_history {
+            (history.snapshot_shared(), history)
         } else {
-            (CacheSnapshot::new(), &scratch)
+            (Arc::new(CacheSnapshot::new()), &scratch)
         };
         let executor = Executor::new(self.store);
         // One gate per search: candidates sharing a prefix fingerprint

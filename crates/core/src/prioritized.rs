@@ -400,9 +400,10 @@ impl<'a> PrioritizedSearcher<'a> {
         // An aborted trial hands back its unsettled reservations.
         book.reservation_scope(self.registry.store(), || {
             // Provenance snapshot strictly before the key snapshot (pairing
-            // invariant — see `MergeEngine::search_with_book`).
-            let prov = Arc::new(base_history.provenance().snapshot());
-            let pre = base_history.snapshot();
+            // invariant — see `MergeEngine::search_with_book`); both shared
+            // so repeat trials over a quiescent base copy nothing.
+            let prov = base_history.provenance().snapshot_shared();
+            let pre = base_history.snapshot_shared();
             let gate = PrefixGate::new();
             // One trial: the whole pool is available to each candidate's DAG.
             let (_, inner) = self.parallelism.split(1);
@@ -449,9 +450,10 @@ impl<'a> PrioritizedSearcher<'a> {
             self.registry.store(),
             || -> Result<(Vec<TrialResult>, usize)> {
                 // Provenance snapshot strictly before the key snapshot
-                // (pairing invariant — see `MergeEngine::search_with_book`).
-                let prov = Arc::new(base_history.provenance().snapshot());
-                let pre = base_history.snapshot();
+                // (pairing invariant — see `MergeEngine::search_with_book`);
+                // both shared so repeat trials copy nothing.
+                let prov = base_history.provenance().snapshot_shared();
+                let pre = base_history.snapshot_shared();
                 let gate = PrefixGate::new();
                 let executor = Executor::new(self.registry.store());
                 let mut states: Vec<TrialState> = (0..trials)

@@ -479,10 +479,13 @@ impl MlCask {
     /// registered in *this* system's registry (collaborating teams share
     /// component libraries the way they share the workload definition).
     pub fn merge_search_spaces_qualified(&self, base: &str, merging: &str) -> Result<SearchSpaces> {
-        let base_head = self.graph().head(base)?;
-        let merge_head = self.graph().head(merging)?;
-        let ancestor = self
-            .graph()
+        // One frozen view for the whole multi-step read (two heads, the
+        // LCA, both first-parent paths): concurrent commits on either
+        // branch can neither tear this computation nor block it.
+        let view = self.graph().view();
+        let base_head = view.head(base)?;
+        let merge_head = view.head(merging)?;
+        let ancestor = view
             .common_ancestor(base_head.id, merge_head.id)?
             .ok_or_else(|| CoreError::NoCommonAncestor {
                 base: base.into(),
@@ -490,7 +493,7 @@ impl MlCask {
             })?;
         let collect_path = |head: &Commit| -> Result<Vec<PipelineMetafile>> {
             let mut metas = vec![self.metafile_of(&ancestor)?];
-            for c in self.graph().path_from(ancestor.id, head.id)? {
+            for c in view.path_from(ancestor.id, head.id)? {
                 metas.push(self.metafile_of(&c)?);
             }
             Ok(metas)

@@ -237,25 +237,32 @@ impl Workspace {
         self.graph.shares().policy_of(owner)
     }
 
+    /// Point-in-time copy of the tenant roster. Taken under one short read
+    /// lock so usage reports query the accounts *after* releasing it — a
+    /// serving thread enumerating usage never holds the workspace lock
+    /// across per-tenant accounting calls.
+    fn tenant_roster(&self) -> BTreeMap<String, TenantId> {
+        self.state.read().tenants.clone()
+    }
+
     /// First-writer-pays usage per tenant name.
     pub fn usages(&self) -> BTreeMap<String, TenantUsage> {
         let accounts = self.store.tenant_accounts();
-        self.state
-            .read()
-            .tenants
-            .iter()
-            .map(|(name, id)| (name.clone(), accounts.usage(*id)))
+        self.tenant_roster()
+            .into_iter()
+            .map(|(name, id)| (name, accounts.usage(id)))
             .collect()
     }
 
     /// Shared-refcount (fair-share) usage per tenant name.
     pub fn shared_view(&self) -> BTreeMap<String, SharedUsage> {
         let by_id = self.store.tenant_accounts().shared_view();
-        self.state
-            .read()
-            .tenants
-            .iter()
-            .map(|(name, id)| (name.clone(), by_id.get(id).copied().unwrap_or_default()))
+        self.tenant_roster()
+            .into_iter()
+            .map(|(name, id)| {
+                let usage = by_id.get(&id).copied().unwrap_or_default();
+                (name, usage)
+            })
             .collect()
     }
 
@@ -314,14 +321,17 @@ impl Workspace {
     /// from under the evaluation.
     pub fn sweep_orphans(&self) -> Result<SweepReport> {
         let mut roots: HashSet<Hash256> = HashSet::new();
-        // Commit payloads + the outputs their metafiles reference.
+        // Commit payloads + the outputs their metafiles reference, all read
+        // off one frozen graph view: every head resolves and every ancestor
+        // walk completes against the same publication point.
+        let view = self.graph.view();
         let mut commit_ids: HashSet<Hash256> = HashSet::new();
-        for branch in self.graph.branches() {
-            let head = self.graph.head(&branch)?;
-            commit_ids.extend(self.graph.ancestors(head.id)?);
+        for branch in view.branches() {
+            let head = view.head(&branch)?;
+            commit_ids.extend(view.ancestors(head.id)?);
         }
         for id in commit_ids {
-            let commit = self.graph.get(id)?;
+            let commit = view.get(id)?;
             roots.insert(commit.payload);
             let meta: PipelineMetafile = self.store.get_meta(&ObjectRef {
                 id: commit.payload,
@@ -336,13 +346,15 @@ impl Workspace {
         }
         // Every checkpoint in the shared history (losing merge candidates
         // included — they are legitimately reusable).
-        for cached in self.history.snapshot().values() {
+        for cached in self.history.snapshot_shared().values() {
             if !cached.object.is_null() {
                 roots.insert(cached.object.id);
             }
         }
-        // Registered component executables.
-        for registry in &self.state.read().registries {
+        // Registered component executables; the registry list is cloned
+        // under a short lock so the per-registry walks run unlocked.
+        let registries = self.state.read().registries.clone();
+        for registry in &registries {
             for name in registry.names() {
                 for key in registry.versions_of(&name) {
                     if let Some(lib) = registry.get(&key) {

@@ -35,7 +35,7 @@ use crate::component::ComponentKey;
 use crate::dag::BoundPipeline;
 use crate::errors::Result;
 use crate::executor::{CacheKey, CachedOutput, OutputCache};
-use crate::parallel::ShardedMap;
+use crate::parallel::{ShardedMap, SnapshotCache};
 use mlcask_storage::hash::Hash256;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -82,6 +82,7 @@ pub type ProvenanceSnapshot = HashMap<Hash256, CachedOutput>;
 #[derive(Default)]
 pub struct ProvenanceIndex {
     map: ShardedMap<Hash256, CachedOutput>,
+    snap: SnapshotCache<Hash256, CachedOutput>,
 }
 
 impl ProvenanceIndex {
@@ -116,12 +117,22 @@ impl ProvenanceIndex {
     pub fn fork(&self) -> ProvenanceIndex {
         ProvenanceIndex {
             map: self.map.fork(),
+            snap: SnapshotCache::new(),
         }
     }
 
     /// Point-in-time copy used to compute cuts for one whole search.
     pub fn snapshot(&self) -> ProvenanceSnapshot {
         self.map.to_hashmap()
+    }
+
+    /// Like [`ProvenanceIndex::snapshot`], but shared: repeated calls
+    /// against an unmutated index return the same `Arc` instead of copying
+    /// every entry again. The serving read path and back-to-back searches
+    /// over a quiescent base history hit this cache; any
+    /// [`ProvenanceIndex::record`] invalidates it.
+    pub fn snapshot_shared(&self) -> Arc<ProvenanceSnapshot> {
+        self.snap.snapshot(&self.map)
     }
 
     /// Lifts an already-evaluated pipeline into the index post-hoc: walks

@@ -1,0 +1,548 @@
+//! The serving front-end: a [`Router`] mapping JSON-RPC requests onto a
+//! shared [`Workspace`].
+//!
+//! Every connection (or in-process caller) opens *sessions*; a session is
+//! bound to one tenant and carries its own virtual-clock ledger. All
+//! sessions of a tenant share one pipeline system ([`MlCask`]) — and all
+//! tenants share one workspace: one deduplicating store, one
+//! snapshot-published commit graph, one checkpoint history.
+//!
+//! **Why reads scale under live merges.** Read methods (`branches`, `log`,
+//! `head`, `usage`) resolve everything against one frozen
+//! [`GraphView`](mlcask_storage::commit::GraphView) pulled from the commit
+//! graph's atomically-published snapshot: no lock is held while the reply
+//! is assembled, and a concurrent merge commit simply publishes the next
+//! snapshot pointer. The `coarse_lock` option recreates the pre-refactor
+//! design — one workspace-wide reader/writer lock, held in write mode for
+//! the full duration of every mutation — and exists purely as the baseline
+//! the `serving_load` bench measures against.
+
+use crate::limits::{AdmissionControl, Limiter};
+use crate::protocol::{
+    self, obj, s, Failure, Params, Request, INVALID_PARAMS, METHOD_NOT_FOUND, OP_FAILED,
+};
+use mlcask_core::merge::MergeStrategy;
+use mlcask_core::system::{CommitResult, MergeOutcome, MlCask};
+use mlcask_core::workspace::{Tenant, Workspace};
+use mlcask_pipeline::clock::ClockLedger;
+use mlcask_pipeline::component::ComponentKey;
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_pipeline::semver::SemVer;
+use mlcask_storage::commit::Commit;
+use mlcask_storage::tenant::{QuotaPolicy, ShareRight, TenantUsage};
+use mlcask_workloads::common::Workload;
+use mlcask_workloads::scenario::join_workspace;
+use parking_lot::{Mutex, RwLock};
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker pool for pipeline execution and merge-search candidates
+    /// (`Sequential` keeps single-threaded semantics).
+    pub parallelism: ParallelismPolicy,
+    /// Serve every request under one workspace-wide RwLock, mutations in
+    /// write mode for their full duration. **Baseline only** — this is the
+    /// lock discipline the snapshot refactor removed.
+    pub coarse_lock: bool,
+    /// Admission control and rate limiting.
+    pub admission: AdmissionControl,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            parallelism: ParallelismPolicy::Sequential,
+            coarse_lock: false,
+            admission: AdmissionControl::unlimited(),
+        }
+    }
+}
+
+/// One tenant's serving state: the tenant handle plus the pipeline system
+/// every session of that tenant shares.
+pub struct TenantEntry {
+    /// Tenant handle (accounting, shares, forks).
+    pub tenant: Tenant,
+    /// The tenant's pipeline system over the shared workspace.
+    pub sys: MlCask,
+}
+
+struct Session {
+    tenant: String,
+    ledger: ClockLedger,
+}
+
+/// The request router: a shared-workspace JSON-RPC service.
+pub struct Router {
+    ws: Arc<Workspace>,
+    workload: Workload,
+    opts: ServerOptions,
+    limiter: Limiter,
+    tenants: Mutex<HashMap<String, Arc<TenantEntry>>>,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
+    ops_served: AtomicU64,
+    /// The coarse-lock baseline's single workspace-wide lock.
+    coarse: RwLock<()>,
+}
+
+impl Router {
+    /// A router serving `workload` pipelines out of `ws`.
+    pub fn over(ws: Arc<Workspace>, workload: Workload, opts: ServerOptions) -> Router {
+        Router {
+            ws,
+            workload,
+            limiter: Limiter::new(opts.admission),
+            opts,
+            tenants: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            ops_served: AtomicU64::new(0),
+            coarse: RwLock::new(()),
+        }
+    }
+
+    /// A router over a fresh workspace whose store backend honours
+    /// `MLCASK_BACKEND` (`mem` default, `cask`, `file`).
+    pub fn in_memory(workload: Workload, opts: ServerOptions) -> Router {
+        use mlcask_storage::chunk::ChunkParams;
+        use mlcask_storage::costmodel::StorageCostModel;
+        use mlcask_storage::store::ChunkStore;
+        let store = Arc::new(ChunkStore::new(
+            mlcask_storage::backend::backend_from_env(&workload.name),
+            ChunkParams::DEFAULT,
+            StorageCostModel::FORKBASE,
+        ));
+        Router::over(Workspace::over(store), workload, opts)
+    }
+
+    /// The shared workspace.
+    pub fn workspace(&self) -> &Arc<Workspace> {
+        &self.ws
+    }
+
+    /// Total operations served (successful or not, past admission).
+    pub fn ops_served(&self) -> u64 {
+        self.ops_served.load(Ordering::Relaxed)
+    }
+
+    /// Serves one raw request line, returning one response line (no
+    /// trailing newline).
+    pub fn handle_text(&self, line: &str) -> String {
+        let response = match protocol::parse_request(line) {
+            Ok(req) => self.handle(&req),
+            Err(failure) => protocol::error_response(&Value::Null, &failure),
+        };
+        serde_json::to_string(&response).expect("response values always render")
+    }
+
+    /// Serves one parsed request.
+    pub fn handle(&self, req: &Request) -> Value {
+        match self.dispatch(req) {
+            Ok(result) => protocol::ok_response(&req.id, result),
+            Err(failure) => protocol::error_response(&req.id, &failure),
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> Result<Value, Failure> {
+        self.ops_served.fetch_add(1, Ordering::Relaxed);
+        let p = Params::of(req)?;
+        match req.method.as_str() {
+            // Control-plane methods: no session, no admission.
+            "ping" => Ok(s("pong")),
+            "server.info" => Ok(self.info()),
+            "session.open" => self.session_open(&p),
+            "session.close" => self.session_close(&p),
+            "workspace.usage" => {
+                let _r = self.read_guard();
+                Ok(workspace_usage_json(&self.ws))
+            }
+            // Session-scoped methods: admission-checked, rate-limited.
+            method => {
+                let (session, entry) = self.session(&p)?;
+                let _op = self.limiter.begin_op(&session.tenant)?;
+                match method {
+                    "branches" => {
+                        let _r = self.read_guard();
+                        Ok(Value::Seq(
+                            entry.tenant.branches().into_iter().map(s).collect(),
+                        ))
+                    }
+                    "head" => {
+                        let _r = self.read_guard();
+                        let branch = p.str("branch")?;
+                        let head = self.head_of(&entry, branch)?;
+                        Ok(commit_json(&head))
+                    }
+                    "log" => {
+                        let _r = self.read_guard();
+                        self.log(&entry, &p)
+                    }
+                    "usage" => {
+                        let _r = self.read_guard();
+                        Ok(usage_json(&entry.tenant.usage()))
+                    }
+                    "commit" => {
+                        let _w = self.write_guard();
+                        self.commit(&session, &entry, &p)
+                    }
+                    "branch" => {
+                        let _w = self.write_guard();
+                        let from = p.str("from")?;
+                        let to = p.str("to")?;
+                        let c = entry.sys.branch(from, to).map_err(Failure::op)?;
+                        Ok(commit_json(&c))
+                    }
+                    "grant" => {
+                        let _w = self.write_guard();
+                        let peer = p.str("peer")?;
+                        let right = parse_right(p.str("right")?)?;
+                        entry.tenant.grant_to(peer, right).map_err(Failure::op)?;
+                        Ok(Value::Bool(true))
+                    }
+                    "revoke" => {
+                        let _w = self.write_guard();
+                        let peer = p.str("peer")?;
+                        entry.tenant.revoke_from(peer).map_err(Failure::op)?;
+                        Ok(Value::Bool(true))
+                    }
+                    "fork" => {
+                        let _w = self.write_guard();
+                        let peer = p.str("peer")?;
+                        let branch = p.str("branch")?;
+                        let new_branch = p.str("new_branch")?;
+                        let c = entry
+                            .tenant
+                            .fork_from(peer, branch, new_branch)
+                            .map_err(Failure::op)?;
+                        Ok(commit_json(&c))
+                    }
+                    "merge" => {
+                        let _w = self.write_guard();
+                        let base = p.str("base")?;
+                        let merging = p.str("merging")?;
+                        let strategy = parse_strategy(p.str_opt("strategy")?)?;
+                        let outcome = entry
+                            .sys
+                            .merge(base, merging, strategy, &session.ledger)
+                            .map_err(Failure::op)?;
+                        Ok(merge_json(&outcome))
+                    }
+                    "merge.into" => {
+                        let _w = self.write_guard();
+                        let peer = p.str("peer")?;
+                        let peer_branch = p.str("peer_branch")?;
+                        let merging = p.str("merging")?;
+                        let strategy = parse_strategy(p.str_opt("strategy")?)?;
+                        let outcome = entry
+                            .sys
+                            .merge_into(peer, peer_branch, merging, strategy, &session.ledger)
+                            .map_err(Failure::op)?;
+                        Ok(merge_json(&outcome))
+                    }
+                    other => Err(Failure::new(
+                        METHOD_NOT_FOUND,
+                        format!("unknown method `{other}`"),
+                    )),
+                }
+            }
+        }
+    }
+
+    // -- method implementations ---------------------------------------
+
+    fn info(&self) -> Value {
+        let mut tenants: Vec<String> = self.tenants.lock().keys().cloned().collect();
+        tenants.sort();
+        let workers = match self.opts.parallelism {
+            ParallelismPolicy::Sequential => 1,
+            ParallelismPolicy::Parallel(n) => n as u64,
+        };
+        obj(vec![
+            ("workload", s(&self.workload.name)),
+            ("workers", Value::U64(workers)),
+            ("coarse_lock", Value::Bool(self.opts.coarse_lock)),
+            ("tenants", Value::Seq(tenants.into_iter().map(s).collect())),
+            (
+                "open_sessions",
+                Value::U64(self.limiter.open_sessions() as u64),
+            ),
+            ("ops_served", Value::U64(self.ops_served())),
+            (
+                "sessions_refused",
+                Value::U64(self.limiter.sessions_refused.load(Ordering::Relaxed)),
+            ),
+            (
+                "ops_shed",
+                Value::U64(self.limiter.ops_shed.load(Ordering::Relaxed)),
+            ),
+            (
+                "ops_throttled",
+                Value::U64(self.limiter.ops_throttled.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+
+    fn session_open(&self, p: &Params<'_>) -> Result<Value, Failure> {
+        let tenant = p.str("tenant")?;
+        let quota = QuotaPolicy {
+            max_logical_bytes: p.u64_opt("max_logical_bytes")?,
+            max_physical_bytes: p.u64_opt("max_physical_bytes")?,
+        };
+        self.limiter.open_session()?;
+        let entry = match self.tenant_entry(tenant, quota) {
+            Ok(entry) => entry,
+            Err(failure) => {
+                self.limiter.close_session();
+                return Err(failure);
+            }
+        };
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sessions.lock().insert(
+            id,
+            Arc::new(Session {
+                tenant: entry.tenant.name().to_string(),
+                ledger: ClockLedger::new(),
+            }),
+        );
+        Ok(obj(vec![
+            ("session", Value::U64(id)),
+            ("tenant", s(tenant)),
+        ]))
+    }
+
+    fn session_close(&self, p: &Params<'_>) -> Result<Value, Failure> {
+        let id = p.u64("session")?;
+        match self.sessions.lock().remove(&id) {
+            Some(_) => {
+                self.limiter.close_session();
+                Ok(Value::Bool(true))
+            }
+            None => Err(Failure::new(OP_FAILED, format!("no such session {id}"))),
+        }
+    }
+
+    /// Resolves the session id in `params` to its state and tenant entry.
+    fn session(&self, p: &Params<'_>) -> Result<(Arc<Session>, Arc<TenantEntry>), Failure> {
+        let id = p.u64("session")?;
+        let session = self
+            .sessions
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Failure::new(OP_FAILED, format!("no such session {id}")))?;
+        let entry = self
+            .tenants
+            .lock()
+            .get(&session.tenant)
+            .cloned()
+            .ok_or_else(|| Failure::new(OP_FAILED, "tenant entry vanished"))?;
+        Ok((session, entry))
+    }
+
+    /// The tenant's serving entry, registering it with the workspace (and
+    /// the workload's components) on first use.
+    fn tenant_entry(&self, name: &str, quota: QuotaPolicy) -> Result<Arc<TenantEntry>, Failure> {
+        let mut tenants = self.tenants.lock();
+        if let Some(entry) = tenants.get(name) {
+            return Ok(Arc::clone(entry));
+        }
+        let ts = join_workspace(&self.ws, &self.workload, name, quota)
+            .map_err(|e| Failure::new(OP_FAILED, e))?;
+        let entry = Arc::new(TenantEntry {
+            tenant: ts.tenant,
+            sys: ts.sys.with_parallelism(self.opts.parallelism),
+        });
+        tenants.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    fn head_of(&self, entry: &TenantEntry, branch: &str) -> Result<Commit, Failure> {
+        let q = entry.sys.qualified_branch(branch);
+        entry.sys.graph().view().head(&q).map_err(Failure::op)
+    }
+
+    /// Walks the first-parent chain from the branch head — all of it
+    /// resolved against **one** frozen graph view, so a merge landing
+    /// mid-walk can never produce a torn lineage.
+    fn log(&self, entry: &TenantEntry, p: &Params<'_>) -> Result<Value, Failure> {
+        let branch = p.str("branch")?;
+        let limit = p.u64_opt("limit")?.unwrap_or(50) as usize;
+        let view = entry.sys.graph().view();
+        let q = entry.sys.qualified_branch(branch);
+        let mut commit = view.head(&q).map_err(Failure::op)?;
+        let mut out = Vec::new();
+        loop {
+            if out.len() >= limit {
+                break;
+            }
+            out.push(commit_json(&commit));
+            match commit.parents.first() {
+                Some(&parent) => commit = view.get(parent).map_err(Failure::op)?,
+                None => break,
+            }
+        }
+        Ok(Value::Seq(out))
+    }
+
+    fn commit(
+        &self,
+        session: &Session,
+        entry: &TenantEntry,
+        p: &Params<'_>,
+    ) -> Result<Value, Failure> {
+        let branch = p.str("branch")?;
+        let message = p.str_opt("message")?.unwrap_or("serving commit");
+        let keys = p
+            .str_seq("components")?
+            .into_iter()
+            .map(parse_component)
+            .collect::<Result<Vec<_>, _>>()?;
+        let result = entry
+            .sys
+            .commit_pipeline(branch, &keys, message, &session.ledger)
+            .map_err(Failure::op)?;
+        Ok(commit_result_json(&result))
+    }
+
+    // -- coarse-lock baseline guards ----------------------------------
+
+    fn read_guard(&self) -> Option<parking_lot::RwLockReadGuard<'_, ()>> {
+        self.opts.coarse_lock.then(|| self.coarse.read())
+    }
+
+    fn write_guard(&self) -> Option<parking_lot::RwLockWriteGuard<'_, ()>> {
+        self.opts.coarse_lock.then(|| self.coarse.write())
+    }
+}
+
+// -- parameter parsing ------------------------------------------------
+
+/// Parses `"name@<semver>"` (e.g. `"model@0.2"`, `"impute@dev@1.0"`).
+fn parse_component(spec: &str) -> Result<ComponentKey, Failure> {
+    let (name, version) = spec.split_once('@').ok_or_else(|| {
+        Failure::new(
+            INVALID_PARAMS,
+            format!("component `{spec}` must be `name@version`"),
+        )
+    })?;
+    let version: SemVer = version
+        .parse()
+        .map_err(|e| Failure::new(INVALID_PARAMS, format!("component `{spec}`: {e}")))?;
+    Ok(ComponentKey::new(name, version))
+}
+
+fn parse_right(name: &str) -> Result<ShareRight, Failure> {
+    match name {
+        "read" => Ok(ShareRight::Read),
+        "fork" => Ok(ShareRight::Fork),
+        "merge_into" => Ok(ShareRight::MergeInto),
+        other => Err(Failure::params(format!(
+            "unknown share right `{other}` (read|fork|merge_into)"
+        ))),
+    }
+}
+
+fn parse_strategy(name: Option<&str>) -> Result<MergeStrategy, Failure> {
+    match name.unwrap_or("full") {
+        "naive" => Ok(MergeStrategy::Naive),
+        "without_pc_pr" => Ok(MergeStrategy::WithoutPcPr),
+        "without_pr" => Ok(MergeStrategy::WithoutPr),
+        "full" => Ok(MergeStrategy::Full),
+        other => Err(Failure::params(format!(
+            "unknown strategy `{other}` (naive|without_pc_pr|without_pr|full)"
+        ))),
+    }
+}
+
+// -- response rendering -----------------------------------------------
+
+fn commit_json(c: &Commit) -> Value {
+    obj(vec![
+        ("id", s(c.id.to_hex())),
+        ("branch", s(&c.branch)),
+        ("seq", Value::U64(c.seq as u64)),
+        ("message", s(&c.message)),
+        (
+            "parents",
+            Value::Seq(c.parents.iter().map(|p| s(p.to_hex())).collect()),
+        ),
+        ("tick", Value::U64(c.tick)),
+    ])
+}
+
+fn commit_result_json(r: &CommitResult) -> Value {
+    let mut pairs = vec![("committed", Value::Bool(r.commit.is_some()))];
+    if let Some(c) = &r.commit {
+        pairs.push(("commit", commit_json(c)));
+    }
+    pairs.push(("executed", Value::U64(r.report.executed_count() as u64)));
+    pairs.push(("reused", Value::U64(r.report.reused_count() as u64)));
+    obj(pairs)
+}
+
+/// Merge outcome; `skipped_by_frontier` is deliberately excluded — it is
+/// the one search statistic that may vary with worker count (see the
+/// read-path bench's normalization), and serving responses must stay
+/// byte-identical across workers.
+fn merge_json(o: &MergeOutcome) -> Value {
+    let mut pairs = vec![
+        ("committed", Value::Bool(o.commit.is_some())),
+        ("fast_forward", Value::Bool(o.fast_forward)),
+    ];
+    if let Some(c) = &o.commit {
+        pairs.push(("commit", commit_json(c)));
+    }
+    if let Some(r) = &o.report {
+        pairs.push((
+            "search",
+            obj(vec![
+                ("candidates_total", Value::U64(r.candidates_total as u64)),
+                (
+                    "candidates_evaluated",
+                    Value::U64(r.candidates_evaluated as u64),
+                ),
+                ("candidates_pruned", Value::U64(r.candidates_pruned as u64)),
+                (
+                    "executed_components",
+                    Value::U64(r.executed_components as u64),
+                ),
+                ("reused_components", Value::U64(r.reused_components as u64)),
+                ("failed_candidates", Value::U64(r.failed_candidates as u64)),
+            ]),
+        ));
+    }
+    obj(pairs)
+}
+
+fn usage_json(u: &TenantUsage) -> Value {
+    obj(vec![
+        ("blobs_written", Value::U64(u.blobs_written)),
+        ("logical_bytes", Value::U64(u.logical_bytes)),
+        ("physical_bytes", Value::U64(u.physical_bytes)),
+    ])
+}
+
+fn workspace_usage_json(ws: &Workspace) -> Value {
+    let usages = ws.usages();
+    let shared = ws.shared_view();
+    Value::Map(
+        usages
+            .into_iter()
+            .map(|(name, u)| {
+                let mut fields = usage_json(&u);
+                if let (Value::Map(pairs), Some(sh)) = (&mut fields, shared.get(&name)) {
+                    pairs.push((
+                        "referenced_bytes".to_string(),
+                        Value::U64(sh.referenced_bytes),
+                    ));
+                }
+                (name, fields)
+            })
+            .collect(),
+    )
+}

@@ -7,6 +7,22 @@
 //! relies on [`CommitGraph::common_ancestor`] to delimit component search
 //! spaces (§V of the paper).
 //!
+//! # Snapshot isolation
+//!
+//! The graph's contents live in one immutable [`GraphView`] published behind
+//! an `Arc`: the commit set is a persistent trie ([`crate::pmap::PMap`]) and
+//! the branch table a small ordered map, so deriving the next generation
+//! shares all untouched structure with the previous one. Readers call
+//! [`CommitGraph::view`] (an `Arc` clone — no lock is held afterwards) and
+//! traverse a frozen, internally consistent graph: a branch head resolved
+//! from a view always points at a commit in that same view, however many
+//! merges land concurrently. Writers serialize on a private mutex, build the
+//! successor generation off the current one, and publish it atomically —
+//! which also means multi-commit batches appear all-or-nothing and two
+//! racing `commit` calls can never lose an update. Logical ticks come from
+//! an atomic counter advanced inside the writer section, so commit ids and
+//! ordering stay deterministic for any serial schedule.
+//!
 //! # Namespaced writes
 //!
 //! In a multi-tenant workspace many tenants share one graph, with each
@@ -23,10 +39,11 @@
 
 use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
+use crate::pmap::PMap;
 use crate::tenant::{ShareRight, ShareTable};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -80,17 +97,172 @@ impl Commit {
     }
 }
 
+/// The graph contents at one publication point: immutable once published.
+struct Snapshot {
+    commits: PMap<Hash256, Commit>,
+    /// Ordered so [`GraphView::branches`] is sorted for free; small enough
+    /// (one entry per branch, not per commit) to clone per write.
+    branches: BTreeMap<String, Hash256>,
+}
+
+impl Snapshot {
+    fn empty() -> Arc<Snapshot> {
+        Arc::new(Snapshot {
+            commits: PMap::new(),
+            branches: BTreeMap::new(),
+        })
+    }
+}
+
+/// A frozen, internally consistent view of the whole graph.
+///
+/// Obtained from [`CommitGraph::view`]; holding one costs an `Arc` and
+/// blocks nobody. Every query answers against the same publication point, so
+/// a head resolved here is guaranteed to `get` successfully here — there are
+/// no torn branch→commit reads even while writers are publishing.
+#[derive(Clone)]
+pub struct GraphView {
+    snap: Arc<Snapshot>,
+}
+
+impl GraphView {
+    /// Current head commit of `branch` in this view.
+    pub fn head(&self, branch: &str) -> Result<Commit> {
+        let id = *self
+            .snap
+            .branches
+            .get(branch)
+            .ok_or_else(|| StorageError::UnknownBranch(branch.to_string()))?;
+        self.get(id)
+    }
+
+    /// Fetches a commit by id.
+    pub fn get(&self, id: Hash256) -> Result<Commit> {
+        self.snap
+            .commits
+            .get(&id)
+            .cloned()
+            .ok_or(StorageError::NotFound(id))
+    }
+
+    /// All branch names (sorted for determinism).
+    pub fn branches(&self) -> Vec<String> {
+        self.snap.branches.keys().cloned().collect()
+    }
+
+    /// Number of commits in the view.
+    pub fn len(&self) -> usize {
+        self.snap.commits.len()
+    }
+
+    /// True if the view has no commits.
+    pub fn is_empty(&self) -> bool {
+        self.snap.commits.is_empty()
+    }
+
+    /// Set of all ancestors of `id` (including `id` itself).
+    pub fn ancestors(&self, id: Hash256) -> Result<HashSet<Hash256>> {
+        if !self.snap.commits.contains_key(&id) {
+            return Err(StorageError::NotFound(id));
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(cur) = queue.pop_front() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            let c = self
+                .snap
+                .commits
+                .get(&cur)
+                .ok_or(StorageError::MissingParent(cur))?;
+            for p in &c.parents {
+                queue.push_back(*p);
+            }
+        }
+        Ok(seen)
+    }
+
+    /// True if `ancestor` is reachable from `descendant` (inclusive).
+    pub fn is_ancestor(&self, ancestor: Hash256, descendant: Hash256) -> Result<bool> {
+        Ok(self.ancestors(descendant)?.contains(&ancestor))
+    }
+
+    /// Lowest common ancestor of two commits: the common ancestor with the
+    /// greatest logical tick (i.e. the most recent shared history point).
+    pub fn common_ancestor(&self, a: Hash256, b: Hash256) -> Result<Option<Commit>> {
+        let aa = self.ancestors(a)?;
+        let bb = self.ancestors(b)?;
+        let best = aa
+            .intersection(&bb)
+            .filter_map(|id| self.snap.commits.get(id))
+            .max_by_key(|c| c.tick)
+            .cloned();
+        Ok(best)
+    }
+
+    /// Commits strictly between `ancestor` (exclusive) and `head`
+    /// (inclusive), following first-parent history, oldest first.
+    ///
+    /// This is the path the merge machinery walks to collect component
+    /// versions developed since the common ancestor.
+    pub fn path_from(&self, ancestor: Hash256, head: Hash256) -> Result<Vec<Commit>> {
+        let mut path = Vec::new();
+        let mut cur = head;
+        loop {
+            if cur == ancestor {
+                break;
+            }
+            let c = self.get(cur)?;
+            let next = match c.parents.first() {
+                Some(p) => *p,
+                None => {
+                    // Reached a root without meeting the ancestor.
+                    path.push(c);
+                    break;
+                }
+            };
+            path.push(c);
+            cur = next;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Whether a merge of `merge_head` into `base_head` is a fast-forward
+    /// (i.e. `base_head` is an ancestor of `merge_head`).
+    pub fn is_fast_forward(&self, base_head: Hash256, merge_head: Hash256) -> Result<bool> {
+        self.is_ancestor(base_head, merge_head)
+    }
+}
+
 /// The state every view of one graph shares.
-#[derive(Default)]
 struct GraphState {
-    commits: RwLock<HashMap<Hash256, Commit>>,
-    branches: RwLock<HashMap<String, Hash256>>,
-    tick: RwLock<u64>,
-    /// Number of graph-append *operations* (lock transactions), not commits:
+    /// The latest published generation. The write lock is held only for the
+    /// pointer swap; readers clone the `Arc` and get out.
+    published: RwLock<Arc<Snapshot>>,
+    /// Serializes writers: each builds its successor generation off the
+    /// currently published one, so publication order is a total order.
+    writer: Mutex<()>,
+    /// Logical clock; advanced inside the writer section only.
+    tick: AtomicU64,
+    /// Number of graph-append *operations* (publications), not commits:
     /// a [`CommitGraph::commit_batch`] of N commits counts as one append.
     appends: AtomicU64,
     /// Namespace ownership + share grants consulted on every write.
     shares: ShareTable,
+}
+
+impl Default for GraphState {
+    fn default() -> Self {
+        GraphState {
+            published: RwLock::new(Snapshot::empty()),
+            writer: Mutex::new(()),
+            tick: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            shares: ShareTable::default(),
+        }
+    }
 }
 
 /// Mutable branch table + immutable commit set, acted on through
@@ -149,6 +321,22 @@ impl CommitGraph {
         &self.state.shares
     }
 
+    /// The latest published snapshot of the whole graph. Cheap (one `Arc`
+    /// clone under a momentary read lock); the returned [`GraphView`] never
+    /// blocks writers and is never torn by them. Multi-step read sequences
+    /// (resolve a head, walk its log, compare branches) should grab one view
+    /// and run every step against it.
+    pub fn view(&self) -> GraphView {
+        GraphView {
+            snap: self.state.published.read().clone(),
+        }
+    }
+
+    /// Swaps in the successor generation. Caller must hold the writer lock.
+    fn publish(&self, next: Snapshot) {
+        *self.state.published.write() = Arc::new(next);
+    }
+
     /// Checks that this view may append to / create `branch`. Writing into
     /// an owned namespace requires being the owner or holding a
     /// [`ShareRight::MergeInto`] grant from it.
@@ -176,9 +364,7 @@ impl CommitGraph {
     }
 
     fn next_tick(&self) -> u64 {
-        let mut t = self.state.tick.write();
-        *t += 1;
-        *t
+        self.state.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Number of append operations performed so far. Batched commits count
@@ -192,7 +378,9 @@ impl CommitGraph {
     /// the branch's namespace.
     pub fn commit_root(&self, branch: &str, payload: Hash256, message: &str) -> Result<Commit> {
         self.authorize_write(branch)?;
-        if self.state.branches.read().contains_key(branch) {
+        let _w = self.state.writer.lock();
+        let cur = self.view();
+        if cur.snap.branches.contains_key(branch) {
             return Err(StorageError::BranchExists(branch.to_string()));
         }
         let tick = self.next_tick();
@@ -206,17 +394,24 @@ impl CommitGraph {
             message: message.to_string(),
             tick,
         };
-        self.state.commits.write().insert(id, c.clone());
-        self.state.branches.write().insert(branch.to_string(), id);
+        let mut branches = cur.snap.branches.clone();
+        branches.insert(branch.to_string(), id);
+        self.publish(Snapshot {
+            commits: cur.snap.commits.insert(id, c.clone()),
+            branches,
+        });
         self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
 
     /// Appends a commit to `branch`'s head. Permission-checked against the
-    /// branch's namespace.
+    /// branch's namespace. The head is re-resolved inside the writer
+    /// section, so two racing appends chain rather than losing one.
     pub fn commit(&self, branch: &str, payload: Hash256, message: &str) -> Result<Commit> {
         self.authorize_write(branch)?;
-        let head = self.head(branch)?;
+        let _w = self.state.writer.lock();
+        let cur = self.view();
+        let head = cur.head(branch)?;
         let tick = self.next_tick();
         let seq = head.seq + 1;
         let id = Commit::compute_id(&[head.id], branch, seq, payload, message, tick);
@@ -229,18 +424,23 @@ impl CommitGraph {
             message: message.to_string(),
             tick,
         };
-        self.state.commits.write().insert(id, c.clone());
-        self.state.branches.write().insert(branch.to_string(), id);
+        let mut branches = cur.snap.branches.clone();
+        branches.insert(branch.to_string(), id);
+        self.publish(Snapshot {
+            commits: cur.snap.commits.insert(id, c.clone()),
+            branches,
+        });
         self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
 
-    /// Appends several commits to `branch` in one graph transaction: the
-    /// locks are taken once and [`CommitGraph::append_ops`] advances by one,
-    /// however long the batch. The produced commits — ids, parents,
-    /// sequence numbers, ticks — are identical to appending the entries one
-    /// at a time with [`CommitGraph::commit`] (creating the branch's root
-    /// commit first if the branch does not exist yet).
+    /// Appends several commits to `branch` in one graph transaction: one
+    /// writer section, one publication, and [`CommitGraph::append_ops`]
+    /// advances by one, however long the batch. Readers observe the whole
+    /// batch or none of it. The produced commits — ids, parents, sequence
+    /// numbers, ticks — are identical to appending the entries one at a
+    /// time with [`CommitGraph::commit`] (creating the branch's root commit
+    /// first if the branch does not exist yet).
     pub fn commit_batch(&self, branch: &str, entries: &[(Hash256, String)]) -> Result<Vec<Commit>> {
         // Authorization precedes the empty-batch shortcut so the permission
         // surface is uniform: probing with zero entries denies like any
@@ -249,26 +449,21 @@ impl CommitGraph {
         if entries.is_empty() {
             return Ok(Vec::new());
         }
-        let mut commits = self.state.commits.write();
-        let mut branches = self.state.branches.write();
-        let mut tick = self.state.tick.write();
-        let mut head: Option<Commit> = match branches.get(branch) {
-            Some(id) => Some(
-                commits
-                    .get(id)
-                    .cloned()
-                    .ok_or(StorageError::NotFound(*id))?,
-            ),
+        let _w = self.state.writer.lock();
+        let cur = self.view();
+        let mut head: Option<Commit> = match cur.snap.branches.get(branch) {
+            Some(id) => Some(cur.get(*id)?),
             None => None,
         };
+        let mut commits = cur.snap.commits.clone();
         let mut out = Vec::with_capacity(entries.len());
         for (payload, message) in entries {
-            *tick += 1;
+            let tick = self.next_tick();
             let (parents, seq) = match &head {
                 Some(h) => (vec![h.id], h.seq + 1),
                 None => (vec![], 0),
             };
-            let id = Commit::compute_id(&parents, branch, seq, *payload, message, *tick);
+            let id = Commit::compute_id(&parents, branch, seq, *payload, message, tick);
             let c = Commit {
                 id,
                 parents,
@@ -276,13 +471,15 @@ impl CommitGraph {
                 seq,
                 payload: *payload,
                 message: message.clone(),
-                tick: *tick,
+                tick,
             };
-            commits.insert(id, c.clone());
+            commits = commits.insert(id, c.clone());
             head = Some(c.clone());
             out.push(c);
         }
+        let mut branches = cur.snap.branches.clone();
         branches.insert(branch.to_string(), out.last().expect("non-empty batch").id);
+        self.publish(Snapshot { commits, branches });
         self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(out)
     }
@@ -302,29 +499,27 @@ impl CommitGraph {
         message: &str,
     ) -> Result<Commit> {
         self.authorize_write(base_branch)?;
-        let head = self.head(base_branch)?;
-        let merge_parent_branch = {
-            let commits = self.state.commits.read();
-            commits
-                .get(&merge_head)
-                .ok_or(StorageError::MissingParent(merge_head))?
-                .branch
-                .clone()
-        };
+        let _w = self.state.writer.lock();
+        let cur = self.view();
+        let head = cur.head(base_branch)?;
+        let merge_parent_branch = cur
+            .snap
+            .commits
+            .get(&merge_head)
+            .ok_or(StorageError::MissingParent(merge_head))?
+            .branch
+            .clone();
         // A commit that currently tips a branch the actor owns (or an open
         // branch) is the actor's own history — e.g. the head of a fork
         // taken under a since-revoked grant — and needs no Read grant from
         // the namespace it was originally committed on.
-        let tips_own_branch = {
-            let branches = self.state.branches.read();
-            branches.iter().any(|(name, id)| {
-                *id == merge_head
-                    && match self.state.shares.owner_of(name) {
-                        None => true,
-                        Some(owner) => self.actor.as_deref() == Some(owner.as_str()),
-                    }
-            })
-        };
+        let tips_own_branch = cur.snap.branches.iter().any(|(name, id)| {
+            *id == merge_head
+                && match self.state.shares.owner_of(name) {
+                    None => true,
+                    Some(owner) => self.actor.as_deref() == Some(owner.as_str()),
+                }
+        });
         if !tips_own_branch {
             self.authorize(&merge_parent_branch, ShareRight::Read)?;
         }
@@ -341,11 +536,12 @@ impl CommitGraph {
             message: message.to_string(),
             tick,
         };
-        self.state.commits.write().insert(id, c.clone());
-        self.state
-            .branches
-            .write()
-            .insert(base_branch.to_string(), id);
+        let mut branches = cur.snap.branches.clone();
+        branches.insert(base_branch.to_string(), id);
+        self.publish(Snapshot {
+            commits: cur.snap.commits.insert(id, c.clone()),
+            branches,
+        });
         self.state.appends.fetch_add(1, Ordering::Relaxed);
         Ok(c)
     }
@@ -370,96 +566,66 @@ impl CommitGraph {
     pub fn branch_at(&self, from: &str, new_branch: &str, at: Hash256) -> Result<Commit> {
         self.authorize(from, ShareRight::Fork)?;
         self.authorize_write(new_branch)?;
-        let head = self.head(from)?;
+        let _w = self.state.writer.lock();
+        let cur = self.view();
+        let head = cur.head(from)?;
         // `at == head` is the common (plain `branch`) case — skip the
         // ancestor walk so branch creation stays O(1) on long histories.
-        if at != head.id && !self.is_ancestor(at, head.id)? {
+        if at != head.id && !cur.is_ancestor(at, head.id)? {
             return Err(StorageError::MissingParent(at));
         }
-        let commit = self.get(at)?;
-        let mut branches = self.state.branches.write();
-        if branches.contains_key(new_branch) {
+        let commit = cur.get(at)?;
+        if cur.snap.branches.contains_key(new_branch) {
             return Err(StorageError::BranchExists(new_branch.to_string()));
         }
+        let mut branches = cur.snap.branches.clone();
         branches.insert(new_branch.to_string(), at);
+        self.publish(Snapshot {
+            commits: cur.snap.commits.clone(),
+            branches,
+        });
         Ok(commit)
     }
 
     /// Current head commit of `branch`.
     pub fn head(&self, branch: &str) -> Result<Commit> {
-        let id = *self
-            .state
-            .branches
-            .read()
-            .get(branch)
-            .ok_or_else(|| StorageError::UnknownBranch(branch.to_string()))?;
-        self.get(id)
+        self.view().head(branch)
     }
 
     /// Fetches a commit by id.
     pub fn get(&self, id: Hash256) -> Result<Commit> {
-        self.state
-            .commits
-            .read()
-            .get(&id)
-            .cloned()
-            .ok_or(StorageError::NotFound(id))
+        self.view().get(id)
     }
 
     /// All branch names (sorted for determinism).
     pub fn branches(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.state.branches.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.view().branches()
     }
 
     /// Number of commits in the graph.
     pub fn len(&self) -> usize {
-        self.state.commits.read().len()
+        self.view().len()
     }
 
     /// True if the graph has no commits.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.view().is_empty()
     }
 
     /// Set of all ancestors of `id` (including `id` itself).
     pub fn ancestors(&self, id: Hash256) -> Result<HashSet<Hash256>> {
-        let commits = self.state.commits.read();
-        if !commits.contains_key(&id) {
-            return Err(StorageError::NotFound(id));
-        }
-        let mut seen = HashSet::new();
-        let mut queue = VecDeque::from([id]);
-        while let Some(cur) = queue.pop_front() {
-            if !seen.insert(cur) {
-                continue;
-            }
-            let c = commits.get(&cur).ok_or(StorageError::MissingParent(cur))?;
-            for p in &c.parents {
-                queue.push_back(*p);
-            }
-        }
-        Ok(seen)
+        self.view().ancestors(id)
     }
 
     /// True if `ancestor` is reachable from `descendant` (inclusive).
     pub fn is_ancestor(&self, ancestor: Hash256, descendant: Hash256) -> Result<bool> {
-        Ok(self.ancestors(descendant)?.contains(&ancestor))
+        self.view().is_ancestor(ancestor, descendant)
     }
 
     /// Lowest common ancestor of two commits: the common ancestor with the
     /// greatest logical tick (i.e. the most recent shared history point).
     pub fn common_ancestor(&self, a: Hash256, b: Hash256) -> Result<Option<Commit>> {
-        let aa = self.ancestors(a)?;
-        let bb = self.ancestors(b)?;
-        let commits = self.state.commits.read();
-        let best = aa
-            .intersection(&bb)
-            .filter_map(|id| commits.get(id))
-            .max_by_key(|c| c.tick)
-            .cloned();
-        Ok(best)
+        self.view().common_ancestor(a, b)
     }
 
     /// Commits strictly between `ancestor` (exclusive) and `head`
@@ -468,32 +634,13 @@ impl CommitGraph {
     /// This is the path the merge machinery walks to collect component
     /// versions developed since the common ancestor.
     pub fn path_from(&self, ancestor: Hash256, head: Hash256) -> Result<Vec<Commit>> {
-        let mut path = Vec::new();
-        let mut cur = head;
-        loop {
-            if cur == ancestor {
-                break;
-            }
-            let c = self.get(cur)?;
-            let next = match c.parents.first() {
-                Some(p) => *p,
-                None => {
-                    // Reached a root without meeting the ancestor.
-                    path.push(c);
-                    break;
-                }
-            };
-            path.push(c);
-            cur = next;
-        }
-        path.reverse();
-        Ok(path)
+        self.view().path_from(ancestor, head)
     }
 
     /// Whether a merge of `merge_head` into `base_head` is a fast-forward
     /// (i.e. `base_head` is an ancestor of `merge_head`).
     pub fn is_fast_forward(&self, base_head: Hash256, merge_head: Hash256) -> Result<bool> {
-        self.is_ancestor(base_head, merge_head)
+        self.view().is_fast_forward(base_head, merge_head)
     }
 }
 
@@ -827,5 +974,63 @@ mod tests {
         g.branch("master", "zeta").unwrap();
         g.branch("master", "alpha").unwrap();
         assert_eq!(g.branches(), vec!["alpha", "master", "zeta"]);
+    }
+
+    #[test]
+    fn graph_views_are_frozen_snapshots() {
+        let (g, cs) = linear_graph();
+        let v = g.view();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.head("master").unwrap().id, cs[3].id);
+        // Later writes never leak into an already-taken view.
+        let c5 = g.commit("master", payload(7), "after view").unwrap();
+        g.branch("master", "late").unwrap();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.head("master").unwrap().id, cs[3].id);
+        assert!(v.get(c5.id).is_err(), "new commit invisible to old view");
+        assert_eq!(v.branches(), vec!["master"]);
+        // A fresh view sees everything.
+        let v2 = g.view();
+        assert_eq!(v2.len(), 5);
+        assert_eq!(v2.branches(), vec!["late", "master"]);
+    }
+
+    #[test]
+    fn views_never_tear_under_concurrent_writes() {
+        let g = Arc::new(CommitGraph::new());
+        g.commit_root("master", payload(0), "init").unwrap();
+        let writers: Vec<_> = (0..4u8)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for i in 0..40u8 {
+                        g.commit("master", Hash256::of(&[t, i]), "race").unwrap();
+                    }
+                })
+            })
+            .collect();
+        // Readers: in any single view, every branch head must resolve and
+        // every head's full ancestry must be present — no torn reads.
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let v = g.view();
+                        for b in v.branches() {
+                            let head = v.head(&b).expect("head resolves in its own view");
+                            let anc = v.ancestors(head.id).expect("ancestry complete");
+                            assert!(anc.len() <= v.len());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        // No lost updates: 1 root + 4*40 racing appends all landed.
+        assert_eq!(g.len(), 161);
+        assert_eq!(g.head("master").unwrap().seq, 160);
     }
 }

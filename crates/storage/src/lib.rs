@@ -50,6 +50,7 @@ pub mod errors;
 pub mod fault;
 pub mod hash;
 pub mod object;
+pub mod pmap;
 pub mod stats;
 pub mod store;
 pub mod tenant;
@@ -60,12 +61,13 @@ pub mod prelude {
     pub use crate::cache::{BlobCache, CacheOptions};
     pub use crate::cask::{CaskBackend, CaskOptions, DurableLog};
     pub use crate::chunk::ChunkParams;
-    pub use crate::commit::{Commit, CommitGraph};
+    pub use crate::commit::{Commit, CommitGraph, GraphView};
     pub use crate::costmodel::StorageCostModel;
     pub use crate::errors::{Result as StorageResult, StorageError};
     pub use crate::fault::{FaultBackend, FaultKind, FaultPlan};
     pub use crate::hash::{Hash256, Sha256};
     pub use crate::object::{Manifest, ObjectKind, ObjectRef};
+    pub use crate::pmap::PMap;
     pub use crate::stats::{AtomicStats, CacheStats, KindStats, StorageStats};
     pub use crate::store::{ChunkStore, PutOutcome, PutTrace, SweepReport, WriteObs};
     pub use crate::tenant::{
