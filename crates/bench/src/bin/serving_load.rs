@@ -349,6 +349,35 @@ fn main() {
         }
     }
 
+    // -- Phase C: metrics scrape over the daemon path ------------------------
+    // The registry is process-global, so a scrape through a fresh router
+    // must expose the series phases A/B populated: per-tenant request
+    // latency histograms, cask fsync latency, and (cache enabled) the blob
+    // cache hit rate. A missing core series fails the bench — this is what
+    // CI's bench-smoke leans on.
+    let scraper = Router::in_memory(readmission::build(), ServerOptions::default());
+    let scrape = rpc(&scraper, 600, "metrics.scrape", "{}");
+    let mut required: Vec<&str> = vec![
+        "mlcask_server_request_seconds_bucket",
+        "mlcask_server_requests_total",
+        "mlcask_cask_fsync_seconds",
+        "mlcask_graph_append_ops_total",
+        r#"tenant=\"upstream\""#,
+    ];
+    if mlcask_storage::cache::CacheOptions::from_env().is_some() {
+        required.push("mlcask_blob_cache_hit_rate");
+    }
+    print_header("metrics.scrape core series", &["series", "present"]);
+    let mut scrape_ok = true;
+    for series in &required {
+        let present = scrape.contains(series);
+        scrape_ok &= present;
+        print_row(&[
+            series.to_string(),
+            if present { "yes" } else { "NO" }.into(),
+        ]);
+    }
+
     write_bench_json(
         "serving_load",
         &BenchPayload {
@@ -382,6 +411,10 @@ fn main() {
     }
     if snap.reader_ops == 0 {
         println!("error: no reader ops completed during the merge window");
+        std::process::exit(1);
+    }
+    if !scrape_ok {
+        println!("error: metrics.scrape is missing core telemetry series (see table above)");
         std::process::exit(1);
     }
 }

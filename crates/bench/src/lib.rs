@@ -69,21 +69,62 @@ pub fn print_series<T: Display>(label: &str, values: &[T]) {
     println!("{label}: {joined}");
 }
 
+/// Schema version of the `BENCH_*.json` envelope written by
+/// [`write_bench_json`]. Bump when the envelope shape changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
 /// Persists one bench run's headline numbers as machine-readable JSON so
 /// the perf trajectory across PRs is diffable. Writes `BENCH_<name>.json`
 /// into `MLCASK_BENCH_DIR` (default: the current directory) and prints the
 /// path. Failures are reported but never fail the bench — the trajectory is
 /// advisory, the in-process assertions are the gate.
+///
+/// Every bench shares one envelope: `schema_version`, the bench name, a
+/// best-effort `git_describe` of the producing tree, the bench-specific
+/// `payload`, and a final [`MetricsRegistry`](mlcask_obs::MetricsRegistry)
+/// snapshot (`metrics`) — counters/gauges by series, histograms as
+/// `_sum`/`_count` — so a trajectory diff can correlate headline numbers
+/// with the telemetry that produced them.
 pub fn write_bench_json<T: serde::Serialize>(name: &str, payload: &T) {
+    use serde::Value;
     let dir = std::env::var("MLCASK_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
-    match serde_json::to_string(payload) {
+    let metrics = mlcask_obs::MetricsRegistry::global()
+        .snapshot()
+        .into_iter()
+        .map(|(series, v)| (series, Value::F64(v)))
+        .collect::<Vec<_>>();
+    let envelope = Value::Map(vec![
+        (
+            "schema_version".to_string(),
+            Value::U64(BENCH_SCHEMA_VERSION),
+        ),
+        ("bench".to_string(), Value::Str(name.to_string())),
+        ("git_describe".to_string(), Value::Str(git_describe())),
+        ("payload".to_string(), serde::Serialize::to_value(payload)),
+        ("metrics".to_string(), Value::Map(metrics)),
+    ]);
+    match serde_json::to_string(&envelope) {
         Ok(json) => match std::fs::write(&path, json) {
             Ok(()) => println!("\nwrote {}", path.display()),
             Err(e) => println!("\nwarning: could not write {}: {e}", path.display()),
         },
         Err(e) => println!("\nwarning: could not serialize bench payload: {e}"),
     }
+}
+
+/// Best-effort `git describe --always --dirty` of the working tree;
+/// `"unknown"` when git (or the repo) is unavailable, so benches run fine
+/// from an exported tarball.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 #[cfg(test)]

@@ -189,6 +189,11 @@ impl<'a> MergeEngine<'a> {
         ledger: &ClockLedger,
         book: &ProfileBook,
     ) -> Result<MergeSearchReport> {
+        let _search_span = mlcask_obs::span!(
+            "merge.search",
+            "strategy" => format!("{strategy:?}"),
+            "candidates" => spaces.candidate_upper_bound(),
+        );
         let stats_before = self.store.stats().total();
         let mut tree = SearchTree::build(spaces);
         let candidates_total = spaces.candidate_upper_bound();
@@ -281,7 +286,8 @@ impl<'a> MergeEngine<'a> {
         // execute it once, whichever worker claims it first.
         let gate = PrefixGate::new();
         let (outer, inner) = options.parallelism.split(bound.len());
-        let traced = map_indexed(outer, &bound, |_, pipeline| {
+        let traced = map_indexed(outer, &bound, |i, pipeline| {
+            let _cand_span = mlcask_obs::span!("merge.candidate", "index" => i);
             let inc = prov_snapshot.as_ref().map(|snap| Incremental {
                 snapshot: Arc::clone(snap),
                 live: history.provenance(),

@@ -467,6 +467,7 @@ impl<'a> PrioritizedSearcher<'a> {
                         )
                     })
                     .collect::<Result<_>>()?;
+                let mut round = 0usize;
                 loop {
                     // Pick phase: sequential and trial-local, so each
                     // trial's search order matches a sequential run.
@@ -479,6 +480,12 @@ impl<'a> PrioritizedSearcher<'a> {
                     if picks.is_empty() {
                         break;
                     }
+                    round += 1;
+                    let _round_span = mlcask_obs::span!(
+                        "trials.round",
+                        "round" => round,
+                        "picks" => picks.len(),
+                    );
                     // Execute phase: the round's batch fans across the pool;
                     // leftover workers run each candidate's DAG wavefront.
                     let (outer, inner) = self.parallelism.split(picks.len());

@@ -808,6 +808,11 @@ impl<'s> Executor<'s> {
         inc: Option<&Incremental>,
         resume: Option<&ResumeCtx<'_>>,
     ) -> Result<WavefrontRun> {
+        let _wave_span = mlcask_obs::span!(
+            "exec.wavefront",
+            "nodes" => pipeline.components.len(),
+            "workers" => policy.workers(),
+        );
         let order = pipeline.dag.topo_order()?;
         let fail_at = static_failure_node(pipeline, &order);
         let mut allowed = vec![true; order.len()];
@@ -1020,6 +1025,9 @@ impl<'s> Executor<'s> {
 
                 let work = comp.work_units(&input_artifacts);
                 let exec_ns = work.saturating_mul(comp.ns_per_unit());
+                // Telemetry only: duration feeds the flight recorder, never
+                // the accounting (that uses the deterministic virtual clock).
+                let _node_span = mlcask_obs::span!("exec.node", "component" => comp.key());
                 match comp.run(&input_artifacts) {
                     Ok(artifact) => {
                         let artifact_id = artifact.content_id();
@@ -1122,11 +1130,24 @@ impl<'s> Executor<'s> {
                 });
             }
         }
+        let skipped_by_frontier = cut.map(|c| c.skipped).unwrap_or(0);
+        if skipped_by_frontier > 0 {
+            // Process-wide telemetry twin of the per-report field: the
+            // deterministic report keeps its own count, the registry series
+            // aggregates across evaluations for `metrics.scrape`.
+            mlcask_obs::MetricsRegistry::global()
+                .counter(
+                    "mlcask_frontier_skipped_total",
+                    "Pipeline nodes skipped by provenance frontier cuts",
+                    &[],
+                )
+                .add(skipped_by_frontier as u64);
+        }
         Ok(WavefrontRun {
             slots,
             pre: pre.into_inner(),
             failed,
-            skipped_by_frontier: cut.map(|c| c.skipped).unwrap_or(0),
+            skipped_by_frontier,
         })
     }
 }

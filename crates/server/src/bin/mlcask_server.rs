@@ -117,6 +117,11 @@ fn main() {
         Some(addr) => serve_tcp(Arc::new(router), &addr),
         None => serve_stdio(&router).map(|_| ()),
     };
+    // With MLCASK_TRACE=<path> set, leave a chrome-trace of the flight
+    // recorder's retained spans behind on shutdown.
+    if let Some((path, n)) = mlcask_obs::trace::maybe_dump_env() {
+        eprintln!("wrote {n} spans to {path}");
+    }
     if let Err(e) = result {
         eprintln!("transport error: {e}");
         std::process::exit(1);

@@ -24,6 +24,8 @@ use crate::protocol::{
 use mlcask_core::merge::MergeStrategy;
 use mlcask_core::system::{CommitResult, MergeOutcome, MlCask};
 use mlcask_core::workspace::{Tenant, Workspace};
+use mlcask_obs::metrics::LATENCY_SECONDS;
+use mlcask_obs::{trace, MetricsRegistry};
 use mlcask_pipeline::clock::ClockLedger;
 use mlcask_pipeline::component::ComponentKey;
 use mlcask_pipeline::parallel::ParallelismPolicy;
@@ -37,6 +39,7 @@ use serde::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -148,13 +151,60 @@ impl Router {
         }
     }
 
+    /// Serves the request and records per-method/per-tenant telemetry:
+    /// a latency histogram and an outcome-labelled counter, both strictly
+    /// outside the response (admission rejections count too). The tenant
+    /// label is known only once the session resolves; control-plane and
+    /// failed-before-session requests record under tenant `"-"`.
     fn dispatch(&self, req: &Request) -> Result<Value, Failure> {
+        let start = Instant::now();
+        let mut tenant: Option<String> = None;
+        let result = self.dispatch_inner(req, &mut tenant);
+        let reg = MetricsRegistry::global();
+        let tenant = tenant.as_deref().unwrap_or("-");
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(f) => match f.code {
+                protocol::ADMISSION_DENIED | protocol::RATE_LIMITED | protocol::OVERLOADED => {
+                    "rejected"
+                }
+                _ => "error",
+            },
+        };
+        reg.histogram(
+            "mlcask_server_request_seconds",
+            "Server request latency by method and tenant",
+            &[("method", req.method.as_str()), ("tenant", tenant)],
+            LATENCY_SECONDS,
+        )
+        .observe_duration(start.elapsed());
+        reg.counter(
+            "mlcask_server_requests_total",
+            "Server requests by method, tenant, and outcome",
+            &[
+                ("method", req.method.as_str()),
+                ("tenant", tenant),
+                ("outcome", outcome),
+            ],
+        )
+        .inc();
+        result
+    }
+
+    fn dispatch_inner(
+        &self,
+        req: &Request,
+        tenant_out: &mut Option<String>,
+    ) -> Result<Value, Failure> {
         self.ops_served.fetch_add(1, Ordering::Relaxed);
         let p = Params::of(req)?;
         match req.method.as_str() {
             // Control-plane methods: no session, no admission.
             "ping" => Ok(s("pong")),
             "server.info" => Ok(self.info()),
+            "metrics.scrape" => Ok(self.metrics_scrape()),
+            "obs.spans" => Ok(obs_spans(&p)?),
+            "obs.slow" => Ok(obs_slow(&p)?),
             "session.open" => self.session_open(&p),
             "session.close" => self.session_close(&p),
             "workspace.usage" => {
@@ -164,6 +214,7 @@ impl Router {
             // Session-scoped methods: admission-checked, rate-limited.
             method => {
                 let (session, entry) = self.session(&p)?;
+                *tenant_out = Some(session.tenant.clone());
                 let _op = self.limiter.begin_op(&session.tenant)?;
                 match method {
                     "branches" => {
@@ -285,6 +336,14 @@ impl Router {
                 Value::U64(self.limiter.ops_throttled.load(Ordering::Relaxed)),
             ),
         ])
+    }
+
+    /// Prometheus text scrape of the global registry. Derived gauges (cache
+    /// hit rate, resident bytes) are refreshed from a stats snapshot first,
+    /// so the exported values are current as of this scrape.
+    fn metrics_scrape(&self) -> Value {
+        let _ = self.ws.cache_stats();
+        s(MetricsRegistry::global().render_prometheus())
     }
 
     fn session_open(&self, p: &Params<'_>) -> Result<Value, Failure> {
@@ -421,6 +480,49 @@ impl Router {
 }
 
 // -- parameter parsing ------------------------------------------------
+
+/// `obs.spans`: the most recent `n` (default 64) flight-recorder spans.
+/// Introspection only — span payloads carry wall-clock times and must never
+/// feed back into determinism observables.
+fn obs_spans(p: &Params<'_>) -> Result<Value, Failure> {
+    let n = p.u64_opt("n")?.unwrap_or(64) as usize;
+    let rec = trace::recorder();
+    Ok(obj(vec![
+        ("enabled", Value::Bool(rec.is_enabled())),
+        ("capacity", Value::U64(rec.capacity() as u64)),
+        ("recorded", Value::U64(rec.recorded())),
+        (
+            "spans",
+            Value::Seq(rec.recent(n).iter().map(span_json).collect()),
+        ),
+    ]))
+}
+
+/// `obs.slow`: the `n` (default 10) slowest retained spans.
+fn obs_slow(p: &Params<'_>) -> Result<Value, Failure> {
+    let n = p.u64_opt("n")?.unwrap_or(10) as usize;
+    Ok(Value::Seq(
+        trace::recorder().slowest(n).iter().map(span_json).collect(),
+    ))
+}
+
+fn span_json(rec: &mlcask_obs::SpanRecord) -> Value {
+    obj(vec![
+        ("seq", Value::U64(rec.seq)),
+        ("name", s(rec.name)),
+        (
+            "labels",
+            obj(rec
+                .labels
+                .iter()
+                .map(|(k, v)| (*k, s(v)))
+                .collect::<Vec<_>>()),
+        ),
+        ("thread", Value::U64(rec.thread)),
+        ("end_unix_micros", Value::U64(rec.end_unix_micros)),
+        ("duration_nanos", Value::U64(rec.duration_nanos)),
+    ])
+}
 
 /// Parses `"name@<semver>"` (e.g. `"model@0.2"`, `"impute@dev@1.0"`).
 fn parse_component(spec: &str) -> Result<ComponentKey, Failure> {

@@ -41,6 +41,8 @@
 use crate::hash::Hash256;
 use crate::stats::CacheStats;
 use bytes::Bytes;
+use mlcask_obs::metrics::instance_label;
+use mlcask_obs::{Counter, Gauge, MetricsRegistry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -135,12 +137,21 @@ pub struct BlobCache {
     /// Per-shard byte budget.
     shard_capacity: u64,
     capacity_bytes: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
+    /// Registry-backed counters (`mlcask_blob_cache_*{instance=...}`): each
+    /// cache instance owns distinct series so two caches in one process
+    /// (e.g. cache-on vs cache-off A/B in the read-path bench) don't mix.
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+    /// Kept as a raw atomic (needs `fetch_sub`, which monotone counters
+    /// forbid); mirrored into `resident_gauge` on mutation.
     resident_bytes: AtomicU64,
+    resident_gauge: Gauge,
+    /// Cumulative hit rate, refreshed on every [`BlobCache::stats`] call so
+    /// a scrape that snapshots stats first sees a current value.
+    hit_rate_gauge: Gauge,
 }
 
 impl BlobCache {
@@ -148,16 +159,45 @@ impl BlobCache {
     /// clamped to at least 1).
     pub fn new(opts: CacheOptions) -> Self {
         let n = opts.shards.max(1);
+        let reg = MetricsRegistry::global();
+        let instance = instance_label("blobcache");
+        let ilabel = [("instance", instance.as_str())];
+        let counter = |name: &str, help: &str| reg.counter(name, help, &ilabel);
+        reg.gauge(
+            "mlcask_blob_cache_capacity_bytes",
+            "Configured blob cache byte budget",
+            &ilabel,
+        )
+        .set(opts.capacity_bytes as f64);
         BlobCache {
             shards: (0..n).map(|_| Mutex::new(Ring::default())).collect(),
             shard_capacity: opts.capacity_bytes / n as u64,
             capacity_bytes: opts.capacity_bytes,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
+            hits: counter("mlcask_blob_cache_hits_total", "Blob cache hits"),
+            misses: counter("mlcask_blob_cache_misses_total", "Blob cache misses"),
+            insertions: counter(
+                "mlcask_blob_cache_insertions_total",
+                "Blob cache insertions",
+            ),
+            evictions: counter(
+                "mlcask_blob_cache_evictions_total",
+                "Blob cache CLOCK evictions",
+            ),
+            invalidations: counter(
+                "mlcask_blob_cache_invalidations_total",
+                "Blob cache invalidations after backend removes",
+            ),
             resident_bytes: AtomicU64::new(0),
+            resident_gauge: reg.gauge(
+                "mlcask_blob_cache_resident_bytes",
+                "Bytes currently resident in the blob cache",
+                &ilabel,
+            ),
+            hit_rate_gauge: reg.gauge(
+                "mlcask_blob_cache_hit_rate",
+                "Cumulative blob cache hit rate (hits / lookups)",
+                &ilabel,
+            ),
         }
     }
 
@@ -173,12 +213,12 @@ impl BlobCache {
                 ring.entries[idx].referenced = true;
                 let data = ring.entries[idx].data.clone();
                 drop(ring);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(data)
             }
             None => {
                 drop(ring);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -221,10 +261,11 @@ impl BlobCache {
             ring.map.insert(key, idx);
             ring.bytes += len;
         }
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        self.evictions.fetch_add(evictions, Ordering::Relaxed);
+        self.insertions.inc();
+        self.evictions.add(evictions);
         self.resident_bytes.fetch_add(len, Ordering::Relaxed);
-        self.resident_bytes.fetch_sub(evicted, Ordering::Relaxed);
+        let resident = self.resident_bytes.fetch_sub(evicted, Ordering::Relaxed) - evicted;
+        self.resident_gauge.set(resident as f64);
     }
 
     /// Drops `key` if cached — called after a backend `remove` so a stale
@@ -234,9 +275,10 @@ impl BlobCache {
         if let Some(idx) = ring.map.get(key).copied() {
             let victim = ring.remove_at(idx);
             drop(ring);
-            self.invalidations.fetch_add(1, Ordering::Relaxed);
-            self.resident_bytes
-                .fetch_sub(victim.data.len() as u64, Ordering::Relaxed);
+            self.invalidations.inc();
+            let len = victim.data.len() as u64;
+            let resident = self.resident_bytes.fetch_sub(len, Ordering::Relaxed) - len;
+            self.resident_gauge.set(resident as f64);
         }
     }
 
@@ -245,17 +287,21 @@ impl BlobCache {
         self.capacity_bytes
     }
 
-    /// Point-in-time telemetry snapshot.
+    /// Point-in-time telemetry snapshot. Also refreshes the registry's
+    /// hit-rate gauge, so callers that snapshot stats right before a
+    /// `metrics.scrape` export a current rate.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+        let stats = CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
             capacity_bytes: self.capacity_bytes,
-        }
+        };
+        self.hit_rate_gauge.set(stats.hit_rate());
+        stats
     }
 }
 

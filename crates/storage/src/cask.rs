@@ -65,6 +65,8 @@ use crate::errors::{Result, StorageError};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::hash::Hash256;
 use bytes::Bytes;
+use mlcask_obs::metrics::{instance_label, LATENCY_SECONDS, SIZE_BYTES};
+use mlcask_obs::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Mutex as PlMutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::fs::{self, File, OpenOptions};
@@ -74,6 +76,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Frame header size: payload length + CRC, both little-endian `u32`s.
 pub const FRAME_HEADER: usize = 8;
@@ -341,21 +344,31 @@ struct Inner {
     sync_every_append: bool,
     group_commit: bool,
     max_batch_bytes: usize,
-    appends: AtomicU64,
+    /// Registry-backed telemetry (`mlcask_cask_*{instance=...}` series in
+    /// the global [`MetricsRegistry`]). The counters keep their pre-registry
+    /// accessor semantics — each backend instance owns distinct series, so
+    /// tests comparing two backends still see independent counts.
+    appends: Counter,
     /// Fsyncs performed on a caller's thread (inline appends + `flush`) —
     /// the durability work that *blocks* execution. The writer pool's whole
     /// point is driving this down; `durable_overlap` gates on it.
-    blocking_syncs: AtomicU64,
+    blocking_syncs: Counter,
     /// Every segment fsync done for append durability — inline, group
     /// commit, or flush. `syncs_total / appends` is the fsyncs-per-append
     /// metric the `read_path` bench gates below 1.
-    syncs_total: AtomicU64,
+    syncs_total: Counter,
     /// Batches the writer pool made durable with a single group commit.
-    group_commits: AtomicU64,
+    group_commits: Counter,
     /// Segment reads served by `get` (Pending hits don't count). The blob
     /// cache sits above this backend, so the read-path bench compares this
     /// counter cache-on vs cache-off.
-    read_ops: AtomicU64,
+    read_ops: Counter,
+    /// `sync_data` latency by call site (`kind` ∈ inline/group/flush).
+    fsync_inline: Histogram,
+    fsync_group: Histogram,
+    fsync_flush: Histogram,
+    /// Bytes made durable per group-commit batch.
+    group_commit_bytes: Histogram,
 }
 
 /// Append-only log-segment storage backend with hash-prefix sharding,
@@ -547,6 +560,22 @@ impl CaskBackend {
             work: Condvar::new(),
             drained: Condvar::new(),
         });
+        // Telemetry series. Counters carry a unique `instance` label so two
+        // backends in one process (pool vs sync, tests comparing modes) get
+        // independent series; the fsync/byte histograms aggregate across
+        // instances — latency distributions are a process-level concern.
+        let reg = MetricsRegistry::global();
+        let instance = instance_label("cask");
+        let ilabel = [("instance", instance.as_str())];
+        let counter = |name: &str, help: &str| reg.counter(name, help, &ilabel);
+        let fsync = |kind: &str| {
+            reg.histogram(
+                "mlcask_cask_fsync_seconds",
+                "Segment sync_data latency by call site",
+                &[("kind", kind)],
+                LATENCY_SECONDS,
+            )
+        };
         let inner = Arc::new(Inner {
             shards: shard_states,
             index: RwLock::new(index),
@@ -560,11 +589,35 @@ impl CaskBackend {
             sync_every_append: opts.sync_every_append,
             group_commit: opts.group_commit,
             max_batch_bytes: opts.max_batch_bytes.max(1),
-            appends: AtomicU64::new(0),
-            blocking_syncs: AtomicU64::new(0),
-            syncs_total: AtomicU64::new(0),
-            group_commits: AtomicU64::new(0),
-            read_ops: AtomicU64::new(0),
+            appends: counter(
+                "mlcask_cask_appends_total",
+                "Cask appends attempted (puts + tombstones)",
+            ),
+            blocking_syncs: counter(
+                "mlcask_cask_blocking_syncs_total",
+                "Fsyncs performed on a caller's thread",
+            ),
+            syncs_total: counter(
+                "mlcask_cask_syncs_total",
+                "Segment fsyncs performed for append durability",
+            ),
+            group_commits: counter(
+                "mlcask_cask_group_commit_batches_total",
+                "Batches made durable with one group commit each",
+            ),
+            read_ops: counter(
+                "mlcask_cask_read_ops_total",
+                "Segment disk reads served by get",
+            ),
+            fsync_inline: fsync("inline"),
+            fsync_group: fsync("group"),
+            fsync_flush: fsync("flush"),
+            group_commit_bytes: reg.histogram(
+                "mlcask_cask_group_commit_bytes",
+                "Bytes made durable per group-commit batch",
+                &[],
+                SIZE_BYTES,
+            ),
         });
         let workers = (0..opts.writer_threads)
             .map(|_| {
@@ -583,14 +636,14 @@ impl CaskBackend {
     /// Total appends attempted (puts + tombstones), including a crashing
     /// one. The crash-matrix tests size their sweep with this.
     pub fn append_count(&self) -> u64 {
-        self.inner.appends.load(Ordering::Relaxed)
+        self.inner.appends.get()
     }
 
     /// Fsyncs that blocked a caller's thread (inline appends and `flush`).
     /// With the writer pool, durability overlaps execution and this stays
     /// near the shard count; synchronous mode pays one per append.
     pub fn blocking_syncs(&self) -> u64 {
-        self.inner.blocking_syncs.load(Ordering::Relaxed)
+        self.inner.blocking_syncs.get()
     }
 
     /// Every segment fsync performed for append durability — inline
@@ -598,19 +651,19 @@ impl CaskBackend {
     /// [`CaskBackend::append_count`] for fsyncs-per-append: 1.0 in
     /// synchronous mode, below 1 once group commit coalesces batches.
     pub fn sync_count(&self) -> u64 {
-        self.inner.syncs_total.load(Ordering::Relaxed)
+        self.inner.syncs_total.get()
     }
 
     /// Batches the writer pool made durable with one group commit each.
     pub fn group_commit_batches(&self) -> u64 {
-        self.inner.group_commits.load(Ordering::Relaxed)
+        self.inner.group_commits.get()
     }
 
     /// Segment disk reads served by `get` (in-memory `Pending` hits don't
     /// count). The blob cache above this backend absorbs repeat reads, so
     /// the `read_path` bench compares this counter cache-on vs cache-off.
     pub fn read_ops(&self) -> u64 {
-        self.inner.read_ops.load(Ordering::Relaxed)
+        self.inner.read_ops.get()
     }
 
     /// Total segment file bytes (live + dead), the quantity compaction
@@ -677,7 +730,7 @@ impl Inner {
     fn append_inline(&self, sid: usize, fr: &[u8], blocking: bool) -> Result<u64> {
         let shard = &self.shards[sid];
         let mut io = shard.io.write();
-        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.appends.inc();
         if let Some(f) = &self.fault {
             let n = f.appends.fetch_add(1, Ordering::Relaxed) + 1;
             if f.plan.crash_at_append != 0 && n >= f.plan.crash_at_append {
@@ -722,11 +775,13 @@ impl Inner {
         let start = io.tail;
         io.tail += fr.len() as u64;
         if self.sync_every_append {
+            let t = Instant::now();
             io.file.sync_data()?;
+            self.fsync_inline.observe_duration(t.elapsed());
             io.synced = io.tail;
-            self.syncs_total.fetch_add(1, Ordering::Relaxed);
+            self.syncs_total.inc();
             if blocking {
-                self.blocking_syncs.fetch_add(1, Ordering::Relaxed);
+                self.blocking_syncs.inc();
             }
         }
         Ok(start)
@@ -770,17 +825,20 @@ impl Inner {
             }
             io.tail += buf.len() as u64;
             if self.group_commit || self.sync_every_append {
+                let t = Instant::now();
                 if let Err(e) = io.file.sync_data() {
                     poison_with(e.to_string());
                     return;
                 }
+                self.fsync_group.observe_duration(t.elapsed());
                 io.synced = io.tail;
-                self.syncs_total.fetch_add(1, Ordering::Relaxed);
-                self.group_commits.fetch_add(1, Ordering::Relaxed);
+                self.syncs_total.inc();
+                self.group_commits.inc();
+                self.group_commit_bytes.observe(buf.len() as f64);
             }
             start
         };
-        self.appends.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.appends.add(jobs.len() as u64);
         let mut off = start;
         let mut idx = self.index.write();
         for job in &jobs {
@@ -895,10 +953,12 @@ impl Inner {
         for shard in &self.shards {
             let mut io = shard.io.write();
             if io.synced < io.tail {
+                let t = Instant::now();
                 io.file.sync_data()?;
+                self.fsync_flush.observe_duration(t.elapsed());
                 io.synced = io.tail;
-                self.blocking_syncs.fetch_add(1, Ordering::Relaxed);
-                self.syncs_total.fetch_add(1, Ordering::Relaxed);
+                self.blocking_syncs.inc();
+                self.syncs_total.inc();
             }
         }
         Ok(())
@@ -1048,7 +1108,7 @@ impl StorageBackend for CaskBackend {
                     let io = inner.shards[shard as usize].io.read();
                     io.file.read_exact_at(&mut out, off)?;
                 }
-                inner.read_ops.fetch_add(1, Ordering::Relaxed);
+                inner.read_ops.inc();
                 let actual = Hash256::of(&out);
                 if actual != key {
                     return Err(StorageError::Corrupt {

@@ -41,6 +41,8 @@ use crate::errors::{Result, StorageError};
 use crate::hash::Hash256;
 use crate::pmap::PMap;
 use crate::tenant::{ShareRight, ShareTable};
+use mlcask_obs::metrics::instance_label;
+use mlcask_obs::{Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -248,18 +250,35 @@ struct GraphState {
     tick: AtomicU64,
     /// Number of graph-append *operations* (publications), not commits:
     /// a [`CommitGraph::commit_batch`] of N commits counts as one append.
-    appends: AtomicU64,
+    /// Registry-backed (`mlcask_graph_append_ops_total{instance=...}`) with
+    /// a unique per-graph instance label, so [`CommitGraph::append_ops`]
+    /// keeps its per-graph semantics.
+    appends: Counter,
+    /// Snapshot publications (append ops + share-table-only publishes).
+    publishes: Counter,
     /// Namespace ownership + share grants consulted on every write.
     shares: ShareTable,
 }
 
 impl Default for GraphState {
     fn default() -> Self {
+        let reg = MetricsRegistry::global();
+        let instance = instance_label("graph");
+        let ilabel = [("instance", instance.as_str())];
         GraphState {
             published: RwLock::new(Snapshot::empty()),
             writer: Mutex::new(()),
             tick: AtomicU64::new(0),
-            appends: AtomicU64::new(0),
+            appends: reg.counter(
+                "mlcask_graph_append_ops_total",
+                "Commit-graph append operations (publications of new commits)",
+                &ilabel,
+            ),
+            publishes: reg.counter(
+                "mlcask_graph_publish_total",
+                "Commit-graph snapshot publications",
+                &ilabel,
+            ),
             shares: ShareTable::default(),
         }
     }
@@ -334,6 +353,7 @@ impl CommitGraph {
 
     /// Swaps in the successor generation. Caller must hold the writer lock.
     fn publish(&self, next: Snapshot) {
+        self.state.publishes.inc();
         *self.state.published.write() = Arc::new(next);
     }
 
@@ -371,7 +391,7 @@ impl CommitGraph {
     /// once however many commits they append — the quantity the batched
     /// commit path amortizes.
     pub fn append_ops(&self) -> u64 {
-        self.state.appends.load(Ordering::Relaxed)
+        self.state.appends.get()
     }
 
     /// Creates a root commit on a new branch. Permission-checked against
@@ -400,7 +420,7 @@ impl CommitGraph {
             commits: cur.snap.commits.insert(id, c.clone()),
             branches,
         });
-        self.state.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.appends.inc();
         Ok(c)
     }
 
@@ -430,7 +450,7 @@ impl CommitGraph {
             commits: cur.snap.commits.insert(id, c.clone()),
             branches,
         });
-        self.state.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.appends.inc();
         Ok(c)
     }
 
@@ -480,7 +500,7 @@ impl CommitGraph {
         let mut branches = cur.snap.branches.clone();
         branches.insert(branch.to_string(), out.last().expect("non-empty batch").id);
         self.publish(Snapshot { commits, branches });
-        self.state.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.appends.inc();
         Ok(out)
     }
 
@@ -542,7 +562,7 @@ impl CommitGraph {
             commits: cur.snap.commits.insert(id, c.clone()),
             branches,
         });
-        self.state.appends.fetch_add(1, Ordering::Relaxed);
+        self.state.appends.inc();
         Ok(c)
     }
 

@@ -73,6 +73,7 @@
 //! | [`core`] | branching, metric-driven merge, PC/PR pruning, prioritized search, multi-tenant workspace |
 //! | [`workloads`] | Readmission, DPM, SA, Autolearn, the diamond Fusion + scenario drivers |
 //! | [`baselines`] | ModelDB-like and MLflow-like comparison systems |
+//! | [`obs`] | metrics registry, span tracing, flight recorder, Prometheus scrape |
 //!
 //! The repository-level `README.md` covers building, benches, and the
 //! figure harness; `ARCHITECTURE.md` explains the parallel execution
@@ -86,6 +87,7 @@
 pub use mlcask_baselines as baselines;
 pub use mlcask_core as core;
 pub use mlcask_ml as ml;
+pub use mlcask_obs as obs;
 pub use mlcask_pipeline as pipeline;
 pub use mlcask_storage as storage;
 pub use mlcask_workloads as workloads;

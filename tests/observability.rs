@@ -1,0 +1,329 @@
+//! Telemetry stays strictly outside the determinism observables.
+//!
+//! The repo's core invariant is that reports, ledgers, and served bytes
+//! are identical at any worker count. This suite extends that invariant
+//! over the new `mlcask_obs` layer: the full served script must be
+//! byte-identical with span tracing on or off, at any flight-recorder
+//! capacity, at workers {1, 2, 8} — and the observability RPCs
+//! (`metrics.scrape`, `obs.spans`, `obs.slow`) must expose the telemetry
+//! without perturbing a single served byte.
+
+use mlcask_core::testkit::{toy_model, toy_scaler, toy_slots, toy_source};
+use mlcask_obs::{trace, MetricsRegistry};
+use mlcask_pipeline::parallel::ParallelismPolicy;
+use mlcask_server::limits::AdmissionControl;
+use mlcask_server::service::{Router, ServerOptions};
+use mlcask_workloads::common::Workload;
+use serde::Value;
+
+/// Three-stage toy workload (source → scaler → model) with one head and
+/// one dev update, so the cross-tenant merge runs a real search.
+fn toy_workload() -> Workload {
+    let source = toy_source(mlcask_pipeline::semver::SemVer::master(0, 0), 4, 32);
+    let scalers = vec![
+        toy_scaler(mlcask_pipeline::semver::SemVer::master(0, 0), 4, 4, 1.0),
+        toy_scaler(mlcask_pipeline::semver::SemVer::master(0, 1), 4, 4, 1.5),
+    ];
+    let models = vec![
+        toy_model(mlcask_pipeline::semver::SemVer::master(0, 0), 4, 0.6),
+        toy_model(mlcask_pipeline::semver::SemVer::master(0, 1), 4, 0.8),
+    ];
+    let initial = vec![source.key(), scalers[0].key(), models[0].key()];
+    let head_updates = vec![vec![source.key(), scalers[0].key(), models[1].key()]];
+    let dev_updates = vec![vec![source.key(), scalers[1].key(), models[0].key()]];
+    let chains = vec![
+        vec![source.key()],
+        scalers.iter().map(|h| h.key()).collect(),
+        models.iter().map(|h| h.key()).collect(),
+    ];
+    let incompat_update = (1, scalers[1].key());
+    let mut handles = vec![source];
+    handles.extend(scalers);
+    handles.extend(models);
+    Workload {
+        name: "obs_toy".to_string(),
+        slots: toy_slots().into_iter().map(String::from).collect(),
+        handles,
+        initial,
+        chains,
+        model_slot: 2,
+        incompat_update,
+        head_updates,
+        dev_updates,
+        edges: vec![],
+    }
+}
+
+fn router(workers: usize) -> Router {
+    Router::in_memory(
+        toy_workload(),
+        ServerOptions {
+            parallelism: if workers <= 1 {
+                ParallelismPolicy::Sequential
+            } else {
+                ParallelismPolicy::Parallel(workers)
+            },
+            coarse_lock: false,
+            admission: AdmissionControl::unlimited(),
+        },
+    )
+}
+
+fn rpc(router: &Router, method: &str, params: &str) -> String {
+    let line = format!(r#"{{"id":0,"method":"{method}","params":{params}}}"#);
+    let resp = router.handle_text(&line);
+    assert!(!resp.contains(r#""error""#), "rpc {method} failed: {resp}");
+    resp
+}
+
+fn result_of(line: &str) -> Value {
+    let v: Value = serde_json::from_str(line).expect("response parses");
+    serde::map_get(v.as_map().expect("response is an object"), "result")
+        .cloned()
+        .expect("response has a result")
+}
+
+/// The full served script — sessions, commits, grant/fork, merge, log,
+/// usages — returning the concatenated response lines (the determinism
+/// observation).
+fn served_script(workers: usize) -> String {
+    let r = router(workers);
+    let w = toy_workload();
+    let spec = |keys: &[mlcask_pipeline::component::ComponentKey]| -> String {
+        let items: Vec<String> = keys
+            .iter()
+            .map(|k| format!(r#""{}@{}""#, k.name, k.version))
+            .collect();
+        format!("[{}]", items.join(","))
+    };
+    let mut out = Vec::new();
+    out.push(rpc(&r, "session.open", r#"{"tenant":"upstream"}"#));
+    out.push(rpc(&r, "session.open", r#"{"tenant":"downstream"}"#));
+    out.push(rpc(
+        &r,
+        "commit",
+        &format!(
+            r#"{{"session":1,"branch":"master","components":{},"message":"initial"}}"#,
+            spec(&w.initial)
+        ),
+    ));
+    out.push(rpc(
+        &r,
+        "grant",
+        r#"{"session":1,"peer":"downstream","right":"merge_into"}"#,
+    ));
+    out.push(rpc(
+        &r,
+        "fork",
+        r#"{"session":2,"peer":"upstream","branch":"master","new_branch":"feature"}"#,
+    ));
+    for keys in &w.head_updates {
+        out.push(rpc(
+            &r,
+            "commit",
+            &format!(
+                r#"{{"session":1,"branch":"master","components":{},"message":"head"}}"#,
+                spec(keys)
+            ),
+        ));
+    }
+    for keys in &w.dev_updates {
+        out.push(rpc(
+            &r,
+            "commit",
+            &format!(
+                r#"{{"session":2,"branch":"feature","components":{},"message":"dev"}}"#,
+                spec(keys)
+            ),
+        ));
+    }
+    out.push(rpc(
+        &r,
+        "merge.into",
+        r#"{"session":2,"peer":"upstream","peer_branch":"master","merging":"feature","strategy":"full"}"#,
+    ));
+    out.push(rpc(
+        &r,
+        "log",
+        r#"{"session":1,"branch":"master","limit":50}"#,
+    ));
+    out.push(rpc(&r, "usage", r#"{"session":1}"#));
+    out.push(rpc(&r, "usage", r#"{"session":2}"#));
+    out.push(rpc(&r, "workspace.usage", "{}"));
+    out.join("\n")
+}
+
+/// The tentpole's hard constraint, as one sweep: tracing {off, on} ×
+/// recorder capacity {0, 64, 4096} × workers {1, 2, 8} must serve
+/// byte-identical scripts. Afterwards (tracing on) the obs RPCs must see
+/// the spans the sweep recorded.
+///
+/// One test (not several) because the flight recorder is process-global:
+/// sequential cells can't race another test's `configure`.
+#[test]
+fn served_bytes_identical_across_tracing_and_capacity() {
+    let rec = trace::recorder();
+    let (restore_enabled, restore_capacity) = (rec.is_enabled(), rec.capacity());
+    let mut reference: Option<String> = None;
+    for enabled in [false, true] {
+        for capacity in [0usize, 64, 4096] {
+            rec.configure(enabled, capacity);
+            for workers in [1usize, 2, 8] {
+                let obs = served_script(workers);
+                match &reference {
+                    None => reference = Some(obs),
+                    Some(r) => assert_eq!(
+                        &obs, r,
+                        "served bytes diverged: tracing={enabled} capacity={capacity} workers={workers}"
+                    ),
+                }
+            }
+            if enabled && capacity > 0 {
+                assert!(
+                    !rec.recent(16).is_empty(),
+                    "tracing-on cells must retain spans (capacity={capacity})"
+                );
+            }
+            if enabled && capacity == 0 {
+                assert!(
+                    rec.recent(16).is_empty(),
+                    "capacity 0 must retain nothing (seq still advances)"
+                );
+            }
+        }
+    }
+
+    // With spans retained from the last (enabled, 4096) cell, the obs RPCs
+    // expose them — through the same daemon surface the sweep measured.
+    let r = router(1);
+    let spans = result_of(&rpc(&r, "obs.spans", r#"{"n":32}"#));
+    let m = spans.as_map().expect("obs.spans returns an object");
+    assert_eq!(serde::map_get(m, "enabled"), Some(&Value::Bool(true)));
+    let listed = serde::map_get(m, "spans")
+        .and_then(|s| s.as_seq())
+        .expect("spans field is an array");
+    assert!(!listed.is_empty(), "recent spans are exposed");
+    for span in listed {
+        let sm = span.as_map().expect("span is an object");
+        for field in ["seq", "name", "thread", "end_unix_micros", "duration_nanos"] {
+            assert!(serde::map_get(sm, field).is_some(), "span has `{field}`");
+        }
+    }
+    let slow = result_of(&rpc(&r, "obs.slow", r#"{"n":3}"#));
+    let slow = slow.as_seq().expect("obs.slow returns an array");
+    assert!(slow.len() <= 3, "obs.slow honours n");
+    // Slowest-first ordering.
+    let dur = |v: &Value| -> u64 {
+        match serde::map_get(v.as_map().unwrap(), "duration_nanos") {
+            Some(Value::U64(n)) => *n,
+            other => panic!("duration_nanos: {other:?}"),
+        }
+    };
+    for pair in slow.windows(2) {
+        assert!(dur(&pair[0]) >= dur(&pair[1]), "obs.slow sorts descending");
+    }
+
+    rec.configure(restore_enabled, restore_capacity);
+}
+
+/// `metrics.scrape` over the daemon surface returns a Prometheus text
+/// exposition carrying the per-method/per-tenant request series the serving
+/// instrumentation records.
+#[test]
+fn metrics_scrape_exposes_request_series() {
+    let r = router(1);
+    rpc(&r, "session.open", r#"{"tenant":"scrape_tenant"}"#);
+    // Find this router's session id (the registry is global; other tests
+    // may have opened sessions first).
+    let info = result_of(&rpc(&r, "server.info", "{}"));
+    assert!(serde::map_get(info.as_map().unwrap(), "open_sessions").is_some());
+    let text = match result_of(&rpc(&r, "metrics.scrape", "{}")) {
+        Value::Str(s) => s,
+        other => panic!("scrape returns text: {other:?}"),
+    };
+    for needle in [
+        "# TYPE mlcask_server_request_seconds histogram",
+        "# TYPE mlcask_server_requests_total counter",
+        r#"method="session.open""#,
+        "mlcask_server_request_seconds_bucket",
+        "mlcask_server_request_seconds_sum",
+        "mlcask_server_request_seconds_count",
+    ] {
+        assert!(text.contains(needle), "scrape missing `{needle}`:\n{text}");
+    }
+    // The session-scoped request recorded under its tenant label. (The
+    // `usage` call below lands after this scrape; scrape again to see it.)
+    rpc(&r, "usage", r#"{"session":1}"#);
+    let text = match result_of(&rpc(&r, "metrics.scrape", "{}")) {
+        Value::Str(s) => s,
+        other => panic!("scrape returns text: {other:?}"),
+    };
+    assert!(
+        text.contains(r#"tenant="scrape_tenant""#),
+        "per-tenant series missing:\n{text}"
+    );
+}
+
+/// Golden scrape: exact Prometheus text for a hand-built (local, not
+/// global) registry — families sorted by name, series by label set,
+/// cumulative buckets with `+Inf`, and label values escaped.
+#[test]
+fn prometheus_rendering_matches_golden() {
+    let reg = MetricsRegistry::new();
+    reg.counter(
+        "t_requests_total",
+        "Requests served",
+        &[("tenant", "a\"b\\c\nd"), ("method", "log")],
+    )
+    .add(3);
+    reg.gauge("t_hit_rate", "Hit rate", &[]).set(0.5);
+    let h = reg.histogram(
+        "t_lat_seconds",
+        "Latency",
+        &[("stage", "merge")],
+        &[0.3, 1.0],
+    );
+    h.observe(0.25);
+    h.observe(0.5);
+    h.observe(4.0);
+    let golden = "# HELP t_hit_rate Hit rate\n\
+                  # TYPE t_hit_rate gauge\n\
+                  t_hit_rate 0.5\n\
+                  # HELP t_lat_seconds Latency\n\
+                  # TYPE t_lat_seconds histogram\n\
+                  t_lat_seconds_bucket{stage=\"merge\",le=\"0.3\"} 1\n\
+                  t_lat_seconds_bucket{stage=\"merge\",le=\"1\"} 2\n\
+                  t_lat_seconds_bucket{stage=\"merge\",le=\"+Inf\"} 3\n\
+                  t_lat_seconds_sum{stage=\"merge\"} 4.75\n\
+                  t_lat_seconds_count{stage=\"merge\"} 3\n\
+                  # HELP t_requests_total Requests served\n\
+                  # TYPE t_requests_total counter\n\
+                  t_requests_total{method=\"log\",tenant=\"a\\\"b\\\\c\\nd\"} 3\n";
+    assert_eq!(reg.render_prometheus(), golden);
+}
+
+/// Registry-backed storage counters keep their pre-registry accessor
+/// semantics: two backends in one process count independently.
+#[test]
+fn per_instance_counters_stay_independent() {
+    let a = tempdir("obs-cask-a");
+    let b = tempdir("obs-cask-b");
+    let ba = mlcask_storage::cask::CaskBackend::open(&a).expect("cask backend opens");
+    let bb = mlcask_storage::cask::CaskBackend::open(&b).expect("cask backend opens");
+    use mlcask_storage::backend::StorageBackend;
+    ba.put(mlcask_storage::hash::Hash256::of(b"a"), b"a")
+        .unwrap();
+    ba.flush().unwrap();
+    assert!(ba.append_count() >= 1);
+    assert_eq!(bb.append_count(), 0, "instances must not share series");
+    drop(ba);
+    drop(bb);
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlcask-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
